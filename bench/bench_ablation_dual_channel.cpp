@@ -1,0 +1,75 @@
+// Ablation: the dual-channel architecture (DESIGN.md §5).
+//
+// The paper argues the second channel (1+α)x − αt preserves the original
+// sample's features (indeed c1 + c2 = 2x before clipping), which is what
+// keeps utility at high α. We compare full CIP against a single-channel
+// variant that trains a plain classifier on only (1-α)x + αt.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/blend.h"
+#include "eval/experiment.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+using namespace cip;
+
+namespace {
+
+/// Train a plain classifier on the FIRST blended channel only.
+double SingleChannelAccuracy(const eval::DataBundle& bundle, float alpha,
+                             std::size_t epochs, Rng& rng) {
+  core::BlendConfig blend;
+  blend.alpha = alpha;
+  const Tensor t =
+      core::Perturbation::Random(bundle.train.SampleShape(), rng).tensor();
+  const core::Blended btr = core::Blend(bundle.train.inputs, t, blend);
+  data::Dataset blended_train{btr.c1, bundle.train.labels};
+
+  auto model = nn::MakeClassifier(bundle.spec);
+  fl::TrainConfig cfg = eval::DefaultTrainConfig(bundle);
+  optim::Sgd opt(cfg.lr, cfg.momentum);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    fl::TrainEpoch(*model, blended_train, opt, cfg, rng);
+  }
+  const core::Blended bte = core::Blend(bundle.test.inputs, t, blend);
+  const data::Dataset blended_test{bte.c1, bundle.test.labels};
+  return fl::Evaluate(*model, blended_test);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — dual-channel vs single-channel blending",
+      "dual channel keeps features of x (c1 + c2 = 2x); single channel "
+      "discards them as alpha grows",
+      "dual-channel accuracy degrades slowly with alpha; single-channel "
+      "collapses at high alpha");
+  bench::BenchTimer timer;
+
+  eval::BundleOptions opts;
+  opts.train_size = Scaled(250);
+  opts.test_size = Scaled(250);
+  opts.shadow_size = 50;
+  opts.width = 8;
+  opts.seed = 111;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kChMnist, opts);
+  Rng rng(112);
+
+  TextTable table({"alpha", "dual-channel (CIP) test acc",
+                   "single-channel test acc"});
+  for (const float alpha : {0.1f, 0.5f, 0.9f}) {
+    const eval::CipExternalResult dual =
+        eval::RunCipExternal(bundle, nullptr, alpha, Scaled(28), rng);
+    const double single =
+        SingleChannelAccuracy(bundle, alpha, Scaled(40), rng);
+    table.AddRow({TextTable::Num(alpha, 1), TextTable::Num(dual.test_acc),
+                  TextTable::Num(single)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: the gap between the columns widens as alpha "
+               "grows — the second channel is what preserves utility.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 7: Earth-Mover distance between clients' training-loss
+// distributions under different data heterogeneity, CIP vs no defense.
+//
+// Paper (CIFAR-100, 10 clients, alpha=0.3): under non-i.i.d. splits CIP
+// shifts client distributions toward each other, reducing the average
+// pairwise EMD of training-loss trajectories relative to no defense.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "metrics/metrics.h"
+
+using namespace cip;
+
+namespace {
+
+/// Average pairwise EMD between per-client loss trajectories.
+double MeanPairwiseEmd(const std::vector<std::vector<float>>& per_round) {
+  // per_round[round][client] -> per-client trajectory.
+  const std::size_t clients = per_round.front().size();
+  std::vector<std::vector<float>> traj(clients);
+  for (const auto& round : per_round) {
+    for (std::size_t k = 0; k < clients; ++k) traj[k].push_back(round[k]);
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < clients; ++a) {
+    for (std::size_t b = a + 1; b < clients; ++b) {
+      total += metrics::EarthMoverDistance(traj[a], traj[b]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7 — EMD of client training-loss distributions (alpha=0.3)",
+      "CIP reduces inter-client loss-distribution EMD for non-i.i.d. data",
+      "EMD(CIP) < EMD(NoDef) at low classes/client; gap closes toward iid");
+  bench::BenchTimer timer;
+
+  constexpr std::size_t kNumClasses = 20;
+  const std::size_t clients = 6;  // paper: 10; scaled down
+  const std::size_t rounds = Scaled(25);
+  const std::size_t per_client = Scaled(80);
+  data::SyntheticVision gen(data::Cifar100Like(kNumClasses));
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = gen.SampleShape();
+  spec.num_classes = kNumClasses;
+  spec.width = 8;
+  spec.seed = 63;
+  fl::TrainConfig train;
+  train.lr = 0.02f;
+  train.momentum = 0.9f;
+
+  TextTable table({"classes/client", "EMD NoDefense", "EMD CIP"});
+  for (const std::size_t cpc : {4ul, 10ul, 20ul}) {
+    Rng rng(64);
+    data::Dataset full = gen.Sample(clients * per_client, rng);
+    const auto shards =
+        data::PartitionByClasses(full, clients, cpc, kNumClasses, rng);
+
+    double emd_nodef = 0.0;
+    {
+      std::vector<std::unique_ptr<fl::LegacyClient>> cs;
+      std::vector<fl::ClientBase*> ptrs;
+      for (std::size_t k = 0; k < clients; ++k) {
+        cs.push_back(
+            std::make_unique<fl::LegacyClient>(spec, shards[k], train, 100 + k));
+        ptrs.push_back(cs.back().get());
+      }
+      fl::FlOptions opts;
+      opts.rounds = rounds;
+      fl::FederatedAveraging server(fl::InitialState(spec), opts);
+      const fl::FlLog log = server.Run(ptrs, rng);
+      emd_nodef = MeanPairwiseEmd(log.client_losses);
+    }
+    double emd_cip = 0.0;
+    {
+      core::CipConfig cfg;
+      cfg.blend.alpha = 0.3f;
+      cfg.train = train;
+      cfg.perturb_steps = 6;
+      std::vector<std::unique_ptr<core::CipClient>> cs;
+      std::vector<fl::ClientBase*> ptrs;
+      for (std::size_t k = 0; k < clients; ++k) {
+        cs.push_back(
+            std::make_unique<core::CipClient>(spec, shards[k], cfg, 110 + k));
+        ptrs.push_back(cs.back().get());
+      }
+      fl::FlOptions opts;
+      opts.rounds = rounds;
+      fl::FederatedAveraging server(core::InitialDualState(spec), opts);
+      const fl::FlLog log = server.Run(ptrs, rng);
+      emd_cip = MeanPairwiseEmd(log.client_losses);
+    }
+    table.AddRow({std::to_string(cpc), TextTable::Num(emd_nodef),
+                  TextTable::Num(emd_cip)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper: CIP's EMD is below NoDefense for heterogeneous\n"
+               "(non-i.i.d.) splits — the mechanism behind Table III's "
+               "accuracy gain.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the numeric kernels every
+// experiment is built on: matmul, convolution, softmax/cross-entropy, the
+// CIP blending function, and a full dual-channel forward/backward step.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/blend.h"
+#include "nn/backbones.h"
+#include "tensor/ops.h"
+
+namespace cip {
+namespace {
+
+Tensor RandomTensor(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(shape);
+  for (float& v : t.flat()) v = rng.Normal();
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor logits = RandomTensor({n, 50}, 3);
+  std::vector<int> labels(n, 7);
+  Tensor grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::SoftmaxCrossEntropy(logits, labels, &grad));
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy)->Arg(32)->Arg(256);
+
+void BM_Blend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Tensor x = RandomTensor({n, 3, 12, 12}, 4);
+  ops::ClipInPlace(x, 0.0f, 1.0f);
+  Tensor t = RandomTensor({3, 12, 12}, 5);
+  ops::ClipInPlace(t, 0.0f, 1.0f);
+  core::BlendConfig cfg;
+  cfg.alpha = 0.5f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Blend(x, t, cfg));
+  }
+}
+BENCHMARK(BM_Blend)->Arg(32)->Arg(256);
+
+void BM_DualChannelTrainStep(benchmark::State& state) {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = {3, 12, 12};
+  spec.num_classes = 20;
+  spec.width = static_cast<std::size_t>(state.range(0));
+  spec.seed = 6;
+  auto model = nn::MakeDualChannelClassifier(spec);
+  const Tensor x1 = RandomTensor({32, 3, 12, 12}, 7);
+  const Tensor x2 = RandomTensor({32, 3, 12, 12}, 8);
+  std::vector<int> labels(32, 3);
+  for (auto _ : state) {
+    const Tensor logits = model->Forward(x1, x2, true);
+    Tensor dlogits;
+    ops::SoftmaxCrossEntropy(logits, labels, &dlogits);
+    benchmark::DoNotOptimize(model->Backward(dlogits));
+    model->ZeroGrad();
+  }
+}
+BENCHMARK(BM_DualChannelTrainStep)->Arg(8)->Arg(12);
+
+void BM_SingleChannelTrainStep(benchmark::State& state) {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = {3, 12, 12};
+  spec.num_classes = 20;
+  spec.width = static_cast<std::size_t>(state.range(0));
+  spec.seed = 9;
+  auto model = nn::MakeClassifier(spec);
+  const Tensor x = RandomTensor({32, 3, 12, 12}, 10);
+  std::vector<int> labels(32, 3);
+  for (auto _ : state) {
+    const Tensor logits = model->Forward(x, true);
+    Tensor dlogits;
+    ops::SoftmaxCrossEntropy(logits, labels, &dlogits);
+    benchmark::DoNotOptimize(model->Backward(dlogits));
+    model->ZeroGrad();
+  }
+}
+BENCHMARK(BM_SingleChannelTrainStep)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace cip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Table XI (RQ5): parameter-count and convergence overhead of CIP vs the
+// conventional (no-defense) model.
+//
+// Paper: CIP adds +0.87% parameters on average (only the concatenated head
+// widens; the backbone is shared) and halves the epochs to converge.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cip_client.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "fl/server.h"
+
+using namespace cip;
+
+namespace {
+
+/// Rounds until the client-side training accuracy crosses `target`.
+std::size_t RoundsToConverge(fl::ClientBase& client,
+                             const fl::ModelState& init, double target,
+                             std::size_t max_rounds, Rng& rng) {
+  client.SetGlobal(init);
+  for (std::size_t r = 1; r <= max_rounds; ++r) {
+    client.TrainLocal(r, rng);
+    if (client.EvalAccuracy(client.LocalData()) >= target) return r;
+  }
+  return max_rounds;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table XI — overhead: parameters and rounds to converge",
+      "params +0.87% on average (shared backbone, wider head); epochs -50%",
+      "param overhead ~1%; convergence within the same order as no-defense");
+  bench::BenchTimer timer;
+
+  // ---- parameter counts ------------------------------------------------------
+  TextTable params({"Model type", "No defense", "CIP (dual)", "overhead"});
+  double overhead_sum = 0.0;
+  const std::vector<nn::Arch> archs = {nn::Arch::kResNet, nn::Arch::kDenseNet,
+                                       nn::Arch::kVGG};
+  for (const nn::Arch arch : archs) {
+    nn::ModelSpec spec;
+    spec.arch = arch;
+    spec.input_shape = {3, 12, 12};
+    spec.num_classes = 20;
+    spec.width = 8;
+    spec.seed = 99;
+    auto single = nn::MakeClassifier(spec);
+    auto dual = nn::MakeDualChannelClassifier(spec);
+    const double overhead =
+        100.0 *
+        (static_cast<double>(dual->ParameterCount()) - single->ParameterCount()) /
+        static_cast<double>(single->ParameterCount());
+    overhead_sum += overhead;
+    params.AddRow({nn::ArchName(arch), std::to_string(single->ParameterCount()),
+                   std::to_string(dual->ParameterCount()),
+                   "+" + TextTable::Num(overhead, 2) + "%"});
+  }
+  params.Print(std::cout);
+  std::cout << "average overhead +"
+            << TextTable::Num(overhead_sum / archs.size(), 2)
+            << "% (paper: +0.87%)\n\n";
+
+  // ---- rounds to converge ----------------------------------------------------
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng rng(101);
+  const data::Dataset train = gen.Sample(Scaled(200), rng);
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = gen.SampleShape();
+  spec.num_classes = 8;
+  spec.width = 8;
+  spec.seed = 102;
+  fl::TrainConfig tcfg;
+  tcfg.lr = 0.02f;
+  tcfg.momentum = 0.9f;
+  const double target = 0.70;
+  const std::size_t max_rounds = Scaled(60);
+
+  fl::LegacyClient legacy(spec, train, tcfg, 103);
+  Rng r1(104);
+  const std::size_t legacy_rounds =
+      RoundsToConverge(legacy, fl::InitialState(spec), target, max_rounds, r1);
+
+  core::CipConfig ccfg;
+  ccfg.blend.alpha = 0.5f;
+  ccfg.train = tcfg;
+  ccfg.perturb_steps = 6;
+  core::CipClient cip(spec, train, ccfg, 105);
+  Rng r2(106);
+  const std::size_t cip_rounds = RoundsToConverge(
+      cip, core::InitialDualState(spec), target, max_rounds, r2);
+
+  TextTable conv({"Model", "rounds to reach train acc >= 0.70"});
+  conv.AddRow({"No defense", std::to_string(legacy_rounds)});
+  conv.AddRow({"CIP", std::to_string(cip_rounds)});
+  conv.Print(std::cout);
+  std::cout << "\nNote: the paper reports CIP converging in half the epochs\n"
+               "at full scale; at laptop scale the two-step optimization's\n"
+               "per-round cost dominates, so we report rounds honestly and\n"
+               "discuss the deviation in EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Table III (RQ2): accuracy of CIP, no defense, and local-only training
+// under data distributions from non-i.i.d. to i.i.d. (5 clients).
+//
+// Paper (CIFAR-100, 5 clients): CIP beats no-defense under non-i.i.d.
+// (0.683 vs 0.611 at 20 classes/client), converging as the split becomes
+// i.i.d. (0.665 vs 0.672 at 100); local-only training is best at the most
+// non-i.i.d. point (fewer classes = easier local problem) and collapses as
+// classes grow.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/server.h"
+
+using namespace cip;
+
+namespace {
+
+constexpr std::size_t kNumClasses = 20;
+constexpr std::size_t kClients = 5;
+
+struct Setting {
+  std::size_t classes_per_client;
+  double paper_cip, paper_nodef, paper_local;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table III — CIP vs NoDefense vs Local across non-i.i.d. -> i.i.d.",
+      "CIP 0.683/0.676/0.672/0.670/0.665 vs NoDef 0.611..0.672 vs Local "
+      "0.674..0.439 (20..100 classes/client)",
+      "CIP > NoDef under non-i.i.d., ≈ NoDef at i.i.d.; Local collapses as "
+      "classes/client grows");
+  bench::BenchTimer timer;
+
+  // The paper's 20..100-of-100 classes map to 4..20 of our 20 stand-in
+  // classes.
+  const std::vector<Setting> grid = {
+      {4, 0.683, 0.611, 0.674},   // paper's "20 (non-i.i.d.)"
+      {12, 0.672, 0.653, 0.525},  // paper's "60"
+      {20, 0.665, 0.672, 0.439},  // paper's "100 (i.i.d.)"
+  };
+
+  data::SyntheticVision gen(data::Cifar100Like(kNumClasses));
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = gen.SampleShape();
+  spec.num_classes = kNumClasses;
+  spec.width = 8;
+  spec.seed = 61;
+  fl::TrainConfig train;
+  train.lr = 0.02f;
+  train.momentum = 0.9f;
+  const std::size_t rounds = Scaled(35);
+  const std::size_t per_client = Scaled(100);
+
+  TextTable table({"classes/client (paper)", "CIP (paper)", "NoDef (paper)",
+                   "Local (paper)"});
+  for (const Setting& s : grid) {
+    Rng rng(62);
+    data::Dataset full = gen.Sample(kClients * per_client, rng);
+    const auto shards = data::PartitionByClasses(
+        full, kClients, s.classes_per_client, kNumClasses, rng);
+    const data::Dataset test = gen.Sample(Scaled(300), rng);
+
+    // CIP federated.
+    double cip_acc = 0.0;
+    {
+      core::CipConfig cfg;
+      cfg.blend.alpha = 0.3f;  // the paper's RQ2 uses moderate alpha
+      cfg.train = train;
+      cfg.perturb_steps = 6;
+      std::vector<std::unique_ptr<core::CipClient>> clients;
+      std::vector<fl::ClientBase*> ptrs;
+      for (std::size_t k = 0; k < kClients; ++k) {
+        clients.push_back(
+            std::make_unique<core::CipClient>(spec, shards[k], cfg, 70 + k));
+        ptrs.push_back(clients.back().get());
+      }
+      fl::FlOptions opts;
+      opts.rounds = rounds;
+      fl::FederatedAveraging server(core::InitialDualState(spec), opts);
+      server.Run(ptrs, rng);
+      for (fl::ClientBase* c : ptrs) cip_acc += c->EvalAccuracy(test);
+      cip_acc /= kClients;
+    }
+
+    // No-defense federated.
+    double nodef_acc = 0.0;
+    {
+      std::vector<std::unique_ptr<fl::LegacyClient>> clients;
+      std::vector<fl::ClientBase*> ptrs;
+      for (std::size_t k = 0; k < kClients; ++k) {
+        clients.push_back(
+            std::make_unique<fl::LegacyClient>(spec, shards[k], train, 80 + k));
+        ptrs.push_back(clients.back().get());
+      }
+      fl::FlOptions opts;
+      opts.rounds = rounds;
+      fl::FederatedAveraging server(fl::InitialState(spec), opts);
+      server.Run(ptrs, rng);
+      for (fl::ClientBase* c : ptrs) nodef_acc += c->EvalAccuracy(test);
+      nodef_acc /= kClients;
+    }
+
+    // Local-only training: each client trains alone and is evaluated only on
+    // test samples of ITS classes (a K-class problem, as the paper notes).
+    double local_acc = 0.0;
+    {
+      for (std::size_t k = 0; k < kClients; ++k) {
+        fl::LegacyClient client(spec, shards[k], train, 90 + k);
+        client.SetGlobal(fl::InitialState(spec));
+        Rng r(91 + k);
+        for (std::size_t e = 0; e < rounds; ++e) client.TrainLocal(e, r);
+        const std::vector<int> classes =
+            data::ClassesPresent(client.LocalData());
+        Rng tr(92 + k);
+        const data::Dataset local_test =
+            gen.SampleClasses(Scaled(150), classes, tr);
+        local_acc += client.EvalAccuracy(local_test);
+      }
+      local_acc /= kClients;
+    }
+
+    const double paper_frac =
+        static_cast<double>(s.classes_per_client) / kNumClasses * 100.0;
+    table.AddRow({TextTable::Num(paper_frac, 0) + " of 100",
+                  TextTable::Num(cip_acc) + " (" + TextTable::Num(s.paper_cip) + ")",
+                  TextTable::Num(nodef_acc) + " (" + TextTable::Num(s.paper_nodef) + ")",
+                  TextTable::Num(local_acc) + " (" + TextTable::Num(s.paper_local) + ")"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

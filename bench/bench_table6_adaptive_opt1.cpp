@@ -1,0 +1,62 @@
+// Table VI (RQ4, Optimization-1): adaptive adversary that probes the target
+// model and optimizes a guessed perturbation t' to attack with.
+//
+// Paper: the adaptive attack improves over non-adaptive by 0.01-0.08, falls
+// with alpha, and at alpha=0.9 is close to random guessing (0.53-0.64).
+#include <iostream>
+
+#include "attacks/adaptive.h"
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+using namespace cip;
+
+int main() {
+  bench::PrintHeader(
+      "Table VI — adaptive Optimization-1: probe + optimize t'",
+      "CIFAR-100 0.95@a=.1 -> 0.61@a=.9; CH-MNIST 0.65 -> 0.57; "
+      "Purchase 0.62 -> 0.53 (external)",
+      "attack accuracy decreases with alpha; stays above plain attacks at "
+      "small alpha");
+  bench::BenchTimer timer;
+
+  const std::vector<eval::DatasetId> datasets = {eval::DatasetId::kCifar100,
+                                                 eval::DatasetId::kChMnist,
+                                                 eval::DatasetId::kPurchase50};
+  TextTable table({"Dataset", "alpha", "adaptive attack acc (external)"});
+  for (const eval::DatasetId id : datasets) {
+    eval::BundleOptions opts;
+    opts.train_size = Scaled(200);
+    opts.test_size = Scaled(200);
+    opts.shadow_size = Scaled(200);
+    opts.width = 8;
+    opts.num_classes = 10;
+    opts.seed = 81;
+    const eval::DataBundle bundle = eval::MakeBundle(id, opts);
+    Rng rng(82);
+    for (const float alpha : {0.1f, 0.5f, 0.9f}) {
+      eval::CipExternalResult r =
+          eval::RunCipExternal(bundle, nullptr, alpha, Scaled(25), rng);
+      // The adversary probes the final model with fresh distribution data
+      // (labels taken from the model's own predictions — it has no ground
+      // truth), then optimizes t' to maximize agreement.
+      data::Dataset probe = bundle.sample(Scaled(200), rng);
+      core::CipQuery raw(r.client->model(), r.client->config().blend);
+      probe.labels = raw.Predict(probe.inputs);
+      const Tensor t_guess = attacks::OptimizeGuessedT(
+          r.client->model(), r.client->config().blend, probe,
+          /*steps=*/30, /*lr=*/0.05f, rng);
+      core::CipQuery guessed(r.client->model(), r.client->config().blend,
+                             t_guess);
+      const std::vector<float> lm = guessed.Losses(bundle.train);
+      const std::vector<float> ln = guessed.Losses(bundle.test);
+      std::vector<float> ms(lm.size()), ns(ln.size());
+      for (std::size_t i = 0; i < lm.size(); ++i) ms[i] = -lm[i];
+      for (std::size_t i = 0; i < ln.size(); ++i) ns[i] = -ln[i];
+      table.AddRow({eval::DatasetName(id), TextTable::Num(alpha, 1),
+                    TextTable::Num(attacks::BestThresholdAccuracy(ms, ns))});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

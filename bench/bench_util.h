@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints (i) what the paper reports, (ii) what this reproduction
+// measures at the current CIP_SCALE, and (iii) the qualitative expectation
+// that should hold ("shape"). Absolute numbers differ from the paper —
+// models and datasets are laptop-scale stand-ins (DESIGN.md §2) — but the
+// orderings and trends are the reproduction target.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/env.h"
+#include "common/table.h"
+
+namespace cip::bench {
+
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& paper_claim,
+                        const std::string& expected_shape) {
+  std::cout << "==========================================================\n"
+            << experiment_id << "\n"
+            << "----------------------------------------------------------\n"
+            << "Paper:  " << paper_claim << "\n"
+            << "Shape:  " << expected_shape << "\n"
+            << "Scale:  CIP_SCALE=" << BenchScale()
+            << " (raise for closer-to-paper sizes)\n"
+            << "==========================================================\n";
+}
+
+/// Prints elapsed wall time at scope exit.
+class BenchTimer {
+ public:
+  explicit BenchTimer(std::string label = "total")
+      : label_(std::move(label)), start_(std::chrono::steady_clock::now()) {}
+  ~BenchTimer() {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::cout << "[" << label_ << ": " << TextTable::Num(secs, 1) << "s]\n";
+  }
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cip::bench

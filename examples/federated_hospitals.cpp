@@ -1,0 +1,165 @@
+// Scenario: three hospitals collaboratively train a histology classifier
+// (the paper's CH-MNIST motivation) without exposing which patient images
+// were in any hospital's records — even to a malicious aggregation server.
+//
+// Each hospital holds a non-i.i.d. slice of tissue classes. We train FedAvg
+// without a defense and with CIP, mount the malicious-server passive attack
+// (Nasr et al.) against hospital 0, and compare.
+#include <iostream>
+
+#include "attacks/internal.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "fl/server.h"
+
+using namespace cip;
+
+namespace {
+
+constexpr std::size_t kHospitals = 3;
+constexpr std::size_t kPerHospital = 120;
+constexpr std::size_t kRounds = 30;
+
+double PassiveAttack(const std::vector<fl::ModelState>& snapshots,
+                     const attacks::SnapshotQueryFactory& factory,
+                     const data::Dataset& members,
+                     const data::Dataset& nonmembers) {
+  attacks::InternalPassive passive(snapshots, factory);
+  const std::size_t hm = members.size() / 2, hn = nonmembers.size() / 2;
+  passive.Calibrate(members.Slice(0, hm), nonmembers.Slice(0, hn));
+  const std::vector<float> sm = passive.Score(members.Slice(hm, members.size()));
+  const std::vector<float> sn =
+      passive.Score(nonmembers.Slice(hn, nonmembers.size()));
+  return attacks::ScoreToMetrics(sm, sn, 0.5f).accuracy;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Federated hospitals — protecting patient membership from a "
+               "malicious server\n\n";
+
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng rng(7);
+  data::Dataset full = gen.Sample(kHospitals * kPerHospital, rng);
+  // Each hospital specializes in some tissue types (non-i.i.d.).
+  const auto shards = data::PartitionByClasses(full, kHospitals, 4, 8, rng);
+  const data::Dataset test = gen.Sample(240, rng);
+  const std::vector<int> victim_classes = data::ClassesPresent(shards[0]);
+  const data::Dataset nonmembers =
+      gen.SampleClasses(kPerHospital, victim_classes, rng);
+
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = gen.SampleShape();
+  spec.num_classes = 8;
+  spec.width = 8;
+  spec.seed = 8;
+  fl::TrainConfig train;
+  train.lr = 0.02f;
+  train.momentum = 0.9f;
+
+  // ---- no defense ------------------------------------------------------------
+  {
+    std::vector<std::unique_ptr<fl::LegacyClient>> hospitals;
+    std::vector<fl::ClientBase*> ptrs;
+    for (std::size_t k = 0; k < kHospitals; ++k) {
+      hospitals.push_back(
+          std::make_unique<fl::LegacyClient>(spec, shards[k], train, 10 + k));
+      ptrs.push_back(hospitals.back().get());
+    }
+    fl::FlOptions opts;
+    opts.rounds = kRounds;
+    opts.record_client_updates = true;  // the malicious server watches
+    fl::FederatedAveraging server(fl::InitialState(spec), opts);
+    const fl::FlLog log = server.Run(ptrs, rng);
+
+    std::vector<fl::ModelState> victim_snaps;
+    for (auto it = log.client_updates.end() - 3;
+         it != log.client_updates.end(); ++it) {
+      victim_snaps.push_back((*it)[0]);
+    }
+    const double attack = PassiveAttack(
+        victim_snaps,
+        [spec](const fl::ModelState& s) -> std::unique_ptr<fl::QueryModel> {
+          struct Owning : fl::QueryModel {
+            std::unique_ptr<nn::Classifier> m;
+            explicit Owning(std::unique_ptr<nn::Classifier> mm)
+                : m(std::move(mm)) {}
+            Tensor Logits(const Tensor& x) override {
+              return fl::LogitsFor(*m, x);
+            }
+            std::size_t NumClasses() const override {
+              return m->num_classes();
+            }
+          };
+          auto model = nn::MakeClassifier(spec);
+          const std::vector<nn::Parameter*> p = model->Parameters();
+          s.ApplyTo(p);
+          return std::make_unique<Owning>(std::move(model));
+        },
+        ptrs[0]->LocalData(), nonmembers);
+    std::cout << "No defense: hospital-0 test acc "
+              << ptrs[0]->EvalAccuracy(test) << ", server MI attack acc "
+              << attack << "\n";
+  }
+
+  // ---- CIP -------------------------------------------------------------------
+  {
+    core::CipConfig cfg;
+    cfg.blend.alpha = 0.7f;
+    cfg.train = train;
+    cfg.perturb_steps = 6;
+    std::vector<std::unique_ptr<core::CipClient>> hospitals;
+    std::vector<fl::ClientBase*> ptrs;
+    for (std::size_t k = 0; k < kHospitals; ++k) {
+      hospitals.push_back(
+          std::make_unique<core::CipClient>(spec, shards[k], cfg, 20 + k));
+      ptrs.push_back(hospitals.back().get());
+    }
+    fl::FlOptions opts;
+    opts.rounds = kRounds;
+    opts.record_client_updates = true;
+    fl::FederatedAveraging server(core::InitialDualState(spec), opts);
+    const fl::FlLog log = server.Run(ptrs, rng);
+
+    std::vector<fl::ModelState> victim_snaps;
+    for (auto it = log.client_updates.end() - 3;
+         it != log.client_updates.end(); ++it) {
+      victim_snaps.push_back((*it)[0]);
+    }
+    const core::BlendConfig blend = cfg.blend;
+    const double attack = PassiveAttack(
+        victim_snaps,
+        [spec, blend](const fl::ModelState& s)
+            -> std::unique_ptr<fl::QueryModel> {
+          struct Owning : fl::QueryModel {
+            std::unique_ptr<nn::DualChannelClassifier> m;
+            core::BlendConfig b;
+            Owning(std::unique_ptr<nn::DualChannelClassifier> mm,
+                   core::BlendConfig bb)
+                : m(std::move(mm)), b(bb) {}
+            Tensor Logits(const Tensor& x) override {
+              return core::DualLogits(*m, x, Tensor(), b);
+            }
+            std::size_t NumClasses() const override {
+              return m->num_classes();
+            }
+          };
+          auto model = nn::MakeDualChannelClassifier(spec);
+          const std::vector<nn::Parameter*> p = model->Parameters();
+          s.ApplyTo(p);
+          return std::make_unique<Owning>(std::move(model), blend);
+        },
+        ptrs[0]->LocalData(), nonmembers);
+    std::cout << "CIP (a=0.7): hospital-0 test acc "
+              << ptrs[0]->EvalAccuracy(test) << ", server MI attack acc "
+              << attack << "\n";
+  }
+
+  std::cout << "\nExpected: similar diagnostic accuracy, attack accuracy "
+               "much closer to 0.5 under CIP.\n";
+  return 0;
+}

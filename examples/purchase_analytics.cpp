@@ -1,0 +1,50 @@
+// Scenario: a retailer trains a shopper-segmentation model on purchase
+// histories (the paper's Purchase-50 workload). A white-box external
+// adversary — e.g. a partner who received the deployed model — mounts the
+// full attack suite. CIP protects the records without hurting segmentation
+// accuracy, and works on non-image (vector) data out of the box.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/cip_model.h"
+#include "eval/experiment.h"
+
+using namespace cip;
+
+int main() {
+  std::cout << "Purchase analytics — shielding shopper records from a "
+               "white-box adversary\n\n";
+
+  eval::BundleOptions opts;
+  opts.train_size = 300;
+  opts.test_size = 300;
+  opts.shadow_size = 300;
+  opts.width = 8;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kPurchase50, opts);
+  Rng rng(3);
+  const eval::ShadowPack shadow = eval::BuildShadowPack(bundle, 30, rng);
+
+  // Baseline: the deployed model with no defense.
+  auto plain = eval::TrainPlain(bundle, 30, rng);
+  fl::ClassifierQuery plain_q(*plain);
+  const auto plain_attacks =
+      eval::RunExternalAttackSuite(bundle, shadow, plain_q, rng);
+
+  // CIP-protected deployment (vector perturbation t, same API).
+  eval::CipExternalResult cip =
+      eval::RunCipExternal(bundle, &shadow, /*alpha=*/0.9f, 30, rng);
+
+  TextTable table({"Attack", "no defense", "CIP (a=0.9)"});
+  for (const auto& [name, m] : plain_attacks) {
+    table.AddRow({name, TextTable::Num(m.accuracy),
+                  TextTable::Num(cip.attacks.at(name).accuracy)});
+  }
+  table.Print(std::cout);
+  std::cout << "\ntest accuracy: no defense "
+            << TextTable::Num(fl::Evaluate(*plain, bundle.test)) << ", CIP "
+            << TextTable::Num(cip.test_acc) << "\n";
+  std::cout << "Expected: every attack drops toward 0.5 under CIP with "
+               "comparable accuracy.\n";
+  return 0;
+}

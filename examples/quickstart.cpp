@@ -1,0 +1,55 @@
+// Quickstart: defend a federated-learning client against membership
+// inference with CIP in ~60 lines of user code.
+//
+//   1. make a dataset (synthetic CIFAR-100 stand-in),
+//   2. train a no-defense model and attack it (loss-threshold MI),
+//   3. train a CIP client and attack its raw-query surface,
+//   4. compare: accuracy preserved, attack collapses toward 0.5.
+#include <iostream>
+
+#include "attacks/output_attacks.h"
+#include "core/cip_model.h"
+#include "eval/experiment.h"
+
+using namespace cip;
+
+int main() {
+  std::cout << "CIP quickstart — reproduce the paper's headline claim\n\n";
+
+  // 1. Data: 10-class image-like dataset in the paper's overfit regime.
+  eval::BundleOptions opts;
+  opts.train_size = 250;
+  opts.test_size = 250;
+  opts.shadow_size = 250;
+  opts.width = 8;
+  opts.num_classes = 10;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kCifar100, opts);
+  Rng rng(1);
+
+  // The attacker's shadow model calibrates its loss threshold (Ob-MALT).
+  const eval::ShadowPack shadow = eval::BuildShadowPack(bundle, 45, rng);
+  attacks::ObMalt attack(shadow.member_losses, shadow.nonmember_losses);
+
+  // 2. No defense: a plain overfit classifier.
+  auto plain = eval::TrainPlain(bundle, 50, rng);
+  fl::ClassifierQuery plain_q(*plain);
+  const auto plain_attack =
+      attacks::EvaluateAttack(attack, plain_q, bundle.train, bundle.test);
+  std::cout << "No defense:  test acc "
+            << fl::Evaluate(*plain, bundle.test) << ", Ob-MALT attack acc "
+            << plain_attack.accuracy << "\n";
+
+  // 3. CIP: one client, secret perturbation t, dual-channel model.
+  eval::CipSingleResult cip =
+      eval::TrainCipSingle(bundle, /*alpha=*/0.9f, /*rounds=*/35, rng);
+  core::CipQuery raw(cip.client->model(), cip.client->config().blend);
+  const auto cip_attack =
+      attacks::EvaluateAttack(attack, raw, bundle.train, bundle.test);
+  std::cout << "CIP (a=0.9): test acc " << cip.client->EvalAccuracy(bundle.test)
+            << ", Ob-MALT attack acc " << cip_attack.accuracy << "\n";
+
+  std::cout << "\nExpected: comparable test accuracy, attack accuracy near "
+               "0.5 under CIP.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Theorem 1 in practice: an adaptive adversary who guesses a perturbation t'
+// different from the client's secret t gains NO adversarial advantage.
+//
+// We train a CIP client, fit the empirical member-posterior from losses
+// under the true t, then show that for guessed perturbations the loss gap
+// l(θ, z_t') − l(θ, z_t) ≥ 0 drives ε = exp(−Δl/T) ≤ 1 — the guessed-query
+// advantage is a *contraction* of the true-query advantage (Sec. III-C).
+#include <iostream>
+
+#include "attacks/adaptive.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/cip_model.h"
+#include "core/theory.h"
+#include "eval/experiment.h"
+
+using namespace cip;
+
+int main() {
+  std::cout << "Theorem 1 — guessing the perturbation cannot help\n\n";
+
+  eval::BundleOptions opts;
+  opts.train_size = 250;
+  opts.test_size = 250;
+  opts.shadow_size = 50;
+  opts.width = 8;
+  opts.num_classes = 10;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kCifar100, opts);
+  Rng rng(5);
+  eval::CipExternalResult cip =
+      eval::RunCipExternal(bundle, nullptr, /*alpha=*/0.5f, 30, rng);
+  const core::BlendConfig blend = cip.client->config().blend;
+
+  // Losses under the TRUE t (the client's own view).
+  core::CipQuery true_q(cip.client->model(), blend,
+                        cip.client->perturbation());
+  const std::vector<float> true_m = true_q.Losses(bundle.train);
+  const std::vector<float> true_n = true_q.Losses(bundle.test);
+  const double l_true = Mean(std::span<const float>(true_m));
+
+  std::cout << "mean member loss under true t:  " << l_true << "\n";
+  TextTable table({"guess", "mean member loss l(z_t')", "Theorem-1 eps",
+                   "attack acc with t'"});
+  constexpr double kTemperature = 1.0;
+  for (int g = 0; g < 3; ++g) {
+    const Tensor t_guess =
+        core::Perturbation::Random(bundle.train.SampleShape(), rng).tensor();
+    core::CipQuery guess_q(cip.client->model(), blend, t_guess);
+    const std::vector<float> gm = guess_q.Losses(bundle.train);
+    const std::vector<float> gn = guess_q.Losses(bundle.test);
+    const double l_guess = Mean(std::span<const float>(gm));
+    const double eps = core::Theorem1Epsilon(l_true, l_guess, kTemperature);
+    std::vector<float> ms(gm.size()), ns(gn.size());
+    for (std::size_t i = 0; i < gm.size(); ++i) ms[i] = -gm[i];
+    for (std::size_t i = 0; i < gn.size(); ++i) ns[i] = -gn[i];
+    table.AddRow({"random t' #" + std::to_string(g + 1),
+                  TextTable::Num(l_guess), TextTable::Num(eps, 4),
+                  TextTable::Num(attacks::BestThresholdAccuracy(ms, ns))});
+  }
+  table.Print(std::cout);
+
+  // The empirical posterior view: a member-like loss under the true t maps
+  // to a confident posterior; the same sample queried with a guessed t'
+  // lands in the overlap region.
+  const double p_true = core::EmpiricalMemberProb(l_true, true_m, true_n);
+  std::cout << "\nPr(member | loss=l_true) under true t: " << p_true
+            << " (advantage " << core::AdversarialAdvantage(p_true) << ")\n";
+  std::cout << "Expected: l(z_t') > l(z_t) for every guess, so eps <= 1 and\n"
+               "the guessed-query attack stays near random guessing.\n";
+  return 0;
+}

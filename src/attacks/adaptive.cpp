@@ -1,0 +1,95 @@
+#include "attacks/adaptive.h"
+
+#include <cmath>
+
+#include "attacks/shadow.h"
+#include "core/cip_client.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+
+namespace cip::attacks {
+
+Tensor OptimizeGuessedT(nn::DualChannelClassifier& model,
+                        const core::BlendConfig& blend,
+                        const data::Dataset& probe_data, std::size_t steps,
+                        float lr, Rng& rng, Tensor init) {
+  Tensor t = init.size() > 0 ? std::move(init)
+                             : core::Perturbation::Random(
+                                   probe_data.SampleShape(), rng,
+                                   blend.clip_lo, blend.clip_hi)
+                                   .tensor();
+  core::OptimizePerturbation(model, probe_data, t, blend, /*lambda_t=*/0.0f,
+                             lr, steps, /*batch_size=*/32, rng);
+  return t;
+}
+
+Tensor SeedWithSimilarity(const Tensor& reference, double target_ssim,
+                          Rng& rng, float lo, float hi) {
+  CIP_CHECK(target_ssim > 0.0 && target_ssim <= 1.0);
+  Tensor noise(reference.shape());
+  for (float& v : noise.flat()) v = rng.Uniform(lo, hi);
+  // SSIM(reference, mix(w)) grows monotonically with w; bisect.
+  auto mix = [&](float w) {
+    Tensor out(reference.shape());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = w * reference[i] + (1.0f - w) * noise[i];
+    }
+    return out;
+  };
+  float lo_w = 0.0f, hi_w = 1.0f;
+  for (int iter = 0; iter < 24; ++iter) {
+    const float mid = 0.5f * (lo_w + hi_w);
+    if (metrics::Ssim(reference, mix(mid), hi - lo) < target_ssim) {
+      lo_w = mid;
+    } else {
+      hi_w = mid;
+    }
+  }
+  return mix(0.5f * (lo_w + hi_w));
+}
+
+InverseMalt::InverseMalt(std::span<const float> shadow_member_losses,
+                         std::span<const float> shadow_nonmember_losses) {
+  // The inverse attacker believes members have the HIGHER loss; calibrate a
+  // threshold above the shadow's typical levels (scores are +loss).
+  threshold_ = BestThreshold(shadow_nonmember_losses, shadow_member_losses);
+}
+
+std::vector<float> InverseMalt::Score(fl::QueryModel& target,
+                                      const data::Dataset& candidates) {
+  return target.Losses(candidates);
+}
+
+AscentFn MakeDualAscent(const nn::ModelSpec& spec,
+                        const core::BlendConfig& blend, float lr,
+                        std::size_t steps) {
+  return [spec, blend, lr, steps](const fl::ModelState& state,
+                                  const data::Dataset& targets) {
+    auto model = nn::MakeDualChannelClassifier(spec);
+    const std::vector<nn::Parameter*> params = model->Parameters();
+    state.ApplyTo(params);
+    const Tensor raw_t;  // adversary only has the raw-query path
+    for (std::size_t s = 0; s < steps; ++s) {
+      const core::Blended b = core::Blend(targets.inputs, raw_t, blend);
+      const Tensor logits = model->Forward(b.c1, b.c2, /*train=*/true);
+      Tensor dlogits;
+      ops::SoftmaxCrossEntropy(logits, targets.labels, &dlogits);
+      model->Backward(dlogits);
+      for (nn::Parameter* p : params) {
+        ops::Axpy(p->value, lr, p->grad);  // +lr ascends, -lr descends
+        p->ZeroGrad();
+      }
+    }
+    return fl::ModelState::From(params);
+  };
+}
+
+double BestThresholdAccuracy(std::span<const float> member_scores,
+                             std::span<const float> nonmember_scores) {
+  const float thr = BestThreshold(member_scores, nonmember_scores);
+  const metrics::BinaryMetrics m =
+      ScoreToMetrics(member_scores, nonmember_scores, thr);
+  return m.accuracy;
+}
+
+}  // namespace cip::attacks

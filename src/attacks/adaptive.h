@@ -1,0 +1,69 @@
+// Adaptive adversaries (RQ4): attackers who know CIP's mechanism and try to
+// guess or reconstruct the client's secret perturbation.
+//
+//  * Optimization-1 — probe the model, optimize a guessed t' that maximizes
+//    accuracy on probe data, then mount a loss-threshold attack via t';
+//  * Optimization-2 — actively alter the broadcast model (descend on target
+//    samples), then classify bounced-back high-loss samples as members;
+//  * Knowledge-1   — public init seed + α: optimize t' starting from a seed
+//    with controlled SSIM to the client's true seed;
+//  * Knowledge-2   — optimize t' on a known fraction of the training data;
+//  * Knowledge-3   — a malicious client substitutes its own t';
+//  * Knowledge-4   — inverse MALT: CIP raises loss on original members, so
+//    classify abnormally *high* loss as member.
+//
+// The building blocks live here; benches orchestrate them per table.
+#pragma once
+
+#include "attacks/attack.h"
+#include "attacks/internal.h"
+#include "core/blend.h"
+#include "nn/backbones.h"
+#include "nn/dual_channel.h"
+
+namespace cip::attacks {
+
+/// Optimize a guessed perturbation t' against a fixed dual-channel model on
+/// probe data (Optimization-1 / Knowledge-1 / Knowledge-2). Starts from
+/// `init` (empty = uniform random) and runs plain SGD with no ℓ1 term (the
+/// attacker has no reason to regularize).
+Tensor OptimizeGuessedT(nn::DualChannelClassifier& model,
+                        const core::BlendConfig& blend,
+                        const data::Dataset& probe_data, std::size_t steps,
+                        float lr, Rng& rng, Tensor init = {});
+
+/// A seed with a target SSIM to `reference` (Knowledge-1's similarity knob):
+/// binary-searches the mixing weight of fresh noise.
+Tensor SeedWithSimilarity(const Tensor& reference, double target_ssim,
+                          Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+/// Knowledge-4: member iff loss is abnormally HIGH (inverse of Ob-MALT).
+class InverseMalt : public MiAttack {
+ public:
+  /// Calibrated on shadow losses: the inverse attacker thresholds above the
+  /// typical non-member loss level.
+  InverseMalt(std::span<const float> shadow_member_losses,
+              std::span<const float> shadow_nonmember_losses);
+
+  std::string Name() const override { return "Inverse-MALT"; }
+  std::vector<float> Score(fl::QueryModel& target,
+                           const data::Dataset& candidates) override;
+  float Threshold() const override { return threshold_; }
+
+ private:
+  float threshold_;
+};
+
+/// Ascent/descent alteration of a dual-channel (CIP) victim along its
+/// raw-query path. Positive `lr` increases the loss on `targets`
+/// (Nasr-style active), negative `lr` decreases it (Optimization-2).
+AscentFn MakeDualAscent(const nn::ModelSpec& spec,
+                        const core::BlendConfig& blend, float lr,
+                        std::size_t steps);
+
+/// Balanced accuracy at the optimal score threshold — the upper bound the
+/// paper's adaptive-attack tables report.
+double BestThresholdAccuracy(std::span<const float> member_scores,
+                             std::span<const float> nonmember_scores);
+
+}  // namespace cip::attacks

@@ -1,0 +1,31 @@
+#include "attacks/attack.h"
+
+namespace cip::attacks {
+
+metrics::BinaryMetrics ScoreToMetrics(std::span<const float> member_scores,
+                                      std::span<const float> nonmember_scores,
+                                      float threshold) {
+  std::vector<bool> predictions;
+  std::vector<bool> truths;
+  predictions.reserve(member_scores.size() + nonmember_scores.size());
+  truths.reserve(predictions.capacity());
+  for (float s : member_scores) {
+    predictions.push_back(s > threshold);
+    truths.push_back(true);
+  }
+  for (float s : nonmember_scores) {
+    predictions.push_back(s > threshold);
+    truths.push_back(false);
+  }
+  return metrics::EvaluateBinary(predictions, truths);
+}
+
+metrics::BinaryMetrics EvaluateAttack(MiAttack& attack, fl::QueryModel& target,
+                                      const data::Dataset& members,
+                                      const data::Dataset& nonmembers) {
+  const std::vector<float> ms = attack.Score(target, members);
+  const std::vector<float> ns = attack.Score(target, nonmembers);
+  return ScoreToMetrics(ms, ns, attack.Threshold());
+}
+
+}  // namespace cip::attacks

@@ -1,0 +1,44 @@
+// Membership-inference attack framework.
+//
+// Every attack produces a member-score per candidate sample (higher = more
+// likely a member) plus a decision threshold; evaluation runs the attack on
+// a balanced member/non-member pool and reports accuracy/precision/recall/F1
+// exactly as the paper's tables do.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/query.h"
+#include "metrics/metrics.h"
+
+namespace cip::attacks {
+
+class MiAttack {
+ public:
+  virtual ~MiAttack() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Member score for every sample in `candidates` when attacking `target`.
+  virtual std::vector<float> Score(fl::QueryModel& target,
+                                   const data::Dataset& candidates) = 0;
+
+  /// Decision threshold applied to the scores (member iff score > threshold).
+  virtual float Threshold() const { return 0.5f; }
+};
+
+/// Run an attack on a balanced pool (members ++ non-members) and score it.
+metrics::BinaryMetrics EvaluateAttack(MiAttack& attack, fl::QueryModel& target,
+                                      const data::Dataset& members,
+                                      const data::Dataset& nonmembers);
+
+/// Same, but with precomputed scores (for attacks that need richer access
+/// than QueryModel and produce scores through their own orchestration).
+metrics::BinaryMetrics ScoreToMetrics(std::span<const float> member_scores,
+                                      std::span<const float> nonmember_scores,
+                                      float threshold);
+
+}  // namespace cip::attacks

@@ -1,0 +1,110 @@
+#include "attacks/internal.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cip::attacks {
+
+InternalPassive::InternalPassive(std::vector<fl::ModelState> snapshots,
+                                 SnapshotQueryFactory factory)
+    : snapshots_(std::move(snapshots)), factory_(std::move(factory)) {
+  CIP_CHECK(!snapshots_.empty());
+  CIP_CHECK(factory_ != nullptr);
+}
+
+std::vector<std::vector<float>> InternalPassive::LossTrajectories(
+    const data::Dataset& ds) {
+  std::vector<std::vector<float>> traj(ds.size(),
+                                       std::vector<float>(snapshots_.size()));
+  for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+    const std::unique_ptr<fl::QueryModel> q = factory_(snapshots_[s]);
+    const std::vector<float> losses = q->Losses(ds);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      traj[i][s] = std::min(losses[i], 20.0f);
+    }
+  }
+  return traj;
+}
+
+void InternalPassive::Calibrate(const data::Dataset& known_members,
+                                const data::Dataset& known_nonmembers) {
+  CIP_CHECK(!known_members.empty());
+  CIP_CHECK(!known_nonmembers.empty());
+  const auto tm = LossTrajectories(known_members);
+  const auto tn = LossTrajectories(known_nonmembers);
+  member_.assign(snapshots_.size(), {});
+  nonmember_.assign(snapshots_.size(), {});
+  auto fit = [](const std::vector<std::vector<float>>& t, std::size_t s) {
+    Gaussian g;
+    double sum = 0.0;
+    for (const auto& row : t) sum += row[s];
+    g.mean = sum / static_cast<double>(t.size());
+    double var = 0.0;
+    for (const auto& row : t) var += (row[s] - g.mean) * (row[s] - g.mean);
+    g.std = std::max(std::sqrt(var / static_cast<double>(t.size())), 1e-4);
+    return g;
+  };
+  for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+    member_[s] = fit(tm, s);
+    nonmember_[s] = fit(tn, s);
+  }
+  calibrated_ = true;
+}
+
+std::vector<float> InternalPassive::Score(const data::Dataset& candidates) {
+  CIP_CHECK_MSG(calibrated_, "call Calibrate() before Score()");
+  const auto traj = LossTrajectories(candidates);
+  std::vector<float> scores(candidates.size());
+  auto logpdf = [](double x, const Gaussian& g) {
+    const double z = (x - g.mean) / g.std;
+    return -0.5 * z * z - std::log(g.std);
+  };
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    double lm = 0.0, ln = 0.0;
+    for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+      lm += logpdf(traj[i][s], member_[s]);
+      ln += logpdf(traj[i][s], nonmember_[s]);
+    }
+    const double mx = std::max(lm, ln);
+    const double pm = std::exp(lm - mx);
+    const double pn = std::exp(ln - mx);
+    scores[i] = static_cast<float>(pm / (pm + pn));
+  }
+  return scores;
+}
+
+AscentFn MakeClassifierAscent(const nn::ModelSpec& spec, float lr,
+                              std::size_t steps) {
+  return [spec, lr, steps](const fl::ModelState& state,
+                           const data::Dataset& targets) {
+    auto model = nn::MakeClassifier(spec);
+    const std::vector<nn::Parameter*> params = model->Parameters();
+    state.ApplyTo(params);
+    for (std::size_t s = 0; s < steps; ++s) {
+      const Tensor logits = model->Forward(targets.inputs, /*train=*/true);
+      Tensor dlogits;
+      ops::SoftmaxCrossEntropy(logits, targets.labels, &dlogits);
+      model->Backward(dlogits);
+      // Ascent: step along +gradient.
+      for (nn::Parameter* p : params) {
+        ops::Axpy(p->value, lr, p->grad);
+        p->ZeroGrad();
+      }
+    }
+    return fl::ModelState::From(params);
+  };
+}
+
+void InstallActiveAttack(fl::FederatedAveraging& server, AscentFn ascent,
+                         data::Dataset targets, std::size_t start_round) {
+  CIP_CHECK(ascent != nullptr);
+  server.set_tamper(
+      [ascent = std::move(ascent), targets = std::move(targets), start_round](
+          std::size_t round, const fl::ModelState& honest) {
+        if (round < start_round) return honest;
+        return ascent(honest, targets);
+      });
+}
+
+}  // namespace cip::attacks

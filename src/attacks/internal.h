@@ -1,0 +1,75 @@
+// Internal (malicious-server) attacks following Nasr et al., S&P 2019.
+//
+// Passive: the server records model snapshots over the last training rounds
+// (client updates or aggregates — Table I's "attacking iterations"), queries
+// each snapshot with the candidate samples, and classifies membership from
+// the loss trajectory. Calibration uses the attacker's auxiliary known
+// members/non-members (the supervised setting of Nasr et al.).
+//
+// Active: the server additionally performs gradient *ascent* on the target
+// samples before every broadcast. Members get re-learned by the victim
+// clients (their loss collapses again); non-members stay damaged — widening
+// the separation the passive classifier sees.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "attacks/attack.h"
+#include "fl/model_state.h"
+#include "fl/server.h"
+
+namespace cip::attacks {
+
+/// Builds a query handle over an arbitrary model snapshot. The factory hides
+/// whether the victim runs a plain classifier or a CIP dual-channel model
+/// (which the adversary can only query raw).
+using SnapshotQueryFactory =
+    std::function<std::unique_ptr<fl::QueryModel>(const fl::ModelState&)>;
+
+class InternalPassive {
+ public:
+  InternalPassive(std::vector<fl::ModelState> snapshots,
+                  SnapshotQueryFactory factory);
+
+  /// Fit per-snapshot loss Gaussians from the attacker's known samples.
+  void Calibrate(const data::Dataset& known_members,
+                 const data::Dataset& known_nonmembers);
+
+  /// Posterior member probability per candidate.
+  std::vector<float> Score(const data::Dataset& candidates);
+
+  std::size_t NumSnapshots() const { return snapshots_.size(); }
+
+ private:
+  struct Gaussian {
+    double mean = 0.0;
+    double std = 1.0;
+  };
+
+  /// [sample][snapshot] loss matrix.
+  std::vector<std::vector<float>> LossTrajectories(const data::Dataset& ds);
+
+  std::vector<fl::ModelState> snapshots_;
+  SnapshotQueryFactory factory_;
+  std::vector<Gaussian> member_;
+  std::vector<Gaussian> nonmember_;
+  bool calibrated_ = false;
+};
+
+/// Gradient-ascent model alteration the active server applies before each
+/// broadcast. Implementations exist for plain classifiers and dual-channel
+/// CIP victims (ascent along the raw-query path).
+using AscentFn = std::function<fl::ModelState(const fl::ModelState& state,
+                                              const data::Dataset& targets)>;
+
+/// Ascent on a single-channel classifier spec.
+AscentFn MakeClassifierAscent(const nn::ModelSpec& spec, float lr,
+                              std::size_t steps);
+
+/// Install an active-attack tamper hook on a FedAvg server: from
+/// `start_round` on, apply `ascent` to the honest aggregate over `targets`.
+void InstallActiveAttack(fl::FederatedAveraging& server, AscentFn ascent,
+                         data::Dataset targets, std::size_t start_round);
+
+}  // namespace cip::attacks

@@ -1,0 +1,79 @@
+// Output-based (black-box) MI attacks evaluated in the paper (Sec. IV-B):
+//  * Ob-Label   — Yeom et al.: membership from prediction correctness;
+//  * Ob-MALT    — Sablayrolles et al.: Bayes-optimal loss thresholding,
+//                 threshold calibrated on the attacker's shadow model;
+//  * Ob-NN      — Salem et al. / Shokri et al.: a neural attack model over
+//                 the target's softmax output, trained on shadow data;
+//  * Ob-BlindMI — Hui et al.: differential comparison against a generated
+//                 non-member set, no shadow model needed.
+#pragma once
+
+#include <memory>
+
+#include "attacks/attack.h"
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace cip::attacks {
+
+/// Member iff the target classifies the sample correctly.
+class ObLabel : public MiAttack {
+ public:
+  std::string Name() const override { return "Ob-Label"; }
+  std::vector<float> Score(fl::QueryModel& target,
+                           const data::Dataset& candidates) override;
+};
+
+/// Member iff loss < τ, with τ calibrated on shadow losses.
+class ObMalt : public MiAttack {
+ public:
+  /// Calibrate from per-sample losses of the attacker's shadow model on its
+  /// own members/non-members.
+  ObMalt(std::span<const float> shadow_member_losses,
+         std::span<const float> shadow_nonmember_losses);
+
+  std::string Name() const override { return "Ob-MALT"; }
+  std::vector<float> Score(fl::QueryModel& target,
+                           const data::Dataset& candidates) override;
+  float Threshold() const override { return threshold_; }
+
+ private:
+  float threshold_;
+};
+
+/// Shadow-trained MLP over (top-k sorted softmax probs, per-sample loss).
+class ObNN : public MiAttack {
+ public:
+  ObNN(fl::QueryModel& shadow, const data::Dataset& shadow_members,
+       const data::Dataset& shadow_nonmembers, Rng& rng,
+       std::size_t train_epochs = 60);
+
+  std::string Name() const override { return "Ob-NN"; }
+  std::vector<float> Score(fl::QueryModel& target,
+                           const data::Dataset& candidates) override;
+
+  static constexpr std::size_t kTopK = 3;
+
+ private:
+  Tensor Features(fl::QueryModel& model, const data::Dataset& ds) const;
+
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+/// Differential comparison against a generated non-member reference set
+/// (single-pass BlindMI-DIFF with the mean-embedding (linear-kernel) MMD;
+/// see DESIGN.md §2).
+class ObBlindMi : public MiAttack {
+ public:
+  explicit ObBlindMi(data::Dataset generated_nonmembers);
+
+  std::string Name() const override { return "Ob-BlindMI"; }
+  std::vector<float> Score(fl::QueryModel& target,
+                           const data::Dataset& candidates) override;
+  float Threshold() const override { return 0.0f; }
+
+ private:
+  data::Dataset reference_;
+};
+
+}  // namespace cip::attacks

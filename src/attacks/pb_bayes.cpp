@@ -1,0 +1,86 @@
+#include "attacks/pb_bayes.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cip::attacks {
+
+namespace {
+
+double LogGaussianPdf(double x, double mean, double std) {
+  const double z = (x - mean) / std;
+  return -0.5 * z * z - std::log(std);
+}
+
+}  // namespace
+
+std::vector<std::array<float, PbBayes::kFeatures>> PbBayes::Extract(
+    fl::WhiteBoxQuery& model, const data::Dataset& ds) {
+  const Tensor probs = model.Probs(ds.inputs);
+  const std::vector<float> losses = model.Losses(ds);
+  const std::vector<float> gnorms = model.GradNorms(ds);
+  const std::size_t n = ds.size(), c = probs.dim(1);
+  std::vector<std::array<float, kFeatures>> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float maxp = 0.0f;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      const float p = probs[i * c + j];
+      maxp = std::max(maxp, p);
+      if (p > 1e-12f) entropy -= static_cast<double>(p) * std::log(p);
+    }
+    out[i] = {std::min(losses[i], 20.0f), std::min(gnorms[i], 50.0f), maxp,
+              static_cast<float>(entropy)};
+  }
+  return out;
+}
+
+PbBayes::Gaussian PbBayes::Fit(std::span<const float> values) {
+  Gaussian g;
+  if (values.empty()) return g;
+  double s = 0.0;
+  for (float v : values) s += v;
+  g.mean = s / static_cast<double>(values.size());
+  double var = 0.0;
+  for (float v : values) var += (v - g.mean) * (v - g.mean);
+  g.std = std::max(std::sqrt(var / static_cast<double>(values.size())), 1e-4);
+  return g;
+}
+
+PbBayes::PbBayes(fl::WhiteBoxQuery& shadow, const data::Dataset& shadow_members,
+                 const data::Dataset& shadow_nonmembers) {
+  const auto fm = Extract(shadow, shadow_members);
+  const auto fn = Extract(shadow, shadow_nonmembers);
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    std::vector<float> mv(fm.size()), nv(fn.size());
+    for (std::size_t i = 0; i < fm.size(); ++i) mv[i] = fm[i][f];
+    for (std::size_t i = 0; i < fn.size(); ++i) nv[i] = fn[i][f];
+    member_[f] = Fit(mv);
+    nonmember_[f] = Fit(nv);
+  }
+}
+
+std::vector<float> PbBayes::Score(fl::QueryModel& target,
+                                  const data::Dataset& candidates) {
+  auto* wb = dynamic_cast<fl::WhiteBoxQuery*>(&target);
+  CIP_CHECK_MSG(wb != nullptr,
+                "Pb-Bayes requires white-box (parameter) access to the target");
+  const auto feats = Extract(*wb, candidates);
+  std::vector<float> scores(feats.size());
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    double lm = 0.0, ln = 0.0;
+    for (std::size_t f = 0; f < kFeatures; ++f) {
+      lm += LogGaussianPdf(feats[i][f], member_[f].mean, member_[f].std);
+      ln += LogGaussianPdf(feats[i][f], nonmember_[f].mean, nonmember_[f].std);
+    }
+    // Posterior with equal priors, computed stably.
+    const double mx = std::max(lm, ln);
+    const double pm = std::exp(lm - mx);
+    const double pn = std::exp(ln - mx);
+    scores[i] = static_cast<float>(pm / (pm + pn));
+  }
+  return scores;
+}
+
+}  // namespace cip::attacks

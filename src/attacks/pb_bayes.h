@@ -1,0 +1,47 @@
+// Pb-Bayes: parameter-based white-box attack (Leino & Fredrikson,
+// USENIX Sec'20 "Stolen Memories"-style, Bayes-calibrated).
+//
+// The adversary holds the target's parameters, so beyond outputs it can
+// compute per-sample gradients. Features per sample: cross-entropy loss,
+// parameter-gradient norm, top softmax probability, and output entropy.
+// A Gaussian naive-Bayes model of member vs non-member feature densities is
+// fit on the attacker's shadow model and transferred to the target; the
+// score is the posterior member probability.
+#pragma once
+
+#include <array>
+
+#include "attacks/attack.h"
+
+namespace cip::attacks {
+
+class PbBayes : public MiAttack {
+ public:
+  static constexpr std::size_t kFeatures = 4;
+
+  /// Fit the Bayes model on a shadow white-box model with known membership.
+  PbBayes(fl::WhiteBoxQuery& shadow, const data::Dataset& shadow_members,
+          const data::Dataset& shadow_nonmembers);
+
+  std::string Name() const override { return "Pb-Bayes"; }
+
+  /// `target` must be a WhiteBoxQuery (checked); the paper's Pb attacks
+  /// require parameter access by definition.
+  std::vector<float> Score(fl::QueryModel& target,
+                           const data::Dataset& candidates) override;
+
+ private:
+  struct Gaussian {
+    double mean = 0.0;
+    double std = 1.0;
+  };
+
+  static std::vector<std::array<float, kFeatures>> Extract(
+      fl::WhiteBoxQuery& model, const data::Dataset& ds);
+  static Gaussian Fit(std::span<const float> values);
+
+  std::array<Gaussian, kFeatures> member_;
+  std::array<Gaussian, kFeatures> nonmember_;
+};
+
+}  // namespace cip::attacks

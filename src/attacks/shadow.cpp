@@ -1,0 +1,48 @@
+#include "attacks/shadow.h"
+
+#include <algorithm>
+
+namespace cip::attacks {
+
+std::unique_ptr<nn::Classifier> TrainShadow(const nn::ModelSpec& spec,
+                                            const data::Dataset& shadow_train,
+                                            const ShadowConfig& cfg,
+                                            Rng& rng) {
+  auto model = nn::MakeClassifier(spec);
+  optim::Sgd opt(cfg.train.lr, cfg.train.momentum, cfg.train.weight_decay,
+                 cfg.train.grad_clip);
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    fl::TrainEpoch(*model, shadow_train, opt, cfg.train, rng);
+  }
+  return model;
+}
+
+float BestThreshold(std::span<const float> member_scores,
+                    std::span<const float> nonmember_scores) {
+  CIP_CHECK(!member_scores.empty());
+  CIP_CHECK(!nonmember_scores.empty());
+  // Candidate thresholds: all observed scores. Balanced accuracy =
+  // (TPR + TNR)/2 with member iff score > thr.
+  std::vector<float> all(member_scores.begin(), member_scores.end());
+  all.insert(all.end(), nonmember_scores.begin(), nonmember_scores.end());
+  std::sort(all.begin(), all.end());
+  float best_thr = all.front() - 1.0f;
+  double best_acc = -1.0;
+  auto balanced = [&](float thr) {
+    std::size_t tp = 0, tn = 0;
+    for (float s : member_scores) tp += (s > thr) ? 1 : 0;
+    for (float s : nonmember_scores) tn += (s <= thr) ? 1 : 0;
+    return 0.5 * (static_cast<double>(tp) / member_scores.size() +
+                  static_cast<double>(tn) / nonmember_scores.size());
+  };
+  for (float thr : all) {
+    const double acc = balanced(thr);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_thr = thr;
+    }
+  }
+  return best_thr;
+}
+
+}  // namespace cip::attacks

@@ -1,0 +1,29 @@
+// Shadow-model utilities (Shokri et al.): the adversary trains its own model
+// on data from the same distribution to learn how member vs non-member
+// outputs look, then transfers that knowledge to the target.
+#pragma once
+
+#include <memory>
+
+#include "fl/trainer.h"
+#include "nn/backbones.h"
+
+namespace cip::attacks {
+
+struct ShadowConfig {
+  std::size_t epochs = 25;
+  fl::TrainConfig train;
+};
+
+/// Train a shadow classifier on the attacker's own (member) data.
+std::unique_ptr<nn::Classifier> TrainShadow(const nn::ModelSpec& spec,
+                                            const data::Dataset& shadow_train,
+                                            const ShadowConfig& cfg, Rng& rng);
+
+/// The threshold on a score that maximizes balanced accuracy between two
+/// labeled score samples (used to calibrate threshold attacks on shadow
+/// models, where the attacker knows membership).
+float BestThreshold(std::span<const float> member_scores,
+                    std::span<const float> nonmember_scores);
+
+}  // namespace cip::attacks

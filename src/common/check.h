@@ -1,0 +1,74 @@
+// Lightweight contract checking used across the library.
+//
+// CIP_CHECK is always on (cheap invariant checks on API boundaries); failures
+// throw cip::CheckError so tests can assert on misuse and callers can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cip {
+
+/// Thrown when a CIP_CHECK precondition/invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CIP_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+// Stream sink that builds the optional message of a failed check.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace cip
+
+#define CIP_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::cip::detail::CheckFailed(#cond, __FILE__, __LINE__, std::string()); \
+    }                                                                       \
+  } while (0)
+
+#define CIP_CHECK_MSG(cond, msg_expr)                                 \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::cip::detail::CheckMessage cip_check_msg_;                     \
+      cip_check_msg_ << msg_expr;                                     \
+      ::cip::detail::CheckFailed(#cond, __FILE__, __LINE__,           \
+                                 cip_check_msg_.str());               \
+    }                                                                 \
+  } while (0)
+
+#define CIP_CHECK_EQ(a, b) \
+  CIP_CHECK_MSG((a) == (b), "expected " << (a) << " == " << (b))
+#define CIP_CHECK_NE(a, b) \
+  CIP_CHECK_MSG((a) != (b), "expected " << (a) << " != " << (b))
+#define CIP_CHECK_LT(a, b) \
+  CIP_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
+#define CIP_CHECK_LE(a, b) \
+  CIP_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
+#define CIP_CHECK_GT(a, b) \
+  CIP_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
+#define CIP_CHECK_GE(a, b) \
+  CIP_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))

@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cip {
+
+double BenchScale() {
+  static const double kScale = [] {
+    if (const char* env = std::getenv("CIP_SCALE")) {
+      const double v = std::strtod(env, nullptr);
+      if (v > 0.0) return std::max(v, 0.1);
+    }
+    return 1.0;
+  }();
+  return kScale;
+}
+
+std::size_t Scaled(std::size_t nominal, std::size_t min_value) {
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(nominal) * BenchScale());
+  return std::max(scaled, min_value);
+}
+
+}  // namespace cip

@@ -1,0 +1,15 @@
+// Environment-variable knobs for benches (scale factor, verbosity).
+#pragma once
+
+#include <cstddef>
+
+namespace cip {
+
+/// CIP_SCALE (default 1.0, min 0.1): multiplies dataset sizes and round
+/// counts in benches. Raise to approach paper scale; lower for smoke runs.
+double BenchScale();
+
+/// Scale a nominal count, keeping at least `min_value`.
+std::size_t Scaled(std::size_t nominal, std::size_t min_value = 1);
+
+}  // namespace cip

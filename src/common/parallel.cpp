@@ -1,0 +1,45 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace cip {
+
+std::size_t ParallelThreads() {
+  static const std::size_t kThreads = [] {
+    if (const char* env = std::getenv("CIP_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(std::clamp<unsigned>(hw, 1u, 8u));
+  }();
+  return kThreads;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = std::min(ParallelThreads(), n);
+  // Thread start/join overhead dominates for tiny ranges.
+  if (threads <= 1 || n < 16) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::jthread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (n + threads - 1) / threads;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+}
+
+}  // namespace cip

@@ -1,0 +1,24 @@
+// Minimal data-parallel helper.
+//
+// parallel_for splits [begin, end) into contiguous chunks and runs them on a
+// small set of std::jthread workers. The grain is coarse (one chunk per
+// worker) because callers in this library parallelize over batch/output rows
+// where work per index is uniform. Honors the CIP_THREADS environment
+// variable; defaults to hardware_concurrency capped at 8.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cip {
+
+/// Number of worker threads parallel_for will use (>= 1).
+std::size_t ParallelThreads();
+
+/// Run fn(i) for every i in [begin, end). fn must be safe to call
+/// concurrently for distinct i. Falls back to serial execution for small
+/// ranges or when only one thread is configured.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace cip

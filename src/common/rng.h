@@ -1,0 +1,90 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng (or a seed)
+// so experiments are reproducible run-to-run. Rng wraps a fixed-algorithm
+// engine (std::mt19937_64) so results do not depend on the standard library's
+// distribution implementations where we provide our own sampling.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cip {
+
+/// Seeded random generator with the handful of distributions the library
+/// needs. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Derive an independent child stream (e.g. one per FL client).
+  Rng Fork(std::uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull));
+  }
+
+  std::uint64_t NextU64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    CIP_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform size_t in [0, n).
+  std::size_t Index(std::size_t n) {
+    CIP_CHECK_GT(n, 0u);
+    std::uniform_int_distribution<std::size_t> d(0, n - 1);
+    return d(engine_);
+  }
+
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+  }
+
+  bool Bernoulli(float p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    Shuffle(p);
+    return p;
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k) {
+    CIP_CHECK_LE(k, n);
+    std::vector<std::size_t> p = Permutation(n);
+    p.resize(k);
+    return p;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cip

@@ -1,0 +1,80 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cip {
+
+double Mean(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (float x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (float x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(std::span<const float> v) { return std::sqrt(Variance(v)); }
+
+double Quantile(std::vector<float> v, double q) {
+  CIP_CHECK(!v.empty());
+  CIP_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return (1.0 - frac) * v[lo] + frac * v[hi];
+}
+
+double Median(std::vector<float> v) { return Quantile(std::move(v), 0.5); }
+
+double PearsonCorrelation(std::span<const float> a, std::span<const float> b) {
+  CIP_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> Histogram(std::span<const float> v, double lo, double hi,
+                              std::size_t bins) {
+  CIP_CHECK_GT(bins, 0u);
+  CIP_CHECK_LT(lo, hi);
+  std::vector<double> h(bins, 0.0);
+  if (v.empty()) return h;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (float x : v) {
+    auto b = static_cast<long>((x - lo) / width);
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    h[static_cast<std::size_t>(b)] += 1.0;
+  }
+  for (double& x : h) x /= static_cast<double>(v.size());
+  return h;
+}
+
+}  // namespace cip

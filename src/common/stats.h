@@ -1,0 +1,30 @@
+// Small statistics helpers shared by metrics, attacks and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cip {
+
+double Mean(std::span<const float> v);
+double Mean(std::span<const double> v);
+
+/// Population variance (divides by n).
+double Variance(std::span<const float> v);
+double StdDev(std::span<const float> v);
+
+/// q in [0, 1]; linear interpolation between order statistics.
+double Quantile(std::vector<float> v, double q);
+
+double Median(std::vector<float> v);
+
+/// Pearson correlation; returns 0 when either side is constant.
+double PearsonCorrelation(std::span<const float> a, std::span<const float> b);
+
+/// Normalized histogram over [lo, hi] with `bins` buckets; out-of-range
+/// values are clamped into the edge buckets. Sums to 1 for non-empty input.
+std::vector<double> Histogram(std::span<const float> v, double lo, double hi,
+                              std::size_t bins);
+
+}  // namespace cip

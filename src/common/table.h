@@ -1,0 +1,28 @@
+// Plain-text table printer used by the bench harnesses to emit rows in the
+// same layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cip {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string Num(double v, int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cip

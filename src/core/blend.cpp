@@ -1,0 +1,73 @@
+#include "core/blend.h"
+
+#include <algorithm>
+
+namespace cip::core {
+
+Blended Blend(const Tensor& x, const Tensor& t, const BlendConfig& cfg) {
+  CIP_CHECK_GE(x.rank(), 2u);
+  CIP_CHECK(cfg.alpha >= 0.0f && cfg.alpha < 1.0f);
+  CIP_CHECK_LT(cfg.clip_lo, cfg.clip_hi);
+  const std::size_t n = x.dim(0);
+  const std::size_t stride = x.size() / std::max<std::size_t>(n, 1);
+  const bool has_t = t.size() > 0;
+  if (has_t) {
+    CIP_CHECK_MSG(t.size() == stride,
+                  "perturbation size " << t.size()
+                                       << " != sample size " << stride);
+  }
+  Blended out{Tensor(x.shape()), Tensor(x.shape()), Tensor(x.shape()),
+              Tensor(x.shape())};
+  const float a = cfg.alpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* px = x.data() + i * stride;
+    float* p1 = out.c1.data() + i * stride;
+    float* p2 = out.c2.data() + i * stride;
+    float* m1 = out.mask1.data() + i * stride;
+    float* m2 = out.mask2.data() + i * stride;
+    for (std::size_t j = 0; j < stride; ++j) {
+      const float tv = has_t ? t[j] : 0.0f;
+      const float v1 = (1.0f - a) * px[j] + a * tv;
+      const float v2 = (1.0f + a) * px[j] - a * tv;
+      p1[j] = std::clamp(v1, cfg.clip_lo, cfg.clip_hi);
+      p2[j] = std::clamp(v2, cfg.clip_lo, cfg.clip_hi);
+      m1[j] = (v1 > cfg.clip_lo && v1 < cfg.clip_hi) ? 1.0f : 0.0f;
+      m2[j] = (v2 > cfg.clip_lo && v2 < cfg.clip_hi) ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor BlendGradT(const Blended& blended, const Tensor& g1, const Tensor& g2,
+                  float alpha) {
+  CIP_CHECK(g1.SameShape(blended.c1));
+  CIP_CHECK(g2.SameShape(blended.c2));
+  const std::size_t n = g1.dim(0);
+  const std::size_t stride = g1.size() / std::max<std::size_t>(n, 1);
+  Shape t_shape(g1.shape().begin() + 1, g1.shape().end());
+  Tensor gt(t_shape);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* p1 = g1.data() + i * stride;
+    const float* p2 = g2.data() + i * stride;
+    const float* m1 = blended.mask1.data() + i * stride;
+    const float* m2 = blended.mask2.data() + i * stride;
+    for (std::size_t j = 0; j < stride; ++j) {
+      gt[j] += alpha * (p1[j] * m1[j] - p2[j] * m2[j]);
+    }
+  }
+  return gt;
+}
+
+Tensor BlendGradX(const Blended& blended, const Tensor& g1, const Tensor& g2,
+                  float alpha) {
+  CIP_CHECK(g1.SameShape(blended.c1));
+  CIP_CHECK(g2.SameShape(blended.c2));
+  Tensor gx(g1.shape());
+  for (std::size_t j = 0; j < gx.size(); ++j) {
+    gx[j] = (1.0f - alpha) * g1[j] * blended.mask1[j] +
+            (1.0f + alpha) * g2[j] * blended.mask2[j];
+  }
+  return gx;
+}
+
+}  // namespace cip::core

@@ -1,0 +1,48 @@
+// CIP's blending function (Eq. 2):
+//
+//   B(x, t) = ( (1-α)·x + α·t ,  (1+α)·x − α·t )
+//
+// followed by clipping both components into the input range of x. The
+// perturbation t has the per-sample shape and broadcasts across the batch.
+//
+// Step I needs d(loss)/dt. Blending is linear, so given the upstream channel
+// gradients g1, g2 returned by the dual-channel model,
+//
+//   dL/dt = Σ_batch ( α·g1 ⊙ m1 − α·g2 ⊙ m2 )
+//
+// where m1, m2 are the clip derivative masks (0 where the clip saturated).
+#pragma once
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace cip::core {
+
+struct BlendConfig {
+  float alpha = 0.5f;  ///< blending parameter α ∈ [0, 1)
+  float clip_lo = data::kInputMin;
+  float clip_hi = data::kInputMax;
+};
+
+struct Blended {
+  Tensor c1;     ///< clipped (1-α)x + αt, batch shape of x
+  Tensor c2;     ///< clipped (1+α)x − αt
+  Tensor mask1;  ///< 1 where c1 did not saturate
+  Tensor mask2;  ///< 1 where c2 did not saturate
+};
+
+/// Blend a batch x ([N, ...]) with a per-sample perturbation t (shape of one
+/// sample). Pass a zero tensor (or an empty tensor) as t for the adversary's
+/// raw-query convention B(x, 0).
+Blended Blend(const Tensor& x, const Tensor& t, const BlendConfig& cfg);
+
+/// Reduce upstream channel gradients into dL/dt (per-sample shape).
+Tensor BlendGradT(const Blended& blended, const Tensor& g1, const Tensor& g2,
+                  float alpha);
+
+/// Reduce upstream channel gradients into dL/dx (batch shape) — used by
+/// attacks that optimize inputs against a dual-channel model.
+Tensor BlendGradX(const Blended& blended, const Tensor& g1, const Tensor& g2,
+                  float alpha);
+
+}  // namespace cip::core

@@ -1,0 +1,82 @@
+// Inference helpers and attacker-facing query handles for dual-channel CIP
+// models.
+//
+// Raw-query convention: an adversary who does not know the secret t queries
+// the deployed dual-channel model at the natural "no perturbation" point of
+// Eq. 2, i.e. B(x, 0) = ((1-α)x, (1+α)x). Step II maximizes the loss on
+// exactly this path, so the adversary observes the shifted distribution.
+#pragma once
+
+#include "core/blend.h"
+#include "fl/query.h"
+#include "nn/dual_channel.h"
+
+namespace cip::core {
+
+/// Batched logits of a dual-channel model on inputs blended with t
+/// (pass an empty tensor for t = 0).
+Tensor DualLogits(nn::DualChannelClassifier& model, const Tensor& inputs,
+                  const Tensor& t, const BlendConfig& cfg,
+                  std::size_t batch_size = 64);
+
+double DualAccuracy(nn::DualChannelClassifier& model,
+                    const data::Dataset& ds, const Tensor& t,
+                    const BlendConfig& cfg, std::size_t batch_size = 64);
+
+std::vector<float> DualLosses(nn::DualChannelClassifier& model,
+                              const data::Dataset& ds, const Tensor& t,
+                              const BlendConfig& cfg,
+                              std::size_t batch_size = 64);
+
+/// QueryModel over a dual-channel classifier with a fixed blending tensor:
+/// empty t models the uninformed adversary (raw queries); a non-empty t
+/// models a client's own inference path or an adaptive adversary's guess t'.
+class CipQuery : public fl::QueryModel {
+ public:
+  CipQuery(nn::DualChannelClassifier& model, BlendConfig cfg, Tensor t = {},
+           std::size_t batch_size = 64)
+      : model_(&model),
+        cfg_(cfg),
+        t_(std::move(t)),
+        batch_size_(batch_size) {}
+
+  Tensor Logits(const Tensor& inputs) override {
+    return DualLogits(*model_, inputs, t_, cfg_, batch_size_);
+  }
+  std::size_t NumClasses() const override { return model_->num_classes(); }
+
+  const Tensor& t() const { return t_; }
+
+ private:
+  nn::DualChannelClassifier* model_;
+  BlendConfig cfg_;
+  Tensor t_;
+  std::size_t batch_size_;
+};
+
+/// White-box handle over a dual-channel model: the adversary holds θ and can
+/// compute per-sample parameter gradients along its (raw or guessed-t) query
+/// path — what Pb-Bayes consumes when attacking a CIP-defended model.
+class CipWhiteBox : public fl::WhiteBoxQuery {
+ public:
+  CipWhiteBox(nn::DualChannelClassifier& model, BlendConfig cfg,
+              Tensor t = {}, std::size_t batch_size = 64)
+      : model_(&model),
+        cfg_(cfg),
+        t_(std::move(t)),
+        batch_size_(batch_size) {}
+
+  Tensor Logits(const Tensor& inputs) override {
+    return DualLogits(*model_, inputs, t_, cfg_, batch_size_);
+  }
+  std::vector<float> GradNorms(const data::Dataset& ds) override;
+  std::size_t NumClasses() const override { return model_->num_classes(); }
+
+ private:
+  nn::DualChannelClassifier* model_;
+  BlendConfig cfg_;
+  Tensor t_;
+  std::size_t batch_size_;
+};
+
+}  // namespace cip::core

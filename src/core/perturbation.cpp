@@ -1,0 +1,26 @@
+#include "core/perturbation.h"
+
+#include <algorithm>
+
+namespace cip::core {
+
+Perturbation Perturbation::Random(const Shape& sample_shape, Rng& rng,
+                                  float lo, float hi) {
+  Tensor t(sample_shape);
+  for (float& v : t.flat()) v = rng.Uniform(lo, hi);
+  return Perturbation(std::move(t));
+}
+
+Perturbation Perturbation::FromSeed(const Tensor& seed, float noise_weight,
+                                    Rng& rng, float lo, float hi) {
+  CIP_CHECK(noise_weight >= 0.0f && noise_weight <= 1.0f);
+  Tensor t(seed.shape());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const float noise = rng.Uniform(lo, hi);
+    t[i] = std::clamp((1.0f - noise_weight) * seed[i] + noise_weight * noise,
+                      lo, hi);
+  }
+  return Perturbation(std::move(t));
+}
+
+}  // namespace cip::core

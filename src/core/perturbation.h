@@ -1,0 +1,36 @@
+// A client's secret perturbation t (one tensor with the per-sample shape).
+//
+// Initialized "as some random input" (Sec. III-B Step I) — uniform in the
+// input range, optionally from a shared seed image (the Knowledge-1 adaptive
+// attack studies adversaries who know that seed).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cip::core {
+
+class Perturbation {
+ public:
+  Perturbation() = default;
+  explicit Perturbation(Tensor t) : t_(std::move(t)) {}
+
+  /// Uniform random init in [lo, hi] — the "random input" start point.
+  static Perturbation Random(const Shape& sample_shape, Rng& rng,
+                             float lo = 0.0f, float hi = 1.0f);
+
+  /// Init as a convex mix of a seed tensor and fresh noise:
+  /// t = (1-w)·seed + w·noise. w = 0 reproduces the seed exactly (the
+  /// Knowledge-1 "public seed" scenario); w = 1 is fully random.
+  static Perturbation FromSeed(const Tensor& seed, float noise_weight,
+                               Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  Tensor& tensor() { return t_; }
+  const Tensor& tensor() const { return t_; }
+  bool empty() const { return t_.size() == 0; }
+
+ private:
+  Tensor t_;
+};
+
+}  // namespace cip::core

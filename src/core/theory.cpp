@@ -1,0 +1,52 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace cip::core {
+
+namespace {
+
+double GaussianPdf(double x, double mu, double sd) {
+  const double z = (x - mu) / sd;
+  return std::exp(-0.5 * z * z) / (sd * std::sqrt(2.0 * M_PI));
+}
+
+}  // namespace
+
+double AdversarialAdvantage(double p_member) {
+  CIP_CHECK(p_member >= 0.0 && p_member <= 1.0);
+  constexpr double kEps = 1e-12;
+  return std::min(p_member, 1.0 - kEps) / std::max(1.0 - p_member, kEps);
+}
+
+double Theorem1Epsilon(double loss_true, double loss_guess,
+                       double temperature) {
+  CIP_CHECK_GT(temperature, 0.0);
+  return std::exp(-(loss_guess - loss_true) / temperature);
+}
+
+double BoundedAdvantage(double adv_true, double loss_true, double loss_guess,
+                        double temperature) {
+  return Theorem1Epsilon(loss_true, loss_guess, temperature) * adv_true;
+}
+
+double EmpiricalMemberProb(double loss, std::span<const float> member_losses,
+                           std::span<const float> nonmember_losses) {
+  CIP_CHECK(!member_losses.empty());
+  CIP_CHECK(!nonmember_losses.empty());
+  const double mu_m = Mean(member_losses);
+  const double mu_n = Mean(nonmember_losses);
+  const double sd_m = std::max(StdDev(member_losses), 1e-6);
+  const double sd_n = std::max(StdDev(nonmember_losses), 1e-6);
+  const double pm = GaussianPdf(loss, mu_m, sd_m);
+  const double pn = GaussianPdf(loss, mu_n, sd_n);
+  const double denom = pm + pn;
+  if (denom <= 0.0) return 0.5;
+  return pm / denom;
+}
+
+}  // namespace cip::core

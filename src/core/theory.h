@@ -1,0 +1,34 @@
+// Theoretical adversarial-advantage analysis (Sec. III-C).
+//
+// Adv(θ, z) = Pr(m=1 | θ, z) / Pr(m=0 | θ, z)                       (Eq. 5)
+//
+// Theorem 1: for a guessed perturbation t' with l(θ, z_t) ≤ l(θ, z_t'),
+//   Adv(θ, z_t') = ε · Adv(θ, z_t),  ε = exp(−(l(θ,z_t') − l(θ,z_t))/T) ≤ 1.
+//
+// This module provides the formulas plus an empirical estimator of the
+// advantage from observed member/non-member loss samples, used by tests and
+// the Fig. 1 bench to validate the theorem's direction on trained models.
+#pragma once
+
+#include <span>
+
+namespace cip::core {
+
+/// Adv from the posterior member probability p = Pr(m=1 | θ, z).
+double AdversarialAdvantage(double p_member);
+
+/// Theorem 1's ε for given losses under the true and guessed perturbation.
+double Theorem1Epsilon(double loss_true, double loss_guess,
+                       double temperature);
+
+/// Predicted advantage under the guessed perturbation per Theorem 1.
+double BoundedAdvantage(double adv_true, double loss_true, double loss_guess,
+                        double temperature);
+
+/// Empirical Pr(m=1 | loss) via Gaussian class-conditional densities fit to
+/// member and non-member loss samples (equal priors). This is the "strongest
+/// attack" posterior the theorem reasons about, instantiated on data.
+double EmpiricalMemberProb(double loss, std::span<const float> member_losses,
+                           std::span<const float> nonmember_losses);
+
+}  // namespace cip::core

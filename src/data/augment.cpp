@@ -1,0 +1,49 @@
+#include "data/augment.h"
+
+namespace cip::data {
+
+namespace {
+
+/// Random pad-crop plus optional flip for one image (C planes of h*w).
+void AugmentOne(const float* src, float* dst, std::size_t c, std::size_t h,
+                std::size_t w, const AugmentConfig& cfg, Rng& rng) {
+  const long pad = static_cast<long>(cfg.pad);
+  const long dy = rng.UniformInt(-static_cast<int>(pad), static_cast<int>(pad));
+  const long dx = rng.UniformInt(-static_cast<int>(pad), static_cast<int>(pad));
+  const bool flip = cfg.horizontal_flip && rng.Bernoulli(cfg.flip_prob);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float* sp = src + ch * h * w;
+    float* dp = dst + ch * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const long sy = static_cast<long>(y) + dy;
+        long sx = static_cast<long>(flip ? (w - 1 - x) : x) + dx;
+        float v = 0.0f;
+        if (sy >= 0 && sy < static_cast<long>(h) && sx >= 0 &&
+            sx < static_cast<long>(w)) {
+          v = sp[static_cast<std::size_t>(sy) * w +
+                 static_cast<std::size_t>(sx)];
+        }
+        dp[y * w + x] = v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Augment(const Tensor& batch, const AugmentConfig& cfg, Rng& rng) {
+  if (batch.rank() == 2) return batch;  // vector data: no-op
+  CIP_CHECK_EQ(batch.rank(), 4u);
+  const std::size_t n = batch.dim(0), c = batch.dim(1), h = batch.dim(2),
+                    w = batch.dim(3);
+  Tensor out(batch.shape());
+  const std::size_t stride = c * h * w;
+  for (std::size_t i = 0; i < n; ++i) {
+    AugmentOne(batch.data() + i * stride, out.data() + i * stride, c, h, w,
+               cfg, rng);
+  }
+  return out;
+}
+
+}  // namespace cip::data

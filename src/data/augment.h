@@ -1,0 +1,20 @@
+// Training-time data augmentation (the paper's CIFAR-AUG pipeline:
+// resize → crop → horizontal flip, reproduced as pad-crop + flip).
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace cip::data {
+
+struct AugmentConfig {
+  std::size_t pad = 1;         ///< zero-pad then random-crop back
+  bool horizontal_flip = true;
+  float flip_prob = 0.5f;
+};
+
+/// Augment a batch of images [N, C, H, W]; returns a new tensor of the same
+/// shape. Identity for rank-2 (vector) data.
+Tensor Augment(const Tensor& batch, const AugmentConfig& cfg, Rng& rng);
+
+}  // namespace cip::data

@@ -1,0 +1,59 @@
+#include "data/dataset.h"
+
+namespace cip::data {
+
+Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
+  CIP_CHECK_GE(inputs.rank(), 2u);
+  const std::size_t stride = inputs.size() / std::max<std::size_t>(size(), 1);
+  Shape out_shape = inputs.shape();
+  out_shape[0] = indices.size();
+  Tensor out(out_shape);
+  std::vector<int> out_labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    CIP_CHECK_LT(src, size());
+    std::copy(inputs.data() + src * stride, inputs.data() + (src + 1) * stride,
+              out.data() + i * stride);
+    out_labels[i] = labels[src];
+  }
+  return {std::move(out), std::move(out_labels)};
+}
+
+Dataset Dataset::Slice(std::size_t lo, std::size_t hi) const {
+  CIP_CHECK_LE(lo, hi);
+  CIP_CHECK_LE(hi, size());
+  return {inputs.Slice(lo, hi),
+          std::vector<int>(labels.begin() + static_cast<long>(lo),
+                           labels.begin() + static_cast<long>(hi))};
+}
+
+Dataset Dataset::Concat(const Dataset& a, const Dataset& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  CIP_CHECK(a.SampleShape() == b.SampleShape());
+  Shape out_shape = a.inputs.shape();
+  out_shape[0] = a.size() + b.size();
+  Tensor out(out_shape);
+  std::copy(a.inputs.data(), a.inputs.data() + a.inputs.size(), out.data());
+  std::copy(b.inputs.data(), b.inputs.data() + b.inputs.size(),
+            out.data() + a.inputs.size());
+  std::vector<int> out_labels = a.labels;
+  out_labels.insert(out_labels.end(), b.labels.begin(), b.labels.end());
+  return {std::move(out), std::move(out_labels)};
+}
+
+void Dataset::Shuffle(Rng& rng) {
+  const std::vector<std::size_t> perm = rng.Permutation(size());
+  *this = Subset(perm);
+}
+
+void Dataset::Validate(std::size_t num_classes) const {
+  CIP_CHECK_GE(inputs.rank(), 2u);
+  CIP_CHECK_EQ(inputs.dim(0), labels.size());
+  for (int y : labels) {
+    CIP_CHECK_GE(y, 0);
+    CIP_CHECK_LT(static_cast<std::size_t>(y), num_classes);
+  }
+}
+
+}  // namespace cip::data

@@ -1,0 +1,49 @@
+// Labeled datasets.
+//
+// A Dataset owns a batch-first input tensor ([N, C, H, W] or [N, D]) and an
+// integer label per sample. Values are normalized to [0, 1] — the range the
+// CIP blending function clips to (Eq. 2: "clipped within the range of x").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cip::data {
+
+/// Input value range shared by all generators and the blending clip.
+inline constexpr float kInputMin = 0.0f;
+inline constexpr float kInputMax = 1.0f;
+
+struct Dataset {
+  Tensor inputs;            ///< [N, ...]
+  std::vector<int> labels;  ///< size N
+
+  std::size_t size() const { return labels.size(); }
+  bool empty() const { return labels.empty(); }
+
+  /// Per-sample shape (input shape without the batch dimension).
+  Shape SampleShape() const {
+    CIP_CHECK_GE(inputs.rank(), 2u);
+    return Shape(inputs.shape().begin() + 1, inputs.shape().end());
+  }
+
+  /// Copying subset by indices.
+  Dataset Subset(std::span<const std::size_t> indices) const;
+
+  /// Copying contiguous batch [lo, hi).
+  Dataset Slice(std::size_t lo, std::size_t hi) const;
+
+  /// Concatenate along the batch dim (shapes must agree).
+  static Dataset Concat(const Dataset& a, const Dataset& b);
+
+  /// Shuffle samples in place.
+  void Shuffle(Rng& rng);
+
+  /// Basic structural invariants (batch sizes agree, labels within range).
+  void Validate(std::size_t num_classes) const;
+};
+
+}  // namespace cip::data

@@ -1,0 +1,70 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cip::data {
+
+std::vector<Dataset> PartitionIid(const Dataset& full, std::size_t num_clients,
+                                  Rng& rng) {
+  CIP_CHECK_GT(num_clients, 0u);
+  CIP_CHECK_GE(full.size(), num_clients);
+  const std::vector<std::size_t> perm = rng.Permutation(full.size());
+  const std::size_t per = full.size() / num_clients;
+  std::vector<Dataset> out;
+  out.reserve(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    const std::span<const std::size_t> idx(perm.data() + k * per, per);
+    out.push_back(full.Subset(idx));
+  }
+  return out;
+}
+
+std::vector<Dataset> PartitionByClasses(const Dataset& full,
+                                        std::size_t num_clients,
+                                        std::size_t classes_per_client,
+                                        std::size_t num_classes, Rng& rng) {
+  CIP_CHECK_GT(num_clients, 0u);
+  CIP_CHECK_GT(classes_per_client, 0u);
+  CIP_CHECK_LE(classes_per_client, num_classes);
+  full.Validate(num_classes);
+
+  // Index samples by class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    by_class[static_cast<std::size_t>(full.labels[i])].push_back(i);
+  }
+
+  const std::size_t per_client = full.size() / num_clients;
+  std::vector<Dataset> out;
+  out.reserve(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    // Pick this client's class subset.
+    std::vector<std::size_t> class_perm = rng.Permutation(num_classes);
+    std::vector<std::size_t> pool;
+    std::size_t taken = 0;
+    for (std::size_t ci = 0; ci < num_classes && taken < classes_per_client;
+         ++ci) {
+      const auto& members = by_class[class_perm[ci]];
+      if (members.empty()) continue;
+      pool.insert(pool.end(), members.begin(), members.end());
+      ++taken;
+    }
+    CIP_CHECK_MSG(!pool.empty(), "no samples available for client " << k);
+    // Draw per_client samples uniformly, without replacement while the pool
+    // lasts (falls back to reuse for tiny pools).
+    rng.Shuffle(pool);
+    std::vector<std::size_t> idx;
+    idx.reserve(per_client);
+    for (std::size_t i = 0; i < per_client; ++i) idx.push_back(pool[i % pool.size()]);
+    out.push_back(full.Subset(idx));
+  }
+  return out;
+}
+
+std::vector<int> ClassesPresent(const Dataset& ds) {
+  std::set<int> s(ds.labels.begin(), ds.labels.end());
+  return {s.begin(), s.end()};
+}
+
+}  // namespace cip::data

@@ -1,0 +1,34 @@
+// Client data partitioning for federated learning.
+//
+// The paper follows Naseri et al.: non-i.i.d. splits assign each client a
+// random subset of K classes ("K classes per client"), then draw an equal
+// number of samples per client uniformly at random from those classes
+// (Nasr et al.'s equal-size convention).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace cip::data {
+
+/// Split `full` into `num_clients` equal-size i.i.d. shards (remainder
+/// samples dropped).
+std::vector<Dataset> PartitionIid(const Dataset& full,
+                                  std::size_t num_clients, Rng& rng);
+
+/// Non-i.i.d. split: each client receives samples of a random subset of
+/// `classes_per_client` distinct classes from [0, num_classes). Every client
+/// gets floor(full.size()/num_clients) samples, drawn uniformly at random
+/// (with replacement across clients, without within a client) from the pool
+/// of its classes.
+std::vector<Dataset> PartitionByClasses(const Dataset& full,
+                                        std::size_t num_clients,
+                                        std::size_t classes_per_client,
+                                        std::size_t num_classes, Rng& rng);
+
+/// The distinct classes present in a dataset (sorted).
+std::vector<int> ClassesPresent(const Dataset& ds);
+
+}  // namespace cip::data

@@ -1,0 +1,211 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cip::data {
+
+namespace {
+
+/// 3x3 box blur per channel, reflecting at borders. Smooths white noise into
+/// image-like low-frequency class prototypes.
+void BoxBlur(float* img, std::size_t h, std::size_t w) {
+  std::vector<float> out(h * w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      float s = 0.0f;
+      int cnt = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const long yy = static_cast<long>(y) + dy;
+          const long xx = static_cast<long>(x) + dx;
+          if (yy < 0 || yy >= static_cast<long>(h) || xx < 0 ||
+              xx >= static_cast<long>(w)) {
+            continue;
+          }
+          s += img[static_cast<std::size_t>(yy) * w +
+                   static_cast<std::size_t>(xx)];
+          ++cnt;
+        }
+      }
+      out[y * w + x] = s / static_cast<float>(cnt);
+    }
+  }
+  std::copy(out.begin(), out.end(), img);
+}
+
+std::vector<int> AllClasses(std::size_t n) {
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+  return v;
+}
+
+}  // namespace
+
+SyntheticVision::SyntheticVision(VisionConfig cfg)
+    : cfg_(cfg),
+      prototypes_({cfg.num_classes, cfg.channels, cfg.height, cfg.width}) {
+  CIP_CHECK_GT(cfg_.num_classes, 1u);
+  CIP_CHECK_GT(cfg_.channels, 0u);
+  CIP_CHECK_GE(cfg_.prototype_scale, 0.0f);
+  CIP_CHECK_GE(cfg_.noise, 0.0f);
+  Rng rng(cfg_.seed);
+  const std::size_t plane = cfg_.height * cfg_.width;
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+    for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+      float* img = prototypes_.data() + (c * cfg_.channels + ch) * plane;
+      for (std::size_t i = 0; i < plane; ++i) img[i] = rng.Normal();
+      BoxBlur(img, cfg_.height, cfg_.width);
+      BoxBlur(img, cfg_.height, cfg_.width);
+      // Normalize the smoothed field to unit std, then place around gray.
+      double ss = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) ss += img[i] * img[i];
+      const float inv =
+          ss > 0 ? 1.0f / std::sqrt(static_cast<float>(ss / plane)) : 1.0f;
+      for (std::size_t i = 0; i < plane; ++i) {
+        img[i] = 0.5f + cfg_.prototype_scale * img[i] * inv;
+      }
+    }
+  }
+}
+
+Tensor SyntheticVision::SampleInput(int label, Rng& rng) const {
+  CIP_CHECK_GE(label, 0);
+  CIP_CHECK_LT(static_cast<std::size_t>(label), cfg_.num_classes);
+  const std::size_t plane_size = cfg_.height * cfg_.width;
+  const std::size_t total = cfg_.channels * plane_size;
+  Tensor x({cfg_.channels, cfg_.height, cfg_.width});
+  const float* proto = prototypes_.data() + static_cast<std::size_t>(label) * total;
+
+  // Optional per-sample smooth field (same construction as the prototypes).
+  std::vector<float> field;
+  if (cfg_.structured_noise > 0.0f) {
+    field.resize(total);
+    for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+      float* f = field.data() + ch * plane_size;
+      for (std::size_t i = 0; i < plane_size; ++i) f[i] = rng.Normal();
+      BoxBlur(f, cfg_.height, cfg_.width);
+      BoxBlur(f, cfg_.height, cfg_.width);
+      double ss = 0.0;
+      for (std::size_t i = 0; i < plane_size; ++i) ss += f[i] * f[i];
+      const float inv =
+          ss > 0 ? 1.0f / std::sqrt(static_cast<float>(ss / plane_size))
+                 : 1.0f;
+      for (std::size_t i = 0; i < plane_size; ++i) {
+        f[i] *= inv * cfg_.structured_noise;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < total; ++i) {
+    float v = proto[i] + cfg_.noise * rng.Normal();
+    if (!field.empty()) v += field[i];
+    x[i] = std::clamp(v, kInputMin, kInputMax);
+  }
+  return x;
+}
+
+Dataset SyntheticVision::SampleClasses(std::size_t n,
+                                       std::span<const int> classes,
+                                       Rng& rng) const {
+  CIP_CHECK(!classes.empty());
+  const std::size_t plane = cfg_.channels * cfg_.height * cfg_.width;
+  Tensor inputs({n, cfg_.channels, cfg_.height, cfg_.width});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = classes[rng.Index(classes.size())];
+    labels[i] = y;
+    const Tensor x = SampleInput(y, rng);
+    std::copy(x.data(), x.data() + plane, inputs.data() + i * plane);
+  }
+  return {std::move(inputs), std::move(labels)};
+}
+
+Dataset SyntheticVision::Sample(std::size_t n, Rng& rng) const {
+  const std::vector<int> all = AllClasses(cfg_.num_classes);
+  return SampleClasses(n, all, rng);
+}
+
+SyntheticPurchase::SyntheticPurchase(PurchaseConfig cfg)
+    : cfg_(cfg), profiles_({cfg.num_classes, cfg.dim}) {
+  CIP_CHECK_GT(cfg_.num_classes, 1u);
+  CIP_CHECK_GT(cfg_.dim, 0u);
+  CIP_CHECK(cfg_.sharpness >= 0.0f && cfg_.sharpness <= 0.5f);
+  Rng rng(cfg_.seed);
+  // Each class's profile: item purchase probabilities biased toward 0 or 1
+  // by `sharpness` around a uniform base rate.
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    const float base = rng.Uniform(0.2f, 0.8f);
+    const float push = rng.Bernoulli(0.5f) ? cfg_.sharpness : -cfg_.sharpness;
+    profiles_[i] = std::clamp(base + push, 0.02f, 0.98f);
+  }
+}
+
+Tensor SyntheticPurchase::SampleInput(int label, Rng& rng) const {
+  CIP_CHECK_GE(label, 0);
+  CIP_CHECK_LT(static_cast<std::size_t>(label), cfg_.num_classes);
+  Tensor x({cfg_.dim});
+  const float* profile =
+      profiles_.data() + static_cast<std::size_t>(label) * cfg_.dim;
+  for (std::size_t i = 0; i < cfg_.dim; ++i) {
+    x[i] = rng.Bernoulli(profile[i]) ? 1.0f : 0.0f;
+  }
+  return x;
+}
+
+Dataset SyntheticPurchase::SampleClasses(std::size_t n,
+                                         std::span<const int> classes,
+                                         Rng& rng) const {
+  CIP_CHECK(!classes.empty());
+  Tensor inputs({n, cfg_.dim});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = classes[rng.Index(classes.size())];
+    labels[i] = y;
+    const Tensor x = SampleInput(y, rng);
+    std::copy(x.data(), x.data() + cfg_.dim, inputs.data() + i * cfg_.dim);
+  }
+  return {std::move(inputs), std::move(labels)};
+}
+
+Dataset SyntheticPurchase::Sample(std::size_t n, Rng& rng) const {
+  const std::vector<int> all = AllClasses(cfg_.num_classes);
+  return SampleClasses(n, all, rng);
+}
+
+VisionConfig Cifar100Like(std::size_t num_classes) {
+  VisionConfig cfg;
+  cfg.num_classes = num_classes;
+  cfg.channels = 3;
+  cfg.height = 12;
+  cfg.width = 12;
+  cfg.prototype_scale = 0.11f;  // confusable classes => overfit regime
+  cfg.noise = 0.06f;
+  cfg.structured_noise = 0.30f;  // same band as the prototypes
+  cfg.seed = 7;
+  return cfg;
+}
+
+VisionConfig ChMnistLike() {
+  VisionConfig cfg;
+  cfg.num_classes = 8;
+  cfg.channels = 1;
+  cfg.height = 12;
+  cfg.width = 12;
+  cfg.prototype_scale = 0.38f;  // separable textures => high test accuracy
+  cfg.noise = 0.08f;
+  cfg.structured_noise = 0.14f;
+  cfg.seed = 13;
+  return cfg;
+}
+
+PurchaseConfig Purchase50Like() {
+  PurchaseConfig cfg;
+  cfg.num_classes = 50;
+  cfg.dim = 200;
+  cfg.sharpness = 0.22f;
+  cfg.seed = 11;
+  return cfg;
+}
+
+}  // namespace cip::data

@@ -1,0 +1,102 @@
+// Synthetic dataset generators standing in for the paper's benchmarks.
+//
+// The real datasets (CIFAR-100, CH-MNIST, Purchase-50) are unavailable
+// offline; see DESIGN.md §2. MI attacks are driven by the train/test
+// generalization gap, which these generators reproduce via two knobs:
+//  * class separation (prototype scale vs within-class noise) controls the
+//    achievable test accuracy — low separation gives the paper's "extremely
+//    overfitted" CIFAR-100 regime, high separation the CH-MNIST regime;
+//  * fresh draws from the same distribution give shadow/non-member data with
+//    the exact assumption of shadow-model attacks (Shokri et al.).
+//
+// Generators are deterministic given their config seed; Sample() calls with
+// independently seeded Rngs yield disjoint member/non-member/shadow splits.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace cip::data {
+
+/// Image-like data: class-conditional smoothed prototypes + pixel noise,
+/// clipped to [0, 1]. Stands in for CIFAR-100 (overfit regime) and CH-MNIST
+/// (well-trained regime) depending on the config.
+struct VisionConfig {
+  std::size_t num_classes = 20;
+  std::size_t channels = 3;
+  std::size_t height = 12;
+  std::size_t width = 12;
+  /// Distance of class prototypes from the 0.5 gray point; lower = harder.
+  float prototype_scale = 0.35f;
+  /// Within-class i.i.d. pixel noise std (easily averaged away by convs;
+  /// mostly forces memorization of individual samples).
+  float noise = 0.25f;
+  /// Within-class *smooth* noise std: a blurred random field occupying the
+  /// same frequency band as the prototypes, so it genuinely confuses classes
+  /// and lowers the achievable test accuracy (the paper's overfit regime).
+  float structured_noise = 0.0f;
+  std::uint64_t seed = 7;
+};
+
+class SyntheticVision {
+ public:
+  explicit SyntheticVision(VisionConfig cfg);
+
+  /// n samples with labels drawn uniformly from all classes.
+  Dataset Sample(std::size_t n, Rng& rng) const;
+
+  /// n samples with labels drawn uniformly from `classes` (non-iid splits).
+  Dataset SampleClasses(std::size_t n, std::span<const int> classes,
+                        Rng& rng) const;
+
+  /// One sample of a given class.
+  Tensor SampleInput(int label, Rng& rng) const;
+
+  const VisionConfig& config() const { return cfg_; }
+  Shape SampleShape() const {
+    return {cfg_.channels, cfg_.height, cfg_.width};
+  }
+
+ private:
+  VisionConfig cfg_;
+  Tensor prototypes_;  // [num_classes, C, H, W]
+};
+
+/// Purchase-50-like data: class-conditional Bernoulli profiles over binary
+/// purchase indicator vectors.
+struct PurchaseConfig {
+  std::size_t num_classes = 50;
+  std::size_t dim = 200;
+  /// Profile sharpness: probability mass pushed toward 0/1; lower = harder.
+  float sharpness = 0.25f;
+  std::uint64_t seed = 11;
+};
+
+class SyntheticPurchase {
+ public:
+  explicit SyntheticPurchase(PurchaseConfig cfg);
+
+  Dataset Sample(std::size_t n, Rng& rng) const;
+  Dataset SampleClasses(std::size_t n, std::span<const int> classes,
+                        Rng& rng) const;
+  Tensor SampleInput(int label, Rng& rng) const;
+
+  const PurchaseConfig& config() const { return cfg_; }
+  Shape SampleShape() const { return {cfg_.dim}; }
+
+ private:
+  PurchaseConfig cfg_;
+  Tensor profiles_;  // [num_classes, dim] of Bernoulli probabilities
+};
+
+// ---- canonical configs used across benches (paper's four datasets) --------
+
+/// CIFAR-100 stand-in: many confusable classes => overfit regime.
+VisionConfig Cifar100Like(std::size_t num_classes = 20);
+/// CH-MNIST stand-in: 8 well-separated texture classes => high test acc.
+VisionConfig ChMnistLike();
+/// Purchase-50 stand-in.
+PurchaseConfig Purchase50Like();
+
+}  // namespace cip::data

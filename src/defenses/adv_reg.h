@@ -1,0 +1,57 @@
+// Adversarial Regularization (Nasr, Shokri & Houmansadr, CCS 2018).
+//
+// A built-in inference attack h takes (softmax output, one-hot label) and
+// predicts membership. Training alternates: (i) fit h to distinguish the
+// client's training data (members) from a reference set (non-members);
+// (ii) train the target model with loss CE + λ·log h_member, i.e. the
+// target model is regularized to defeat its own best inference attack.
+#pragma once
+
+#include "fl/client.h"
+#include "nn/sequential.h"
+
+namespace cip::defenses {
+
+struct ArConfig {
+  float lambda = 1.0f;          ///< privacy/utility knob (paper: 0.3..2)
+  std::size_t attack_steps = 2; ///< h updates per model epoch
+  float attack_lr = 5e-2f;
+  std::size_t attack_hidden = 32;
+};
+
+class ArClient : public fl::ClientBase {
+ public:
+  /// `reference` is a non-member set from the same distribution (the AR
+  /// paper's reference set assumption — drawn here from the generator).
+  ArClient(const nn::ModelSpec& spec, data::Dataset local_data,
+           data::Dataset reference, fl::TrainConfig train_cfg, ArConfig ar_cfg,
+           std::uint64_t seed);
+
+  void SetGlobal(const fl::ModelState& global) override;
+  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  double EvalAccuracy(const data::Dataset& data) override;
+  float LastTrainLoss() const override { return last_loss_; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+  nn::Classifier& model() { return *model_; }
+
+ private:
+  /// Build the attack input [softmax(logits) ; one-hot(y)].
+  Tensor AttackInput(const Tensor& probs, std::span<const int> labels) const;
+  void TrainAttacker();
+  float TrainModelEpoch();
+
+  std::unique_ptr<nn::Classifier> model_;
+  data::Dataset data_;
+  data::Dataset reference_;
+  fl::TrainConfig cfg_;
+  ArConfig ar_;
+  Rng rng_;
+  // Attack model h: MLP over [C probs ; C one-hot] -> 2 logits.
+  std::unique_ptr<nn::Sequential> attacker_;
+  optim::Sgd attacker_opt_;
+  optim::Sgd model_opt_;
+  float last_loss_ = 0.0f;
+};
+
+}  // namespace cip::defenses

@@ -1,0 +1,58 @@
+// High-accuracy DP (Tramèr & Boneh 2021, "Handcrafted-DP"): train only a
+// shallow head privately on top of a frozen, non-private, generic feature
+// extractor. Better features mean less noise-sensitive private training and
+// far better utility at the same ε.
+//
+// Substitution: the original uses ScatterNet features (and optionally extra
+// public data); we use a frozen random-projection feature map
+// (flatten → Linear(d → F) → ReLU, "random kitchen sinks") with a privately
+// trained linear head on top — the same shallow-generic-features + private-
+// linear-model design at laptop scale (see DESIGN.md §2).
+#pragma once
+
+#include "defenses/dp_sgd.h"
+
+namespace cip::defenses {
+
+class HdpClient : public fl::ClientBase {
+ public:
+  /// `spec` provides the input shape, class count and init seed; the random
+  /// feature width is `feature_boost * spec.width` (wider generic features =
+  /// better linear separability under the same privacy budget).
+  HdpClient(const nn::ModelSpec& spec, data::Dataset local_data,
+            fl::TrainConfig train_cfg, DpConfig dp_cfg, std::uint64_t seed,
+            std::size_t feature_boost = 16);
+
+  void SetGlobal(const fl::ModelState& global) override;
+  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  double EvalAccuracy(const data::Dataset& data) override;
+  float LastTrainLoss() const override { return last_loss_; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+  nn::Classifier& model() { return *model_; }
+
+  /// Initial broadcast state matching HDP's internal model architecture
+  /// (its shape differs from the plain classifier of the same spec).
+  static fl::ModelState InitialState(const nn::ModelSpec& spec,
+                                     std::size_t feature_boost = 16);
+
+  /// The random-feature classifier HDP trains (frozen projection + head).
+  /// Exposed so attacks can reconstruct query handles from HDP ModelStates.
+  static std::unique_ptr<nn::Classifier> MakeModel(
+      const nn::ModelSpec& spec, std::size_t feature_boost = 16);
+
+ private:
+  float PrivateHeadEpoch();
+  /// Head parameters only (the privately trained subset).
+  std::vector<nn::Parameter*> HeadParams();
+
+  std::unique_ptr<nn::Classifier> model_;
+  data::Dataset data_;
+  fl::TrainConfig cfg_;
+  DpConfig dp_;
+  float sigma_;
+  Rng rng_;
+  float last_loss_ = 0.0f;
+};
+
+}  // namespace cip::defenses

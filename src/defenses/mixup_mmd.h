@@ -1,0 +1,50 @@
+// Mixup + MMD defense (Li, Li & Ribeiro, CODASPY 2021).
+//
+// Training combines (i) mixup — convex combinations of input pairs with
+// correspondingly mixed labels — and (ii) an MMD penalty that pulls the
+// model's output distribution on training data toward its distribution on a
+// non-member validation set, directly shrinking the member/non-member gap MI
+// attacks exploit. μ weighs the MMD term.
+//
+// Substitution note: we use the linear-kernel MMD (squared distance between
+// batch-mean softmax outputs); the Gaussian-kernel version differs only in
+// how distribution distance is weighted (DESIGN.md §2).
+#pragma once
+
+#include "fl/client.h"
+
+namespace cip::defenses {
+
+struct MmConfig {
+  float mu = 1.0f;           ///< MMD weight (paper: 0.5..10)
+  float mixup_alpha = 1.0f;  ///< Beta(α, α) for the mixing coefficient
+};
+
+class MixupMmdClient : public fl::ClientBase {
+ public:
+  MixupMmdClient(const nn::ModelSpec& spec, data::Dataset local_data,
+                 data::Dataset validation, fl::TrainConfig train_cfg,
+                 MmConfig mm_cfg, std::uint64_t seed);
+
+  void SetGlobal(const fl::ModelState& global) override;
+  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  double EvalAccuracy(const data::Dataset& data) override;
+  float LastTrainLoss() const override { return last_loss_; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+  nn::Classifier& model() { return *model_; }
+
+ private:
+  float TrainEpochMixupMmd();
+
+  std::unique_ptr<nn::Classifier> model_;
+  data::Dataset data_;
+  data::Dataset validation_;
+  fl::TrainConfig cfg_;
+  MmConfig mm_;
+  optim::Sgd opt_;
+  Rng rng_;
+  float last_loss_ = 0.0f;
+};
+
+}  // namespace cip::defenses

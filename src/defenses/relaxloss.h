@@ -1,0 +1,44 @@
+// RelaxLoss (Chen, Yu & Fritz, ICLR 2022).
+//
+// Instead of minimizing the training loss to zero — which creates the
+// member/non-member loss gap MI attacks exploit — RelaxLoss keeps the
+// training loss *around* a target level ω: gradient descent while the batch
+// loss is above ω, gradient ascent when it falls below. Larger ω = flatter
+// member posteriors = more privacy, less utility.
+#pragma once
+
+#include "fl/client.h"
+
+namespace cip::defenses {
+
+struct RlConfig {
+  float omega = 1.0f;  ///< target loss level (paper's α; knob 0.5..10)
+};
+
+class RelaxLossClient : public fl::ClientBase {
+ public:
+  RelaxLossClient(const nn::ModelSpec& spec, data::Dataset local_data,
+                  fl::TrainConfig train_cfg, RlConfig rl_cfg,
+                  std::uint64_t seed);
+
+  void SetGlobal(const fl::ModelState& global) override;
+  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  double EvalAccuracy(const data::Dataset& data) override;
+  float LastTrainLoss() const override { return last_loss_; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+  nn::Classifier& model() { return *model_; }
+
+ private:
+  float RelaxEpoch();
+
+  std::unique_ptr<nn::Classifier> model_;
+  data::Dataset data_;
+  fl::TrainConfig cfg_;
+  RlConfig rl_;
+  optim::Sgd opt_;
+  Rng rng_;
+  float last_loss_ = 0.0f;
+};
+
+}  // namespace cip::defenses

@@ -1,0 +1,184 @@
+#include "eval/experiment.h"
+
+#include "attacks/output_attacks.h"
+#include "attacks/pb_bayes.h"
+#include "attacks/shadow.h"
+#include "fl/client.h"
+
+namespace cip::eval {
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kCifar100: return "CIFAR-100";
+    case DatasetId::kCifarAug: return "CIFAR-AUG";
+    case DatasetId::kChMnist: return "CH-MNIST";
+    case DatasetId::kPurchase50: return "Purchase-50";
+  }
+  return "unknown";
+}
+
+DataBundle MakeBundle(DatasetId id, const BundleOptions& opts) {
+  DataBundle b;
+  b.id = id;
+  Rng rng(opts.seed);
+  switch (id) {
+    case DatasetId::kCifar100:
+    case DatasetId::kCifarAug: {
+      auto gen = std::make_shared<data::SyntheticVision>(
+          data::Cifar100Like(opts.num_classes));
+      b.sample = [gen](std::size_t n, Rng& r) { return gen->Sample(n, r); };
+      b.spec.arch = nn::Arch::kResNet;
+      b.spec.input_shape = gen->SampleShape();
+      b.spec.num_classes = gen->config().num_classes;
+      b.augment = (id == DatasetId::kCifarAug);
+      break;
+    }
+    case DatasetId::kChMnist: {
+      auto gen =
+          std::make_shared<data::SyntheticVision>(data::ChMnistLike());
+      b.sample = [gen](std::size_t n, Rng& r) { return gen->Sample(n, r); };
+      b.spec.arch = nn::Arch::kResNet;
+      b.spec.input_shape = gen->SampleShape();
+      b.spec.num_classes = gen->config().num_classes;
+      break;
+    }
+    case DatasetId::kPurchase50: {
+      auto gen = std::make_shared<data::SyntheticPurchase>(
+          data::Purchase50Like());
+      b.sample = [gen](std::size_t n, Rng& r) { return gen->Sample(n, r); };
+      b.spec.arch = nn::Arch::kMLP;
+      b.spec.input_shape = gen->SampleShape();
+      b.spec.num_classes = gen->config().num_classes;
+      break;
+    }
+  }
+  b.spec.width = opts.width;
+  b.spec.seed = opts.seed * 1000 + 17;
+  b.train = b.sample(opts.train_size, rng);
+  b.test = b.sample(opts.test_size, rng);
+  b.shadow_train = b.sample(opts.shadow_size, rng);
+  b.shadow_test = b.sample(opts.shadow_size, rng);
+  return b;
+}
+
+fl::TrainConfig DefaultTrainConfig(const DataBundle& bundle) {
+  fl::TrainConfig cfg;
+  cfg.batch_size = 32;  // paper: 32 everywhere
+  cfg.lr = bundle.spec.arch == nn::Arch::kMLP ? 0.05f : 0.02f;
+  cfg.momentum = 0.9f;
+  cfg.augment = bundle.augment;
+  return cfg;
+}
+
+core::CipConfig DefaultCipConfig(const DataBundle& bundle, float alpha) {
+  core::CipConfig cfg;
+  cfg.blend.alpha = alpha;
+  cfg.train = DefaultTrainConfig(bundle);
+  cfg.lambda_t = 1e-4f;
+  cfg.lambda_m = 0.05f;
+  cfg.perturb_steps = 8;
+  cfg.lr_t = 5e-2f;
+  return cfg;
+}
+
+fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
+                       const fl::ModelState& init, std::size_t rounds,
+                       Rng& rng, fl::FlOptions options) {
+  options.rounds = rounds;
+  fl::FederatedAveraging server(init, options);
+  return server.Run(clients, rng);
+}
+
+fl::FlLog RunSingle(fl::ClientBase& client, const fl::ModelState& init,
+                    std::size_t rounds, Rng& rng, fl::FlOptions options) {
+  fl::ClientBase* ptr = &client;
+  return RunFederated(std::span(&ptr, 1), init, rounds, rng, options);
+}
+
+std::unique_ptr<nn::Classifier> TrainPlain(const DataBundle& bundle,
+                                           std::size_t epochs, Rng& rng) {
+  auto model = nn::MakeClassifier(bundle.spec);
+  const fl::TrainConfig cfg = DefaultTrainConfig(bundle);
+  optim::Sgd opt(cfg.lr, cfg.momentum, cfg.weight_decay, cfg.grad_clip);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    fl::TrainEpoch(*model, bundle.train, opt, cfg, rng);
+  }
+  return model;
+}
+
+CipSingleResult TrainCipSingle(const DataBundle& bundle, float alpha,
+                               std::size_t rounds, Rng& rng,
+                               fl::FlOptions options,
+                               core::CipConfig* cfg_override) {
+  const core::CipConfig cfg = cfg_override != nullptr
+                                  ? *cfg_override
+                                  : DefaultCipConfig(bundle, alpha);
+  CipSingleResult out;
+  out.client = std::make_unique<core::CipClient>(bundle.spec, bundle.train,
+                                                 cfg, bundle.spec.seed + 5);
+  out.log = RunSingle(*out.client, core::InitialDualState(bundle.spec),
+                      rounds, rng, std::move(options));
+  return out;
+}
+
+ShadowPack BuildShadowPack(const DataBundle& bundle, std::size_t epochs,
+                           Rng& rng) {
+  ShadowPack pack;
+  attacks::ShadowConfig cfg;
+  cfg.epochs = epochs;
+  cfg.train = DefaultTrainConfig(bundle);
+  nn::ModelSpec shadow_spec = bundle.spec;
+  shadow_spec.seed ^= 0xABCDu;  // the attacker's own initialization
+  pack.model = attacks::TrainShadow(shadow_spec, bundle.shadow_train, cfg, rng);
+  pack.member_losses = fl::PerSampleLosses(*pack.model, bundle.shadow_train);
+  pack.nonmember_losses = fl::PerSampleLosses(*pack.model, bundle.shadow_test);
+  return pack;
+}
+
+std::map<std::string, metrics::BinaryMetrics> RunExternalAttackSuite(
+    const DataBundle& bundle, const ShadowPack& shadow,
+    fl::WhiteBoxQuery& target, Rng& rng) {
+  std::map<std::string, metrics::BinaryMetrics> out;
+  fl::ClassifierQuery shadow_query(*shadow.model);
+
+  attacks::ObLabel ob_label;
+  out[ob_label.Name()] =
+      attacks::EvaluateAttack(ob_label, target, bundle.train, bundle.test);
+
+  attacks::ObMalt ob_malt(shadow.member_losses, shadow.nonmember_losses);
+  out[ob_malt.Name()] =
+      attacks::EvaluateAttack(ob_malt, target, bundle.train, bundle.test);
+
+  attacks::ObNN ob_nn(shadow_query, bundle.shadow_train, bundle.shadow_test,
+                      rng);
+  out[ob_nn.Name()] =
+      attacks::EvaluateAttack(ob_nn, target, bundle.train, bundle.test);
+
+  attacks::ObBlindMi ob_blind(bundle.sample(bundle.test.size(), rng));
+  out[ob_blind.Name()] =
+      attacks::EvaluateAttack(ob_blind, target, bundle.train, bundle.test);
+
+  attacks::PbBayes pb_bayes(shadow_query, bundle.shadow_train,
+                            bundle.shadow_test);
+  out[pb_bayes.Name()] =
+      attacks::EvaluateAttack(pb_bayes, target, bundle.train, bundle.test);
+
+  return out;
+}
+
+CipExternalResult RunCipExternal(const DataBundle& bundle,
+                                 const ShadowPack* shadow, float alpha,
+                                 std::size_t rounds, Rng& rng) {
+  CipExternalResult out;
+  CipSingleResult trained = TrainCipSingle(bundle, alpha, rounds, rng);
+  out.client = std::move(trained.client);
+  out.train_acc = out.client->EvalAccuracy(bundle.train);
+  out.test_acc = out.client->EvalAccuracy(bundle.test);
+  if (shadow != nullptr) {
+    core::CipWhiteBox raw(out.client->model(), out.client->config().blend);
+    out.attacks = RunExternalAttackSuite(bundle, *shadow, raw, rng);
+  }
+  return out;
+}
+
+}  // namespace cip::eval

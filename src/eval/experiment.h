@@ -1,0 +1,118 @@
+// Shared experiment harness: canonical dataset bundles for the paper's four
+// benchmarks, single-client and federated training drivers for every
+// defense, and the external attack suite — the pieces each bench composes to
+// regenerate its table or figure.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attacks/attack.h"
+#include "core/cip_client.h"
+#include "data/synthetic.h"
+#include "defenses/adv_reg.h"
+#include "defenses/dp_sgd.h"
+#include "defenses/hdp.h"
+#include "defenses/mixup_mmd.h"
+#include "defenses/relaxloss.h"
+#include "fl/server.h"
+
+namespace cip::eval {
+
+enum class DatasetId { kCifar100, kCifarAug, kChMnist, kPurchase50 };
+
+std::string DatasetName(DatasetId id);
+
+/// Everything an experiment needs for one benchmark dataset: member
+/// (training) data, non-member (test) data, disjoint shadow splits for the
+/// attacker, a sampler for extra draws (BlindMI reference sets, AR/MM
+/// reference data), and the paper's model choice for that dataset.
+struct DataBundle {
+  DatasetId id = DatasetId::kCifar100;
+  data::Dataset train;         ///< members
+  data::Dataset test;          ///< non-members
+  data::Dataset shadow_train;  ///< attacker's shadow members
+  data::Dataset shadow_test;   ///< attacker's shadow non-members
+  std::function<data::Dataset(std::size_t, Rng&)> sample;
+  nn::ModelSpec spec;
+  bool augment = false;  ///< CIFAR-AUG trains with augmentation
+};
+
+struct BundleOptions {
+  std::size_t train_size = 500;
+  std::size_t test_size = 500;
+  std::size_t shadow_size = 500;  ///< each shadow split
+  std::size_t width = 10;         ///< model width
+  std::size_t num_classes = 20;   ///< vision datasets only (CIFAR stand-ins)
+  std::uint64_t seed = 1;
+};
+
+DataBundle MakeBundle(DatasetId id, const BundleOptions& opts);
+
+/// Paper-matched training configuration for a bundle (lr/momentum/batch).
+fl::TrainConfig DefaultTrainConfig(const DataBundle& bundle);
+
+/// Default CIP configuration for a bundle at a given α.
+core::CipConfig DefaultCipConfig(const DataBundle& bundle, float alpha);
+
+// ---- training drivers -------------------------------------------------------
+
+/// Run `rounds` of FedAvg over the given clients starting from `init`.
+fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
+                       const fl::ModelState& init, std::size_t rounds,
+                       Rng& rng, fl::FlOptions options = {});
+
+/// Single-client convenience (the paper's external-adversary setting).
+fl::FlLog RunSingle(fl::ClientBase& client, const fl::ModelState& init,
+                    std::size_t rounds, Rng& rng, fl::FlOptions options = {});
+
+/// Train a no-defense single-channel model directly (no FL loop).
+std::unique_ptr<nn::Classifier> TrainPlain(const DataBundle& bundle,
+                                           std::size_t epochs, Rng& rng);
+
+/// Train a single CIP client for `rounds` FedAvg rounds (the external
+/// adversary's worst case of one client, Sec. IV-A).
+struct CipSingleResult {
+  std::unique_ptr<core::CipClient> client;
+  fl::FlLog log;
+};
+CipSingleResult TrainCipSingle(const DataBundle& bundle, float alpha,
+                               std::size_t rounds, Rng& rng,
+                               fl::FlOptions options = {},
+                               core::CipConfig* cfg_override = nullptr);
+
+// ---- attacker toolkit -------------------------------------------------------
+
+/// The attacker's reusable assets against one bundle: a shadow model trained
+/// on the shadow split plus its member/non-member losses.
+struct ShadowPack {
+  std::unique_ptr<nn::Classifier> model;
+  std::vector<float> member_losses;
+  std::vector<float> nonmember_losses;
+};
+
+ShadowPack BuildShadowPack(const DataBundle& bundle, std::size_t epochs,
+                           Rng& rng);
+
+/// Run the paper's five external attacks (Ob-Label, Ob-MALT, Ob-NN,
+/// Ob-BlindMI, Pb-Bayes) against a white-box target handle.
+std::map<std::string, metrics::BinaryMetrics> RunExternalAttackSuite(
+    const DataBundle& bundle, const ShadowPack& shadow,
+    fl::WhiteBoxQuery& target, Rng& rng);
+
+/// Train a single CIP client at a given α and (optionally) run the external
+/// attack suite against its raw-query surface — the RQ3 experiment unit
+/// shared by the Fig. 8 / Table IV / Table V benches.
+struct CipExternalResult {
+  double train_acc = 0.0;  ///< client-side accuracy (blended with own t)
+  double test_acc = 0.0;
+  std::map<std::string, metrics::BinaryMetrics> attacks;
+  std::unique_ptr<core::CipClient> client;
+};
+CipExternalResult RunCipExternal(const DataBundle& bundle,
+                                 const ShadowPack* shadow, float alpha,
+                                 std::size_t rounds, Rng& rng);
+
+}  // namespace cip::eval

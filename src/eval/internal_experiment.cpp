@@ -1,0 +1,269 @@
+#include "eval/internal_experiment.h"
+
+#include <algorithm>
+
+#include "attacks/adaptive.h"
+#include "attacks/internal.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "defenses/dp_sgd.h"
+#include "defenses/hdp.h"
+#include "eval/experiment.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "tensor/ops.h"
+
+namespace cip::eval {
+
+namespace {
+
+/// Owning query handle over a plain classifier rebuilt from a ModelState.
+struct OwningClassifierQuery : fl::QueryModel {
+  std::unique_ptr<nn::Classifier> model;
+
+  explicit OwningClassifierQuery(std::unique_ptr<nn::Classifier> m)
+      : model(std::move(m)) {}
+  Tensor Logits(const Tensor& x) override { return fl::LogitsFor(*model, x); }
+  std::size_t NumClasses() const override { return model->num_classes(); }
+};
+
+/// Owning raw-query handle over a dual-channel (CIP) snapshot.
+struct OwningDualQuery : fl::QueryModel {
+  std::unique_ptr<nn::DualChannelClassifier> model;
+  core::BlendConfig blend;
+
+  OwningDualQuery(std::unique_ptr<nn::DualChannelClassifier> m,
+                  core::BlendConfig b)
+      : model(std::move(m)), blend(b) {}
+  Tensor Logits(const Tensor& x) override {
+    return core::DualLogits(*model, x, Tensor(), blend);
+  }
+  std::size_t NumClasses() const override { return model->num_classes(); }
+};
+
+}  // namespace
+
+std::string InternalDefenseName(InternalDefense d) {
+  switch (d) {
+    case InternalDefense::kNone: return "NoDefense";
+    case InternalDefense::kCip: return "CIP";
+    case InternalDefense::kDp: return "DP";
+    case InternalDefense::kHdp: return "HDP";
+  }
+  return "unknown";
+}
+
+InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
+                                        Rng& rng) {
+  CIP_CHECK_GT(cfg.num_clients, 0u);
+  CIP_CHECK_GT(cfg.rounds, cfg.attack_snapshots);
+
+  data::SyntheticVision gen(data::Cifar100Like(cfg.num_classes));
+  Rng data_rng(cfg.seed);
+  data::Dataset full =
+      gen.Sample(cfg.num_clients * cfg.samples_per_client, data_rng);
+  const std::vector<data::Dataset> shards =
+      cfg.classes_per_client == 0
+          ? data::PartitionIid(full, cfg.num_clients, data_rng)
+          : data::PartitionByClasses(full, cfg.num_clients,
+                                     cfg.classes_per_client, cfg.num_classes,
+                                     data_rng);
+  const data::Dataset test = gen.Sample(cfg.test_size, data_rng);
+  // Non-members for the attack, same size as the victim's member set and —
+  // crucially — drawn from the victim's own class distribution, so the
+  // attack measures sample-level membership rather than trivially detecting
+  // which classes the victim holds under a non-i.i.d. split.
+  const std::vector<int> victim_classes = data::ClassesPresent(shards[0]);
+  const data::Dataset attack_nonmembers =
+      gen.SampleClasses(cfg.samples_per_client, victim_classes, data_rng);
+
+  nn::ModelSpec spec;
+  spec.arch = cfg.arch;
+  spec.input_shape = gen.SampleShape();
+  spec.num_classes = cfg.num_classes;
+  spec.width = cfg.width;
+  spec.seed = cfg.seed * 977 + 3;
+
+  fl::TrainConfig train;
+  train.lr = 0.02f;
+  train.momentum = 0.9f;
+
+  // ---- build clients per defense -------------------------------------------
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  fl::ModelState init;
+  core::BlendConfig blend;
+  blend.alpha = cfg.alpha;
+  switch (cfg.defense) {
+    case InternalDefense::kNone: {
+      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
+        clients.push_back(std::make_unique<fl::LegacyClient>(
+            spec, shards[k], train, cfg.seed * 31 + k));
+      }
+      init = fl::InitialState(spec);
+      break;
+    }
+    case InternalDefense::kCip: {
+      core::CipConfig cip;
+      cip.blend = blend;
+      cip.train = train;
+      cip.perturb_steps = 6;
+      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
+        clients.push_back(std::make_unique<core::CipClient>(
+            spec, shards[k], cip, cfg.seed * 31 + k));
+      }
+      init = core::InitialDualState(spec);
+      break;
+    }
+    case InternalDefense::kDp: {
+      defenses::DpConfig dp;
+      dp.epsilon = cfg.epsilon;
+      dp.clip_norm = cfg.dp_clip;
+      dp.total_steps =
+          cfg.rounds * (cfg.samples_per_client / train.batch_size + 1);
+      dp.sampling_rate =
+          std::min(1.0f, static_cast<float>(train.batch_size) /
+                             static_cast<float>(cfg.samples_per_client));
+      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
+        clients.push_back(std::make_unique<defenses::DpSgdClient>(
+            spec, shards[k], train, dp, cfg.seed * 31 + k));
+      }
+      init = fl::InitialState(spec);
+      break;
+    }
+    case InternalDefense::kHdp: {
+      defenses::DpConfig dp;
+      dp.epsilon = cfg.epsilon;
+      dp.clip_norm = cfg.dp_clip;
+      dp.total_steps =
+          cfg.rounds * (cfg.samples_per_client / train.batch_size + 1);
+      dp.sampling_rate =
+          std::min(1.0f, static_cast<float>(train.batch_size) /
+                             static_cast<float>(cfg.samples_per_client));
+      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
+        clients.push_back(std::make_unique<defenses::HdpClient>(
+            spec, shards[k], train, dp, cfg.seed * 31 + k));
+      }
+      init = defenses::HdpClient::InitialState(spec);
+      break;
+    }
+  }
+
+  std::vector<fl::ClientBase*> ptrs;
+  for (auto& c : clients) ptrs.push_back(c.get());
+
+  // ---- honest training, recording the victim's updates ---------------------
+  fl::FlOptions options;
+  options.rounds = cfg.rounds;
+  options.record_client_updates = true;
+  fl::FederatedAveraging server(init, options);
+  const fl::FlLog log = server.Run(ptrs, rng);
+
+  InternalExpResult result;
+  result.train_acc = ptrs[0]->EvalAccuracy(ptrs[0]->LocalData());
+  double acc = 0.0;
+  for (fl::ClientBase* c : ptrs) acc += c->EvalAccuracy(test);
+  result.test_acc = acc / static_cast<double>(ptrs.size());
+
+  // ---- passive attack on the victim (client 0) ------------------------------
+  std::vector<fl::ModelState> snapshots;
+  for (std::size_t r = cfg.rounds - cfg.attack_snapshots; r < cfg.rounds;
+       ++r) {
+    snapshots.push_back(log.client_updates[r][0]);
+  }
+  const InternalDefense defense = cfg.defense;
+  attacks::SnapshotQueryFactory factory =
+      [spec, blend, defense](const fl::ModelState& s)
+      -> std::unique_ptr<fl::QueryModel> {
+    switch (defense) {
+      case InternalDefense::kCip: {
+        auto model = nn::MakeDualChannelClassifier(spec);
+        const std::vector<nn::Parameter*> p = model->Parameters();
+        s.ApplyTo(p);
+        return std::make_unique<OwningDualQuery>(std::move(model), blend);
+      }
+      case InternalDefense::kHdp: {
+        auto model = defenses::HdpClient::MakeModel(spec);
+        const std::vector<nn::Parameter*> p = model->Parameters();
+        s.ApplyTo(p);
+        return std::make_unique<OwningClassifierQuery>(std::move(model));
+      }
+      default: {
+        auto model = nn::MakeClassifier(spec);
+        const std::vector<nn::Parameter*> p = model->Parameters();
+        s.ApplyTo(p);
+        return std::make_unique<OwningClassifierQuery>(std::move(model));
+      }
+    }
+  };
+
+  attacks::InternalPassive passive(std::move(snapshots), factory);
+  const data::Dataset& members = ptrs[0]->LocalData();
+  const std::size_t half_m = members.size() / 2;
+  const std::size_t half_n = attack_nonmembers.size() / 2;
+  passive.Calibrate(members.Slice(0, half_m),
+                    attack_nonmembers.Slice(0, half_n));
+  const std::vector<float> sm =
+      passive.Score(members.Slice(half_m, members.size()));
+  const std::vector<float> sn = passive.Score(
+      attack_nonmembers.Slice(half_n, attack_nonmembers.size()));
+  result.passive_attack_acc = attacks::ScoreToMetrics(sm, sn, 0.5f).accuracy;
+
+  // ---- active attack (rerun with gradient-ascent tampering) ----------------
+  if (cfg.run_active_attack) {
+    const std::size_t n_targets = std::min<std::size_t>(
+        {100, members.size() - half_m, attack_nonmembers.size() - half_n});
+    const data::Dataset target_members =
+        members.Slice(half_m, half_m + n_targets);
+    const data::Dataset target_nonmembers =
+        attack_nonmembers.Slice(half_n, half_n + n_targets);
+    const data::Dataset targets =
+        data::Dataset::Concat(target_members, target_nonmembers);
+
+    attacks::AscentFn ascent =
+        cfg.defense == InternalDefense::kCip
+            ? attacks::MakeDualAscent(spec, blend, /*lr=*/0.02f, /*steps=*/3)
+            : attacks::MakeClassifierAscent(spec, /*lr=*/0.02f, /*steps=*/3);
+    if (cfg.defense == InternalDefense::kHdp) {
+      // HDP's model shape differs; ascend on its random-feature model.
+      ascent = [spec](const fl::ModelState& s, const data::Dataset& tg) {
+        auto model = defenses::HdpClient::MakeModel(spec);
+        const std::vector<nn::Parameter*> p = model->Parameters();
+        s.ApplyTo(p);
+        for (int step = 0; step < 3; ++step) {
+          const Tensor logits = model->Forward(tg.inputs, true);
+          Tensor dlogits;
+          ops::SoftmaxCrossEntropy(logits, tg.labels, &dlogits);
+          model->Backward(dlogits);
+          for (nn::Parameter* pp : p) {
+            ops::Axpy(pp->value, 0.02f, pp->grad);
+            pp->ZeroGrad();
+          }
+        }
+        return fl::ModelState::From(p);
+      };
+    }
+
+    // Fresh clients for the tampered rerun (same seeds => same local data
+    // behaviour as the honest run).
+    fl::FlOptions active_opts;
+    active_opts.rounds = cfg.rounds;
+    fl::FederatedAveraging active_server(init, active_opts);
+    attacks::InstallActiveAttack(
+        active_server, std::move(ascent), targets,
+        /*start_round=*/cfg.rounds > 5 ? cfg.rounds - 4 : 1);
+    Rng active_rng(cfg.seed * 131 + 7);
+    const fl::FlLog active_log = active_server.Run(ptrs, active_rng);
+
+    const std::unique_ptr<fl::QueryModel> final_q =
+        factory(active_log.final_global);
+    const std::vector<float> lm = final_q->Losses(target_members);
+    const std::vector<float> ln = final_q->Losses(target_nonmembers);
+    std::vector<float> ms(lm.size()), ns(ln.size());
+    for (std::size_t i = 0; i < lm.size(); ++i) ms[i] = -lm[i];
+    for (std::size_t i = 0; i < ln.size(); ++i) ns[i] = -ln[i];
+    result.active_attack_acc = attacks::BestThresholdAccuracy(ms, ns);
+  }
+  return result;
+}
+
+}  // namespace cip::eval

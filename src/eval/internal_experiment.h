@@ -1,0 +1,55 @@
+// Internal-adversary (malicious-server) experiment driver.
+//
+// One call trains an FL deployment (no defense / CIP / LDP / HDP) on a
+// non-i.i.d. or i.i.d. split of the CIFAR-100 stand-in, then mounts the
+// Nasr-style passive and (optionally) active attacks against the first
+// (victim) client. Used by the Fig. 4 / Fig. 5 benches and reusable from
+// examples.
+#pragma once
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/backbones.h"
+
+namespace cip::eval {
+
+enum class InternalDefense { kNone, kCip, kDp, kHdp };
+
+std::string InternalDefenseName(InternalDefense d);
+
+struct InternalExpConfig {
+  std::size_t num_clients = 2;
+  std::size_t rounds = 10;
+  std::size_t samples_per_client = 120;
+  std::size_t test_size = 240;
+  /// 0 = i.i.d.; otherwise classes per client (paper: 20 of 100; scaled
+  /// here to the stand-in's class count).
+  std::size_t classes_per_client = 4;
+  std::size_t num_classes = 20;
+  nn::Arch arch = nn::Arch::kResNet;
+  std::size_t width = 8;
+
+  InternalDefense defense = InternalDefense::kNone;
+  float alpha = 0.5f;          ///< CIP blending parameter
+  float epsilon = 8.0f;        ///< DP/HDP privacy budget
+  float dp_clip = 4.0f;
+
+  bool run_active_attack = false;
+  /// Snapshots (victim-client updates) used by the passive attack: the last
+  /// `attack_snapshots` rounds, matching the paper's "attacking iterations".
+  std::size_t attack_snapshots = 3;
+
+  std::uint64_t seed = 1;
+};
+
+struct InternalExpResult {
+  double train_acc = 0.0;   ///< victim's client-side accuracy on its data
+  double test_acc = 0.0;    ///< mean client-side accuracy on fresh test data
+  double passive_attack_acc = 0.0;
+  double active_attack_acc = -1.0;  ///< -1 when not run
+};
+
+InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
+                                        Rng& rng);
+
+}  // namespace cip::eval

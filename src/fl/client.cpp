@@ -1,0 +1,42 @@
+#include "fl/client.h"
+
+namespace cip::fl {
+
+LegacyClient::LegacyClient(const nn::ModelSpec& spec, data::Dataset local_data,
+                           TrainConfig train_cfg, std::uint64_t seed)
+    : model_(nn::MakeClassifier(spec)),
+      data_(std::move(local_data)),
+      cfg_(train_cfg),
+      opt_(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay,
+           train_cfg.grad_clip),
+      rng_(seed) {
+  CIP_CHECK(!data_.empty());
+}
+
+void LegacyClient::SetGlobal(const ModelState& global) {
+  const std::vector<nn::Parameter*> params = model_->Parameters();
+  global.ApplyTo(params);
+}
+
+ModelState LegacyClient::TrainLocal(std::size_t round, Rng& /*rng*/) {
+  opt_.set_lr(LrAtRound(cfg_, round));
+  float loss = 0.0f;
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    loss = TrainEpoch(*model_, data_, opt_, cfg_, rng_);
+  }
+  last_loss_ = loss;
+  const std::vector<nn::Parameter*> params = model_->Parameters();
+  return ModelState::From(params);
+}
+
+double LegacyClient::EvalAccuracy(const data::Dataset& data) {
+  return Evaluate(*model_, data);
+}
+
+ModelState InitialState(const nn::ModelSpec& spec) {
+  auto model = nn::MakeClassifier(spec);
+  const std::vector<nn::Parameter*> params = model->Parameters();
+  return ModelState::From(params);
+}
+
+}  // namespace cip::fl

@@ -1,0 +1,66 @@
+// FL client interface and the legacy (no-defense) client.
+//
+// A client owns its local data and local model; each round it receives the
+// global ModelState, trains locally, and returns its updated state. The CIP
+// client (src/core) and defense clients (src/defenses) implement the same
+// interface so the server and the experiment harness are defense-agnostic.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "fl/model_state.h"
+#include "fl/trainer.h"
+#include "nn/backbones.h"
+
+namespace cip::fl {
+
+class ClientBase {
+ public:
+  virtual ~ClientBase() = default;
+
+  /// Install the aggregated global model for the coming round.
+  virtual void SetGlobal(const ModelState& global) = 0;
+
+  /// Run one round of local training; returns the updated local state.
+  virtual ModelState TrainLocal(std::size_t round, Rng& rng) = 0;
+
+  /// Client-side accuracy on a dataset using the client's own inference path
+  /// (the CIP client blends inputs with its secret perturbation here).
+  virtual double EvalAccuracy(const data::Dataset& data) = 0;
+
+  /// Mean training loss of the most recent TrainLocal call.
+  virtual float LastTrainLoss() const = 0;
+
+  /// Local training data (members of this client, for attack evaluation).
+  virtual const data::Dataset& LocalData() const = 0;
+};
+
+/// Standard FedAvg client: single-channel classifier, plain SGD.
+class LegacyClient : public ClientBase {
+ public:
+  LegacyClient(const nn::ModelSpec& spec, data::Dataset local_data,
+               TrainConfig train_cfg, std::uint64_t seed);
+
+  void SetGlobal(const ModelState& global) override;
+  ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  double EvalAccuracy(const data::Dataset& data) override;
+  float LastTrainLoss() const override { return last_loss_; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+  nn::Classifier& model() { return *model_; }
+
+ private:
+  std::unique_ptr<nn::Classifier> model_;
+  data::Dataset data_;
+  TrainConfig cfg_;
+  optim::Sgd opt_;
+  Rng rng_;
+  float last_loss_ = 0.0f;
+};
+
+/// Build a fresh ModelState with the initial weights of a spec (what the
+/// server broadcasts at round 0).
+ModelState InitialState(const nn::ModelSpec& spec);
+
+}  // namespace cip::fl

@@ -1,0 +1,65 @@
+#include "fl/model_state.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cip::fl {
+
+ModelState ModelState::From(std::span<nn::Parameter* const> params) {
+  std::vector<float> v;
+  std::size_t total = 0;
+  for (const nn::Parameter* p : params) total += p->value.size();
+  v.reserve(total);
+  for (const nn::Parameter* p : params) {
+    v.insert(v.end(), p->value.flat().begin(), p->value.flat().end());
+  }
+  return ModelState(std::move(v));
+}
+
+ModelState ModelState::GradientsFrom(std::span<nn::Parameter* const> params) {
+  std::vector<float> v;
+  for (const nn::Parameter* p : params) {
+    v.insert(v.end(), p->grad.flat().begin(), p->grad.flat().end());
+  }
+  return ModelState(std::move(v));
+}
+
+void ModelState::ApplyTo(std::span<nn::Parameter* const> params) const {
+  std::size_t offset = 0;
+  for (nn::Parameter* p : params) {
+    CIP_CHECK_LE(offset + p->value.size(), values_.size());
+    std::copy(values_.begin() + static_cast<long>(offset),
+              values_.begin() + static_cast<long>(offset + p->value.size()),
+              p->value.flat().begin());
+    offset += p->value.size();
+  }
+  CIP_CHECK_EQ(offset, values_.size());
+}
+
+void ModelState::Axpy(float a, const ModelState& other) {
+  CIP_CHECK_EQ(values_.size(), other.values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += a * other.values_[i];
+  }
+}
+
+void ModelState::Scale(float a) {
+  for (float& v : values_) v *= a;
+}
+
+float ModelState::L2Norm() const {
+  double s = 0.0;
+  for (float v : values_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+ModelState ModelState::Average(std::span<const ModelState> states) {
+  CIP_CHECK(!states.empty());
+  ModelState out = states[0];
+  for (std::size_t i = 1; i < states.size(); ++i) out.Axpy(1.0f, states[i]);
+  out.Scale(1.0f / static_cast<float>(states.size()));
+  return out;
+}
+
+}  // namespace cip::fl

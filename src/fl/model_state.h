@@ -1,0 +1,48 @@
+// Flat parameter snapshots exchanged between FL clients and the server.
+//
+// A ModelState is the concatenation of a model's parameter tensors in the
+// model's deterministic parameter order. Clients and the server construct
+// architecturally identical models from the same nn::ModelSpec, so states are
+// interchangeable across parties — which is exactly the FedAvg contract.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cip::fl {
+
+class ModelState {
+ public:
+  ModelState() = default;
+  explicit ModelState(std::vector<float> values) : values_(std::move(values)) {}
+
+  /// Snapshot the current values of a parameter set.
+  static ModelState From(std::span<nn::Parameter* const> params);
+
+  /// Snapshot the current *gradients* of a parameter set (used by attacks
+  /// that observe model updates).
+  static ModelState GradientsFrom(std::span<nn::Parameter* const> params);
+
+  /// Write this state into a parameter set of matching total size.
+  void ApplyTo(std::span<nn::Parameter* const> params) const;
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  std::span<const float> values() const { return values_; }
+  std::span<float> values() { return values_; }
+
+  /// this += a * other
+  void Axpy(float a, const ModelState& other);
+  void Scale(float a);
+  float L2Norm() const;
+
+  /// Element-wise mean of non-empty states of equal size (FedAvg).
+  static ModelState Average(std::span<const ModelState> states);
+
+ private:
+  std::vector<float> values_;
+};
+
+}  // namespace cip::fl

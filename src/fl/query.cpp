@@ -1,0 +1,51 @@
+#include "fl/query.h"
+
+#include <cmath>
+
+#include "fl/trainer.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+
+namespace cip::fl {
+
+Tensor QueryModel::Probs(const Tensor& inputs) {
+  return ops::SoftmaxRows(Logits(inputs));
+}
+
+std::vector<int> QueryModel::Predict(const Tensor& inputs) {
+  return ops::ArgmaxRows(Logits(inputs));
+}
+
+std::vector<float> QueryModel::Losses(const data::Dataset& ds) {
+  return ops::PerSampleCrossEntropy(Logits(ds.inputs), ds.labels);
+}
+
+double QueryModel::Accuracy(const data::Dataset& ds) {
+  return metrics::Accuracy(Predict(ds.inputs), ds.labels);
+}
+
+Tensor ClassifierQuery::Logits(const Tensor& inputs) {
+  return LogitsFor(*model_, inputs, batch_size_);
+}
+
+std::vector<float> ClassifierQuery::GradNorms(const data::Dataset& ds) {
+  std::vector<float> out(ds.size());
+  const std::vector<nn::Parameter*> params = model_->Parameters();
+  model_->ZeroGrad();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const data::Dataset one = ds.Subset(std::span(&i, 1));
+    const Tensor logits = model_->Forward(one.inputs, /*train=*/true);
+    Tensor dlogits;
+    ops::SoftmaxCrossEntropy(logits, one.labels, &dlogits);
+    model_->Backward(dlogits);
+    double sq = 0.0;
+    for (const nn::Parameter* p : params) {
+      for (float g : p->grad.flat()) sq += static_cast<double>(g) * g;
+    }
+    out[i] = static_cast<float>(std::sqrt(sq));
+    model_->ZeroGrad();
+  }
+  return out;
+}
+
+}  // namespace cip::fl

@@ -1,0 +1,60 @@
+// Attacker-facing model handle.
+//
+// All MI attacks in src/attacks consume this interface: a query returns
+// logits for *raw* (un-blended) inputs — what a malicious server/client or an
+// external white-box adversary can actually compute. Concrete handles:
+//  * ClassifierQuery — a plain single-channel model;
+//  * the CIP core provides handles that blend with t = 0 (adversary without
+//    the secret) or a guessed t' (adaptive attacks).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/classifier.h"
+#include "tensor/tensor.h"
+
+namespace cip::fl {
+
+class QueryModel {
+ public:
+  virtual ~QueryModel() = default;
+
+  /// Logits for a batch of raw inputs (eval mode).
+  virtual Tensor Logits(const Tensor& inputs) = 0;
+
+  virtual std::size_t NumClasses() const = 0;
+
+  // ---- convenience on top of Logits ----
+  Tensor Probs(const Tensor& inputs);
+  std::vector<int> Predict(const Tensor& inputs);
+  std::vector<float> Losses(const data::Dataset& ds);
+  double Accuracy(const data::Dataset& ds);
+};
+
+/// White-box extension: the adversary also holds the parameters and can
+/// compute per-sample gradients (the extra signal Pb-Bayes uses).
+class WhiteBoxQuery : public QueryModel {
+ public:
+  /// ‖∇_θ l(θ, z)‖₂ for every sample.
+  virtual std::vector<float> GradNorms(const data::Dataset& ds) = 0;
+};
+
+/// Handle over a plain classifier (non-owning).
+class ClassifierQuery : public WhiteBoxQuery {
+ public:
+  explicit ClassifierQuery(nn::Classifier& model, std::size_t batch_size = 64)
+      : model_(&model), batch_size_(batch_size) {}
+
+  Tensor Logits(const Tensor& inputs) override;
+  std::vector<float> GradNorms(const data::Dataset& ds) override;
+  std::size_t NumClasses() const override { return model_->num_classes(); }
+
+ private:
+  nn::Classifier* model_;
+  std::size_t batch_size_;
+};
+
+}  // namespace cip::fl

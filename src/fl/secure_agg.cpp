@@ -1,0 +1,38 @@
+#include "fl/secure_agg.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cip::fl {
+
+ModelState SecureAggregation::PairwiseMask(std::size_t i, std::size_t j,
+                                           std::size_t size) const {
+  CIP_CHECK_LT(i, j);
+  // The mask PRG is keyed on (session, i, j) — both parties can derive it.
+  Rng rng(session_seed_ ^ (0x9E3779B97F4A7C15ull * (i * 1000003 + j)));
+  std::vector<float> mask(size);
+  for (float& v : mask) v = rng.Normal(0.0f, 1.0f);
+  return ModelState(std::move(mask));
+}
+
+ModelState SecureAggregation::MaskUpdate(const ModelState& update,
+                                         std::size_t index,
+                                         std::size_t num_clients) const {
+  CIP_CHECK_LT(index, num_clients);
+  ModelState masked = update;
+  for (std::size_t other = 0; other < num_clients; ++other) {
+    if (other == index) continue;
+    const std::size_t lo = std::min(index, other);
+    const std::size_t hi = std::max(index, other);
+    const ModelState mask = PairwiseMask(lo, hi, update.size());
+    // The lower-indexed party adds, the higher-indexed subtracts.
+    masked.Axpy(index == lo ? 1.0f : -1.0f, mask);
+  }
+  return masked;
+}
+
+ModelState SecureAggregation::Aggregate(std::span<const ModelState> masked) {
+  return ModelState::Average(masked);
+}
+
+}  // namespace cip::fl

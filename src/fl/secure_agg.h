@@ -1,0 +1,45 @@
+// Secure aggregation via pairwise additive masking (Bonawitz et al.,
+// CCS 2017), simulated in-process.
+//
+// Each ordered client pair (i < j) derives a shared mask m_ij from a
+// pairwise seed; client i adds +m_ij to its update, client j adds −m_ij.
+// Masks cancel in the sum, so the server learns ONLY the aggregate — it
+// cannot read any individual update.
+//
+// The paper discusses secure aggregation as a complementary line of defense
+// (Sec. VI): it hides individual updates but the *aggregate* model still
+// leaks membership, which is exactly the gap CIP fills. This module lets the
+// two be composed: CIP clients can exchange masked states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/model_state.h"
+
+namespace cip::fl {
+
+class SecureAggregation {
+ public:
+  /// `session_seed` plays the role of the key-agreement transcript: all
+  /// clients of a round derive the same pairwise masks from it.
+  explicit SecureAggregation(std::uint64_t session_seed)
+      : session_seed_(session_seed) {}
+
+  /// The masked update client `index` (of `num_clients`) uploads.
+  ModelState MaskUpdate(const ModelState& update, std::size_t index,
+                        std::size_t num_clients) const;
+
+  /// Server-side aggregation of the masked updates: element-wise mean.
+  /// Equals the mean of the *unmasked* updates (masks cancel).
+  static ModelState Aggregate(std::span<const ModelState> masked);
+
+ private:
+  /// Deterministic pairwise mask for the ordered pair (i, j), i < j.
+  ModelState PairwiseMask(std::size_t i, std::size_t j,
+                          std::size_t size) const;
+
+  std::uint64_t session_seed_;
+};
+
+}  // namespace cip::fl

@@ -1,0 +1,115 @@
+#include "fl/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace cip::fl {
+
+namespace {
+
+constexpr std::uint32_t kStateMagic = 0x43495053;   // "CIPS"
+constexpr std::uint32_t kTensorMagic = 0x43495054;  // "CIPT"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t ReadU32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  CIP_CHECK_MSG(is.good(), "truncated stream while reading u32");
+  return v;
+}
+
+std::uint64_t ReadU64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  CIP_CHECK_MSG(is.good(), "truncated stream while reading u64");
+  return v;
+}
+
+void WriteFloats(std::ostream& os, std::span<const float> v) {
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void ReadFloats(std::istream& is, std::span<float> v) {
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  CIP_CHECK_MSG(is.good(), "truncated stream while reading float payload");
+}
+
+}  // namespace
+
+void SaveModelState(const ModelState& state, std::ostream& os) {
+  WriteU32(os, kStateMagic);
+  WriteU32(os, kVersion);
+  WriteU64(os, state.size());
+  WriteFloats(os, state.values());
+  CIP_CHECK_MSG(os.good(), "write failed");
+}
+
+ModelState LoadModelState(std::istream& is) {
+  CIP_CHECK_MSG(ReadU32(is) == kStateMagic, "not a CIP model-state stream");
+  CIP_CHECK_MSG(ReadU32(is) == kVersion, "unsupported model-state version");
+  const std::uint64_t n = ReadU64(is);
+  std::vector<float> values(n);
+  ReadFloats(is, values);
+  return ModelState(std::move(values));
+}
+
+void SaveModelStateFile(const ModelState& state, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  CIP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  SaveModelState(state, os);
+}
+
+ModelState LoadModelStateFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CIP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return LoadModelState(is);
+}
+
+void SaveTensor(const Tensor& t, std::ostream& os) {
+  WriteU32(os, kTensorMagic);
+  WriteU32(os, kVersion);
+  WriteU64(os, t.rank());
+  for (std::size_t d : t.shape()) WriteU64(os, d);
+  WriteFloats(os, t.flat());
+  CIP_CHECK_MSG(os.good(), "write failed");
+}
+
+Tensor LoadTensor(std::istream& is) {
+  CIP_CHECK_MSG(ReadU32(is) == kTensorMagic, "not a CIP tensor stream");
+  CIP_CHECK_MSG(ReadU32(is) == kVersion, "unsupported tensor version");
+  const std::uint64_t rank = ReadU64(is);
+  CIP_CHECK_MSG(rank >= 1 && rank <= 8, "implausible tensor rank " << rank);
+  Shape shape(rank);
+  for (std::uint64_t i = 0; i < rank; ++i) {
+    shape[i] = static_cast<std::size_t>(ReadU64(is));
+  }
+  Tensor t(shape);
+  ReadFloats(is, t.flat());
+  return t;
+}
+
+void SaveTensorFile(const Tensor& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  CIP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  SaveTensor(t, os);
+}
+
+Tensor LoadTensorFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CIP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return LoadTensor(is);
+}
+
+}  // namespace cip::fl

@@ -1,0 +1,27 @@
+// Binary (de)serialization of model states and tensors — checkpoints for
+// long federated runs and persistent storage of a client's secret
+// perturbation. Format: magic, version, payload sizes, raw little-endian
+// float data. Errors (bad magic, truncation) throw cip::CheckError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fl/model_state.h"
+#include "tensor/tensor.h"
+
+namespace cip::fl {
+
+void SaveModelState(const ModelState& state, std::ostream& os);
+ModelState LoadModelState(std::istream& is);
+
+void SaveModelStateFile(const ModelState& state, const std::string& path);
+ModelState LoadModelStateFile(const std::string& path);
+
+void SaveTensor(const Tensor& t, std::ostream& os);
+Tensor LoadTensor(std::istream& is);
+
+void SaveTensorFile(const Tensor& t, const std::string& path);
+Tensor LoadTensorFile(const std::string& path);
+
+}  // namespace cip::fl

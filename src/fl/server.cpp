@@ -1,0 +1,59 @@
+#include "fl/server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cip::fl {
+
+FederatedAveraging::FederatedAveraging(ModelState initial, FlOptions options)
+    : global_(std::move(initial)), options_(std::move(options)) {
+  CIP_CHECK_GT(options_.rounds, 0u);
+  CIP_CHECK(options_.participation > 0.0f && options_.participation <= 1.0f);
+  CIP_CHECK(!global_.empty());
+}
+
+FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients, Rng& rng) {
+  CIP_CHECK(!clients.empty());
+  FlLog log;
+  for (std::size_t round = 1; round <= options_.rounds; ++round) {
+    // Broadcast (possibly tampered) global.
+    const ModelState broadcast =
+        tamper_ ? tamper_(round, global_) : global_;
+    // Sample this round's participants (FedAvg partial participation).
+    std::vector<std::size_t> participants;
+    if (options_.participation >= 1.0f) {
+      for (std::size_t k = 0; k < clients.size(); ++k) participants.push_back(k);
+    } else {
+      const std::size_t count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options_.participation *
+                                      static_cast<float>(clients.size())));
+      participants = rng.SampleWithoutReplacement(clients.size(), count);
+      std::sort(participants.begin(), participants.end());
+    }
+    std::vector<ModelState> updates;
+    updates.reserve(participants.size());
+    std::vector<float> losses(clients.size(), 0.0f);
+    for (const std::size_t k : participants) {
+      clients[k]->SetGlobal(broadcast);
+      updates.push_back(clients[k]->TrainLocal(round, rng));
+      losses[k] = clients[k]->LastTrainLoss();
+    }
+    global_ = ModelState::Average(updates);
+    log.client_losses.push_back(std::move(losses));
+    if (options_.record_client_updates) {
+      log.client_updates.push_back(std::move(updates));
+    }
+    if (std::find(options_.snapshot_rounds.begin(),
+                  options_.snapshot_rounds.end(),
+                  round) != options_.snapshot_rounds.end()) {
+      log.global_snapshots.push_back(global_);
+    }
+  }
+  // Clients see the final aggregate (inference uses the global model).
+  for (ClientBase* client : clients) client->SetGlobal(global_);
+  log.final_global = global_;
+  return log;
+}
+
+}  // namespace cip::fl

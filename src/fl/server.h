@@ -1,0 +1,62 @@
+// FedAvg server with the hooks the paper's internal threat model needs.
+//
+// Threat model (Sec. II-C / IV-B): a malicious server sees every client's
+// local model each round (passive attack surface) and may send back altered
+// global models (active attack surface). Both capabilities are modeled as
+// optional hooks so honest training and attacks share one code path.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/model_state.h"
+
+namespace cip::fl {
+
+struct FlOptions {
+  std::size_t rounds = 10;
+  /// Fraction of clients sampled per round (FedAvg partial participation);
+  /// at least one client always trains.
+  float participation = 1.0f;
+  /// Record every client's returned state each round (malicious-server
+  /// passive observation; memory-heavy, off by default).
+  bool record_client_updates = false;
+  /// Record the aggregated global model at these rounds (1-based round
+  /// indices; the paper attacks "the last several iterations").
+  std::vector<std::size_t> snapshot_rounds;
+};
+
+struct FlLog {
+  /// Aggregated global model after the final round.
+  ModelState final_global;
+  /// Globals at FlOptions::snapshot_rounds (same order).
+  std::vector<ModelState> global_snapshots;
+  /// [round][participant] client states, if record_client_updates (equal to
+  /// [round][client] under full participation).
+  std::vector<std::vector<ModelState>> client_updates;
+  /// [round][client] mean local training loss.
+  std::vector<std::vector<float>> client_losses;
+};
+
+class FederatedAveraging {
+ public:
+  /// Called with the honest aggregate before broadcast; an active malicious
+  /// server returns an altered state. (round is 1-based.)
+  using GlobalTamper =
+      std::function<ModelState(std::size_t round, const ModelState& honest)>;
+
+  FederatedAveraging(ModelState initial, FlOptions options);
+
+  void set_tamper(GlobalTamper tamper) { tamper_ = std::move(tamper); }
+
+  /// Run the configured number of rounds over the given clients.
+  FlLog Run(std::span<ClientBase* const> clients, Rng& rng);
+
+ private:
+  ModelState global_;
+  FlOptions options_;
+  GlobalTamper tamper_;
+};
+
+}  // namespace cip::fl

@@ -1,0 +1,50 @@
+// Local training and evaluation utilities for single-channel classifiers.
+// These are the building blocks of the legacy (no-defense) FL client and of
+// the training-perturbation baseline defenses.
+#pragma once
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "nn/classifier.h"
+#include "optim/optimizer.h"
+
+namespace cip::fl {
+
+struct TrainConfig {
+  std::size_t batch_size = 32;  ///< paper: 32 for all cases
+  std::size_t epochs = 1;       ///< local epochs per FL round (paper: 1)
+  float lr = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  bool augment = false;         ///< CIFAR-AUG pipeline
+  data::AugmentConfig aug;
+  /// Piecewise-constant LR decay across FL rounds (paper: 1e-3 -> 5e-4 ->
+  /// 1e-4 style). lr_decay_every = 0 disables.
+  float lr_decay = 0.5f;
+  std::size_t lr_decay_every = 0;
+  /// Global-norm gradient clipping (0 = off). Stabilizes tiny non-i.i.d.
+  /// federated runs against bad-init plateaus.
+  float grad_clip = 5.0f;
+};
+
+/// The learning rate a client should use at a given (1-based) round.
+float LrAtRound(const TrainConfig& cfg, std::size_t round);
+
+/// One epoch of minibatch SGD; returns the mean training loss.
+float TrainEpoch(nn::Classifier& model, const data::Dataset& data,
+                 optim::Optimizer& opt, const TrainConfig& cfg, Rng& rng);
+
+/// Top-1 accuracy on a dataset (eval mode, batched).
+double Evaluate(nn::Classifier& model, const data::Dataset& data,
+                std::size_t batch_size = 64);
+
+/// Per-sample cross-entropy losses (eval mode, batched).
+std::vector<float> PerSampleLosses(nn::Classifier& model,
+                                   const data::Dataset& data,
+                                   std::size_t batch_size = 64);
+
+/// Batched logits for a full dataset (eval mode).
+Tensor LogitsFor(nn::Classifier& model, const Tensor& inputs,
+                 std::size_t batch_size = 64);
+
+}  // namespace cip::fl

@@ -1,0 +1,97 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cip::metrics {
+
+double Accuracy(std::span<const int> predictions,
+                std::span<const int> labels) {
+  CIP_CHECK_EQ(predictions.size(), labels.size());
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+BinaryMetrics EvaluateBinary(const std::vector<bool>& predictions,
+                             const std::vector<bool>& truths) {
+  CIP_CHECK_EQ(predictions.size(), truths.size());
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] && truths[i]) ++m.tp;
+    else if (predictions[i] && !truths[i]) ++m.fp;
+    else if (!predictions[i] && !truths[i]) ++m.tn;
+    else ++m.fn;
+  }
+  const double n = static_cast<double>(predictions.size());
+  if (n > 0) m.accuracy = static_cast<double>(m.tp + m.tn) / n;
+  if (m.tp + m.fp > 0) {
+    m.precision = static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fp);
+  }
+  if (m.tp + m.fn > 0) {
+    m.recall = static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fn);
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+double EarthMoverDistance(std::vector<float> a, std::vector<float> b) {
+  CIP_CHECK(!a.empty());
+  CIP_CHECK(!b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // W1 = ∫ |F_a^{-1}(q) − F_b^{-1}(q)| dq, evaluated on a shared quantile
+  // grid so unequal sample counts are handled.
+  const std::size_t grid = std::max(a.size(), b.size());
+  auto quantile = [](const std::vector<float>& v, double q) {
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return (1.0 - frac) * v[lo] + frac * v[hi];
+  };
+  double s = 0.0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(grid);
+    s += std::abs(quantile(a, q) - quantile(b, q));
+  }
+  return s / static_cast<double>(grid);
+}
+
+double Ssim(const Tensor& a, const Tensor& b, double dynamic_range) {
+  CIP_CHECK_EQ(a.size(), b.size());
+  CIP_CHECK_GT(a.size(), 0u);
+  CIP_CHECK_GT(dynamic_range, 0.0);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double va = 0.0, vb = 0.0, cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    va += da * da;
+    vb += db * db;
+    cov += da * db;
+  }
+  va /= n;
+  vb /= n;
+  cov /= n;
+  const double c1 = std::pow(0.01 * dynamic_range, 2);
+  const double c2 = std::pow(0.03 * dynamic_range, 2);
+  return ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) /
+         ((ma * ma + mb * mb + c1) * (va + vb + c2));
+}
+
+}  // namespace cip::metrics

@@ -1,0 +1,37 @@
+// Evaluation metrics: classification accuracy, binary attack metrics
+// (precision/recall/F1 as in Table IV), Earth Mover Distance between loss
+// distributions (Fig. 7), and SSIM between perturbations (Table VIII).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cip::metrics {
+
+/// Fraction of predictions equal to labels.
+double Accuracy(std::span<const int> predictions, std::span<const int> labels);
+
+/// Binary confusion outcome for MI attacks. "Positive" = predicted member.
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+};
+
+/// predictions[i] / truths[i]: true = member.
+BinaryMetrics EvaluateBinary(const std::vector<bool>& predictions,
+                             const std::vector<bool>& truths);
+
+/// 1-D Earth Mover (Wasserstein-1) distance between two empirical
+/// distributions given as raw samples.
+double EarthMoverDistance(std::vector<float> a, std::vector<float> b);
+
+/// Global structural similarity index between two equal-size signals
+/// (images or vectors), with the standard constants for dynamic range L.
+double Ssim(const Tensor& a, const Tensor& b, double dynamic_range = 1.0);
+
+}  // namespace cip::metrics

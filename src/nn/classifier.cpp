@@ -1,0 +1,51 @@
+#include "nn/classifier.h"
+
+namespace cip::nn {
+
+Classifier::Classifier(ModulePtr backbone, std::size_t feature_dim,
+                       std::size_t num_classes, Rng& rng)
+    : backbone_(std::move(backbone)),
+      feature_dim_(feature_dim),
+      num_classes_(num_classes),
+      head_(feature_dim, num_classes, rng, "head") {
+  CIP_CHECK(backbone_ != nullptr);
+  CIP_CHECK_GT(num_classes_, 1u);
+}
+
+Tensor Classifier::Forward(const Tensor& x, bool train) {
+  Tensor h = backbone_->Forward(x, train);
+  h = gap_.Forward(h, train);
+  CIP_CHECK_EQ(h.dim(1), feature_dim_);
+  return head_.Forward(h, train);
+}
+
+Tensor Classifier::Backward(const Tensor& dlogits) {
+  Tensor g = head_.Backward(dlogits);
+  g = gap_.Backward(g);
+  return backbone_->Backward(g);
+}
+
+std::vector<Parameter*> Classifier::Parameters() {
+  std::vector<Parameter*> out;
+  backbone_->CollectParameters(out);
+  head_.CollectParameters(out);
+  return out;
+}
+
+std::size_t Classifier::ParameterCount() {
+  std::size_t n = 0;
+  for (const Parameter* p : Parameters()) n += p->value.size();
+  return n;
+}
+
+void Classifier::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->ZeroGrad();
+}
+
+void Classifier::ClearCache() {
+  backbone_->ClearCache();
+  gap_.ClearCache();
+  head_.ClearCache();
+}
+
+}  // namespace cip::nn

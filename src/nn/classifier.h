@@ -1,0 +1,43 @@
+// Single-channel classifier: backbone → global average pool → FC head.
+// This is the "legacy model" of the paper (no defense): the same backbones
+// the dual-channel CIP model uses, with a normal-width head.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+
+namespace cip::nn {
+
+class Classifier {
+ public:
+  /// `feature_dim` is the channel (or vector) width of the backbone output.
+  Classifier(ModulePtr backbone, std::size_t feature_dim,
+             std::size_t num_classes, Rng& rng);
+
+  /// Logits for a batch. `train` caches activations for Backward.
+  Tensor Forward(const Tensor& x, bool train);
+
+  /// Backprop from dL/dlogits; accumulates parameter grads, returns dL/dx.
+  Tensor Backward(const Tensor& dlogits);
+
+  std::vector<Parameter*> Parameters();
+  std::size_t ParameterCount();
+  void ZeroGrad();
+  void ClearCache();
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t feature_dim() const { return feature_dim_; }
+
+ private:
+  ModulePtr backbone_;
+  GlobalAvgPool gap_;
+  std::size_t feature_dim_;
+  std::size_t num_classes_;
+  Linear head_;
+};
+
+}  // namespace cip::nn

@@ -1,0 +1,155 @@
+#include "nn/conv2d.h"
+
+#include "common/parallel.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace cip::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               Rng& rng, std::string name)
+    : ic_(in_channels),
+      oc_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      name_(std::move(name)),
+      w_(name_ + ".w", Tensor({out_channels, in_channels * kernel * kernel})),
+      b_(name_ + ".b", Tensor({out_channels})) {
+  CIP_CHECK_GT(ic_, 0u);
+  CIP_CHECK_GT(oc_, 0u);
+  CIP_CHECK_GT(k_, 0u);
+  CIP_CHECK_GT(stride_, 0u);
+  HeNormal(w_.value, ic_ * k_ * k_, rng);
+}
+
+Tensor Conv2d::Im2Col(const Tensor& x, std::size_t n_index, std::size_t oh,
+                      std::size_t ow) const {
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t cols = ic_ * k_ * k_;
+  Tensor col({oh * ow, cols});
+  const float* px = x.data() + n_index * ic_ * h * w;
+  float* pc = col.data();
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      float* crow = pc + (oy * ow + ox) * cols;
+      for (std::size_t c = 0; c < ic_; ++c) {
+        for (std::size_t ky = 0; ky < k_; ++ky) {
+          const long iy = static_cast<long>(oy * stride_ + ky) -
+                          static_cast<long>(pad_);
+          for (std::size_t kx = 0; kx < k_; ++kx) {
+            const long ix = static_cast<long>(ox * stride_ + kx) -
+                            static_cast<long>(pad_);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<long>(h) && ix >= 0 &&
+                ix < static_cast<long>(w)) {
+              v = px[c * h * w + static_cast<std::size_t>(iy) * w +
+                     static_cast<std::size_t>(ix)];
+            }
+            crow[c * k_ * k_ + ky * k_ + kx] = v;
+          }
+        }
+      }
+    }
+  }
+  return col;
+}
+
+void Conv2d::Col2Im(const Tensor& col, std::size_t oh, std::size_t ow,
+                    std::size_t h, std::size_t w, Tensor& dx,
+                    std::size_t n_index) const {
+  const std::size_t cols = ic_ * k_ * k_;
+  float* px = dx.data() + n_index * ic_ * h * w;
+  const float* pc = col.data();
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const float* crow = pc + (oy * ow + ox) * cols;
+      for (std::size_t c = 0; c < ic_; ++c) {
+        for (std::size_t ky = 0; ky < k_; ++ky) {
+          const long iy = static_cast<long>(oy * stride_ + ky) -
+                          static_cast<long>(pad_);
+          if (iy < 0 || iy >= static_cast<long>(h)) continue;
+          for (std::size_t kx = 0; kx < k_; ++kx) {
+            const long ix = static_cast<long>(ox * stride_ + kx) -
+                            static_cast<long>(pad_);
+            if (ix < 0 || ix >= static_cast<long>(w)) continue;
+            px[c * h * w + static_cast<std::size_t>(iy) * w +
+               static_cast<std::size_t>(ix)] +=
+                crow[c * k_ * k_ + ky * k_ + kx];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool train) {
+  CIP_CHECK_EQ(x.rank(), 4u);
+  CIP_CHECK_EQ(x.dim(1), ic_);
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = OutExtent(h), ow = OutExtent(w);
+  Tensor y({n, oc_, oh, ow});
+  ParallelFor(0, n, [&](std::size_t i) {
+    const Tensor col = Im2Col(x, i, oh, ow);           // [oh*ow, ic*k*k]
+    const Tensor out = ops::MatmulTransB(col, w_.value);  // [oh*ow, oc]
+    float* py = y.data() + i * oc_ * oh * ow;
+    for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+      const float* orow = out.data() + pos * oc_;
+      for (std::size_t c = 0; c < oc_; ++c) {
+        py[c * oh * ow + pos] = orow[c] + b_.value[c];
+      }
+    }
+  });
+  if (train) cached_inputs_.push(x);
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  CIP_CHECK_MSG(!cached_inputs_.empty(), name_ << ": backward without forward");
+  const Tensor x = std::move(cached_inputs_.top());
+  cached_inputs_.pop();
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = OutExtent(h), ow = OutExtent(w);
+  CIP_CHECK_EQ(grad_out.dim(0), n);
+  CIP_CHECK_EQ(grad_out.dim(1), oc_);
+  CIP_CHECK_EQ(grad_out.dim(2), oh);
+  CIP_CHECK_EQ(grad_out.dim(3), ow);
+
+  Tensor dx({n, ic_, h, w});
+  // Accumulate per-sample weight grads locally, merge under a plain loop to
+  // stay deterministic (no atomics); sample-level parallelism only for dx.
+  const std::size_t cols = ic_ * k_ * k_;
+  std::vector<Tensor> dw_per_thread;
+  Tensor dw({oc_, cols});
+  Tensor db({oc_});
+  for (std::size_t i = 0; i < n; ++i) {
+    // gy_i as [oh*ow, oc] (transposed layout of grad_out sample i).
+    Tensor gy({oh * ow, oc_});
+    const float* pg = grad_out.data() + i * oc_ * oh * ow;
+    for (std::size_t c = 0; c < oc_; ++c) {
+      for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+        gy[pos * oc_ + c] = pg[c * oh * ow + pos];
+        db[c] += pg[c * oh * ow + pos];
+      }
+    }
+    const Tensor col = Im2Col(x, i, oh, ow);          // [oh*ow, cols]
+    ops::AddInPlace(dw, ops::MatmulTransA(gy, col));  // [oc, cols]
+    const Tensor dcol = ops::Matmul(gy, w_.value);    // [oh*ow, cols]
+    Col2Im(dcol, oh, ow, h, w, dx, i);
+  }
+  ops::AddInPlace(w_.grad, dw);
+  ops::AddInPlace(b_.grad, db);
+  return dx;
+}
+
+void Conv2d::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+void Conv2d::ClearCache() {
+  while (!cached_inputs_.empty()) cached_inputs_.pop();
+}
+
+}  // namespace cip::nn

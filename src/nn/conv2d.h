@@ -1,0 +1,47 @@
+// 2-D convolution over [N, C, H, W] tensors, implemented with im2col so the
+// inner loop is a matmul. Supports stride and symmetric zero padding.
+#pragma once
+
+#include <stack>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace cip::nn {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t padding,
+         Rng& rng, std::string name = "conv");
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  std::string Name() const override { return name_; }
+  void ClearCache() override;
+
+  std::size_t out_channels() const { return oc_; }
+
+  /// Spatial output size for an input extent.
+  std::size_t OutExtent(std::size_t in) const {
+    CIP_CHECK_GE(in + 2 * pad_, k_);
+    return (in + 2 * pad_ - k_) / stride_ + 1;
+  }
+
+ private:
+  /// [C*K*K rows laid out per output position] for one sample.
+  Tensor Im2Col(const Tensor& x, std::size_t n_index, std::size_t oh,
+                std::size_t ow) const;
+  void Col2Im(const Tensor& col, std::size_t oh, std::size_t ow,
+              std::size_t h, std::size_t w, Tensor& dx,
+              std::size_t n_index) const;
+
+  std::size_t ic_, oc_, k_, stride_, pad_;
+  std::string name_;
+  Parameter w_;  // [OC, IC*K*K]
+  Parameter b_;  // [OC]
+  std::stack<Tensor> cached_inputs_;
+};
+
+}  // namespace cip::nn

@@ -1,0 +1,98 @@
+#include "nn/dual_channel.h"
+
+#include "tensor/ops.h"
+
+namespace cip::nn {
+
+namespace {
+
+/// Concat two [N, D] matrices along dim 1.
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  CIP_CHECK_EQ(a.dim(0), b.dim(0));
+  const std::size_t n = a.dim(0), da = a.dim(1), db = b.dim(1);
+  Tensor out({n, da + db});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(a.data() + i * da, a.data() + (i + 1) * da,
+              out.data() + i * (da + db));
+    std::copy(b.data() + i * db, b.data() + (i + 1) * db,
+              out.data() + i * (da + db) + da);
+  }
+  return out;
+}
+
+/// Split the column-concat gradient back into the two halves.
+std::pair<Tensor, Tensor> SplitCols(const Tensor& g, std::size_t da) {
+  CIP_CHECK_EQ(g.rank(), 2u);
+  CIP_CHECK_GT(g.dim(1), da);
+  const std::size_t n = g.dim(0), db = g.dim(1) - da;
+  Tensor ga({n, da});
+  Tensor gb({n, db});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(g.data() + i * (da + db), g.data() + i * (da + db) + da,
+              ga.data() + i * da);
+    std::copy(g.data() + i * (da + db) + da, g.data() + (i + 1) * (da + db),
+              gb.data() + i * db);
+  }
+  return {std::move(ga), std::move(gb)};
+}
+
+}  // namespace
+
+DualChannelClassifier::DualChannelClassifier(ModulePtr backbone,
+                                             std::size_t feature_dim,
+                                             std::size_t num_classes,
+                                             Rng& rng)
+    : backbone_(std::move(backbone)),
+      feature_dim_(feature_dim),
+      num_classes_(num_classes),
+      head_(2 * feature_dim, num_classes, rng, "dual_head") {
+  CIP_CHECK(backbone_ != nullptr);
+  CIP_CHECK_GT(num_classes_, 1u);
+}
+
+Tensor DualChannelClassifier::Forward(const Tensor& x1, const Tensor& x2,
+                                      bool train) {
+  CIP_CHECK(x1.SameShape(x2));
+  // LIFO order: channel-1 caches below channel-2 caches.
+  Tensor f1 = gap_.Forward(backbone_->Forward(x1, train), train);
+  Tensor f2 = gap_.Forward(backbone_->Forward(x2, train), train);
+  CIP_CHECK_EQ(f1.dim(1), feature_dim_);
+  return head_.Forward(ConcatCols(f1, f2), train);
+}
+
+std::pair<Tensor, Tensor> DualChannelClassifier::Backward(
+    const Tensor& dlogits) {
+  Tensor dconcat = head_.Backward(dlogits);
+  auto [df1, df2] = SplitCols(dconcat, feature_dim_);
+  // Pop channel-2 caches first, then channel-1.
+  Tensor dx2 = backbone_->Backward(gap_.Backward(df2));
+  Tensor dx1 = backbone_->Backward(gap_.Backward(df1));
+  return {std::move(dx1), std::move(dx2)};
+}
+
+std::vector<Parameter*> DualChannelClassifier::Parameters() {
+  std::vector<Parameter*> out;
+  backbone_->CollectParameters(out);
+  head_.CollectParameters(out);
+  return out;
+}
+
+std::size_t DualChannelClassifier::ParameterCount() {
+  std::size_t n = 0;
+  for (const Parameter* p : Parameters()) n += p->value.size();
+  return n;
+}
+
+void DualChannelClassifier::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->ZeroGrad();
+}
+
+void DualChannelClassifier::ClearCache() {
+  backbone_->ClearCache();
+  gap_.ClearCache();
+  head_.ClearCache();
+}
+
+}  // namespace cip::nn

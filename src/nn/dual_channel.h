@@ -1,0 +1,51 @@
+// The paper's dual-channel architecture (Fig. 3).
+//
+// Both components of a blended input B(x, t) = ((1-α)x + αt, (1+α)x − αt) go
+// through ONE shared backbone, then global average pooling; the two pooled
+// feature vectors are concatenated and classified by a fully connected head.
+// Sharing the backbone is what keeps the parameter overhead at ~+0.9%
+// (Table XI): only the head doubles its input width.
+//
+// Implementation note: the backbone's LIFO cache stacks let us run
+// forward(ch1), forward(ch2), then backward(ch2), backward(ch1); parameter
+// gradients from both channels accumulate before the optimizer step.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+
+namespace cip::nn {
+
+class DualChannelClassifier {
+ public:
+  DualChannelClassifier(ModulePtr backbone, std::size_t feature_dim,
+                        std::size_t num_classes, Rng& rng);
+
+  /// Logits for a batch of blended pairs (x1 = (1-α)x+αt, x2 = (1+α)x−αt).
+  Tensor Forward(const Tensor& x1, const Tensor& x2, bool train);
+
+  /// Backprop from dL/dlogits; returns (dL/dx1, dL/dx2).
+  std::pair<Tensor, Tensor> Backward(const Tensor& dlogits);
+
+  std::vector<Parameter*> Parameters();
+  std::size_t ParameterCount();
+  void ZeroGrad();
+  void ClearCache();
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t feature_dim() const { return feature_dim_; }
+
+ private:
+  ModulePtr backbone_;
+  GlobalAvgPool gap_;
+  std::size_t feature_dim_;
+  std::size_t num_classes_;
+  Linear head_;  // input width 2 * feature_dim
+};
+
+}  // namespace cip::nn

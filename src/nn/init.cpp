@@ -1,0 +1,17 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace cip::nn {
+
+void HeNormal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  CIP_CHECK_GT(fan_in, 0u);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& x : w.flat()) x = rng.Normal(0.0f, stddev);
+}
+
+void UniformInit(Tensor& w, float bound, Rng& rng) {
+  for (float& x : w.flat()) x = rng.Uniform(-bound, bound);
+}
+
+}  // namespace cip::nn

@@ -1,0 +1,15 @@
+// Weight initialization.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cip::nn {
+
+/// He-normal initialization: N(0, sqrt(2 / fan_in)).
+void HeNormal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// Uniform in [-bound, bound].
+void UniformInit(Tensor& w, float bound, Rng& rng);
+
+}  // namespace cip::nn

@@ -1,0 +1,55 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace cip::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               std::string name)
+    : in_(in_features),
+      out_(out_features),
+      name_(std::move(name)),
+      w_(name_ + ".w", Tensor({out_features, in_features})),
+      b_(name_ + ".b", Tensor({out_features})) {
+  CIP_CHECK_GT(in_, 0u);
+  CIP_CHECK_GT(out_, 0u);
+  HeNormal(w_.value, in_, rng);
+}
+
+Tensor Linear::Forward(const Tensor& x, bool train) {
+  CIP_CHECK_EQ(x.rank(), 2u);
+  CIP_CHECK_EQ(x.dim(1), in_);
+  Tensor y = ops::MatmulTransB(x, w_.value);  // [N, out]
+  const std::size_t n = y.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = y.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += b_.value[j];
+  }
+  if (train) cached_inputs_.push(x);
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  CIP_CHECK_MSG(!cached_inputs_.empty(), name_ << ": backward without forward");
+  const Tensor x = std::move(cached_inputs_.top());
+  cached_inputs_.pop();
+  CIP_CHECK_EQ(grad_out.rank(), 2u);
+  CIP_CHECK_EQ(grad_out.dim(0), x.dim(0));
+  CIP_CHECK_EQ(grad_out.dim(1), out_);
+  // dW = gradᵀ · x,  db = sum over batch,  dx = grad · W
+  ops::AddInPlace(w_.grad, ops::MatmulTransA(grad_out, x));
+  ops::AddInPlace(b_.grad, ops::SumRows(grad_out));
+  return ops::Matmul(grad_out, w_.value);
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+void Linear::ClearCache() {
+  while (!cached_inputs_.empty()) cached_inputs_.pop();
+}
+
+}  // namespace cip::nn

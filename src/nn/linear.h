@@ -1,0 +1,36 @@
+// Fully connected layer: y = x·Wᵀ + b, x: [N, in], W: [out, in], b: [out].
+#pragma once
+
+#include <stack>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace cip::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+         std::string name = "linear");
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  std::string Name() const override { return name_; }
+  void ClearCache() override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  std::string name_;
+  Parameter w_;
+  Parameter b_;
+  std::stack<Tensor> cached_inputs_;
+};
+
+}  // namespace cip::nn

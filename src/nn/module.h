@@ -1,0 +1,78 @@
+// Layer-based neural network with explicit backprop.
+//
+// Modules cache forward activations on a per-module LIFO stack and pop them
+// in Backward. This makes a *shared* module reusable several times within one
+// step — the dual-channel CIP architecture runs the same backbone on both
+// blended channels (forward ch1, forward ch2, backward ch2, backward ch1) and
+// gradients from both passes accumulate into the shared parameters, exactly
+// matching the paper's weight-sharing claim (Table XI).
+//
+// Backward always returns the gradient w.r.t. the module input; this is what
+// lets CIP's Step I obtain d(loss)/d(perturbation) without a general autograd.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cip::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Compute outputs, pushing whatever Backward will need onto this module's
+  /// cache stack (only when `train` is true; inference pushes nothing).
+  virtual Tensor Forward(const Tensor& x, bool train) = 0;
+
+  /// Pop the most recent forward cache, accumulate parameter gradients, and
+  /// return the gradient w.r.t. that forward call's input.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Append this module's parameters (deterministic order).
+  virtual void CollectParameters(std::vector<Parameter*>& out) { (void)out; }
+
+  virtual std::string Name() const = 0;
+
+  /// Drop any pending forward caches (e.g. after an exception or when a
+  /// forward pass is not followed by backward).
+  virtual void ClearCache() {}
+
+  std::vector<Parameter*> Parameters() {
+    std::vector<Parameter*> out;
+    CollectParameters(out);
+    return out;
+  }
+
+  std::size_t ParameterCount() {
+    std::size_t n = 0;
+    for (const Parameter* p : Parameters()) n += p->value.size();
+    return n;
+  }
+
+  void ZeroGrad() {
+    for (Parameter* p : Parameters()) p->ZeroGrad();
+  }
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace cip::nn

@@ -1,0 +1,101 @@
+#include "nn/sequential.h"
+
+#include "tensor/ops.h"
+
+namespace cip::nn {
+
+Tensor Sequential::Forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& child : children_) h = child->Forward(h, train);
+  return h;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>& out) {
+  for (auto& child : children_) child->CollectParameters(out);
+}
+
+void Sequential::ClearCache() {
+  for (auto& child : children_) child->ClearCache();
+}
+
+Tensor Residual::Forward(const Tensor& x, bool train) {
+  Tensor y = inner_->Forward(x, train);
+  CIP_CHECK_MSG(y.SameShape(x),
+                name_ << ": inner must preserve shape, got "
+                      << ShapeToString(y.shape()) << " from "
+                      << ShapeToString(x.shape()));
+  ops::AddInPlace(y, x);
+  return y;
+}
+
+Tensor Residual::Backward(const Tensor& grad_out) {
+  Tensor g = inner_->Backward(grad_out);
+  ops::AddInPlace(g, grad_out);  // shortcut path
+  return g;
+}
+
+void Residual::CollectParameters(std::vector<Parameter*>& out) {
+  inner_->CollectParameters(out);
+}
+
+void Residual::ClearCache() { inner_->ClearCache(); }
+
+Tensor DenseConcat::Forward(const Tensor& x, bool train) {
+  CIP_CHECK_EQ(x.rank(), 4u);
+  Tensor y = inner_->Forward(x, train);
+  CIP_CHECK_EQ(y.rank(), 4u);
+  CIP_CHECK_EQ(y.dim(0), x.dim(0));
+  CIP_CHECK_EQ(y.dim(2), x.dim(2));
+  CIP_CHECK_EQ(y.dim(3), x.dim(3));
+  const std::size_t n = x.dim(0), cx = x.dim(1), cy = y.dim(1),
+                    hw = x.dim(2) * x.dim(3);
+  Tensor out({n, cx + cy, x.dim(2), x.dim(3)});
+  for (std::size_t i = 0; i < n; ++i) {
+    float* po = out.data() + i * (cx + cy) * hw;
+    const float* px = x.data() + i * cx * hw;
+    const float* py = y.data() + i * cy * hw;
+    std::copy(px, px + cx * hw, po);
+    std::copy(py, py + cy * hw, po + cx * hw);
+  }
+  if (train) cached_channels_.push({cx, cy});
+  return out;
+}
+
+Tensor DenseConcat::Backward(const Tensor& grad_out) {
+  CIP_CHECK_MSG(!cached_channels_.empty(),
+                name_ << ": backward without forward");
+  const auto [cx, cy] = cached_channels_.top();
+  cached_channels_.pop();
+  CIP_CHECK_EQ(grad_out.dim(1), cx + cy);
+  const std::size_t n = grad_out.dim(0),
+                    hw = grad_out.dim(2) * grad_out.dim(3);
+  Tensor gx({n, cx, grad_out.dim(2), grad_out.dim(3)});
+  Tensor gy({n, cy, grad_out.dim(2), grad_out.dim(3)});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* pg = grad_out.data() + i * (cx + cy) * hw;
+    std::copy(pg, pg + cx * hw, gx.data() + i * cx * hw);
+    std::copy(pg + cx * hw, pg + (cx + cy) * hw, gy.data() + i * cy * hw);
+  }
+  Tensor g_inner = inner_->Backward(gy);
+  ops::AddInPlace(gx, g_inner);
+  return gx;
+}
+
+void DenseConcat::CollectParameters(std::vector<Parameter*>& out) {
+  inner_->CollectParameters(out);
+}
+
+void DenseConcat::ClearCache() {
+  inner_->ClearCache();
+  while (!cached_channels_.empty()) cached_channels_.pop();
+}
+
+}  // namespace cip::nn

@@ -1,0 +1,102 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace cip::optim {
+
+Sgd::Sgd(float lr, float momentum, float weight_decay, float clip_norm)
+    : lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      clip_norm_(clip_norm) {
+  CIP_CHECK_GT(lr, 0.0f);
+  CIP_CHECK_GE(momentum, 0.0f);
+  CIP_CHECK_GE(weight_decay, 0.0f);
+  CIP_CHECK_GE(clip_norm, 0.0f);
+}
+
+void Sgd::Step(std::span<nn::Parameter* const> params) {
+  if (clip_norm_ > 0.0f) {
+    double sq = 0.0;
+    for (const nn::Parameter* p : params) {
+      for (float g : p->grad.flat()) sq += static_cast<double>(g) * g;
+    }
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > clip_norm_) {
+      const float scale = clip_norm_ / norm;
+      for (nn::Parameter* p : params) ops::ScaleInPlace(p->grad, scale);
+    }
+  }
+  if (momentum_ > 0.0f && velocity_.size() != params.size()) {
+    CIP_CHECK_EQ(velocity_.size(), 0u);  // parameter set must not change
+    velocity_.reserve(params.size());
+    for (const nn::Parameter* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter& p = *params[i];
+    if (weight_decay_ > 0.0f) ops::Axpy(p.grad, weight_decay_, p.value);
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      CIP_CHECK(v.SameShape(p.grad));
+      ops::ScaleInPlace(v, momentum_);
+      ops::AddInPlace(v, p.grad);
+      ops::Axpy(p.value, -lr_, v);
+    } else {
+      ops::Axpy(p.value, -lr_, p.grad);
+    }
+    p.ZeroGrad();
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  CIP_CHECK_GT(lr, 0.0f);
+}
+
+void Adam::Step(std::span<nn::Parameter* const> params) {
+  if (m_.size() != params.size()) {
+    CIP_CHECK_EQ(m_.size(), 0u);
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const nn::Parameter* p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+  }
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter& p = *params[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    CIP_CHECK(m.SameShape(p.grad));
+    for (std::size_t j = 0; j < p.grad.size(); ++j) {
+      const float g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p.ZeroGrad();
+  }
+}
+
+StepDecaySchedule::StepDecaySchedule(float base_lr, float factor,
+                                     std::size_t interval)
+    : base_lr_(base_lr), factor_(factor), interval_(interval) {
+  CIP_CHECK_GT(base_lr, 0.0f);
+  CIP_CHECK_GT(factor, 0.0f);
+  CIP_CHECK_GT(interval, 0u);
+}
+
+float StepDecaySchedule::LrAt(std::size_t step) const {
+  const auto k = static_cast<float>(step / interval_);
+  return base_lr_ * std::pow(factor_, k);
+}
+
+}  // namespace cip::optim

@@ -1,0 +1,319 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace cip::ops {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_MSG(a.SameShape(b), "shape mismatch: " << ShapeToString(a.shape())
+                                                   << " vs "
+                                                   << ShapeToString(b.shape()));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += pb[i];
+}
+
+void Axpy(Tensor& a, float s, const Tensor& b) {
+  CheckSameShape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += s * pb[i];
+}
+
+void ScaleInPlace(Tensor& a, float s) {
+  for (float& x : a.flat()) x *= s;
+}
+
+void ClipInPlace(Tensor& a, float lo, float hi) {
+  CIP_CHECK_LE(lo, hi);
+  for (float& x : a.flat()) x = std::clamp(x, lo, hi);
+}
+
+Tensor ClipMask(const Tensor& a, float lo, float hi) {
+  CIP_CHECK_LE(lo, hi);
+  Tensor mask(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mask[i] = (a[i] > lo && a[i] < hi) ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+Tensor Sign(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (a[i] > 0.0f) ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  double s = 0.0;
+  for (float x : a.flat()) s += x;
+  return static_cast<float>(s);
+}
+
+float MeanAll(const Tensor& a) {
+  CIP_CHECK_GT(a.size(), 0u);
+  return SumAll(a) / static_cast<float>(a.size());
+}
+
+float L1Norm(const Tensor& a) {
+  double s = 0.0;
+  for (float x : a.flat()) s += std::abs(x);
+  return static_cast<float>(s);
+}
+
+float L2Norm(const Tensor& a) {
+  double s = 0.0;
+  for (float x : a.flat()) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float MaxAll(const Tensor& a) {
+  CIP_CHECK_GT(a.size(), 0u);
+  float m = a[0];
+  for (float x : a.flat()) m = std::max(m, x);
+  return m;
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) s += static_cast<double>(pa[i]) * pb[i];
+  return static_cast<float>(s);
+}
+
+Tensor SumRows(const Tensor& a) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  const float* pa = a.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) out[c] += pa[r * n + c];
+  }
+  return out;
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CIP_CHECK_EQ(b.dim(0), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelFor(0, m, [&](std::size_t i) {
+    float* crow = pc + i * n;
+    const float* arow = pa + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  CIP_CHECK_EQ(b.dim(1), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelFor(0, m, [&](std::size_t i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(s);
+    }
+  });
+  return c;
+}
+
+Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  CIP_CHECK_EQ(b.dim(0), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // c[i,j] = sum_p a[p,i] * b[p,j]; accumulate row by row for locality.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  CIP_CHECK_EQ(logits.rank(), 2u);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float mx = row[0];
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& logits) {
+  CIP_CHECK_EQ(logits.rank(), 2u);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float mx = row[0];
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(denom));
+    for (std::size_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy(const Tensor& logits, std::span<const int> labels,
+                          Tensor* grad) {
+  CIP_CHECK_EQ(logits.rank(), 2u);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  CIP_CHECK_EQ(labels.size(), n);
+  const Tensor log_probs = LogSoftmaxRows(logits);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    CIP_CHECK_GE(y, 0);
+    CIP_CHECK_LT(static_cast<std::size_t>(y), c);
+    loss -= log_probs[i * c + static_cast<std::size_t>(y)];
+  }
+  loss /= static_cast<double>(n);
+  if (grad != nullptr) {
+    *grad = Tensor(logits.shape());
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        float p = std::exp(log_probs[i * c + j]);
+        (*grad)[i * c + j] =
+            (p - (static_cast<std::size_t>(labels[i]) == j ? 1.0f : 0.0f)) *
+            inv_n;
+      }
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+std::vector<float> PerSampleCrossEntropy(const Tensor& logits,
+                                         std::span<const int> labels) {
+  CIP_CHECK_EQ(logits.rank(), 2u);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  CIP_CHECK_EQ(labels.size(), n);
+  const Tensor log_probs = LogSoftmaxRows(logits);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    CIP_CHECK_GE(y, 0);
+    CIP_CHECK_LT(static_cast<std::size_t>(y), c);
+    out[i] = -log_probs[i * c + static_cast<std::size_t>(y)];
+  }
+  return out;
+}
+
+Tensor SoftmaxBackwardRows(const Tensor& probs, const Tensor& dprobs) {
+  CIP_CHECK_EQ(probs.rank(), 2u);
+  CIP_CHECK(probs.SameShape(dprobs));
+  const std::size_t n = probs.dim(0), c = probs.dim(1);
+  Tensor out(probs.shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* p = probs.data() + i * c;
+    const float* dp = dprobs.data() + i * c;
+    double dot = 0.0;
+    for (std::size_t j = 0; j < c; ++j) dot += static_cast<double>(dp[j]) * p[j];
+    float* o = out.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) {
+      o[j] = p[j] * (dp[j] - static_cast<float>(dot));
+    }
+  }
+  return out;
+}
+
+std::vector<int> ArgmaxRows(const Tensor& scores) {
+  CIP_CHECK_EQ(scores.rank(), 2u);
+  const std::size_t n = scores.dim(0), c = scores.dim(1);
+  std::vector<int> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = scores.data() + i * c;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace cip::ops

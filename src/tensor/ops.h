@@ -1,0 +1,77 @@
+// Free-function tensor operations.
+//
+// Conventions: functions ending in `Into` write to an output tensor that must
+// already have the right shape; value-returning variants allocate. Matmul
+// shapes follow BLAS: A is [m, k], B is [k, n], C is [m, n].
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace cip::ops {
+
+// ---- elementwise ----------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+
+void AddInPlace(Tensor& a, const Tensor& b);
+/// a += s * b  (axpy)
+void Axpy(Tensor& a, float s, const Tensor& b);
+void ScaleInPlace(Tensor& a, float s);
+/// Clamp every element into [lo, hi].
+void ClipInPlace(Tensor& a, float lo, float hi);
+/// mask[i] = 1 if a[i] strictly inside (lo, hi) else 0 — the derivative mask
+/// of clipping (boundary treated as saturated).
+Tensor ClipMask(const Tensor& a, float lo, float hi);
+/// Elementwise sign (-1, 0, +1).
+Tensor Sign(const Tensor& a);
+
+// ---- reductions -----------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float L1Norm(const Tensor& a);
+float L2Norm(const Tensor& a);
+float MaxAll(const Tensor& a);
+float Dot(const Tensor& a, const Tensor& b);
+
+/// Column-wise sum of a [m, n] matrix -> [n].
+Tensor SumRows(const Tensor& a);
+
+// ---- linear algebra --------------------------------------------------------
+
+/// C = A · B. A: [m,k], B: [k,n].
+Tensor Matmul(const Tensor& a, const Tensor& b);
+/// C = A · Bᵀ. A: [m,k], B: [n,k].
+Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+/// C = Aᵀ · B. A: [k,m], B: [k,n].
+Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+// ---- softmax family --------------------------------------------------------
+
+/// Row-wise softmax of a [n, c] matrix.
+Tensor SoftmaxRows(const Tensor& logits);
+/// Row-wise log-softmax of a [n, c] matrix.
+Tensor LogSoftmaxRows(const Tensor& logits);
+
+/// Mean cross-entropy of row-wise logits against integer labels, plus the
+/// gradient w.r.t. logits (dL/dlogits for the *mean* loss) if grad != nullptr.
+float SoftmaxCrossEntropy(const Tensor& logits, std::span<const int> labels,
+                          Tensor* grad);
+
+/// Per-sample cross-entropy losses (no reduction).
+std::vector<float> PerSampleCrossEntropy(const Tensor& logits,
+                                         std::span<const int> labels);
+
+/// Row-wise argmax of a [n, c] matrix.
+std::vector<int> ArgmaxRows(const Tensor& scores);
+
+/// Backprop through a row-wise softmax: given probs p = softmax(logits) and
+/// upstream dL/dp, returns dL/dlogits = p ⊙ (dp − ⟨dp, p⟩) per row.
+Tensor SoftmaxBackwardRows(const Tensor& probs, const Tensor& dprobs);
+
+}  // namespace cip::ops

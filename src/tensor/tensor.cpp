@@ -1,0 +1,47 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace cip {
+
+std::size_t NumElements(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::Row(std::size_t i) const {
+  CIP_CHECK_GE(rank(), 2u);
+  CIP_CHECK_LT(i, shape_[0]);
+  Shape row_shape(shape_.begin() + 1, shape_.end());
+  const std::size_t stride = NumElements(row_shape);
+  std::vector<float> out(data_.begin() + static_cast<long>(i * stride),
+                         data_.begin() + static_cast<long>((i + 1) * stride));
+  return Tensor(std::move(row_shape), std::move(out));
+}
+
+Tensor Tensor::Slice(std::size_t lo, std::size_t hi) const {
+  CIP_CHECK_GE(rank(), 1u);
+  CIP_CHECK_LE(lo, hi);
+  CIP_CHECK_LE(hi, shape_[0]);
+  Shape out_shape = shape_;
+  out_shape[0] = hi - lo;
+  const std::size_t stride = size() / std::max<std::size_t>(shape_[0], 1);
+  std::vector<float> out(data_.begin() + static_cast<long>(lo * stride),
+                         data_.begin() + static_cast<long>(hi * stride));
+  return Tensor(std::move(out_shape), std::move(out));
+}
+
+}  // namespace cip

@@ -1,0 +1,111 @@
+// A small dense float tensor.
+//
+// Contiguous, row-major, value-semantic. Shapes are vectors of dimensions;
+// rank 0 is disallowed (use a rank-1 tensor of size 1 for scalars). All
+// layers in src/nn operate on batch-first tensors: [N, D] for vector data and
+// [N, C, H, W] for image data.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cip {
+
+using Shape = std::vector<std::size_t>;
+
+/// Total number of elements of a shape.
+std::size_t NumElements(const Shape& shape);
+
+/// Human-readable shape, e.g. "[32, 3, 12, 12]".
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 1, size 0). Useful as a placeholder.
+  Tensor() : shape_{0} {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {
+    CIP_CHECK(!shape_.empty());
+  }
+
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)), data_(NumElements(shape_), fill) {
+    CIP_CHECK(!shape_.empty());
+  }
+
+  /// Takes ownership of `data`; size must match the shape.
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    CIP_CHECK(!shape_.empty());
+    CIP_CHECK_EQ(data_.size(), NumElements(shape_));
+  }
+
+  /// Convenience for tests: rank-1 tensor from a list.
+  static Tensor FromList(std::initializer_list<float> values) {
+    return Tensor({values.size()}, std::vector<float>(values));
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const {
+    CIP_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    CIP_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    CIP_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  /// 2-D element access (row-major). Only valid for rank-2 tensors.
+  float& At(std::size_t r, std::size_t c) {
+    CIP_CHECK_EQ(rank(), 2u);
+    CIP_CHECK_LT(r, shape_[0]);
+    CIP_CHECK_LT(c, shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float At(std::size_t r, std::size_t c) const {
+    return const_cast<Tensor*>(this)->At(r, c);
+  }
+
+  /// Reinterpret with a new shape of equal element count.
+  Tensor Reshaped(Shape new_shape) const {
+    CIP_CHECK_EQ(NumElements(new_shape), size());
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  /// Row `i` of a rank>=2 tensor viewed as [dim0, rest]: copies the slice
+  /// into a tensor of shape shape()[1..].
+  Tensor Row(std::size_t i) const;
+
+  /// Batch slice [lo, hi) along dim 0 (copying).
+  Tensor Slice(std::size_t lo, std::size_t hi) const;
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cip

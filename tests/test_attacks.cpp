@@ -1,0 +1,234 @@
+// Attack framework tests: scoring/threshold mechanics, calibration, and each
+// attack's behaviour on controlled targets (overfit model => separable;
+// random scores => chance).
+#include <gtest/gtest.h>
+
+#include "attacks/adaptive.h"
+
+#include "common/stats.h"
+#include "attacks/internal.h"
+#include "attacks/output_attacks.h"
+#include "attacks/pb_bayes.h"
+#include "attacks/shadow.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "fl/client.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+TEST(ScoreToMetrics, BalancedAccuracyFromScores) {
+  const std::vector<float> member = {0.9f, 0.8f, 0.6f};
+  const std::vector<float> nonmember = {0.1f, 0.2f, 0.7f};
+  const metrics::BinaryMetrics m =
+      attacks::ScoreToMetrics(member, nonmember, 0.5f);
+  EXPECT_NEAR(m.accuracy, 5.0 / 6.0, 1e-9);
+  EXPECT_EQ(m.tp, 3u);
+  EXPECT_EQ(m.fp, 1u);
+}
+
+TEST(BestThreshold, SeparatesDisjointScores) {
+  const std::vector<float> member = {2.0f, 3.0f, 4.0f};
+  const std::vector<float> nonmember = {-1.0f, 0.0f, 1.0f};
+  const float thr = attacks::BestThreshold(member, nonmember);
+  const metrics::BinaryMetrics m =
+      attacks::ScoreToMetrics(member, nonmember, thr);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+}
+
+TEST(BestThreshold, ChanceForIdenticalDistributions) {
+  Rng rng(1);
+  std::vector<float> a(200), b(200);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  const double acc = attacks::BestThresholdAccuracy(a, b);
+  EXPECT_LT(acc, 0.62);  // small-sample noise above 0.5, but close to chance
+}
+
+// Expensive setup shared by the end-to-end attack assertions: an overfit
+// target on the CIFAR-100 stand-in plus the attacker's shadow pack. Each
+// ctest test runs in its own process, so the heavy checks are consolidated
+// into a small number of tests instead of a per-test fixture.
+struct OverfitSetup {
+  eval::DataBundle bundle;
+  std::unique_ptr<nn::Classifier> target;
+  eval::ShadowPack shadow;
+};
+
+OverfitSetup BuildOverfitSetup() {
+  eval::BundleOptions opts;
+  opts.train_size = 200;
+  opts.test_size = 200;
+  opts.shadow_size = 200;
+  opts.width = 8;
+  opts.num_classes = 10;
+  opts.seed = 3;
+  OverfitSetup s{eval::MakeBundle(eval::DatasetId::kCifar100, opts), {}, {}};
+  Rng rng(4);
+  s.target = eval::TrainPlain(s.bundle, /*epochs=*/60, rng);
+  s.shadow = eval::BuildShadowPack(s.bundle, /*epochs=*/60, rng);
+  return s;
+}
+
+TEST(ExternalAttacks, AllFiveAttacksBeatChanceOnOverfitTarget) {
+  OverfitSetup s = BuildOverfitSetup();
+  fl::ClassifierQuery q(*s.target);
+  // Precondition: the paper's overfit regime (train acc ~1, low test acc).
+  ASSERT_GT(q.Accuracy(s.bundle.train), 0.85);
+  ASSERT_LT(q.Accuracy(s.bundle.test), 0.60);
+
+  Rng rng(7);
+  const auto results =
+      eval::RunExternalAttackSuite(s.bundle, s.shadow, q, rng);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_GT(results.at("Ob-Label").accuracy, 0.60);
+  EXPECT_GT(results.at("Ob-MALT").accuracy, 0.70);
+  EXPECT_GT(results.at("Ob-NN").accuracy, 0.60);
+  EXPECT_GT(results.at("Ob-BlindMI").accuracy, 0.55);
+  EXPECT_GT(results.at("Pb-Bayes").accuracy, 0.65);
+}
+
+TEST(ExternalAttacks, InternalPassiveSeparatesWithSnapshots) {
+  OverfitSetup s = BuildOverfitSetup();
+  const std::vector<nn::Parameter*> params = s.target->Parameters();
+  std::vector<fl::ModelState> snaps;
+  snaps.push_back(fl::ModelState::From(params));
+  const nn::ModelSpec spec = s.bundle.spec;
+  attacks::InternalPassive passive(
+      std::move(snaps), [spec](const fl::ModelState& st) {
+        auto model = nn::MakeClassifier(spec);
+        const std::vector<nn::Parameter*> p = model->Parameters();
+        st.ApplyTo(p);
+        struct Owning : fl::QueryModel {
+          std::unique_ptr<nn::Classifier> m;
+          explicit Owning(std::unique_ptr<nn::Classifier> mm)
+              : m(std::move(mm)) {}
+          Tensor Logits(const Tensor& x) override {
+            return fl::LogitsFor(*m, x);
+          }
+          std::size_t NumClasses() const override { return m->num_classes(); }
+        };
+        return std::make_unique<Owning>(std::move(model));
+      });
+  // Attacker calibrates on one half, attacks the other half.
+  passive.Calibrate(s.bundle.train.Slice(0, 100), s.bundle.test.Slice(0, 100));
+  const std::vector<float> sm = passive.Score(s.bundle.train.Slice(100, 200));
+  const std::vector<float> sn = passive.Score(s.bundle.test.Slice(100, 200));
+  const metrics::BinaryMetrics m = attacks::ScoreToMetrics(sm, sn, 0.5f);
+  EXPECT_GT(m.accuracy, 0.70);
+}
+
+TEST(ExternalAttacks, PassiveScoreRequiresCalibration) {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {10};
+  spec.num_classes = 2;
+  spec.width = 2;
+  auto model = nn::MakeClassifier(spec);
+  const std::vector<nn::Parameter*> p = model->Parameters();
+  std::vector<fl::ModelState> snaps{fl::ModelState::From(p)};
+  attacks::InternalPassive passive(
+      std::move(snaps), [spec](const fl::ModelState& st) {
+        auto m = nn::MakeClassifier(spec);
+        const std::vector<nn::Parameter*> pp = m->Parameters();
+        st.ApplyTo(pp);
+        struct Owning : fl::QueryModel {
+          std::unique_ptr<nn::Classifier> m;
+          explicit Owning(std::unique_ptr<nn::Classifier> mm)
+              : m(std::move(mm)) {}
+          Tensor Logits(const Tensor& x) override {
+            return fl::LogitsFor(*m, x);
+          }
+          std::size_t NumClasses() const override { return m->num_classes(); }
+        };
+        return std::make_unique<Owning>(std::move(m));
+      });
+  Rng rng(1);
+  data::Dataset ds = testing::TwoBlobs(10, 10, rng);
+  EXPECT_THROW(passive.Score(ds), CheckError);
+}
+
+TEST(ExternalAttacks, PbBayesRequiresWhiteBoxAccess) {
+  // A cheap untrained setup suffices: the contract check fires before any
+  // statistics are used.
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {200};
+  spec.num_classes = 50;
+  spec.width = 4;
+  auto shadow = nn::MakeClassifier(spec);
+  auto target = nn::MakeClassifier(spec);
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  Rng rng(2);
+  const data::Dataset m = gen.Sample(20, rng);
+  const data::Dataset n = gen.Sample(20, rng);
+  fl::ClassifierQuery shadow_q(*shadow);
+  attacks::PbBayes attack(shadow_q, m, n);
+  class BlackBox : public fl::QueryModel {
+   public:
+    explicit BlackBox(nn::Classifier& mm) : inner_(mm) {}
+    Tensor Logits(const Tensor& x) override { return inner_.Logits(x); }
+    std::size_t NumClasses() const override { return inner_.NumClasses(); }
+
+   private:
+    fl::ClassifierQuery inner_;
+  };
+  BlackBox bb(*target);
+  EXPECT_THROW(attack.Score(bb, n), CheckError);
+  fl::ClassifierQuery wb(*target);
+  EXPECT_EQ(attack.Score(wb, n).size(), n.size());
+}
+
+TEST(AdaptiveHelpers, SeedWithSimilarityHitsTarget) {
+  Rng rng(8);
+  Tensor ref({64});
+  for (float& v : ref.flat()) v = rng.Uniform();
+  for (double target : {0.3, 0.6, 0.9}) {
+    const Tensor s = attacks::SeedWithSimilarity(ref, target, rng);
+    EXPECT_NEAR(metrics::Ssim(ref, s), target, 0.08) << "target " << target;
+  }
+}
+
+TEST(AdaptiveHelpers, InverseMaltScoresAreLosses) {
+  const std::vector<float> ml = {0.1f, 0.2f};
+  const std::vector<float> nl = {2.0f, 3.0f};
+  attacks::InverseMalt attack(ml, nl);
+  // Threshold calibrated so that "high loss" side is member per the inverse
+  // hypothesis; on a normal (non-CIP) model that hypothesis inverts truth.
+  EXPECT_GT(attack.Threshold(), 0.0f);
+}
+
+TEST(InternalActive, AscentRaisesTargetLoss) {
+  Rng rng(9);
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  data::Dataset targets = gen.Sample(40, rng);
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {200};
+  spec.num_classes = 50;
+  spec.width = 4;
+  spec.seed = 61;
+  auto model = nn::MakeClassifier(spec);
+  const std::vector<nn::Parameter*> params = model->Parameters();
+  const fl::ModelState before = fl::ModelState::From(params);
+
+  const attacks::AscentFn ascent =
+      attacks::MakeClassifierAscent(spec, /*lr=*/0.05f, /*steps=*/5);
+  const fl::ModelState after = ascent(before, targets);
+
+  auto probe = nn::MakeClassifier(spec);
+  const std::vector<nn::Parameter*> pp = probe->Parameters();
+  before.ApplyTo(pp);
+  const double loss_before =
+      Mean(std::span<const float>(fl::PerSampleLosses(*probe, targets)));
+  after.ApplyTo(pp);
+  const double loss_after =
+      Mean(std::span<const float>(fl::PerSampleLosses(*probe, targets)));
+  EXPECT_GT(loss_after, loss_before);
+}
+
+}  // namespace
+}  // namespace cip

@@ -1,0 +1,200 @@
+// Tests for datasets, synthetic generators, augmentation and partitioning.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/augment.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace cip {
+namespace {
+
+TEST(Dataset, SubsetAndSlice) {
+  data::Dataset ds{Tensor({4, 2}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}),
+                   {0, 1, 2, 3}};
+  const std::vector<std::size_t> idx = {3, 1};
+  data::Dataset sub = ds.Subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], 3);
+  EXPECT_EQ(sub.inputs.At(0, 0), 7.0f);
+  data::Dataset sl = ds.Slice(1, 3);
+  EXPECT_EQ(sl.labels[0], 1);
+  EXPECT_EQ(sl.inputs.At(1, 1), 6.0f);
+}
+
+TEST(Dataset, ConcatAndValidate) {
+  data::Dataset a{Tensor({1, 2}, std::vector<float>{1, 2}), {0}};
+  data::Dataset b{Tensor({2, 2}, std::vector<float>{3, 4, 5, 6}), {1, 2}};
+  data::Dataset c = data::Dataset::Concat(a, b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.labels[2], 2);
+  c.Validate(3);
+  EXPECT_THROW(c.Validate(2), CheckError);
+}
+
+TEST(Dataset, ShuffleIsPermutation) {
+  Rng rng(1);
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  data::Dataset ds = gen.Sample(50, rng);
+  std::multiset<int> before(ds.labels.begin(), ds.labels.end());
+  ds.Shuffle(rng);
+  std::multiset<int> after(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(SyntheticVision, ShapesAndRange) {
+  data::VisionConfig cfg = data::Cifar100Like(10);
+  data::SyntheticVision gen(cfg);
+  Rng rng(2);
+  data::Dataset ds = gen.Sample(30, rng);
+  EXPECT_EQ(ds.inputs.shape(), (Shape{30, 3, 12, 12}));
+  for (float v : ds.inputs.flat()) {
+    EXPECT_GE(v, data::kInputMin);
+    EXPECT_LE(v, data::kInputMax);
+  }
+  ds.Validate(10);
+}
+
+TEST(SyntheticVision, DeterministicPrototypes) {
+  data::VisionConfig cfg = data::ChMnistLike();
+  data::SyntheticVision a(cfg), b(cfg);
+  Rng r1(3), r2(3);
+  const Tensor xa = a.SampleInput(2, r1);
+  const Tensor xb = b.SampleInput(2, r2);
+  for (std::size_t i = 0; i < xa.size(); ++i) EXPECT_EQ(xa[i], xb[i]);
+}
+
+TEST(SyntheticVision, FreshDrawsDiffer) {
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng rng(4);
+  const Tensor a = gen.SampleInput(0, rng);
+  const Tensor b = gen.SampleInput(0, rng);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 0.1f);  // non-member draws are distinct samples
+}
+
+TEST(SyntheticVision, SampleClassesRestrictsLabels) {
+  data::SyntheticVision gen(data::Cifar100Like(20));
+  Rng rng(5);
+  const std::vector<int> classes = {3, 7, 11};
+  data::Dataset ds = gen.SampleClasses(60, classes, rng);
+  for (int y : ds.labels) {
+    EXPECT_TRUE(y == 3 || y == 7 || y == 11);
+  }
+}
+
+TEST(SyntheticVision, ClassesAreStatisticallySeparated) {
+  // Same-class samples must be closer on average than cross-class samples;
+  // otherwise no model could beat chance.
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng rng(6);
+  auto dist = [&](int ca, int cb) {
+    double total = 0.0;
+    for (int k = 0; k < 8; ++k) {
+      const Tensor a = gen.SampleInput(ca, rng);
+      const Tensor b = gen.SampleInput(cb, rng);
+      double d = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        d += (a[i] - b[i]) * (a[i] - b[i]);
+      }
+      total += std::sqrt(d);
+    }
+    return total / 8.0;
+  };
+  EXPECT_LT(dist(0, 0), dist(0, 1));
+  EXPECT_LT(dist(3, 3), dist(3, 5));
+}
+
+TEST(SyntheticPurchase, BinaryFeatures) {
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  Rng rng(7);
+  data::Dataset ds = gen.Sample(20, rng);
+  EXPECT_EQ(ds.inputs.shape(), (Shape{20, 200}));
+  for (float v : ds.inputs.flat()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+TEST(Augment, PreservesShapeAndRange) {
+  data::SyntheticVision gen(data::Cifar100Like(5));
+  Rng rng(8);
+  data::Dataset ds = gen.Sample(10, rng);
+  data::AugmentConfig cfg;
+  const Tensor out = data::Augment(ds.inputs, cfg, rng);
+  EXPECT_TRUE(out.SameShape(ds.inputs));
+  for (float v : out.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Augment, VectorDataIsNoOp) {
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  Rng rng(9);
+  data::Dataset ds = gen.Sample(5, rng);
+  data::AugmentConfig cfg;
+  const Tensor out = data::Augment(ds.inputs, cfg, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], ds.inputs[i]);
+  }
+}
+
+TEST(Augment, ActuallyPerturbsImages) {
+  data::SyntheticVision gen(data::Cifar100Like(5));
+  Rng rng(10);
+  data::Dataset ds = gen.Sample(8, rng);
+  data::AugmentConfig cfg;
+  cfg.pad = 2;
+  const Tensor out = data::Augment(ds.inputs, cfg, rng);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    diff += std::abs(out[i] - ds.inputs[i]);
+  }
+  EXPECT_GT(diff, 0.01f);
+}
+
+TEST(Partition, IidSizesAndCoverage) {
+  data::SyntheticVision gen(data::Cifar100Like(10));
+  Rng rng(11);
+  data::Dataset full = gen.Sample(100, rng);
+  const auto shards = data::PartitionIid(full, 4, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  for (const auto& s : shards) EXPECT_EQ(s.size(), 25u);
+}
+
+TEST(Partition, NonIidClassesPerClient) {
+  data::SyntheticVision gen(data::Cifar100Like(20));
+  Rng rng(12);
+  data::Dataset full = gen.Sample(400, rng);
+  const auto shards = data::PartitionByClasses(full, 4, 5, 20, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.size(), 100u);
+    const std::vector<int> classes = data::ClassesPresent(s);
+    EXPECT_LE(classes.size(), 5u);
+    EXPECT_GE(classes.size(), 1u);
+  }
+}
+
+TEST(Partition, FullClassesGivesIidLike) {
+  data::SyntheticVision gen(data::Cifar100Like(10));
+  Rng rng(13);
+  data::Dataset full = gen.Sample(300, rng);
+  const auto shards = data::PartitionByClasses(full, 3, 10, 10, rng);
+  for (const auto& s : shards) {
+    EXPECT_GE(data::ClassesPresent(s).size(), 8u);  // nearly all classes
+  }
+}
+
+TEST(Partition, RejectsBadArguments) {
+  data::SyntheticVision gen(data::Cifar100Like(10));
+  Rng rng(14);
+  data::Dataset full = gen.Sample(50, rng);
+  EXPECT_THROW(data::PartitionByClasses(full, 2, 11, 10, rng), CheckError);
+  EXPECT_THROW(data::PartitionIid(full, 0, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace cip

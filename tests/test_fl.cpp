@@ -1,0 +1,185 @@
+// Federated-learning substrate tests: model state round-trips, FedAvg
+// aggregation, snapshots, the malicious-server tamper hook, and end-to-end
+// convergence on a small problem.
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/query.h"
+#include "fl/server.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+nn::ModelSpec MlpSpec(std::size_t dim, std::size_t classes) {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {dim};
+  spec.num_classes = classes;
+  spec.width = 6;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(ModelState, RoundTrip) {
+  const nn::ModelSpec spec = MlpSpec(8, 3);
+  auto a = nn::MakeClassifier(spec);
+  const auto pa = a->Parameters();
+  fl::ModelState state = fl::ModelState::From(pa);
+  EXPECT_EQ(state.size(), a->ParameterCount());
+
+  nn::ModelSpec other = spec;
+  other.seed = 123;  // different init
+  auto b = nn::MakeClassifier(other);
+  const auto pb = b->Parameters();
+  state.ApplyTo(pb);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+TEST(ModelState, AverageIsElementwiseMean) {
+  fl::ModelState a(std::vector<float>{1, 2, 3});
+  fl::ModelState b(std::vector<float>{3, 4, 5});
+  const std::vector<fl::ModelState> states = {a, b};
+  const fl::ModelState avg = fl::ModelState::Average(states);
+  EXPECT_FLOAT_EQ(avg.values()[0], 2.0f);
+  EXPECT_FLOAT_EQ(avg.values()[2], 4.0f);
+}
+
+TEST(ModelState, AxpyAndNorm) {
+  fl::ModelState a(std::vector<float>{3, 4});
+  EXPECT_FLOAT_EQ(a.L2Norm(), 5.0f);
+  fl::ModelState b(std::vector<float>{1, 1});
+  a.Axpy(2.0f, b);
+  EXPECT_FLOAT_EQ(a.values()[0], 5.0f);
+  fl::ModelState c(std::vector<float>{1});
+  EXPECT_THROW(a.Axpy(1.0f, c), CheckError);
+}
+
+TEST(FedAvg, ConvergesOnBlobs) {
+  Rng rng(1);
+  data::Dataset full = testing::TwoBlobs(240, 6, rng);
+  // Blob features are outside [0,1]; rescale into the canonical input range.
+  for (float& v : full.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  const auto shards = data::PartitionIid(full, 3, rng);
+  const nn::ModelSpec spec = MlpSpec(6, 2);
+  fl::TrainConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.9f;
+
+  std::vector<std::unique_ptr<fl::LegacyClient>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    clients.push_back(
+        std::make_unique<fl::LegacyClient>(spec, shards[k], cfg, 100 + k));
+    ptrs.push_back(clients.back().get());
+  }
+  fl::FlOptions opts;
+  opts.rounds = 15;
+  fl::FederatedAveraging server(fl::InitialState(spec), opts);
+  server.Run(ptrs, rng);
+
+  data::Dataset test = testing::TwoBlobs(100, 6, rng);
+  for (float& v : test.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  EXPECT_GT(clients[0]->EvalAccuracy(test), 0.85);
+}
+
+TEST(FedAvg, SnapshotsRecordedAtRequestedRounds) {
+  Rng rng(2);
+  data::Dataset full = testing::TwoBlobs(60, 4, rng);
+  for (float& v : full.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  const nn::ModelSpec spec = MlpSpec(4, 2);
+  fl::TrainConfig cfg;
+  fl::LegacyClient client(spec, full, cfg, 5);
+  fl::ClientBase* ptr = &client;
+
+  fl::FlOptions opts;
+  opts.rounds = 5;
+  opts.snapshot_rounds = {2, 4, 5};
+  opts.record_client_updates = true;
+  fl::FederatedAveraging server(fl::InitialState(spec), opts);
+  const fl::FlLog log = server.Run(std::span(&ptr, 1), rng);
+
+  EXPECT_EQ(log.global_snapshots.size(), 3u);
+  EXPECT_EQ(log.client_updates.size(), 5u);
+  EXPECT_EQ(log.client_updates[0].size(), 1u);
+  EXPECT_EQ(log.client_losses.size(), 5u);
+  EXPECT_FALSE(log.final_global.empty());
+}
+
+TEST(FedAvg, TamperHookSeesEveryRound) {
+  Rng rng(3);
+  data::Dataset full = testing::TwoBlobs(40, 4, rng);
+  for (float& v : full.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  const nn::ModelSpec spec = MlpSpec(4, 2);
+  fl::TrainConfig cfg;
+  fl::LegacyClient client(spec, full, cfg, 6);
+  fl::ClientBase* ptr = &client;
+
+  fl::FlOptions opts;
+  opts.rounds = 4;
+  fl::FederatedAveraging server(fl::InitialState(spec), opts);
+  std::vector<std::size_t> seen;
+  server.set_tamper([&](std::size_t round, const fl::ModelState& honest) {
+    seen.push_back(round);
+    return honest;
+  });
+  server.Run(std::span(&ptr, 1), rng);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(FedAvg, AggregateEqualsClientAverageOneRound) {
+  Rng rng(4);
+  data::Dataset full = testing::TwoBlobs(80, 4, rng);
+  for (float& v : full.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  const auto shards = data::PartitionIid(full, 2, rng);
+  const nn::ModelSpec spec = MlpSpec(4, 2);
+  fl::TrainConfig cfg;
+  fl::LegacyClient c0(spec, shards[0], cfg, 7);
+  fl::LegacyClient c1(spec, shards[1], cfg, 8);
+  std::vector<fl::ClientBase*> ptrs = {&c0, &c1};
+
+  fl::FlOptions opts;
+  opts.rounds = 1;
+  opts.record_client_updates = true;
+  fl::FederatedAveraging server(fl::InitialState(spec), opts);
+  const fl::FlLog log = server.Run(ptrs, rng);
+
+  const fl::ModelState manual =
+      fl::ModelState::Average(log.client_updates[0]);
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_FLOAT_EQ(manual.values()[i], log.final_global.values()[i]);
+  }
+}
+
+TEST(Query, LossesMatchAccuracySignals) {
+  Rng rng(5);
+  data::Dataset full = testing::TwoBlobs(120, 4, rng);
+  for (float& v : full.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  const nn::ModelSpec spec = MlpSpec(4, 2);
+  fl::TrainConfig cfg;
+  cfg.lr = 0.1f;
+  fl::LegacyClient client(spec, full, cfg, 9);
+  fl::ClientBase* ptr = &client;
+  fl::FlOptions opts;
+  opts.rounds = 10;
+  fl::FederatedAveraging server(fl::InitialState(spec), opts);
+  Rng rng2(6);
+  server.Run(std::span(&ptr, 1), rng2);
+
+  fl::ClassifierQuery q(client.model());
+  EXPECT_NEAR(q.Accuracy(full), client.EvalAccuracy(full), 1e-9);
+  const std::vector<float> losses = q.Losses(full);
+  EXPECT_EQ(losses.size(), full.size());
+  const std::vector<float> gnorms = q.GradNorms(full);
+  EXPECT_EQ(gnorms.size(), full.size());
+  for (float g : gnorms) EXPECT_GE(g, 0.0f);
+}
+
+}  // namespace
+}  // namespace cip

@@ -1,0 +1,191 @@
+// Tests for the FL extras: secure aggregation, serialization, partial
+// participation, and learning-rate schedules across rounds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fl/client.h"
+#include "fl/secure_agg.h"
+#include "fl/serialize.h"
+#include "fl/server.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+// ---- secure aggregation ------------------------------------------------------
+
+TEST(SecureAgg, MasksCancelInAggregate) {
+  Rng rng(1);
+  const std::size_t clients = 4, dim = 64;
+  std::vector<fl::ModelState> updates;
+  for (std::size_t k = 0; k < clients; ++k) {
+    std::vector<float> v(dim);
+    for (float& x : v) x = rng.Normal();
+    updates.emplace_back(std::move(v));
+  }
+  const fl::ModelState plain_avg = fl::ModelState::Average(updates);
+
+  fl::SecureAggregation agg(0xABCDEF);
+  std::vector<fl::ModelState> masked;
+  for (std::size_t k = 0; k < clients; ++k) {
+    masked.push_back(agg.MaskUpdate(updates[k], k, clients));
+  }
+  const fl::ModelState secure_avg = fl::SecureAggregation::Aggregate(masked);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(secure_avg.values()[i], plain_avg.values()[i], 1e-4f);
+  }
+}
+
+TEST(SecureAgg, IndividualMaskedUpdatesAreHidden) {
+  Rng rng(2);
+  const std::size_t dim = 128;
+  std::vector<float> v(dim, 0.0f);  // an all-zero "update" — easy to spot
+  const fl::ModelState update{std::vector<float>(v)};
+  fl::SecureAggregation agg(0x1234);
+  const fl::ModelState masked = agg.MaskUpdate(update, 0, 3);
+  // The server's view of the individual update is dominated by the masks.
+  EXPECT_GT(masked.L2Norm(), 5.0f);
+}
+
+TEST(SecureAgg, DifferentSessionsGiveDifferentMasks) {
+  const fl::ModelState update{std::vector<float>(32, 0.0f)};
+  fl::SecureAggregation a(1), b(2);
+  const fl::ModelState ma = a.MaskUpdate(update, 0, 2);
+  const fl::ModelState mb = b.MaskUpdate(update, 0, 2);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < 32; ++i) {
+    diff += std::abs(ma.values()[i] - mb.values()[i]);
+  }
+  EXPECT_GT(diff, 1.0f);
+}
+
+TEST(SecureAgg, SingleClientIsUnmasked) {
+  const fl::ModelState update{std::vector<float>{1.0f, 2.0f}};
+  fl::SecureAggregation agg(7);
+  const fl::ModelState masked = agg.MaskUpdate(update, 0, 1);
+  EXPECT_FLOAT_EQ(masked.values()[0], 1.0f);
+  EXPECT_FLOAT_EQ(masked.values()[1], 2.0f);
+}
+
+// ---- serialization -----------------------------------------------------------
+
+TEST(Serialize, ModelStateRoundTrip) {
+  Rng rng(3);
+  std::vector<float> v(97);
+  for (float& x : v) x = rng.Normal();
+  const fl::ModelState state{std::vector<float>(v)};
+  std::stringstream ss;
+  fl::SaveModelState(state, ss);
+  const fl::ModelState loaded = fl::LoadModelState(ss);
+  ASSERT_EQ(loaded.size(), state.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(loaded.values()[i], v[i]);
+  }
+}
+
+TEST(Serialize, TensorRoundTripPreservesShape) {
+  Rng rng(4);
+  Tensor t({2, 3, 5});
+  for (float& x : t.flat()) x = rng.Normal();
+  std::stringstream ss;
+  fl::SaveTensor(t, ss);
+  const Tensor loaded = fl::LoadTensor(ss);
+  EXPECT_EQ(loaded.shape(), t.shape());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(loaded[i], t[i]);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  std::stringstream ss;
+  ss << "not a cip stream at all";
+  EXPECT_THROW(fl::LoadModelState(ss), CheckError);
+  std::stringstream ss2;
+  ss2 << "also not a tensor";
+  EXPECT_THROW(fl::LoadTensor(ss2), CheckError);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Tensor t({4, 4}, 1.0f);
+  std::stringstream ss;
+  fl::SaveTensor(t, ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(fl::LoadTensor(truncated), CheckError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = "/tmp/cip_test_state.bin";
+  const fl::ModelState state{std::vector<float>{1.5f, -2.5f, 3.5f}};
+  fl::SaveModelStateFile(state, path);
+  const fl::ModelState loaded = fl::LoadModelStateFile(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.values()[1], -2.5f);
+  EXPECT_THROW(fl::LoadModelStateFile("/nonexistent/nope.bin"), CheckError);
+}
+
+// ---- partial participation ---------------------------------------------------
+
+TEST(Participation, SubsetOfClientsTrainsEachRound) {
+  Rng rng(5);
+  data::Dataset full = testing::TwoBlobs(120, 4, rng);
+  for (float& v : full.inputs.flat()) {
+    v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  }
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {4};
+  spec.num_classes = 2;
+  spec.width = 4;
+  spec.seed = 6;
+  fl::TrainConfig cfg;
+  std::vector<std::unique_ptr<fl::LegacyClient>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  for (std::size_t k = 0; k < 4; ++k) {
+    clients.push_back(std::make_unique<fl::LegacyClient>(
+        spec, full.Slice(k * 30, (k + 1) * 30), cfg, 10 + k));
+    ptrs.push_back(clients.back().get());
+  }
+  fl::FlOptions opts;
+  opts.rounds = 6;
+  opts.participation = 0.5f;
+  opts.record_client_updates = true;
+  fl::FederatedAveraging server(fl::InitialState(spec), opts);
+  const fl::FlLog log = server.Run(ptrs, rng);
+  for (const auto& round : log.client_updates) {
+    EXPECT_EQ(round.size(), 2u);  // half of four clients per round
+  }
+}
+
+TEST(Participation, RejectsInvalidFraction) {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {4};
+  spec.num_classes = 2;
+  spec.width = 2;
+  fl::FlOptions opts;
+  opts.participation = 0.0f;
+  EXPECT_THROW(fl::FederatedAveraging(fl::InitialState(spec), opts),
+               CheckError);
+}
+
+// ---- learning-rate schedule ---------------------------------------------------
+
+TEST(LrSchedule, DecaysAcrossRounds) {
+  fl::TrainConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.lr_decay = 0.5f;
+  cfg.lr_decay_every = 5;
+  EXPECT_FLOAT_EQ(fl::LrAtRound(cfg, 1), 0.1f);
+  EXPECT_FLOAT_EQ(fl::LrAtRound(cfg, 5), 0.1f);
+  EXPECT_FLOAT_EQ(fl::LrAtRound(cfg, 6), 0.05f);
+  EXPECT_FLOAT_EQ(fl::LrAtRound(cfg, 11), 0.025f);
+}
+
+TEST(LrSchedule, DisabledByDefault) {
+  fl::TrainConfig cfg;
+  cfg.lr = 0.1f;
+  EXPECT_FLOAT_EQ(fl::LrAtRound(cfg, 100), 0.1f);
+}
+
+}  // namespace
+}  // namespace cip

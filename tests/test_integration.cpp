@@ -1,0 +1,140 @@
+// End-to-end integration tests reproducing the paper's headline claims at
+// test scale: an undefended overfit model is attackable, the same pipeline
+// under CIP is not, and CIP preserves client-side accuracy.
+#include <gtest/gtest.h>
+
+#include "attacks/adaptive.h"
+#include "attacks/output_attacks.h"
+#include "core/cip_model.h"
+#include "core/theory.h"
+#include "common/stats.h"
+#include "eval/experiment.h"
+#include "eval/internal_experiment.h"
+
+namespace cip {
+namespace {
+
+TEST(Integration, CipDefeatsLossThresholdAttackWhilePreservingAccuracy) {
+  eval::BundleOptions opts;
+  opts.train_size = 200;
+  opts.test_size = 200;
+  opts.shadow_size = 200;
+  opts.width = 8;
+  opts.num_classes = 10;
+  opts.seed = 7;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kCifar100, opts);
+  Rng rng(8);
+  const eval::ShadowPack shadow = eval::BuildShadowPack(bundle, 45, rng);
+  attacks::ObMalt attack(shadow.member_losses, shadow.nonmember_losses);
+
+  // Undefended target: attackable.
+  auto plain = eval::TrainPlain(bundle, 50, rng);
+  fl::ClassifierQuery plain_q(*plain);
+  const double plain_attack =
+      attacks::EvaluateAttack(attack, plain_q, bundle.train, bundle.test)
+          .accuracy;
+  const double plain_acc = fl::Evaluate(*plain, bundle.test);
+
+  // CIP target: attack collapses.
+  eval::CipSingleResult cip =
+      eval::TrainCipSingle(bundle, /*alpha=*/0.7f, 40, rng);
+  core::CipQuery raw(cip.client->model(), cip.client->config().blend);
+  const double cip_attack =
+      attacks::EvaluateAttack(attack, raw, bundle.train, bundle.test).accuracy;
+  const double cip_acc = cip.client->EvalAccuracy(bundle.test);
+
+  EXPECT_GT(plain_attack, 0.60);               // undefended: clear leak
+  EXPECT_LT(cip_attack, plain_attack - 0.08);  // CIP: attack collapses
+  EXPECT_LT(cip_attack, 0.58);                 // ...to near random guessing
+  EXPECT_GT(cip_acc, plain_acc - 0.10);        // accuracy roughly preserved
+}
+
+TEST(Integration, InternalPassiveAttackDropsUnderCip) {
+  auto run = [](eval::InternalDefense defense) {
+    eval::InternalExpConfig cfg;
+    cfg.defense = defense;
+    cfg.num_clients = 2;
+    cfg.rounds = 35;
+    cfg.samples_per_client = 120;
+    cfg.alpha = 0.7f;
+    cfg.seed = 29;
+    Rng rng(32);
+    return eval::RunInternalExperiment(cfg, rng);
+  };
+  const eval::InternalExpResult nodef = run(eval::InternalDefense::kNone);
+  const eval::InternalExpResult cip = run(eval::InternalDefense::kCip);
+  EXPECT_GT(nodef.passive_attack_acc, 0.60);
+  EXPECT_LT(cip.passive_attack_acc, nodef.passive_attack_acc - 0.05);
+}
+
+TEST(Integration, Theorem1HoldsEmpirically) {
+  // For a trained CIP model, a guessed perturbation yields a higher member
+  // loss than the true one, so Theorem 1's epsilon is <= 1 and the guessed
+  // attack gains nothing.
+  eval::BundleOptions opts;
+  opts.train_size = 150;
+  opts.test_size = 150;
+  opts.shadow_size = 50;
+  opts.width = 8;
+  opts.num_classes = 10;
+  opts.seed = 11;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kCifar100, opts);
+  Rng rng(12);
+  eval::CipExternalResult cip =
+      eval::RunCipExternal(bundle, nullptr, /*alpha=*/0.5f, 25, rng);
+  const core::BlendConfig blend = cip.client->config().blend;
+
+  core::CipQuery true_q(cip.client->model(), blend,
+                        cip.client->perturbation());
+  const double l_true = Mean(std::span<const float>(
+      std::vector<float>(true_q.Losses(bundle.train))));
+  for (int g = 0; g < 3; ++g) {
+    const Tensor t_guess =
+        core::Perturbation::Random(bundle.train.SampleShape(), rng).tensor();
+    core::CipQuery guess_q(cip.client->model(), blend, t_guess);
+    const double l_guess = Mean(std::span<const float>(
+        std::vector<float>(guess_q.Losses(bundle.train))));
+    EXPECT_GT(l_guess, l_true);  // the premise of Theorem 1
+    EXPECT_LE(core::Theorem1Epsilon(l_true, l_guess, 1.0), 1.0);
+  }
+}
+
+TEST(Integration, CipClientsKeepDistinctPerturbationsAfterTraining) {
+  // Personalization survives federation: after joint training, clients'
+  // perturbations remain distinct secrets.
+  eval::BundleOptions opts;
+  opts.train_size = 160;
+  opts.test_size = 80;
+  opts.shadow_size = 40;
+  opts.width = 6;
+  opts.num_classes = 8;
+  opts.seed = 13;
+  const eval::DataBundle bundle =
+      eval::MakeBundle(eval::DatasetId::kChMnist, opts);
+  Rng rng(14);
+  core::CipConfig cfg = eval::DefaultCipConfig(bundle, 0.5f);
+  core::CipClient a(bundle.spec, bundle.train.Slice(0, 80), cfg, 15);
+  core::CipClient b(bundle.spec, bundle.train.Slice(80, 160), cfg, 16);
+  std::vector<fl::ClientBase*> ptrs = {&a, &b};
+  fl::FlOptions fl_opts;
+  fl_opts.rounds = 8;
+  fl::FederatedAveraging server(core::InitialDualState(bundle.spec), fl_opts);
+  server.Run(ptrs, rng);
+
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < a.perturbation().size(); ++i) {
+    diff += std::abs(a.perturbation()[i] - b.perturbation()[i]);
+  }
+  EXPECT_GT(diff / static_cast<float>(a.perturbation().size()), 0.05f);
+  // And their models are in sync (the server aggregated them).
+  const fl::ModelState sa = fl::ModelState::From(a.model().Parameters());
+  const fl::ModelState sb = fl::ModelState::From(b.model().Parameters());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa.values()[i], sb.values()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cip

@@ -1,0 +1,130 @@
+// Tests for metrics (accuracy, binary attack metrics, EMD, SSIM) and the
+// statistics helpers.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "metrics/metrics.h"
+
+namespace cip {
+namespace {
+
+TEST(Accuracy, Basic) {
+  const std::vector<int> pred = {1, 2, 3, 4};
+  const std::vector<int> truth = {1, 2, 0, 4};
+  EXPECT_DOUBLE_EQ(metrics::Accuracy(pred, truth), 0.75);
+}
+
+TEST(BinaryMetrics, ConfusionCounts) {
+  const std::vector<bool> pred = {true, true, false, false, true};
+  const std::vector<bool> truth = {true, false, false, true, true};
+  const metrics::BinaryMetrics m = metrics::EvaluateBinary(pred, truth);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.6);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(BinaryMetrics, DegenerateCasesDoNotDivideByZero) {
+  const std::vector<bool> none_pred = {false, false};
+  const std::vector<bool> truth = {true, false};
+  const metrics::BinaryMetrics m = metrics::EvaluateBinary(none_pred, truth);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(Emd, IdenticalDistributionsAreZero) {
+  std::vector<float> a = {1, 2, 3, 4};
+  EXPECT_NEAR(metrics::EarthMoverDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(Emd, ShiftEqualsOffset) {
+  std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {3, 4, 5, 6};
+  EXPECT_NEAR(metrics::EarthMoverDistance(a, b), 2.0, 1e-6);
+}
+
+TEST(Emd, SymmetricAndOrderInvariant) {
+  std::vector<float> a = {0.5f, 3.0f, 1.0f};
+  std::vector<float> b = {2.0f, 0.0f, 4.0f};
+  const double ab = metrics::EarthMoverDistance(a, b);
+  const double ba = metrics::EarthMoverDistance(b, a);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  std::vector<float> a2 = {3.0f, 0.5f, 1.0f};
+  EXPECT_NEAR(metrics::EarthMoverDistance(a2, b), ab, 1e-9);
+}
+
+TEST(Emd, HandlesUnequalSampleCounts) {
+  std::vector<float> a = {0, 0, 0, 0};
+  std::vector<float> b = {1, 1};
+  EXPECT_NEAR(metrics::EarthMoverDistance(a, b), 1.0, 1e-6);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  Tensor a = Tensor::FromList({0.1f, 0.5f, 0.9f, 0.3f});
+  EXPECT_NEAR(metrics::Ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(Ssim, UncorrelatedIsLow) {
+  Rng rng(1);
+  Tensor a({64});
+  Tensor b({64});
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = rng.Uniform();
+    b[i] = rng.Uniform();
+  }
+  EXPECT_LT(metrics::Ssim(a, b), 0.6);
+  EXPECT_GT(metrics::Ssim(a, b), -0.6);
+}
+
+TEST(Ssim, DecreasesWithNoiseMixing) {
+  Rng rng(2);
+  Tensor a({128});
+  for (float& v : a.flat()) v = rng.Uniform();
+  auto mixed = [&](float w) {
+    Rng r2(3);
+    Tensor out(a.shape());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out[i] = w * a[i] + (1.0f - w) * r2.Uniform();
+    }
+    return metrics::Ssim(a, out);
+  };
+  EXPECT_GT(mixed(0.9f), mixed(0.5f));
+  EXPECT_GT(mixed(0.5f), mixed(0.1f));
+}
+
+TEST(Stats, MeanVarianceQuantile) {
+  const std::vector<float> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(std::span<const float>(v)), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(std::span<const float>(v)), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<float> a = {1, 2, 3, 4};
+  const std::vector<float> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-9);
+  const std::vector<float> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-9);
+  const std::vector<float> flat = {5, 5, 5, 5};
+  EXPECT_EQ(PearsonCorrelation(a, flat), 0.0);
+}
+
+TEST(Stats, HistogramNormalized) {
+  const std::vector<float> v = {0.1f, 0.2f, 0.9f, 2.0f, -1.0f};
+  const std::vector<double> h = Histogram(v, 0.0, 1.0, 4);
+  double sum = 0.0;
+  for (double x : h) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(h[0], 0.0);   // clamped -1.0 plus 0.1, 0.2
+  EXPECT_GT(h[3], 0.0);   // 0.9 plus clamped 2.0
+}
+
+}  // namespace
+}  // namespace cip

@@ -1,0 +1,101 @@
+// Optimizer and schedule tests.
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace cip {
+namespace {
+
+/// Minimize ||W||² through repeated steps; every optimizer must shrink it.
+template <typename Opt>
+void CheckShrinksQuadratic(Opt& opt) {
+  Rng rng(1);
+  nn::Linear layer(4, 4, rng);
+  const std::vector<nn::Parameter*> params = layer.Parameters();
+  const float initial = ops::L2Norm(params[0]->value);
+  for (int step = 0; step < 50; ++step) {
+    for (nn::Parameter* p : params) {
+      // d(0.5‖v‖²)/dv = v
+      p->grad = p->value;
+    }
+    opt.Step(params);
+  }
+  EXPECT_LT(ops::L2Norm(params[0]->value), 0.5f * initial);
+}
+
+TEST(Sgd, ShrinksQuadratic) {
+  optim::Sgd opt(0.05f);
+  CheckShrinksQuadratic(opt);
+}
+
+TEST(Sgd, MomentumShrinksQuadratic) {
+  optim::Sgd opt(0.02f, 0.9f);
+  CheckShrinksQuadratic(opt);
+}
+
+TEST(Adam, ShrinksQuadratic) {
+  optim::Adam opt(0.05f);
+  CheckShrinksQuadratic(opt);
+}
+
+TEST(Sgd, StepZeroesGradients) {
+  Rng rng(2);
+  nn::Linear layer(3, 2, rng);
+  const std::vector<nn::Parameter*> params = layer.Parameters();
+  params[0]->grad.Fill(1.0f);
+  optim::Sgd opt(0.1f);
+  opt.Step(params);
+  for (float g : params[0]->grad.flat()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Rng rng(3);
+  nn::Linear layer(3, 3, rng);
+  const std::vector<nn::Parameter*> params = layer.Parameters();
+  const float initial = ops::L2Norm(params[0]->value);
+  optim::Sgd opt(0.1f, 0.0f, 0.1f);
+  for (int i = 0; i < 20; ++i) opt.Step(params);  // zero grads, only decay
+  EXPECT_LT(ops::L2Norm(params[0]->value), initial);
+}
+
+TEST(Sgd, ExactUpdateRule) {
+  Rng rng(4);
+  nn::Linear layer(1, 1, rng);
+  const std::vector<nn::Parameter*> params = layer.Parameters();
+  const float w0 = params[0]->value[0];
+  params[0]->grad[0] = 2.0f;
+  optim::Sgd opt(0.25f);
+  opt.Step(params);
+  EXPECT_FLOAT_EQ(params[0]->value[0], w0 - 0.25f * 2.0f);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Bias correction makes the first update ≈ lr·sign(g).
+  Rng rng(5);
+  nn::Linear layer(1, 1, rng);
+  const std::vector<nn::Parameter*> params = layer.Parameters();
+  const float w0 = params[0]->value[0];
+  params[0]->grad[0] = 123.0f;
+  optim::Adam opt(0.01f);
+  opt.Step(params);
+  EXPECT_NEAR(params[0]->value[0], w0 - 0.01f, 1e-4f);
+}
+
+TEST(Schedule, StepDecay) {
+  optim::StepDecaySchedule sched(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(sched.LrAt(0), 1.0f);
+  EXPECT_FLOAT_EQ(sched.LrAt(9), 1.0f);
+  EXPECT_FLOAT_EQ(sched.LrAt(10), 0.5f);
+  EXPECT_FLOAT_EQ(sched.LrAt(25), 0.25f);
+}
+
+TEST(Optimizer, RejectsBadHyperparameters) {
+  EXPECT_THROW(optim::Sgd(-0.1f), CheckError);
+  EXPECT_THROW(optim::Sgd(0.0f), CheckError);
+  EXPECT_THROW(optim::StepDecaySchedule(1.0f, 0.5f, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace cip

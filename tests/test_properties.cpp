@@ -1,0 +1,189 @@
+// Property-based tests: invariants checked across parameter sweeps with
+// TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include "core/blend.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+// ---- blending identities over alpha ----------------------------------------
+
+class BlendProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(BlendProperty, ChannelsSumToTwiceInputWithoutClipping) {
+  const float alpha = GetParam();
+  Rng rng(1);
+  Tensor x({4, 9});
+  Tensor t({9});
+  // Keep values central enough that no channel clips for any alpha < 1.
+  for (float& v : x.flat()) v = rng.Uniform(0.35f, 0.65f);
+  for (float& v : t.flat()) v = rng.Uniform(0.35f, 0.65f);
+  core::BlendConfig cfg;
+  cfg.alpha = alpha;
+  const core::Blended b = core::Blend(x, t, cfg);
+  // ((1-a)x + at) + ((1+a)x - at) = 2x — the dual channel retains the
+  // original sample exactly (the paper's feature-preservation argument).
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(b.c1[i] + b.c2[i], 2.0f * x[i], 1e-5f);
+  }
+}
+
+TEST_P(BlendProperty, GradTIsZeroWhenAlphaZero) {
+  const float alpha = GetParam();
+  Rng rng(2);
+  Tensor x({3, 5});
+  Tensor t({5});
+  for (float& v : x.flat()) v = rng.Uniform(0.3f, 0.7f);
+  for (float& v : t.flat()) v = rng.Uniform(0.3f, 0.7f);
+  core::BlendConfig cfg;
+  cfg.alpha = alpha;
+  const core::Blended b = core::Blend(x, t, cfg);
+  Tensor g1(x.shape(), 1.0f);
+  Tensor g2(x.shape(), 1.0f);
+  const Tensor gt = core::BlendGradT(b, g1, g2, cfg.alpha);
+  // Symmetric upstream gradients cancel: dL/dt = α(g1 − g2) = 0.
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    EXPECT_NEAR(gt[i], 0.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, BlendProperty,
+                         ::testing::Values(0.0f, 0.1f, 0.3f, 0.5f, 0.7f,
+                                           0.9f));
+
+// ---- softmax invariances over class counts ---------------------------------
+
+class SoftmaxProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SoftmaxProperty, InvariantToConstantShift) {
+  const std::size_t classes = GetParam();
+  Rng rng(3);
+  Tensor logits({3, classes});
+  for (float& v : logits.flat()) v = rng.Normal(0.0f, 2.0f);
+  Tensor shifted = logits;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < classes; ++j) shifted[i * classes + j] += 7.5f;
+  }
+  const Tensor p1 = ops::SoftmaxRows(logits);
+  const Tensor p2 = ops::SoftmaxRows(shifted);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-5f);
+  }
+}
+
+TEST_P(SoftmaxProperty, UniformLogitsGiveChanceLoss) {
+  const std::size_t classes = GetParam();
+  Tensor logits({2, classes}, 0.0f);
+  const std::vector<int> labels = {0, static_cast<int>(classes) - 1};
+  const float loss = ops::SoftmaxCrossEntropy(logits, labels, nullptr);
+  EXPECT_NEAR(loss, std::log(static_cast<float>(classes)), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassSweep, SoftmaxProperty,
+                         ::testing::Values(2u, 8u, 20u, 50u, 100u));
+
+// ---- EMD metric properties over shifts --------------------------------------
+
+class EmdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EmdProperty, TranslationEqualsShift) {
+  const double shift = GetParam();
+  Rng rng(4);
+  std::vector<float> a(64);
+  for (float& v : a) v = rng.Normal();
+  std::vector<float> b(a);
+  for (float& v : b) v += static_cast<float>(shift);
+  EXPECT_NEAR(metrics::EarthMoverDistance(a, b), std::abs(shift), 1e-4);
+}
+
+TEST_P(EmdProperty, TriangleInequalityWithZeroShift) {
+  const double shift = GetParam();
+  Rng rng(5);
+  std::vector<float> a(48), c(48);
+  for (float& v : a) v = rng.Normal();
+  for (float& v : c) v = rng.Normal(static_cast<float>(shift), 1.0f);
+  std::vector<float> b(a);
+  for (float& v : b) v += static_cast<float>(shift) / 2.0f;
+  const double ac = metrics::EarthMoverDistance(a, c);
+  const double ab = metrics::EarthMoverDistance(a, b);
+  const double bc = metrics::EarthMoverDistance(b, c);
+  EXPECT_LE(ac, ab + bc + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftSweep, EmdProperty,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.5, 3.0));
+
+// ---- partitioner invariants over client counts ------------------------------
+
+class PartitionProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionProperty, EqualShardSizesAndValidLabels) {
+  const std::size_t clients = GetParam();
+  data::SyntheticVision gen(data::Cifar100Like(12));
+  Rng rng(6);
+  const data::Dataset full = gen.Sample(clients * 30, rng);
+  for (const std::size_t cpc : {2ul, 6ul, 12ul}) {
+    const auto shards =
+        data::PartitionByClasses(full, clients, cpc, 12, rng);
+    ASSERT_EQ(shards.size(), clients);
+    for (const auto& s : shards) {
+      EXPECT_EQ(s.size(), 30u);
+      s.Validate(12);
+      EXPECT_LE(data::ClassesPresent(s).size(), cpc);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientSweep, PartitionProperty,
+                         ::testing::Values(1u, 2u, 5u, 10u));
+
+// ---- SSIM properties over mixing levels --------------------------------------
+
+class SsimProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(SsimProperty, SymmetricAndBounded) {
+  const float w = GetParam();
+  Rng rng(7);
+  Tensor a({100});
+  Tensor b({100});
+  for (std::size_t i = 0; i < 100; ++i) {
+    a[i] = rng.Uniform();
+    b[i] = w * a[i] + (1.0f - w) * rng.Uniform();
+  }
+  const double ab = metrics::Ssim(a, b);
+  const double ba = metrics::Ssim(b, a);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_LE(ab, 1.0 + 1e-9);
+  EXPECT_GE(ab, -1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(MixSweep, SsimProperty,
+                         ::testing::Values(0.0f, 0.25f, 0.5f, 0.75f, 1.0f));
+
+// ---- generator regime properties over class counts --------------------------
+
+class GeneratorProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneratorProperty, BalancedSamplingCoversClasses) {
+  const std::size_t classes = GetParam();
+  data::SyntheticVision gen(data::Cifar100Like(classes));
+  Rng rng(8);
+  const data::Dataset ds = gen.Sample(classes * 40, rng);
+  std::vector<std::size_t> counts(classes, 0);
+  for (int y : ds.labels) counts[static_cast<std::size_t>(y)]++;
+  for (std::size_t c = 0; c < classes; ++c) {
+    EXPECT_GT(counts[c], 0u) << "class " << c << " never sampled";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCountSweep, GeneratorProperty,
+                         ::testing::Values(2u, 5u, 10u, 20u));
+
+}  // namespace
+}  // namespace cip

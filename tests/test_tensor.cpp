@@ -1,0 +1,201 @@
+// Unit tests for the tensor core and free-function ops.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(ShapeToString(t.shape()), "[2, 3, 4]");
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t({2, 2}, 1.5f);
+  EXPECT_EQ(t.At(1, 1), 1.5f);
+  t.At(0, 1) = 3.0f;
+  EXPECT_EQ(t[1], 3.0f);
+}
+
+TEST(Tensor, ConstructFromDataChecksSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::FromList({1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({2, 3});
+  EXPECT_EQ(r.At(1, 0), 4.0f);
+  EXPECT_THROW(t.Reshaped({4, 2}), CheckError);
+}
+
+TEST(Tensor, RowAndSlice) {
+  Tensor t({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor row = t.Row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 3.0f);
+  Tensor s = t.Slice(1, 3);
+  EXPECT_EQ(s.dim(0), 2u);
+  EXPECT_EQ(s.At(1, 1), 6.0f);
+}
+
+TEST(Ops, ElementwiseAndAxpy) {
+  Tensor a = Tensor::FromList({1, 2, 3});
+  Tensor b = Tensor::FromList({4, 5, 6});
+  EXPECT_EQ(ops::Add(a, b)[2], 9.0f);
+  EXPECT_EQ(ops::Sub(b, a)[0], 3.0f);
+  EXPECT_EQ(ops::Mul(a, b)[1], 10.0f);
+  ops::Axpy(a, 2.0f, b);
+  EXPECT_EQ(a[0], 9.0f);
+  Tensor c = Tensor::FromList({1, 2});
+  EXPECT_THROW(ops::Add(a, c), CheckError);
+}
+
+TEST(Ops, ClipAndMask) {
+  Tensor a = Tensor::FromList({-0.5f, 0.25f, 1.5f});
+  Tensor mask = ops::ClipMask(a, 0.0f, 1.0f);
+  EXPECT_EQ(mask[0], 0.0f);
+  EXPECT_EQ(mask[1], 1.0f);
+  EXPECT_EQ(mask[2], 0.0f);
+  ops::ClipInPlace(a, 0.0f, 1.0f);
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_EQ(a[2], 1.0f);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a = Tensor::FromList({-3, 4});
+  EXPECT_FLOAT_EQ(ops::SumAll(a), 1.0f);
+  EXPECT_FLOAT_EQ(ops::MeanAll(a), 0.5f);
+  EXPECT_FLOAT_EQ(ops::L1Norm(a), 7.0f);
+  EXPECT_FLOAT_EQ(ops::L2Norm(a), 5.0f);
+  EXPECT_FLOAT_EQ(ops::MaxAll(a), 4.0f);
+}
+
+TEST(Ops, SumRows) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor s = ops::SumRows(a);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_FLOAT_EQ(s[0], 5.0f);
+  EXPECT_FLOAT_EQ(s[2], 9.0f);
+}
+
+TEST(Ops, MatmulAgainstManual) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = ops::Matmul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulVariantsAgree) {
+  Rng rng(3);
+  Tensor a({4, 5});
+  Tensor b({5, 6});
+  for (float& v : a.flat()) v = rng.Normal();
+  for (float& v : b.flat()) v = rng.Normal();
+  const Tensor c = ops::Matmul(a, b);
+  // MatmulTransB(a, bT) == a · b
+  Tensor bt({6, 5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) bt.At(j, i) = b.At(i, j);
+  }
+  const Tensor c2 = ops::MatmulTransB(a, bt);
+  // MatmulTransA(aT, b) == a · b
+  Tensor at({5, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) at.At(j, i) = a.At(i, j);
+  }
+  const Tensor c3 = ops::MatmulTransA(at, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c2[i], 1e-4f);
+    EXPECT_NEAR(c[i], c3[i], 1e-4f);
+  }
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor logits({3, 7});
+  for (float& v : logits.flat()) v = rng.Normal(0.0f, 3.0f);
+  const Tensor p = ops::SoftmaxRows(logits);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_GT(p[i * 7 + j], 0.0f);
+      s += p[i * 7 + j];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits({1, 3}, std::vector<float>{1000.0f, 1001.0f, 999.0f});
+  const Tensor p = ops::SoftmaxRows(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Ops, LogSoftmaxMatchesSoftmax) {
+  Rng rng(6);
+  Tensor logits({2, 5});
+  for (float& v : logits.flat()) v = rng.Normal();
+  const Tensor p = ops::SoftmaxRows(logits);
+  const Tensor lp = ops::LogSoftmaxRows(logits);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(std::log(p[i]), lp[i], 1e-5f);
+  }
+}
+
+TEST(Ops, CrossEntropyGradientMatchesNumeric) {
+  Rng rng(7);
+  Tensor logits({4, 3});
+  for (float& v : logits.flat()) v = rng.Normal();
+  const std::vector<int> labels = {0, 2, 1, 2};
+  Tensor grad;
+  ops::SoftmaxCrossEntropy(logits, labels, &grad);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double num = testing::NumericGrad(
+        [&] { return ops::SoftmaxCrossEntropy(logits, labels, nullptr); },
+        logits, i);
+    EXPECT_LT(testing::RelErr(num, grad[i]), 1e-2)
+        << "element " << i << " numeric " << num << " analytic " << grad[i];
+  }
+}
+
+TEST(Ops, PerSampleCrossEntropyAveragesToBatchLoss) {
+  Rng rng(8);
+  Tensor logits({5, 4});
+  for (float& v : logits.flat()) v = rng.Normal();
+  const std::vector<int> labels = {3, 1, 0, 2, 1};
+  const float batch = ops::SoftmaxCrossEntropy(logits, labels, nullptr);
+  const std::vector<float> per = ops::PerSampleCrossEntropy(logits, labels);
+  double mean = 0.0;
+  for (float l : per) mean += l;
+  mean /= static_cast<double>(per.size());
+  EXPECT_NEAR(mean, batch, 1e-5);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor scores({2, 3}, std::vector<float>{0.1f, 0.7f, 0.2f, 0.9f, 0.05f, 0.05f});
+  const std::vector<int> am = ops::ArgmaxRows(scores);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+}
+
+TEST(Ops, CrossEntropyRejectsBadLabels) {
+  Tensor logits({1, 2});
+  const std::vector<int> labels = {5};
+  EXPECT_THROW(ops::SoftmaxCrossEntropy(logits, labels, nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace cip

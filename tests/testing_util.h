@@ -1,0 +1,60 @@
+// Shared helpers for the test suite: numerical gradient checking and tiny
+// dataset builders.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace cip::testing {
+
+/// Central-difference derivative of `loss()` w.r.t. element `idx` of `x`.
+/// `loss` must read the current contents of x each call.
+inline double NumericGrad(const std::function<double()>& loss, Tensor& x,
+                          std::size_t idx, double eps = 1e-2) {
+  const float saved = x[idx];
+  x[idx] = saved + static_cast<float>(eps);
+  const double up = loss();
+  x[idx] = saved - static_cast<float>(eps);
+  const double down = loss();
+  x[idx] = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+/// Relative error with an absolute floor: float32 forward passes limit the
+/// precision of central differences, so gradients much smaller than the
+/// floor are held to an absolute rather than relative tolerance.
+inline double RelErr(double a, double b) {
+  return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 2e-2});
+}
+
+/// Best-of-two-epsilons numeric gradient error vs an analytic value.
+/// A large epsilon controls float32 round-off noise; a small epsilon avoids
+/// crossing ReLU kinks — the smaller of the two errors is the fair verdict.
+inline double NumericGradError(const std::function<double()>& loss, Tensor& x,
+                               std::size_t idx, double analytic) {
+  const double e1 = RelErr(NumericGrad(loss, x, idx, 1e-2), analytic);
+  const double e2 = RelErr(NumericGrad(loss, x, idx, 2e-3), analytic);
+  return std::min(e1, e2);
+}
+
+/// A tiny linearly-separable dataset: two Gaussian blobs in d dimensions.
+inline data::Dataset TwoBlobs(std::size_t n, std::size_t d, Rng& rng,
+                              float separation = 2.0f) {
+  Tensor inputs({n, d});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = static_cast<int>(i % 2);
+    labels[i] = y;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float center = (y == 0 ? -0.5f : 0.5f) * separation;
+      inputs[i * d + j] = center + rng.Normal(0.0f, 0.5f);
+    }
+  }
+  return {std::move(inputs), std::move(labels)};
+}
+
+}  // namespace cip::testing
