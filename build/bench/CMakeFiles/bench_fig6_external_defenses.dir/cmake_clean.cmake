@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_external_defenses.dir/bench_fig6_external_defenses.cpp.o"
+  "CMakeFiles/bench_fig6_external_defenses.dir/bench_fig6_external_defenses.cpp.o.d"
+  "bench_fig6_external_defenses"
+  "bench_fig6_external_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_external_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

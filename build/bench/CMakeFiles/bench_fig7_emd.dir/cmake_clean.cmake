@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_emd.dir/bench_fig7_emd.cpp.o"
+  "CMakeFiles/bench_fig7_emd.dir/bench_fig7_emd.cpp.o.d"
+  "bench_fig7_emd"
+  "bench_fig7_emd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_emd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

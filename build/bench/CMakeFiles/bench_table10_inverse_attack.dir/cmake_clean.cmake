@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_inverse_attack.dir/bench_table10_inverse_attack.cpp.o"
+  "CMakeFiles/bench_table10_inverse_attack.dir/bench_table10_inverse_attack.cpp.o.d"
+  "bench_table10_inverse_attack"
+  "bench_table10_inverse_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_inverse_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

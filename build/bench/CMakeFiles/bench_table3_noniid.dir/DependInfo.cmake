@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_noniid.cpp" "bench/CMakeFiles/bench_table3_noniid.dir/bench_table3_noniid.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_noniid.dir/bench_table3_noniid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/cip_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/cip_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defenses/CMakeFiles/cip_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/cip_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cip_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/cip_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cip_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cip_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cip_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_noniid.dir/bench_table3_noniid.cpp.o"
+  "CMakeFiles/bench_table3_noniid.dir/bench_table3_noniid.cpp.o.d"
+  "bench_table3_noniid"
+  "bench_table3_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_attack_prf.dir/bench_table4_attack_prf.cpp.o"
+  "CMakeFiles/bench_table4_attack_prf.dir/bench_table4_attack_prf.cpp.o.d"
+  "bench_table4_attack_prf"
+  "bench_table4_attack_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_attack_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

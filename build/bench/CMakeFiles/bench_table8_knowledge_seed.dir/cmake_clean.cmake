@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_knowledge_seed.dir/bench_table8_knowledge_seed.cpp.o"
+  "CMakeFiles/bench_table8_knowledge_seed.dir/bench_table8_knowledge_seed.cpp.o.d"
+  "bench_table8_knowledge_seed"
+  "bench_table8_knowledge_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_knowledge_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_knowledge_seed.
+# This may be replaced when dependencies are built.

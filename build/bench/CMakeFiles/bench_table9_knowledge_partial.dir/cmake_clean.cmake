@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_knowledge_partial.dir/bench_table9_knowledge_partial.cpp.o"
+  "CMakeFiles/bench_table9_knowledge_partial.dir/bench_table9_knowledge_partial.cpp.o.d"
+  "bench_table9_knowledge_partial"
+  "bench_table9_knowledge_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_knowledge_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

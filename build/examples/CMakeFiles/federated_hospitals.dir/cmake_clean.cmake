@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_hospitals.dir/federated_hospitals.cpp.o"
+  "CMakeFiles/federated_hospitals.dir/federated_hospitals.cpp.o.d"
+  "federated_hospitals"
+  "federated_hospitals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_hospitals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purchase_analytics.dir/purchase_analytics.cpp.o"
+  "CMakeFiles/purchase_analytics.dir/purchase_analytics.cpp.o.d"
+  "purchase_analytics"
+  "purchase_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purchase_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_adaptive.dir/theorem1_adaptive.cpp.o"
+  "CMakeFiles/theorem1_adaptive.dir/theorem1_adaptive.cpp.o.d"
+  "theorem1_adaptive"
+  "theorem1_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_attacks.dir/adaptive.cpp.o"
+  "CMakeFiles/cip_attacks.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cip_attacks.dir/attack.cpp.o"
+  "CMakeFiles/cip_attacks.dir/attack.cpp.o.d"
+  "CMakeFiles/cip_attacks.dir/internal.cpp.o"
+  "CMakeFiles/cip_attacks.dir/internal.cpp.o.d"
+  "CMakeFiles/cip_attacks.dir/output_attacks.cpp.o"
+  "CMakeFiles/cip_attacks.dir/output_attacks.cpp.o.d"
+  "CMakeFiles/cip_attacks.dir/pb_bayes.cpp.o"
+  "CMakeFiles/cip_attacks.dir/pb_bayes.cpp.o.d"
+  "CMakeFiles/cip_attacks.dir/shadow.cpp.o"
+  "CMakeFiles/cip_attacks.dir/shadow.cpp.o.d"
+  "libcip_attacks.a"
+  "libcip_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

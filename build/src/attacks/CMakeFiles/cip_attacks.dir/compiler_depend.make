@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cip_attacks.
+# This may be replaced when dependencies are built.

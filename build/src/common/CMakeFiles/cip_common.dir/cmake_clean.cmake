@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_common.dir/env.cpp.o"
+  "CMakeFiles/cip_common.dir/env.cpp.o.d"
+  "CMakeFiles/cip_common.dir/parallel.cpp.o"
+  "CMakeFiles/cip_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/cip_common.dir/stats.cpp.o"
+  "CMakeFiles/cip_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cip_common.dir/table.cpp.o"
+  "CMakeFiles/cip_common.dir/table.cpp.o.d"
+  "libcip_common.a"
+  "libcip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blend.cpp" "src/core/CMakeFiles/cip_core.dir/blend.cpp.o" "gcc" "src/core/CMakeFiles/cip_core.dir/blend.cpp.o.d"
+  "/root/repo/src/core/cip_client.cpp" "src/core/CMakeFiles/cip_core.dir/cip_client.cpp.o" "gcc" "src/core/CMakeFiles/cip_core.dir/cip_client.cpp.o.d"
+  "/root/repo/src/core/cip_model.cpp" "src/core/CMakeFiles/cip_core.dir/cip_model.cpp.o" "gcc" "src/core/CMakeFiles/cip_core.dir/cip_model.cpp.o.d"
+  "/root/repo/src/core/perturbation.cpp" "src/core/CMakeFiles/cip_core.dir/perturbation.cpp.o" "gcc" "src/core/CMakeFiles/cip_core.dir/perturbation.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/cip_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/cip_core.dir/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/cip_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/cip_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cip_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cip_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cip_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cip_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_core.dir/blend.cpp.o"
+  "CMakeFiles/cip_core.dir/blend.cpp.o.d"
+  "CMakeFiles/cip_core.dir/cip_client.cpp.o"
+  "CMakeFiles/cip_core.dir/cip_client.cpp.o.d"
+  "CMakeFiles/cip_core.dir/cip_model.cpp.o"
+  "CMakeFiles/cip_core.dir/cip_model.cpp.o.d"
+  "CMakeFiles/cip_core.dir/perturbation.cpp.o"
+  "CMakeFiles/cip_core.dir/perturbation.cpp.o.d"
+  "CMakeFiles/cip_core.dir/theory.cpp.o"
+  "CMakeFiles/cip_core.dir/theory.cpp.o.d"
+  "libcip_core.a"
+  "libcip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

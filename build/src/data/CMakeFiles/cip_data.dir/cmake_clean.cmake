@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_data.dir/augment.cpp.o"
+  "CMakeFiles/cip_data.dir/augment.cpp.o.d"
+  "CMakeFiles/cip_data.dir/dataset.cpp.o"
+  "CMakeFiles/cip_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/cip_data.dir/partition.cpp.o"
+  "CMakeFiles/cip_data.dir/partition.cpp.o.d"
+  "CMakeFiles/cip_data.dir/synthetic.cpp.o"
+  "CMakeFiles/cip_data.dir/synthetic.cpp.o.d"
+  "libcip_data.a"
+  "libcip_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defenses/adv_reg.cpp" "src/defenses/CMakeFiles/cip_defenses.dir/adv_reg.cpp.o" "gcc" "src/defenses/CMakeFiles/cip_defenses.dir/adv_reg.cpp.o.d"
+  "/root/repo/src/defenses/dp_sgd.cpp" "src/defenses/CMakeFiles/cip_defenses.dir/dp_sgd.cpp.o" "gcc" "src/defenses/CMakeFiles/cip_defenses.dir/dp_sgd.cpp.o.d"
+  "/root/repo/src/defenses/hdp.cpp" "src/defenses/CMakeFiles/cip_defenses.dir/hdp.cpp.o" "gcc" "src/defenses/CMakeFiles/cip_defenses.dir/hdp.cpp.o.d"
+  "/root/repo/src/defenses/mixup_mmd.cpp" "src/defenses/CMakeFiles/cip_defenses.dir/mixup_mmd.cpp.o" "gcc" "src/defenses/CMakeFiles/cip_defenses.dir/mixup_mmd.cpp.o.d"
+  "/root/repo/src/defenses/relaxloss.cpp" "src/defenses/CMakeFiles/cip_defenses.dir/relaxloss.cpp.o" "gcc" "src/defenses/CMakeFiles/cip_defenses.dir/relaxloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/cip_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/cip_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cip_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cip_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cip_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cip_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_defenses.dir/adv_reg.cpp.o"
+  "CMakeFiles/cip_defenses.dir/adv_reg.cpp.o.d"
+  "CMakeFiles/cip_defenses.dir/dp_sgd.cpp.o"
+  "CMakeFiles/cip_defenses.dir/dp_sgd.cpp.o.d"
+  "CMakeFiles/cip_defenses.dir/hdp.cpp.o"
+  "CMakeFiles/cip_defenses.dir/hdp.cpp.o.d"
+  "CMakeFiles/cip_defenses.dir/mixup_mmd.cpp.o"
+  "CMakeFiles/cip_defenses.dir/mixup_mmd.cpp.o.d"
+  "CMakeFiles/cip_defenses.dir/relaxloss.cpp.o"
+  "CMakeFiles/cip_defenses.dir/relaxloss.cpp.o.d"
+  "libcip_defenses.a"
+  "libcip_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_eval.dir/experiment.cpp.o"
+  "CMakeFiles/cip_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/cip_eval.dir/internal_experiment.cpp.o"
+  "CMakeFiles/cip_eval.dir/internal_experiment.cpp.o.d"
+  "libcip_eval.a"
+  "libcip_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/cip_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/model_state.cpp" "src/fl/CMakeFiles/cip_fl.dir/model_state.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/model_state.cpp.o.d"
+  "/root/repo/src/fl/query.cpp" "src/fl/CMakeFiles/cip_fl.dir/query.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/query.cpp.o.d"
+  "/root/repo/src/fl/secure_agg.cpp" "src/fl/CMakeFiles/cip_fl.dir/secure_agg.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/secure_agg.cpp.o.d"
+  "/root/repo/src/fl/serialize.cpp" "src/fl/CMakeFiles/cip_fl.dir/serialize.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/serialize.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/cip_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/trainer.cpp" "src/fl/CMakeFiles/cip_fl.dir/trainer.cpp.o" "gcc" "src/fl/CMakeFiles/cip_fl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cip_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/cip_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cip_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cip_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cip_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_fl.dir/client.cpp.o"
+  "CMakeFiles/cip_fl.dir/client.cpp.o.d"
+  "CMakeFiles/cip_fl.dir/model_state.cpp.o"
+  "CMakeFiles/cip_fl.dir/model_state.cpp.o.d"
+  "CMakeFiles/cip_fl.dir/query.cpp.o"
+  "CMakeFiles/cip_fl.dir/query.cpp.o.d"
+  "CMakeFiles/cip_fl.dir/secure_agg.cpp.o"
+  "CMakeFiles/cip_fl.dir/secure_agg.cpp.o.d"
+  "CMakeFiles/cip_fl.dir/serialize.cpp.o"
+  "CMakeFiles/cip_fl.dir/serialize.cpp.o.d"
+  "CMakeFiles/cip_fl.dir/server.cpp.o"
+  "CMakeFiles/cip_fl.dir/server.cpp.o.d"
+  "CMakeFiles/cip_fl.dir/trainer.cpp.o"
+  "CMakeFiles/cip_fl.dir/trainer.cpp.o.d"
+  "libcip_fl.a"
+  "libcip_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/cip_metrics.dir/metrics.cpp.o.d"
+  "libcip_metrics.a"
+  "libcip_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

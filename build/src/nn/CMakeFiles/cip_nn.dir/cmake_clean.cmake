@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_nn.dir/activations.cpp.o"
+  "CMakeFiles/cip_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/backbones.cpp.o"
+  "CMakeFiles/cip_nn.dir/backbones.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/classifier.cpp.o"
+  "CMakeFiles/cip_nn.dir/classifier.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/cip_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/dual_channel.cpp.o"
+  "CMakeFiles/cip_nn.dir/dual_channel.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/init.cpp.o"
+  "CMakeFiles/cip_nn.dir/init.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/linear.cpp.o"
+  "CMakeFiles/cip_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/pooling.cpp.o"
+  "CMakeFiles/cip_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/cip_nn.dir/sequential.cpp.o"
+  "CMakeFiles/cip_nn.dir/sequential.cpp.o.d"
+  "libcip_nn.a"
+  "libcip_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/cip_optim.dir/optimizer.cpp.o.d"
+  "libcip_optim.a"
+  "libcip_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_tensor.dir/ops.cpp.o"
+  "CMakeFiles/cip_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/cip_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/cip_tensor.dir/tensor.cpp.o.d"
+  "libcip_tensor.a"
+  "libcip_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cip.dir/test_cip.cpp.o"
+  "CMakeFiles/test_cip.dir/test_cip.cpp.o.d"
+  "test_cip"
+  "test_cip.pdb"
+  "test_cip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

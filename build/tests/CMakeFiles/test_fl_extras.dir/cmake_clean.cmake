@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_extras.dir/test_fl_extras.cpp.o"
+  "CMakeFiles/test_fl_extras.dir/test_fl_extras.cpp.o.d"
+  "test_fl_extras"
+  "test_fl_extras.pdb"
+  "test_fl_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
