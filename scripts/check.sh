@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-command correctness gate: repo lint, then Release build+test, then
+# ASan+UBSan and UBSan build+test. Pass --tsan to append the (slow)
+# ThreadSanitizer pass. Run from anywhere inside the repo.
+#
+#   scripts/check.sh            # lint + release + asan + ubsan
+#   scripts/check.sh --tsan     # ... + tsan
+#   CIP_CHECK_JOBS=8 scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${CIP_CHECK_JOBS:-$(nproc)}"
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "usage: scripts/check.sh [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+step "lint (tools/cip_lint.py)"
+python3 tools/cip_lint.py --root .
+python3 tools/cip_lint.py --self-test
+
+presets=(release asan ubsan)
+if [[ "$run_tsan" == 1 ]]; then
+  presets+=(tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  step "configure+build+test [$preset]"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+step "all checks passed"

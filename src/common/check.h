@@ -1,7 +1,18 @@
 // Lightweight contract checking used across the library.
 //
-// CIP_CHECK is always on (cheap invariant checks on API boundaries); failures
-// throw cip::CheckError so tests can assert on misuse and callers can recover.
+// Two tiers:
+//   CIP_CHECK*  — always on (cheap invariant checks on API boundaries);
+//                 failures throw cip::CheckError so tests can assert on misuse
+//                 and callers can recover.
+//   CIP_DCHECK* — debug-tier checks for hot paths (per-element bounds checks,
+//                 inner-loop invariants). Compiled out in Release; enabled when
+//                 NDEBUG is not defined or when the build defines
+//                 CIP_ENABLE_DCHECKS (the sanitizer presets do). When compiled
+//                 out the condition is NOT evaluated (it sits in an unevaluated
+//                 sizeof), so side effects in a DCHECK argument are a bug.
+//
+// All comparison macros evaluate each argument exactly once, including on the
+// failure path (the values are captured before the comparison runs).
 #pragma once
 
 #include <sstream>
@@ -40,6 +51,22 @@ class CheckMessage {
   std::ostringstream os_;
 };
 
+// Swallows any operands inside an unevaluated sizeof so compiled-out DCHECK
+// arguments are type-checked (and "unused" warnings suppressed) but never run.
+template <typename... Ts>
+constexpr bool Unevaluated(const Ts&...) {
+  return true;
+}
+
+// Cold failure path of the comparison macros: formats both operands.
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* expr, const char* file, int line,
+                                const char* op, const A& a, const B& b) {
+  CheckMessage msg;
+  msg << "expected " << a << ' ' << op << ' ' << b;
+  CheckFailed(expr, file, line, msg.str());
+}
+
 }  // namespace detail
 }  // namespace cip
 
@@ -60,15 +87,66 @@ class CheckMessage {
     }                                                                 \
   } while (0)
 
-#define CIP_CHECK_EQ(a, b) \
-  CIP_CHECK_MSG((a) == (b), "expected " << (a) << " == " << (b))
-#define CIP_CHECK_NE(a, b) \
-  CIP_CHECK_MSG((a) != (b), "expected " << (a) << " != " << (b))
-#define CIP_CHECK_LT(a, b) \
-  CIP_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
-#define CIP_CHECK_LE(a, b) \
-  CIP_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
-#define CIP_CHECK_GT(a, b) \
-  CIP_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
-#define CIP_CHECK_GE(a, b) \
-  CIP_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))
+// Captures both operands once, compares, and only formats on failure.
+#define CIP_CHECK_OP_(a, b, op)                                            \
+  do {                                                                     \
+    auto&& cip_check_a_ = (a);                                             \
+    auto&& cip_check_b_ = (b);                                             \
+    if (!(cip_check_a_ op cip_check_b_)) {                                 \
+      ::cip::detail::CheckOpFailed(#a " " #op " " #b, __FILE__, __LINE__,  \
+                                   #op, cip_check_a_, cip_check_b_);       \
+    }                                                                      \
+  } while (0)
+
+#define CIP_CHECK_EQ(a, b) CIP_CHECK_OP_(a, b, ==)
+#define CIP_CHECK_NE(a, b) CIP_CHECK_OP_(a, b, !=)
+#define CIP_CHECK_LT(a, b) CIP_CHECK_OP_(a, b, <)
+#define CIP_CHECK_LE(a, b) CIP_CHECK_OP_(a, b, <=)
+#define CIP_CHECK_GT(a, b) CIP_CHECK_OP_(a, b, >)
+#define CIP_CHECK_GE(a, b) CIP_CHECK_OP_(a, b, >=)
+
+// ---------------------------------------------------------------------------
+// Debug-tier checks. CIP_DCHECK_IS_ON is 1 in Debug builds and in any build
+// configured with -DCIP_DCHECKS=ON (which defines CIP_ENABLE_DCHECKS); the
+// asan/ubsan/tsan presets turn it on so sanitizer runs also exercise the
+// contract checks.
+
+#if !defined(NDEBUG) || defined(CIP_ENABLE_DCHECKS)
+#define CIP_DCHECK_IS_ON 1
+#else
+#define CIP_DCHECK_IS_ON 0
+#endif
+
+#if CIP_DCHECK_IS_ON
+
+#define CIP_DCHECK(cond) CIP_CHECK(cond)
+#define CIP_DCHECK_MSG(cond, msg_expr) CIP_CHECK_MSG(cond, msg_expr)
+#define CIP_DCHECK_EQ(a, b) CIP_CHECK_EQ(a, b)
+#define CIP_DCHECK_NE(a, b) CIP_CHECK_NE(a, b)
+#define CIP_DCHECK_LT(a, b) CIP_CHECK_LT(a, b)
+#define CIP_DCHECK_LE(a, b) CIP_CHECK_LE(a, b)
+#define CIP_DCHECK_GT(a, b) CIP_CHECK_GT(a, b)
+#define CIP_DCHECK_GE(a, b) CIP_CHECK_GE(a, b)
+
+#else
+
+// The unevaluated call keeps the operands type-checked (and suppresses
+// unused-variable warnings for names that only appear in a DCHECK) without
+// ever running them.
+#define CIP_DCHECK(cond)                                \
+  do {                                                  \
+    (void)sizeof(::cip::detail::Unevaluated((cond)));   \
+  } while (0)
+#define CIP_DCHECK_MSG(cond, msg_expr) CIP_DCHECK(cond)
+#define CIP_DCHECK_OP_OFF_(a, b)                             \
+  do {                                                       \
+    (void)sizeof(::cip::detail::Unevaluated((a), (b)));      \
+  } while (0)
+#define CIP_DCHECK_EQ(a, b) CIP_DCHECK_OP_OFF_(a, b)
+#define CIP_DCHECK_NE(a, b) CIP_DCHECK_OP_OFF_(a, b)
+#define CIP_DCHECK_LT(a, b) CIP_DCHECK_OP_OFF_(a, b)
+#define CIP_DCHECK_LE(a, b) CIP_DCHECK_OP_OFF_(a, b)
+#define CIP_DCHECK_GT(a, b) CIP_DCHECK_OP_OFF_(a, b)
+#define CIP_DCHECK_GE(a, b) CIP_DCHECK_OP_OFF_(a, b)
+
+#endif  // CIP_DCHECK_IS_ON

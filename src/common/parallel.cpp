@@ -1,17 +1,37 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace cip {
 
+namespace internal {
+
+std::optional<std::size_t> ParseThreadCount(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno == ERANGE) return std::nullopt;       // overflowed long
+  if (end == s || *end != '\0') return std::nullopt;  // empty or trailing junk
+  if (v < 1 || static_cast<unsigned long>(v) > kMaxParallelThreads) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace internal
+
 std::size_t ParallelThreads() {
   static const std::size_t kThreads = [] {
-    if (const char* env = std::getenv("CIP_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 1) return static_cast<std::size_t>(v);
+    if (const auto parsed = internal::ParseThreadCount(std::getenv("CIP_THREADS"))) {
+      return *parsed;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return static_cast<std::size_t>(std::clamp<unsigned>(hw, 1u, 8u));
@@ -20,26 +40,49 @@ std::size_t ParallelThreads() {
 }
 
 void ParallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)>& fn) {
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t max_threads) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
-  const std::size_t threads = std::min(ParallelThreads(), n);
+  const std::size_t threads = std::min(std::max<std::size_t>(max_threads, 1), n);
   // Thread start/join overhead dominates for tiny ranges.
   if (threads <= 1 || n < 16) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::vector<std::jthread> workers;
-  workers.reserve(threads);
+  // First worker exception wins; the flag makes the other workers bail at
+  // their next index so the caller sees the failure promptly.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   const std::size_t chunk = (n + threads - 1) / threads;
-  for (std::size_t w = 0; w < threads; ++w) {
-    const std::size_t lo = begin + w * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      const std::size_t lo = begin + w * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      workers.emplace_back([lo, hi, &fn, &failed, &first_error, &error_mutex] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            fn(i);
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+  }  // jthreads join here; first_error is stable afterwards.
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  ParallelFor(begin, end, fn, ParallelThreads());
 }
 
 }  // namespace cip

@@ -1,24 +1,55 @@
 // Minimal data-parallel helper.
 //
-// parallel_for splits [begin, end) into contiguous chunks and runs them on a
+// ParallelFor splits [begin, end) into contiguous chunks and runs them on a
 // small set of std::jthread workers. The grain is coarse (one chunk per
 // worker) because callers in this library parallelize over batch/output rows
 // where work per index is uniform. Honors the CIP_THREADS environment
 // variable; defaults to hardware_concurrency capped at 8.
+//
+// Exception safety: if any worker throws, the first exception (by completion
+// order) is captured and rethrown on the calling thread after all workers have
+// joined; remaining workers stop at their next index. Indices at or after the
+// throwing one may therefore be skipped, but every invocation of fn either
+// completes or its exception reaches the caller — a worker never takes the
+// process down via std::terminate.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 
 namespace cip {
 
-/// Number of worker threads parallel_for will use (>= 1).
+/// Number of worker threads ParallelFor uses by default (>= 1). Reads
+/// CIP_THREADS once; a malformed value (non-numeric, trailing garbage, zero,
+/// negative, or > kMaxParallelThreads) is ignored in favor of the hardware
+/// default.
 std::size_t ParallelThreads();
+
+/// Upper bound accepted from CIP_THREADS.
+inline constexpr std::size_t kMaxParallelThreads = 256;
 
 /// Run fn(i) for every i in [begin, end). fn must be safe to call
 /// concurrently for distinct i. Falls back to serial execution for small
-/// ranges or when only one thread is configured.
+/// ranges or when only one thread is configured. Exceptions thrown by fn
+/// propagate to the caller (see file comment).
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn);
+
+/// Same, but with an explicit worker-thread budget (still clamped to the
+/// range size). Used by stress tests to force multi-threaded execution
+/// regardless of CIP_THREADS / core count.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t max_threads);
+
+namespace internal {
+
+/// Strict parse of a CIP_THREADS-style value. Returns nullopt unless `s` is a
+/// whole decimal integer in [1, kMaxParallelThreads] (leading whitespace per
+/// strtol is accepted; trailing characters are not).
+std::optional<std::size_t> ParseThreadCount(const char* s);
+
+}  // namespace internal
 
 }  // namespace cip

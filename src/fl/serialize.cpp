@@ -13,6 +13,26 @@ constexpr std::uint32_t kStateMagic = 0x43495053;   // "CIPS"
 constexpr std::uint32_t kTensorMagic = 0x43495054;  // "CIPT"
 constexpr std::uint32_t kVersion = 1;
 
+// Upper bound on deserialized element counts: a hostile or corrupt length
+// prefix must fail a check here, before we size a buffer and bulk-read into
+// it. 2^31 floats = 8 GiB, far above any model this library trains.
+constexpr std::uint64_t kMaxElements = std::uint64_t{1} << 31;
+
+// Overflow-checked product of the deserialized dims; CIP_CHECKs that the
+// total stays below kMaxElements so NumElements cannot silently wrap.
+std::uint64_t CheckedNumElements(const Shape& shape) {
+  std::uint64_t n = 1;
+  for (std::size_t d : shape) {
+    CIP_CHECK_MSG(d == 0 || n <= kMaxElements / d,
+                  "serialized shape overflows element count: "
+                      << ShapeToString(shape));
+    n *= d;
+  }
+  CIP_CHECK_MSG(n <= kMaxElements,
+                "serialized tensor implausibly large: " << n << " elements");
+  return n;
+}
+
 void WriteU32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -60,7 +80,9 @@ ModelState LoadModelState(std::istream& is) {
   CIP_CHECK_MSG(ReadU32(is) == kStateMagic, "not a CIP model-state stream");
   CIP_CHECK_MSG(ReadU32(is) == kVersion, "unsupported model-state version");
   const std::uint64_t n = ReadU64(is);
-  std::vector<float> values(n);
+  CIP_CHECK_MSG(n <= kMaxElements,
+                "model-state length prefix implausibly large: " << n);
+  std::vector<float> values(static_cast<std::size_t>(n));
   ReadFloats(is, values);
   return ModelState(std::move(values));
 }
@@ -93,8 +115,11 @@ Tensor LoadTensor(std::istream& is) {
   CIP_CHECK_MSG(rank >= 1 && rank <= 8, "implausible tensor rank " << rank);
   Shape shape(rank);
   for (std::uint64_t i = 0; i < rank; ++i) {
-    shape[i] = static_cast<std::size_t>(ReadU64(is));
+    const std::uint64_t d = ReadU64(is);
+    CIP_CHECK_MSG(d <= kMaxElements, "implausible tensor dim " << d);
+    shape[i] = static_cast<std::size_t>(d);
   }
+  CheckedNumElements(shape);
   Tensor t(shape);
   ReadFloats(is, t.flat());
   return t;

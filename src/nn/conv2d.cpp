@@ -26,7 +26,12 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
 
 Tensor Conv2d::Im2Col(const Tensor& x, std::size_t n_index, std::size_t oh,
                       std::size_t ow) const {
+  CIP_DCHECK_EQ(x.rank(), 4u);
+  CIP_DCHECK_LT(n_index, x.dim(0));
+  CIP_DCHECK_EQ(x.dim(1), ic_);
   const std::size_t h = x.dim(2), w = x.dim(3);
+  CIP_DCHECK_EQ(oh, OutExtent(h));
+  CIP_DCHECK_EQ(ow, OutExtent(w));
   const std::size_t cols = ic_ * k_ * k_;
   Tensor col({oh * ow, cols});
   const float* px = x.data() + n_index * ic_ * h * w;
@@ -59,6 +64,11 @@ Tensor Conv2d::Im2Col(const Tensor& x, std::size_t n_index, std::size_t oh,
 void Conv2d::Col2Im(const Tensor& col, std::size_t oh, std::size_t ow,
                     std::size_t h, std::size_t w, Tensor& dx,
                     std::size_t n_index) const {
+  CIP_DCHECK_EQ(col.rank(), 2u);
+  CIP_DCHECK_EQ(col.dim(0), oh * ow);
+  CIP_DCHECK_EQ(col.dim(1), ic_ * k_ * k_);
+  CIP_DCHECK_EQ(dx.rank(), 4u);
+  CIP_DCHECK_LT(n_index, dx.dim(0));
   const std::size_t cols = ic_ * k_ * k_;
   float* px = dx.data() + n_index * ic_ * h * w;
   const float* pc = col.data();
@@ -89,10 +99,13 @@ Tensor Conv2d::Forward(const Tensor& x, bool train) {
   CIP_CHECK_EQ(x.dim(1), ic_);
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = OutExtent(h), ow = OutExtent(w);
+  CIP_DCHECK_GT(oh, 0u);
+  CIP_DCHECK_GT(ow, 0u);
   Tensor y({n, oc_, oh, ow});
   ParallelFor(0, n, [&](std::size_t i) {
     const Tensor col = Im2Col(x, i, oh, ow);           // [oh*ow, ic*k*k]
     const Tensor out = ops::MatmulTransB(col, w_.value);  // [oh*ow, oc]
+    CIP_DCHECK_EQ(out.dim(1), oc_);
     float* py = y.data() + i * oc_ * oh * ow;
     for (std::size_t pos = 0; pos < oh * ow; ++pos) {
       const float* orow = out.data() + pos * oc_;

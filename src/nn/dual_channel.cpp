@@ -12,6 +12,8 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   CIP_CHECK_EQ(b.rank(), 2u);
   CIP_CHECK_EQ(a.dim(0), b.dim(0));
   const std::size_t n = a.dim(0), da = a.dim(1), db = b.dim(1);
+  CIP_DCHECK_EQ(a.size(), n * da);
+  CIP_DCHECK_EQ(b.size(), n * db);
   Tensor out({n, da + db});
   for (std::size_t i = 0; i < n; ++i) {
     std::copy(a.data() + i * da, a.data() + (i + 1) * da,
@@ -59,12 +61,14 @@ Tensor DualChannelClassifier::Forward(const Tensor& x1, const Tensor& x2,
   Tensor f1 = gap_.Forward(backbone_->Forward(x1, train), train);
   Tensor f2 = gap_.Forward(backbone_->Forward(x2, train), train);
   CIP_CHECK_EQ(f1.dim(1), feature_dim_);
+  CIP_DCHECK(f1.SameShape(f2));
   return head_.Forward(ConcatCols(f1, f2), train);
 }
 
 std::pair<Tensor, Tensor> DualChannelClassifier::Backward(
     const Tensor& dlogits) {
   Tensor dconcat = head_.Backward(dlogits);
+  CIP_DCHECK_EQ(dconcat.dim(1), 2 * feature_dim_);
   auto [df1, df2] = SplitCols(dconcat, feature_dim_);
   // Pop channel-2 caches first, then channel-1.
   Tensor dx2 = backbone_->Backward(gap_.Backward(df2));

@@ -21,6 +21,8 @@ Tensor Linear::Forward(const Tensor& x, bool train) {
   CIP_CHECK_EQ(x.rank(), 2u);
   CIP_CHECK_EQ(x.dim(1), in_);
   Tensor y = ops::MatmulTransB(x, w_.value);  // [N, out]
+  CIP_DCHECK_EQ(y.dim(1), out_);
+  CIP_DCHECK_EQ(b_.value.size(), out_);
   const std::size_t n = y.dim(0);
   for (std::size_t i = 0; i < n; ++i) {
     float* row = y.data() + i * out_;

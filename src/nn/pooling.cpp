@@ -43,6 +43,7 @@ Tensor AvgPool2d::Backward(const Tensor& grad_out) {
   const std::size_t n = in_shape[0], c = in_shape[1], h = in_shape[2],
                     w = in_shape[3];
   const std::size_t oh = h / window_, ow = w / window_;
+  CIP_DCHECK_EQ(grad_out.size(), n * c * oh * ow);
   Tensor dx(in_shape);
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   for (std::size_t i = 0; i < n * c; ++i) {
@@ -112,11 +113,14 @@ Tensor MaxPool2d::Backward(const Tensor& grad_out) {
   const std::size_t n = cache.in_shape[0], c = cache.in_shape[1],
                     h = cache.in_shape[2], w = cache.in_shape[3];
   const std::size_t oh = h / window_, ow = w / window_;
+  CIP_DCHECK_EQ(grad_out.size(), n * c * oh * ow);
+  CIP_DCHECK_EQ(cache.argmax.size(), n * c * oh * ow);
   Tensor dx(cache.in_shape);
   for (std::size_t i = 0; i < n * c; ++i) {
     const float* pg = grad_out.data() + i * oh * ow;
     float* pdx = dx.data() + i * h * w;
     for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+      CIP_DCHECK_LT(cache.argmax[i * oh * ow + pos], h * w);
       pdx[cache.argmax[i * oh * ow + pos]] += pg[pos];
     }
   }

@@ -204,6 +204,7 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
 Tensor SoftmaxRows(const Tensor& logits) {
   CIP_CHECK_EQ(logits.rank(), 2u);
   const std::size_t n = logits.dim(0), c = logits.dim(1);
+  CIP_DCHECK_GT(c, 0u);  // row[0] read below
   Tensor out(logits.shape());
   for (std::size_t i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
@@ -224,6 +225,7 @@ Tensor SoftmaxRows(const Tensor& logits) {
 Tensor LogSoftmaxRows(const Tensor& logits) {
   CIP_CHECK_EQ(logits.rank(), 2u);
   const std::size_t n = logits.dim(0), c = logits.dim(1);
+  CIP_DCHECK_GT(c, 0u);  // row[0] read below
   Tensor out(logits.shape());
   for (std::size_t i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
@@ -285,6 +287,7 @@ std::vector<float> PerSampleCrossEntropy(const Tensor& logits,
 
 Tensor SoftmaxBackwardRows(const Tensor& probs, const Tensor& dprobs) {
   CIP_CHECK_EQ(probs.rank(), 2u);
+  CIP_DCHECK_GT(probs.dim(1), 0u);
   CIP_CHECK(probs.SameShape(dprobs));
   const std::size_t n = probs.dim(0), c = probs.dim(1);
   Tensor out(probs.shape());
@@ -304,6 +307,7 @@ Tensor SoftmaxBackwardRows(const Tensor& probs, const Tensor& dprobs) {
 std::vector<int> ArgmaxRows(const Tensor& scores) {
   CIP_CHECK_EQ(scores.rank(), 2u);
   const std::size_t n = scores.dim(0), c = scores.dim(1);
+  CIP_DCHECK_GT(c, 0u);  // row[0] read below
   std::vector<int> out(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const float* row = scores.data() + i * c;

@@ -65,20 +65,22 @@ class Tensor {
   std::span<float> flat() { return {data_.data(), data_.size()}; }
   std::span<const float> flat() const { return {data_.data(), data_.size()}; }
 
+  // Element access is the hottest path in the library; bounds checks are
+  // debug-tier (on in Debug and sanitizer presets, compiled out in Release).
   float& operator[](std::size_t i) {
-    CIP_CHECK_LT(i, data_.size());
+    CIP_DCHECK_LT(i, data_.size());
     return data_[i];
   }
   float operator[](std::size_t i) const {
-    CIP_CHECK_LT(i, data_.size());
+    CIP_DCHECK_LT(i, data_.size());
     return data_[i];
   }
 
   /// 2-D element access (row-major). Only valid for rank-2 tensors.
   float& At(std::size_t r, std::size_t c) {
-    CIP_CHECK_EQ(rank(), 2u);
-    CIP_CHECK_LT(r, shape_[0]);
-    CIP_CHECK_LT(c, shape_[1]);
+    CIP_DCHECK_EQ(rank(), 2u);
+    CIP_DCHECK_LT(r, shape_[0]);
+    CIP_DCHECK_LT(c, shape_[1]);
     return data_[r * shape_[1] + c];
   }
   float At(std::size_t r, std::size_t c) const {

@@ -1,0 +1,129 @@
+// Unit tests for the CIP_CHECK / CIP_DCHECK contract macros: thrown types,
+// message contents, and the single-evaluation guarantee of the comparison
+// macros.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+
+namespace cip {
+namespace {
+
+std::string FailureMessage(const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError";
+  return {};
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(CIP_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(CIP_CHECK_MSG(true, "never built"));
+}
+
+TEST(Check, CheckErrorIsALogicError) {
+  EXPECT_THROW(CIP_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageContainsExpressionFileAndLine) {
+  const std::string msg = FailureMessage([] { CIP_CHECK(2 < 1); });
+  EXPECT_NE(msg.find("2 < 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("test_check.cpp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(':'), std::string::npos) << msg;
+}
+
+TEST(Check, CheckMsgStreamsValuesIntoMessage) {
+  const int layer = 7;
+  const std::string msg = FailureMessage(
+      [&] { CIP_CHECK_MSG(layer == 0, "bad layer " << layer << " of " << 9); });
+  EXPECT_NE(msg.find("bad layer 7 of 9"), std::string::npos) << msg;
+}
+
+TEST(Check, ComparisonMacrosReportBothOperands) {
+  const std::string msg = FailureMessage([] { CIP_CHECK_EQ(3, 4); });
+  EXPECT_NE(msg.find("expected 3 == 4"), std::string::npos) << msg;
+
+  const std::string lt = FailureMessage([] { CIP_CHECK_LT(10, 5); });
+  EXPECT_NE(lt.find("expected 10 < 5"), std::string::npos) << lt;
+
+  const std::string ge = FailureMessage([] { CIP_CHECK_GE(1, 2); });
+  EXPECT_NE(ge.find("expected 1 >= 2"), std::string::npos) << ge;
+}
+
+TEST(Check, ComparisonMacrosCoverAllSixOps) {
+  EXPECT_NO_THROW(CIP_CHECK_EQ(2, 2));
+  EXPECT_NO_THROW(CIP_CHECK_NE(2, 3));
+  EXPECT_NO_THROW(CIP_CHECK_LT(2, 3));
+  EXPECT_NO_THROW(CIP_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(CIP_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(CIP_CHECK_GE(3, 3));
+  EXPECT_THROW(CIP_CHECK_NE(2, 2), CheckError);
+  EXPECT_THROW(CIP_CHECK_LE(3, 2), CheckError);
+  EXPECT_THROW(CIP_CHECK_GT(2, 2), CheckError);
+}
+
+TEST(Check, ComparisonArgumentsEvaluatedOnceOnSuccess) {
+  int a = 0, b = 10;
+  CIP_CHECK_LT(++a, ++b);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 11);
+}
+
+TEST(Check, ComparisonArgumentsEvaluatedOnceOnFailure) {
+  // The failure path formats the *captured* values: no second evaluation.
+  int calls = 0;
+  const std::string msg =
+      FailureMessage([&] { CIP_CHECK_EQ(++calls, 99); });
+  EXPECT_EQ(calls, 1);
+  EXPECT_NE(msg.find("expected 1 == 99"), std::string::npos) << msg;
+}
+
+TEST(Check, CheckMsgConditionEvaluatedOnce) {
+  int calls = 0;
+  EXPECT_THROW(CIP_CHECK_MSG(++calls == 99, "calls"), CheckError);
+  EXPECT_EQ(calls, 1);
+}
+
+#if CIP_DCHECK_IS_ON
+
+TEST(DCheck, EnabledTierBehavesLikeCheck) {
+  EXPECT_NO_THROW(CIP_DCHECK(true));
+  EXPECT_THROW(CIP_DCHECK(false), CheckError);
+  EXPECT_THROW(CIP_DCHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(CIP_DCHECK_MSG(false, "boom"), CheckError);
+  const std::string msg = FailureMessage([] { CIP_DCHECK_LT(5, 4); });
+  EXPECT_NE(msg.find("expected 5 < 4"), std::string::npos) << msg;
+}
+
+TEST(DCheck, EnabledTierEvaluatesOnce) {
+  int n = 0;
+  CIP_DCHECK_EQ(++n, 1);
+  EXPECT_EQ(n, 1);
+}
+
+#else
+
+TEST(DCheck, CompiledOutTierNeverThrows) {
+  EXPECT_NO_THROW(CIP_DCHECK(false));
+  EXPECT_NO_THROW(CIP_DCHECK_EQ(1, 2));
+  EXPECT_NO_THROW(CIP_DCHECK_MSG(false, "never built"));
+}
+
+TEST(DCheck, CompiledOutTierDoesNotEvaluateArguments) {
+  int n = 0;
+  CIP_DCHECK(++n == 1);
+  CIP_DCHECK_EQ(++n, 1);
+  CIP_DCHECK_LT(++n, 0);
+  EXPECT_EQ(n, 0);
+}
+
+#endif  // CIP_DCHECK_IS_ON
+
+}  // namespace
+}  // namespace cip

@@ -2,6 +2,7 @@
 // participation, and learning-rate schedules across rounds.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "fl/client.h"
@@ -111,6 +112,30 @@ TEST(Serialize, RejectsTruncatedStream) {
   const std::string full = ss.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(fl::LoadTensor(truncated), CheckError);
+}
+
+TEST(Serialize, RejectsHostileLengthPrefix) {
+  // Hand-craft a header whose length prefix claims ~2^63 floats; the loader
+  // must reject it before sizing a buffer.
+  const auto put_u32 = [](std::stringstream& ss, std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) ss.put(static_cast<char>((v >> (8 * b)) & 0xff));
+  };
+  const auto put_u64 = [](std::stringstream& ss, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) ss.put(static_cast<char>((v >> (8 * b)) & 0xff));
+  };
+  std::stringstream ss;
+  put_u32(ss, 0x43495053);  // state magic "CIPS"
+  put_u32(ss, 1);           // version
+  put_u64(ss, std::uint64_t{1} << 62);
+  EXPECT_THROW(fl::LoadModelState(ss), CheckError);
+
+  // Tensor path: plausible rank, dims whose product overflows size_t.
+  std::stringstream ts;
+  put_u32(ts, 0x43495054);  // tensor magic "CIPT"
+  put_u32(ts, 1);           // version
+  put_u64(ts, 4);           // rank
+  for (int i = 0; i < 4; ++i) put_u64(ts, std::uint64_t{1} << 30);
+  EXPECT_THROW(fl::LoadTensor(ts), CheckError);
 }
 
 TEST(Serialize, FileRoundTrip) {

@@ -1,0 +1,159 @@
+// Stress tests for ParallelFor: TSan-visible write patterns, exception
+// propagation from workers, and strict CIP_THREADS parsing. Designed to run
+// under the `tsan` preset — the overlapping-write scenarios only touch shared
+// state through atomics, so a clean run certifies the harness itself is
+// race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace cip {
+namespace {
+
+constexpr std::size_t kN = 1 << 15;
+constexpr std::size_t kThreads = 4;  // force real workers even on 1-core CI
+
+TEST(ParallelStress, DisjointWritesCoverRange) {
+  std::vector<int> hits(kN, 0);
+  ParallelFor(0, kN, [&](std::size_t i) { hits[i] += 1; }, kThreads);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+}
+
+TEST(ParallelStress, OverlappingAtomicCounter) {
+  // Every index increments the same counter: maximal contention, race-free
+  // only because the counter is atomic. TSan certifies exactly that.
+  std::atomic<std::size_t> counter{0};
+  ParallelFor(0, kN, [&](std::size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }, kThreads);
+  EXPECT_EQ(counter.load(), kN);
+}
+
+TEST(ParallelStress, OverlappingSharedCells) {
+  // All workers hammer a small set of shared cells (indices collide mod 8).
+  std::vector<std::atomic<int>> cells(8);
+  ParallelFor(0, kN, [&](std::size_t i) {
+    cells[i % cells.size()].fetch_add(1, std::memory_order_relaxed);
+  }, kThreads);
+  int total = 0;
+  for (auto& c : cells) total += c.load();
+  EXPECT_EQ(total, static_cast<int>(kN));
+}
+
+TEST(ParallelStress, NestedParallelFor) {
+  // Outer level parallel, inner level re-enters ParallelFor; must neither
+  // deadlock nor race.
+  std::atomic<std::size_t> counter{0};
+  ParallelFor(0, 64, [&](std::size_t) {
+    ParallelFor(0, 64, [&](std::size_t) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }, 2);
+  }, kThreads);
+  EXPECT_EQ(counter.load(), 64u * 64u);
+}
+
+TEST(ParallelStress, WorkerExceptionPropagatesToCaller) {
+  // A throw inside a worker must surface on the calling thread (historically
+  // this killed the process via std::terminate in the jthread).
+  EXPECT_THROW(
+      ParallelFor(0, kN, [](std::size_t i) {
+        if (i == kN / 2) throw std::runtime_error("worker failed");
+      }, kThreads),
+      std::runtime_error);
+}
+
+TEST(ParallelStress, WorkerCheckErrorPropagatesToCaller) {
+  // The library's own contract system communicates misuse by throwing; a
+  // CIP_CHECK tripping inside a parallel region must reach the caller.
+  EXPECT_THROW(
+      ParallelFor(0, kN, [](std::size_t i) { CIP_CHECK_LT(i, kN / 2); },
+                  kThreads),
+      CheckError);
+}
+
+TEST(ParallelStress, FirstExceptionWinsAndOthersAreSwallowed) {
+  // Many workers throw; exactly one exception must arrive, and it must be one
+  // of the thrown types. Later workers bail out early.
+  try {
+    ParallelFor(0, kN, [](std::size_t) { throw std::runtime_error("any"); },
+                kThreads);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "any");
+  }
+}
+
+TEST(ParallelStress, ExceptionOnSerialPathAlsoPropagates) {
+  // Small ranges take the serial fast path; semantics must match.
+  EXPECT_THROW(
+      ParallelFor(0, 4, [](std::size_t) { throw std::logic_error("serial"); },
+                  kThreads),
+      std::logic_error);
+}
+
+TEST(ParallelStress, StateIsConsistentAfterWorkerException) {
+  // Indices before the failing one in the same chunk are executed; the call
+  // must not leak threads or corrupt the done-flags (TSan would flag both).
+  std::vector<std::atomic<int>> done(kN);
+  EXPECT_THROW(
+      ParallelFor(0, kN, [&](std::size_t i) {
+        if (i == 17) throw std::runtime_error("mid-chunk");
+        done[i].store(1, std::memory_order_relaxed);
+      }, kThreads),
+      std::runtime_error);
+  EXPECT_EQ(done[17].load(), 0);
+  // Re-running on the same state works fine.
+  ParallelFor(0, kN, [&](std::size_t i) {
+    done[i].store(1, std::memory_order_relaxed);
+  }, kThreads);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(done[i].load(), 1);
+}
+
+TEST(ParallelStress, EmptyAndReversedRangesAreNoOps) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, [&](std::size_t) { calls.fetch_add(1); }, kThreads);
+  ParallelFor(9, 3, [&](std::size_t) { calls.fetch_add(1); }, kThreads);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelThreadsEnv, DefaultIsAtLeastOne) {
+  EXPECT_GE(ParallelThreads(), 1u);
+  EXPECT_LE(ParallelThreads(), kMaxParallelThreads);
+}
+
+TEST(ParallelThreadsEnv, ParseAcceptsWholeDecimalIntegers) {
+  EXPECT_EQ(internal::ParseThreadCount("1"), 1u);
+  EXPECT_EQ(internal::ParseThreadCount("8"), 8u);
+  EXPECT_EQ(internal::ParseThreadCount("256"), 256u);
+  EXPECT_EQ(internal::ParseThreadCount("  16"), 16u);  // strtol skips leading ws
+}
+
+TEST(ParallelThreadsEnv, ParseRejectsGarbage) {
+  EXPECT_EQ(internal::ParseThreadCount(nullptr), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount(""), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("abc"), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("4cores"), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("4 "), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("4.5"), std::nullopt);
+}
+
+TEST(ParallelThreadsEnv, ParseRejectsNonPositiveAndOverflow) {
+  // The old strtol path silently mapped these to "no threads configured".
+  EXPECT_EQ(internal::ParseThreadCount("0"), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("-3"), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("257"), std::nullopt);  // > cap
+  EXPECT_EQ(internal::ParseThreadCount("99999999999999999999"), std::nullopt);
+  EXPECT_EQ(internal::ParseThreadCount("9223372036854775807"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace cip

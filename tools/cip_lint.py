@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the cipfl codebase.
+
+Rules (see README "Correctness tooling"):
+  pragma-once     every .h must start with `#pragma once` (after comments)
+  banned-rand     `rand()` / `srand()` are banned — use cip::Rng
+  random-device   `std::random_device` is banned (non-deterministic seeding)
+  unseeded-rng    constructing a std:: engine without an explicit seed is
+                  banned outside src/common/rng.h (the sanctioned wrapper)
+  reinterpret     `reinterpret_cast` is banned outside src/fl/serialize.cpp
+                  (the audited byte-level (de)serialization boundary)
+  include-style   no `#include <bits/...>`, no parent-relative includes
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+`--self-test` seeds one violation per rule into a temp tree and verifies the
+linter flags each of them (used as a ctest test so the linter itself cannot
+silently rot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+LINT_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_SUFFIXES = {".h", ".cpp"}
+
+# Files allowed to break a specific rule, relative to the repo root.
+ALLOWLIST = {
+    "unseeded-rng": {"src/common/rng.h"},
+    "reinterpret": {"src/fl/serialize.cpp"},
+}
+
+RE_COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
+RE_BANNED_RAND = re.compile(r"(?<![\w:])s?rand\s*\(")
+RE_RANDOM_DEVICE = re.compile(r"\bstd::random_device\b")
+# Default-constructed standard RNG engines: `std::mt19937 g;`, `...{}`, `...()`.
+RE_UNSEEDED_RNG = re.compile(
+    r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+)\b"
+    r"\s+\w+\s*(;|\{\s*\}|\(\s*\))"
+)
+RE_REINTERPRET = re.compile(r"\breinterpret_cast\b")
+RE_BITS_INCLUDE = re.compile(r'#\s*include\s*<bits/')
+RE_PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop // comments so commented-out code does not trip content rules."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def check_pragma_once(rel: str, lines: list[str]) -> list[Violation]:
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or RE_COMMENT_LINE.match(line):
+            continue
+        if stripped == "#pragma once":
+            return []
+        return [Violation(rel, i, "pragma-once",
+                          "first non-comment line must be `#pragma once`")]
+    return [Violation(rel, 1, "pragma-once", "header has no `#pragma once`")]
+
+
+def check_content(rel: str, lines: list[str]) -> list[Violation]:
+    out: list[Violation] = []
+    for i, raw in enumerate(lines, start=1):
+        line = strip_line_comment(raw)
+        if RE_BANNED_RAND.search(line):
+            out.append(Violation(rel, i, "banned-rand",
+                                 "rand()/srand() banned; use cip::Rng"))
+        if RE_RANDOM_DEVICE.search(line):
+            out.append(Violation(rel, i, "random-device",
+                                 "std::random_device banned; seed cip::Rng "
+                                 "explicitly for reproducibility"))
+        if rel not in ALLOWLIST["unseeded-rng"] and RE_UNSEEDED_RNG.search(line):
+            out.append(Violation(rel, i, "unseeded-rng",
+                                 "default-constructed std:: engine; pass an "
+                                 "explicit seed (or use cip::Rng)"))
+        if rel not in ALLOWLIST["reinterpret"] and RE_REINTERPRET.search(line):
+            out.append(Violation(rel, i, "reinterpret",
+                                 "reinterpret_cast only allowed in "
+                                 "src/fl/serialize.cpp"))
+        if RE_BITS_INCLUDE.search(line):
+            out.append(Violation(rel, i, "include-style",
+                                 "never include <bits/...> internals"))
+        if RE_PARENT_INCLUDE.search(line):
+            out.append(Violation(rel, i, "include-style",
+                                 'use project-root-relative includes, not "../"'))
+    return out
+
+
+def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
+    rel = path.relative_to(root).as_posix()
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        return [Violation(rel, 1, "io", f"unreadable: {e}")]
+    out: list[Violation] = []
+    if path.suffix == ".h":
+        out += check_pragma_once(rel, lines)
+    out += check_content(rel, lines)
+    return out
+
+
+def lint_tree(root: pathlib.Path) -> list[Violation]:
+    violations: list[Violation] = []
+    for d in LINT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                violations += lint_file(root, path)
+    return violations
+
+
+SELF_TEST_CASES = {
+    "pragma-once": "src/bad_header.h",
+    "banned-rand": "src/uses_rand.cpp",
+    "random-device": "src/uses_rd.cpp",
+    "unseeded-rng": "src/unseeded.cpp",
+    "reinterpret": "src/casts.cpp",
+    "include-style": "src/bad_include.cpp",
+}
+
+SELF_TEST_SOURCES = {
+    "src/bad_header.h": "#include <cstddef>\nint f();\n",
+    "src/uses_rand.cpp": "int noise() { return rand() % 7; }\n",
+    "src/uses_rd.cpp": "#include <random>\nunsigned s() { std::random_device rd; return rd(); }\n",
+    "src/unseeded.cpp": "#include <random>\nvoid g() { std::mt19937_64 eng; (void)eng; }\n",
+    "src/casts.cpp": "long p(void* v) { return *reinterpret_cast<long*>(v); }\n",
+    "src/bad_include.cpp": '#include "../outside.h"\n',
+    # And one clean file that must NOT be flagged.
+    "src/clean.cpp": "#include <random>\nvoid h() { std::mt19937_64 eng(42); (void)eng; }\n",
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory(prefix="cip_lint_selftest_") as tmp:
+        root = pathlib.Path(tmp)
+        for rel, content in SELF_TEST_SOURCES.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+        violations = lint_tree(root)
+        rules_hit = {v.rule for v in violations}
+        ok = True
+        for rule, rel in SELF_TEST_CASES.items():
+            if rule not in rules_hit:
+                print(f"self-test FAIL: rule {rule} missed seeded violation in {rel}")
+                ok = False
+        clean_hits = [v for v in violations if v.path.endswith("clean.cpp")]
+        if clean_hits:
+            print(f"self-test FAIL: false positives on clean file: {clean_hits}")
+            ok = False
+        print("self-test OK" if ok else "self-test FAILED")
+        return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter detects seeded violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"cip_lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"cip_lint: {len(violations)} violation(s)")
+        return 1
+    print("cip_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
