@@ -1,11 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the numeric kernels every
-// experiment is built on: matmul, convolution, softmax/cross-entropy, the
-// CIP blending function, and a full dual-channel forward/backward step.
+// experiment is built on: matmul (blocked GEMM), im2col/GEMM vs naive
+// convolution, softmax/cross-entropy, the CIP blending function, and a full
+// dual-channel forward/backward step. docs/BENCHMARKS.md explains how
+// scripts/bench_baseline.sh turns this suite into the committed
+// BENCH_kernels.json baseline.
 #include <benchmark/benchmark.h>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "core/blend.h"
 #include "nn/backbones.h"
+#include "nn/conv2d.h"
 #include "tensor/ops.h"
 
 namespace cip {
@@ -28,7 +33,95 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(n * n * n));
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatmulTransB(a, b));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_MatmulTransB)->Arg(64)->Arg(256);
+
+// --- convolution: im2col/GEMM fast path vs the CIP_NAIVE_CONV reference ----
+//
+// Backbone-sized shape (batch 32, 3->32 channels, 32x32, k3 s1 p1). The
+// committed BENCH_kernels.json records the GEMM/naive ratio at CIP_THREADS=1
+// and 4; scripts/bench_baseline.sh regenerates it.
+
+constexpr std::size_t kConvN = 32, kConvIC = 3, kConvOC = 32, kConvHW = 32;
+
+nn::Conv2d MakeBenchConv() {
+  Rng rng(13);
+  return nn::Conv2d(kConvIC, kConvOC, /*kernel=*/3, /*stride=*/1,
+                    /*padding=*/1, rng, "bench_conv");
+}
+
+void RunConvForward(benchmark::State& state, bool naive) {
+  internal::SetNaiveConvForTesting(naive);
+  nn::Conv2d conv = MakeBenchConv();
+  const Tensor x = RandomTensor({kConvN, kConvIC, kConvHW, kConvHW}, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, /*train=*/false));
+  }
+  internal::SetNaiveConvForTesting(false);
+  // One MAC = 2 flops; items = MACs of the convolution.
+  state.SetItemsProcessed(
+      static_cast<long>(state.iterations()) *
+      static_cast<long>(kConvN * kConvOC * kConvHW * kConvHW * kConvIC * 9));
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  RunConvForward(state, /*naive=*/false);
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  RunConvForward(state, /*naive=*/true);
+}
+BENCHMARK(BM_Conv2dForwardNaive);
+
+void RunConvBackward(benchmark::State& state, bool naive) {
+  internal::SetNaiveConvForTesting(naive);
+  nn::Conv2d conv = MakeBenchConv();
+  const Tensor x = RandomTensor({kConvN, kConvIC, kConvHW, kConvHW}, 15);
+  const Tensor grad = RandomTensor({kConvN, kConvOC, kConvHW, kConvHW}, 16);
+  for (auto _ : state) {
+    conv.Forward(x, /*train=*/true);
+    benchmark::DoNotOptimize(conv.Backward(grad));
+    conv.ZeroGrad();
+  }
+  internal::SetNaiveConvForTesting(false);
+}
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  RunConvBackward(state, /*naive=*/false);
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_Conv2dBackwardNaive(benchmark::State& state) {
+  RunConvBackward(state, /*naive=*/true);
+}
+BENCHMARK(BM_Conv2dBackwardNaive);
+
+void BM_Im2Col(benchmark::State& state) {
+  const ops::Conv2dGeom g{kConvIC, kConvHW, kConvHW, 3, 1, 1};
+  const Tensor x = RandomTensor({kConvN, kConvIC, kConvHW, kConvHW}, 17);
+  Tensor col({kConvN * g.OutH() * g.OutW(), g.PatchSize()});
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kConvN; ++i) {
+      ops::Im2ColInto(x, i, g, col, i * g.OutH() * g.OutW());
+    }
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(col.size()));
+}
+BENCHMARK(BM_Im2Col);
 
 void BM_SoftmaxCrossEntropy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate the committed kernel-performance baseline (BENCH_kernels.json).
+#
+# Builds bench_micro_ops in the tier-1 Release tree (./build), then runs the
+# kernel benchmarks at CIP_THREADS=1 and CIP_THREADS=4 and merges the results
+# via tools/bench_to_json.py. Run on an otherwise idle machine; see
+# docs/BENCHMARKS.md for what the fields mean and how to compare against the
+# committed baseline.
+#
+#   scripts/bench_baseline.sh                 # full run (~a few minutes)
+#   CIP_BENCH_MIN_TIME=0.05 scripts/bench_baseline.sh   # quicker, noisier
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${CIP_CHECK_JOBS:-$(nproc)}"
+min_time="${CIP_BENCH_MIN_TIME:-0.5}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs" --target bench_micro_ops
+
+python3 tools/bench_to_json.py \
+  --binary build/bench/bench_micro_ops \
+  --output BENCH_kernels.json \
+  --threads 1 4 \
+  --min-time "$min_time"

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-command correctness gate: repo lint, then Release build+test, then
 # ASan+UBSan and UBSan build+test. Pass --tsan to append the (slow)
-# ThreadSanitizer pass. Run from anywhere inside the repo.
+# ThreadSanitizer pass; pass --bench to append a one-iteration smoke run of
+# the kernel micro-benchmarks (catches bench-only build/runtime breakage
+# without paying for a full timing run). Run from anywhere inside the repo.
 #
 #   scripts/check.sh            # lint + release + asan + ubsan
 #   scripts/check.sh --tsan     # ... + tsan
+#   scripts/check.sh --bench    # ... + benchmark smoke run
 #   CIP_CHECK_JOBS=8 scripts/check.sh
 set -euo pipefail
 
@@ -12,10 +15,12 @@ cd "$(dirname "$0")/.."
 
 jobs="${CIP_CHECK_JOBS:-$(nproc)}"
 run_tsan=0
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
-    *) echo "usage: scripts/check.sh [--tsan]" >&2; exit 2 ;;
+    --bench) run_bench=1 ;;
+    *) echo "usage: scripts/check.sh [--tsan] [--bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -36,5 +41,13 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset" -j "$jobs"
 done
+
+if [[ "$run_bench" == 1 ]]; then
+  # Smoke mode: ~1ms per benchmark, enough to exercise every registered case.
+  # For real numbers use scripts/bench_baseline.sh (see docs/BENCHMARKS.md).
+  step "benchmark smoke run [release]"
+  cmake --build --preset release -j "$jobs" --target bench_micro_ops
+  ./build-release/bench/bench_micro_ops --benchmark_min_time=0.001
+fi
 
 step "all checks passed"

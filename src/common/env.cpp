@@ -1,7 +1,9 @@
 #include "common/env.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 
 namespace cip {
 
@@ -20,6 +22,39 @@ std::size_t Scaled(std::size_t nominal, std::size_t min_value) {
   const auto scaled =
       static_cast<std::size_t>(static_cast<double>(nominal) * BenchScale());
   return std::max(scaled, min_value);
+}
+
+namespace internal {
+
+std::optional<bool> ParseBoolFlag(const char* s) {
+  if (s == nullptr) return std::nullopt;
+  if (std::strcmp(s, "1") == 0) return true;
+  if (std::strcmp(s, "0") == 0) return false;
+  return std::nullopt;
+}
+
+namespace {
+
+// -1: not yet read from the environment; 0/1: resolved.
+std::atomic<int> g_naive_conv{-1};
+
+}  // namespace
+
+void SetNaiveConvForTesting(bool enabled) {
+  g_naive_conv.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+bool NaiveConvEnabled() {
+  int v = internal::g_naive_conv.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = internal::ParseBoolFlag(std::getenv("CIP_NAIVE_CONV")).value_or(false)
+            ? 1
+            : 0;
+    internal::g_naive_conv.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
 }
 
 }  // namespace cip

@@ -1,7 +1,9 @@
-// Environment-variable knobs for benches (scale factor, verbosity).
+// Environment-variable knobs: bench scaling and kernel-path selection.
+// README "Configuration" documents every variable in one place.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 namespace cip {
 
@@ -11,5 +13,24 @@ double BenchScale();
 
 /// Scale a nominal count, keeping at least `min_value`.
 std::size_t Scaled(std::size_t nominal, std::size_t min_value = 1);
+
+/// CIP_NAIVE_CONV (default 0): when 1, Conv2d uses the reference direct
+/// convolution loops instead of the im2col + GEMM fast path. Strict parsing:
+/// only the exact strings "0" and "1" are honored; anything else is ignored
+/// (fast path). Read once at first use; parity tests flip the path at
+/// runtime via internal::SetNaiveConvForTesting.
+bool NaiveConvEnabled();
+
+namespace internal {
+
+/// Strict parse of a 0/1 flag value. Returns nullopt unless `s` is exactly
+/// "0" or "1".
+std::optional<bool> ParseBoolFlag(const char* s);
+
+/// Override NaiveConvEnabled() for the rest of the process, bypassing the
+/// environment. For parity tests and the naive-vs-GEMM benches only.
+void SetNaiveConvForTesting(bool enabled);
+
+}  // namespace internal
 
 }  // namespace cip

@@ -19,6 +19,7 @@ namespace cip::nn {
 
 enum class Arch { kResNet, kDenseNet, kVGG, kMLP };
 
+/// Short lowercase name for an architecture family ("resnet", "vgg", ...).
 std::string ArchName(Arch arch);
 
 /// Declarative model description. Clients and server construct identical

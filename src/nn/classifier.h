@@ -24,12 +24,18 @@ class Classifier {
   /// Backprop from dL/dlogits; accumulates parameter grads, returns dL/dx.
   Tensor Backward(const Tensor& dlogits);
 
+  /// All trainable parameters (backbone then head), deterministic order.
   std::vector<Parameter*> Parameters();
+  /// Total number of trainable scalars.
   std::size_t ParameterCount();
+  /// Zero every parameter's gradient accumulator.
   void ZeroGrad();
+  /// Drop pending forward caches (forward passes not followed by backward).
   void ClearCache();
 
+  /// Number of output classes (logit width).
   std::size_t num_classes() const { return num_classes_; }
+  /// Channel (or vector) width of the backbone output fed to the head.
   std::size_t feature_dim() const { return feature_dim_; }
 
  private:

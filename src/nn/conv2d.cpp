@@ -1,10 +1,20 @@
 #include "nn/conv2d.h"
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "nn/init.h"
-#include "tensor/ops.h"
 
 namespace cip::nn {
+
+namespace {
+
+/// Reallocate `t` only when the wanted shape differs — the scratch reuse
+/// that keeps steady-state training allocation-free.
+void EnsureShape(Tensor& t, Shape shape) {
+  if (t.shape() != shape) t = Tensor(std::move(shape));
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t padding,
@@ -24,74 +34,73 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   HeNormal(w_.value, ic_ * k_ * k_, rng);
 }
 
-Tensor Conv2d::Im2Col(const Tensor& x, std::size_t n_index, std::size_t oh,
-                      std::size_t ow) const {
-  CIP_DCHECK_EQ(x.rank(), 4u);
-  CIP_DCHECK_LT(n_index, x.dim(0));
-  CIP_DCHECK_EQ(x.dim(1), ic_);
+Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
+                           std::size_t ow) {
   const std::size_t h = x.dim(2), w = x.dim(3);
-  CIP_DCHECK_EQ(oh, OutExtent(h));
-  CIP_DCHECK_EQ(ow, OutExtent(w));
-  const std::size_t cols = ic_ * k_ * k_;
-  Tensor col({oh * ow, cols});
-  const float* px = x.data() + n_index * ic_ * h * w;
-  float* pc = col.data();
-  for (std::size_t oy = 0; oy < oh; ++oy) {
-    for (std::size_t ox = 0; ox < ow; ++ox) {
-      float* crow = pc + (oy * ow + ox) * cols;
-      for (std::size_t c = 0; c < ic_; ++c) {
-        for (std::size_t ky = 0; ky < k_; ++ky) {
-          const long iy = static_cast<long>(oy * stride_ + ky) -
-                          static_cast<long>(pad_);
-          for (std::size_t kx = 0; kx < k_; ++kx) {
-            const long ix = static_cast<long>(ox * stride_ + kx) -
-                            static_cast<long>(pad_);
-            float v = 0.0f;
-            if (iy >= 0 && iy < static_cast<long>(h) && ix >= 0 &&
-                ix < static_cast<long>(w)) {
-              v = px[c * h * w + static_cast<std::size_t>(iy) * w +
-                     static_cast<std::size_t>(ix)];
-            }
-            crow[c * k_ * k_ + ky * k_ + kx] = v;
-          }
-        }
+  const ops::Conv2dGeom geom = Geom(h, w);
+  const std::size_t rows = n * oh * ow;
+  const std::size_t patch = geom.PatchSize();
+  EnsureShape(col_, {rows, patch});
+  ParallelFor(0, n, [&](std::size_t i) {
+    ops::Im2ColInto(x, i, geom, col_, i * oh * ow);
+  });
+  EnsureShape(gemm_y_, {rows, oc_});
+  ops::MatmulTransBInto(col_, w_.value, gemm_y_);  // [rows, oc]
+  // Scatter [N·OH·OW, OC] back to NCHW and add the bias.
+  Tensor y({n, oc_, oh, ow});
+  const float* pg = gemm_y_.data();
+  const float* pb = b_.value.data();
+  float* py_all = y.data();
+  ParallelFor(0, n, [&](std::size_t i) {
+    const float* grow = pg + i * oh * ow * oc_;
+    float* py = py_all + i * oc_ * oh * ow;
+    for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+      const float* orow = grow + pos * oc_;
+      for (std::size_t c = 0; c < oc_; ++c) {
+        py[c * oh * ow + pos] = orow[c] + pb[c];
       }
     }
-  }
-  return col;
+  });
+  return y;
 }
 
-void Conv2d::Col2Im(const Tensor& col, std::size_t oh, std::size_t ow,
-                    std::size_t h, std::size_t w, Tensor& dx,
-                    std::size_t n_index) const {
-  CIP_DCHECK_EQ(col.rank(), 2u);
-  CIP_DCHECK_EQ(col.dim(0), oh * ow);
-  CIP_DCHECK_EQ(col.dim(1), ic_ * k_ * k_);
-  CIP_DCHECK_EQ(dx.rank(), 4u);
-  CIP_DCHECK_LT(n_index, dx.dim(0));
-  const std::size_t cols = ic_ * k_ * k_;
-  float* px = dx.data() + n_index * ic_ * h * w;
-  const float* pc = col.data();
-  for (std::size_t oy = 0; oy < oh; ++oy) {
-    for (std::size_t ox = 0; ox < ow; ++ox) {
-      const float* crow = pc + (oy * ow + ox) * cols;
-      for (std::size_t c = 0; c < ic_; ++c) {
-        for (std::size_t ky = 0; ky < k_; ++ky) {
-          const long iy = static_cast<long>(oy * stride_ + ky) -
-                          static_cast<long>(pad_);
-          if (iy < 0 || iy >= static_cast<long>(h)) continue;
-          for (std::size_t kx = 0; kx < k_; ++kx) {
-            const long ix = static_cast<long>(ox * stride_ + kx) -
-                            static_cast<long>(pad_);
-            if (ix < 0 || ix >= static_cast<long>(w)) continue;
-            px[c * h * w + static_cast<std::size_t>(iy) * w +
-               static_cast<std::size_t>(ix)] +=
-                crow[c * k_ * k_ + ky * k_ + kx];
+Tensor Conv2d::ForwardNaive(const Tensor& x, std::size_t n, std::size_t oh,
+                            std::size_t ow) const {
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  Tensor y({n, oc_, oh, ow});
+  const float* pw = w_.value.data();
+  const float* pb = b_.value.data();
+  const float* px_all = x.data();
+  float* py_all = y.data();
+  ParallelFor(0, n, [&](std::size_t i) {
+    const float* px = px_all + i * ic_ * h * w;
+    float* py = py_all + i * oc_ * oh * ow;
+    for (std::size_t co = 0; co < oc_; ++co) {
+      const float* wrow = pw + co * ic_ * k_ * k_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = pb[co];
+          for (std::size_t c = 0; c < ic_; ++c) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const long iy = static_cast<long>(oy * stride_ + ky) -
+                              static_cast<long>(pad_);
+              if (iy < 0 || iy >= static_cast<long>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const long ix = static_cast<long>(ox * stride_ + kx) -
+                                static_cast<long>(pad_);
+                if (ix < 0 || ix >= static_cast<long>(w)) continue;
+                acc += px[c * h * w + static_cast<std::size_t>(iy) * w +
+                          static_cast<std::size_t>(ix)] *
+                       wrow[c * k_ * k_ + ky * k_ + kx];
+              }
+            }
           }
+          py[co * oh * ow + oy * ow + ox] = acc;
         }
       }
     }
-  }
+  });
+  return y;
 }
 
 Tensor Conv2d::Forward(const Tensor& x, bool train) {
@@ -101,21 +110,104 @@ Tensor Conv2d::Forward(const Tensor& x, bool train) {
   const std::size_t oh = OutExtent(h), ow = OutExtent(w);
   CIP_DCHECK_GT(oh, 0u);
   CIP_DCHECK_GT(ow, 0u);
-  Tensor y({n, oc_, oh, ow});
+  Tensor y = NaiveConvEnabled() ? ForwardNaive(x, n, oh, ow)
+                                : ForwardGemm(x, n, oh, ow);
+  if (train) cached_inputs_.push(x);
+  return y;
+}
+
+Tensor Conv2d::BackwardGemm(const Tensor& x, const Tensor& grad_out) {
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const ops::Conv2dGeom geom = Geom(h, w);
+  const std::size_t oh = geom.OutH(), ow = geom.OutW();
+  const std::size_t rows = n * oh * ow;
+  const std::size_t patch = geom.PatchSize();
+
+  // grad_out [N, OC, OH, OW] -> gy_ [N·OH·OW, OC] (the GEMM layout).
+  EnsureShape(gy_, {rows, oc_});
+  const float* pg_all = grad_out.data();
+  float* pgy = gy_.data();
   ParallelFor(0, n, [&](std::size_t i) {
-    const Tensor col = Im2Col(x, i, oh, ow);           // [oh*ow, ic*k*k]
-    const Tensor out = ops::MatmulTransB(col, w_.value);  // [oh*ow, oc]
-    CIP_DCHECK_EQ(out.dim(1), oc_);
-    float* py = y.data() + i * oc_ * oh * ow;
-    for (std::size_t pos = 0; pos < oh * ow; ++pos) {
-      const float* orow = out.data() + pos * oc_;
-      for (std::size_t c = 0; c < oc_; ++c) {
-        py[c * oh * ow + pos] = orow[c] + b_.value[c];
+    const float* pg = pg_all + i * oc_ * oh * ow;
+    float* grow = pgy + i * oh * ow * oc_;
+    for (std::size_t c = 0; c < oc_; ++c) {
+      for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+        grow[pos * oc_ + c] = pg[c * oh * ow + pos];
       }
     }
   });
-  if (train) cached_inputs_.push(x);
-  return y;
+
+  // Bias gradient: column sums of gy_.
+  ops::AddInPlace(b_.grad, ops::SumRows(gy_));
+
+  // Recompute the batched lowering of x. The col_ scratch cannot be trusted
+  // to still hold it: the dual-channel model runs forward(ch1), forward(ch2)
+  // and then backs them out LIFO, so by the time ch1's Backward runs, col_
+  // holds ch2's lowering.
+  EnsureShape(col_, {rows, patch});
+  ParallelFor(0, n, [&](std::size_t i) {
+    ops::Im2ColInto(x, i, geom, col_, i * oh * ow);
+  });
+
+  // Weight gradient: dW = gyᵀ · col, one GEMM for the whole batch.
+  EnsureShape(dw_, {oc_, patch});
+  ops::MatmulTransAInto(gy_, col_, dw_);
+  ops::AddInPlace(w_.grad, dw_);
+
+  // Input gradient: back to column space with one GEMM, then scatter-add.
+  EnsureShape(dcol_, {rows, patch});
+  ops::MatmulInto(gy_, w_.value, dcol_);
+  Tensor dx({n, ic_, h, w});
+  ParallelFor(0, n, [&](std::size_t i) {
+    ops::Col2ImInto(dcol_, i * oh * ow, geom, dx, i);
+  });
+  return dx;
+}
+
+Tensor Conv2d::BackwardNaive(const Tensor& x, const Tensor& grad_out) {
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = OutExtent(h), ow = OutExtent(w);
+  Tensor dx({n, ic_, h, w});
+  // Serial on purpose: dw/db accumulate across every sample and output
+  // position, and the reference path favors determinism over speed.
+  const float* pw = w_.value.data();
+  float* pdw = w_.grad.data();
+  float* pdb = b_.grad.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* px = x.data() + i * ic_ * h * w;
+    const float* pg = grad_out.data() + i * oc_ * oh * ow;
+    float* pdx = dx.data() + i * ic_ * h * w;
+    for (std::size_t co = 0; co < oc_; ++co) {
+      const float* wrow = pw + co * ic_ * k_ * k_;
+      float* dwrow = pdw + co * ic_ * k_ * k_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = pg[co * oh * ow + oy * ow + ox];
+          pdb[co] += g;
+          if (g == 0.0f) continue;
+          for (std::size_t c = 0; c < ic_; ++c) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const long iy = static_cast<long>(oy * stride_ + ky) -
+                              static_cast<long>(pad_);
+              if (iy < 0 || iy >= static_cast<long>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const long ix = static_cast<long>(ox * stride_ + kx) -
+                                static_cast<long>(pad_);
+                if (ix < 0 || ix >= static_cast<long>(w)) continue;
+                const std::size_t xi = c * h * w +
+                                       static_cast<std::size_t>(iy) * w +
+                                       static_cast<std::size_t>(ix);
+                const std::size_t wi = c * k_ * k_ + ky * k_ + kx;
+                dwrow[wi] += g * px[xi];
+                pdx[xi] += g * wrow[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
@@ -123,37 +215,12 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   const Tensor x = std::move(cached_inputs_.top());
   cached_inputs_.pop();
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
-  const std::size_t oh = OutExtent(h), ow = OutExtent(w);
   CIP_CHECK_EQ(grad_out.dim(0), n);
   CIP_CHECK_EQ(grad_out.dim(1), oc_);
-  CIP_CHECK_EQ(grad_out.dim(2), oh);
-  CIP_CHECK_EQ(grad_out.dim(3), ow);
-
-  Tensor dx({n, ic_, h, w});
-  // Accumulate per-sample weight grads locally, merge under a plain loop to
-  // stay deterministic (no atomics); sample-level parallelism only for dx.
-  const std::size_t cols = ic_ * k_ * k_;
-  std::vector<Tensor> dw_per_thread;
-  Tensor dw({oc_, cols});
-  Tensor db({oc_});
-  for (std::size_t i = 0; i < n; ++i) {
-    // gy_i as [oh*ow, oc] (transposed layout of grad_out sample i).
-    Tensor gy({oh * ow, oc_});
-    const float* pg = grad_out.data() + i * oc_ * oh * ow;
-    for (std::size_t c = 0; c < oc_; ++c) {
-      for (std::size_t pos = 0; pos < oh * ow; ++pos) {
-        gy[pos * oc_ + c] = pg[c * oh * ow + pos];
-        db[c] += pg[c * oh * ow + pos];
-      }
-    }
-    const Tensor col = Im2Col(x, i, oh, ow);          // [oh*ow, cols]
-    ops::AddInPlace(dw, ops::MatmulTransA(gy, col));  // [oc, cols]
-    const Tensor dcol = ops::Matmul(gy, w_.value);    // [oh*ow, cols]
-    Col2Im(dcol, oh, ow, h, w, dx, i);
-  }
-  ops::AddInPlace(w_.grad, dw);
-  ops::AddInPlace(b_.grad, db);
-  return dx;
+  CIP_CHECK_EQ(grad_out.dim(2), OutExtent(h));
+  CIP_CHECK_EQ(grad_out.dim(3), OutExtent(w));
+  return NaiveConvEnabled() ? BackwardNaive(x, grad_out)
+                            : BackwardGemm(x, grad_out);
 }
 
 void Conv2d::CollectParameters(std::vector<Parameter*>& out) {

@@ -32,12 +32,18 @@ class DualChannelClassifier {
   /// Backprop from dL/dlogits; returns (dL/dx1, dL/dx2).
   std::pair<Tensor, Tensor> Backward(const Tensor& dlogits);
 
+  /// All trainable parameters (shared backbone then head), deterministic order.
   std::vector<Parameter*> Parameters();
+  /// Total number of trainable scalars (backbone counted once).
   std::size_t ParameterCount();
+  /// Zero every parameter's gradient accumulator.
   void ZeroGrad();
+  /// Drop pending forward caches from both channels.
   void ClearCache();
 
+  /// Number of output classes (logit width).
   std::size_t num_classes() const { return num_classes_; }
+  /// Per-channel backbone output width; the head sees 2x this after concat.
   std::size_t feature_dim() const { return feature_dim_; }
 
  private:

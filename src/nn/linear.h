@@ -19,9 +19,13 @@ class Linear : public Module {
   std::string Name() const override { return name_; }
   void ClearCache() override;
 
+  /// Input feature dimension (columns of x).
   std::size_t in_features() const { return in_; }
+  /// Output feature dimension (rows of W).
   std::size_t out_features() const { return out_; }
+  /// Weight parameter W, shape [out_features, in_features].
   Parameter& weight() { return w_; }
+  /// Bias parameter b, shape [out_features].
   Parameter& bias() { return b_; }
 
  private:

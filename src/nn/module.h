@@ -28,6 +28,7 @@ struct Parameter {
   Parameter(std::string n, Tensor v)
       : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
 
+  /// Reset the gradient accumulator to zero (value untouched).
   void ZeroGrad() { grad.Zero(); }
 };
 
@@ -50,24 +51,28 @@ class Module {
   /// Append this module's parameters (deterministic order).
   virtual void CollectParameters(std::vector<Parameter*>& out) { (void)out; }
 
+  /// Stable human-readable identifier used in parameter names and logs.
   virtual std::string Name() const = 0;
 
   /// Drop any pending forward caches (e.g. after an exception or when a
   /// forward pass is not followed by backward).
   virtual void ClearCache() {}
 
+  /// All parameters of this module (and children), in deterministic order.
   std::vector<Parameter*> Parameters() {
     std::vector<Parameter*> out;
     CollectParameters(out);
     return out;
   }
 
+  /// Total number of trainable scalars across all parameters.
   std::size_t ParameterCount() {
     std::size_t n = 0;
     for (const Parameter* p : Parameters()) n += p->value.size();
     return n;
   }
 
+  /// Zero every parameter's gradient accumulator.
   void ZeroGrad() {
     for (Parameter* p : Parameters()) p->ZeroGrad();
   }

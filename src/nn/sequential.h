@@ -27,6 +27,7 @@ class Sequential : public Module {
   std::string Name() const override { return name_; }
   void ClearCache() override;
 
+  /// Number of child modules added so far.
   std::size_t ChildCount() const { return children_.size(); }
 
  private:

@@ -134,16 +134,157 @@ Tensor SumRows(const Tensor& a) {
   return out;
 }
 
-Tensor Matmul(const Tensor& a, const Tensor& b) {
-  CIP_CHECK_EQ(a.rank(), 2u);
-  CIP_CHECK_EQ(b.rank(), 2u);
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  CIP_CHECK_EQ(b.dim(0), k);
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  ParallelFor(0, m, [&](std::size_t i) {
+namespace {
+
+// --- cache-blocked GEMM core -----------------------------------------------
+//
+// One kernel serves Matmul (B row-major [k,n]) and MatmulTransB (B row-major
+// [n,k]): B is first repacked into column panels of width kNR —
+// packed[panel][p][jj] = B(p, panel*kNR + jj) — so the micro-kernel streams
+// contiguous memory regardless of B's original layout. The driver then tiles
+// i into blocks of kMC rows (parallelized across threads: each thread owns
+// disjoint rows of C), k into blocks of kKC (so a panel slice of
+// kKC × kNR floats stays cache-hot while it is reused by every row block),
+// and j panel by panel. The innermost register tile is kMR rows × kNR
+// columns, accumulated in locals so the compiler keeps it in vector
+// registers.
+constexpr std::size_t kMR = 4;    // register-tile rows
+constexpr std::size_t kNR = 8;    // register-tile columns (two SSE lanes)
+constexpr std::size_t kKC = 256;  // k-block: panel slice stays in L1
+constexpr std::size_t kMC = 64;   // i-block: unit of parallel work
+// Below this flop count the packing pass costs more than it saves; use the
+// plain row-streaming loops instead.
+constexpr std::size_t kBlockedMinFlops = 16 * 1024;
+
+std::size_t NumPanels(std::size_t n) { return (n + kNR - 1) / kNR; }
+
+/// Pack B into zero-padded kNR-wide column panels. `trans == false`: B is
+/// [k, n] and B(p, j) = b[p*n + j]; `trans == true`: B is [n, k] and
+/// B(p, j) = b[j*k + p].
+void PackPanels(const float* b, std::size_t k, std::size_t n, bool trans,
+                std::vector<float>& packed) {
+  const std::size_t panels = NumPanels(n);
+  packed.assign(panels * k * kNR, 0.0f);
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    const std::size_t j0 = jp * kNR;
+    const std::size_t jn = std::min(kNR, n - j0);
+    float* dst = packed.data() + jp * k * kNR;
+    if (!trans) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* src = b + p * n + j0;
+        for (std::size_t jj = 0; jj < jn; ++jj) dst[p * kNR + jj] = src[jj];
+      }
+    } else {
+      for (std::size_t jj = 0; jj < jn; ++jj) {
+        const float* src = b + (j0 + jj) * k;
+        for (std::size_t p = 0; p < k; ++p) dst[p * kNR + jj] = src[p];
+      }
+    }
+  }
+}
+
+// The register tile must actually live in registers: a plain float[4][8]
+// local tends to be left in memory by the compiler, turning every
+// accumulation into a load→add→store chain whose store-forwarding latency
+// caps the kernel near 1 MAC/cycle. GCC/Clang vector extensions give the
+// tile as eight named vector values (lowered to SSE pairs, or AVX when the
+// target allows) with a portable scalar fallback elsewhere.
+#if defined(__GNUC__) || defined(__clang__)
+#define CIP_GEMM_VECTOR_KERNEL 1
+// The helpers pass 32-byte vectors by value, which GCC flags with -Wpsabi on
+// non-AVX targets; every call is inlined inside this TU, so no cross-object
+// ABI boundary ever sees a vector argument (-Wno-psabi is set for cip_tensor
+// in src/tensor/CMakeLists.txt).
+// aligned(4): panel/C pointers are only float-aligned; loads must not assume
+// the natural 32-byte vector alignment.
+typedef float Vec8 __attribute__((vector_size(32), aligned(4)));
+static_assert(sizeof(Vec8) == kNR * sizeof(float));
+
+inline Vec8 Splat8(float v) { return Vec8{v, v, v, v, v, v, v, v}; }
+
+inline Vec8 Load8(const float* p) {
+  Vec8 out;
+  __builtin_memcpy(&out, p, sizeof out);
+  return out;
+}
+
+inline void Store8(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof v); }
+#endif
+
+/// C[m,n] = A[m,k] · B where B is pre-packed into panels. Overwrites C.
+void GemmPacked(const float* a, std::size_t m, std::size_t k, std::size_t n,
+                const float* packed, float* c) {
+  const std::size_t panels = NumPanels(n);
+  const std::size_t row_blocks = (m + kMC - 1) / kMC;
+  ParallelFor(0, row_blocks, [&](std::size_t ib) {
+    const std::size_t i_lo = ib * kMC;
+    const std::size_t i_hi = std::min(m, i_lo + kMC);
+    for (std::size_t i = i_lo; i < i_hi; i += kMR) {
+      const std::size_t mr = std::min(kMR, i_hi - i);
+      for (std::size_t jp = 0; jp < panels; ++jp) {
+        const std::size_t j0 = jp * kNR;
+        const std::size_t jn = std::min(kNR, n - j0);
+        const float* panel = packed + jp * k * kNR;
+#if CIP_GEMM_VECTOR_KERNEL
+        if (mr == kMR) {
+          const float* a0 = a + (i + 0) * k;
+          const float* a1 = a + (i + 1) * k;
+          const float* a2 = a + (i + 2) * k;
+          const float* a3 = a + (i + 3) * k;
+          Vec8 acc0{}, acc1{}, acc2{}, acc3{};
+          for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+            const std::size_t p1 = std::min(k, p0 + kKC);
+            const float* bp = panel + p0 * kNR;
+            for (std::size_t p = p0; p < p1; ++p, bp += kNR) {
+              const Vec8 bv = Load8(bp);
+              acc0 += Splat8(a0[p]) * bv;
+              acc1 += Splat8(a1[p]) * bv;
+              acc2 += Splat8(a2[p]) * bv;
+              acc3 += Splat8(a3[p]) * bv;
+            }
+          }
+          if (jn == kNR) {
+            Store8(c + (i + 0) * n + j0, acc0);
+            Store8(c + (i + 1) * n + j0, acc1);
+            Store8(c + (i + 2) * n + j0, acc2);
+            Store8(c + (i + 3) * n + j0, acc3);
+          } else {
+            const Vec8 accs[kMR] = {acc0, acc1, acc2, acc3};
+            for (std::size_t r = 0; r < kMR; ++r) {
+              float tmp[kNR];
+              Store8(tmp, accs[r]);
+              float* crow = c + (i + r) * n + j0;
+              for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = tmp[jj];
+            }
+          }
+          continue;
+        }
+#endif
+        // Tail rows (m % kMR) and non-vector builds.
+        float acc[kMR][kNR] = {};
+        for (std::size_t p = 0; p < k; ++p) {
+          const float* bp = panel + p * kNR;
+          for (std::size_t r = 0; r < mr; ++r) {
+            const float av = a[(i + r) * k + p];
+            for (std::size_t jj = 0; jj < kNR; ++jj) {
+              acc[r][jj] += av * bp[jj];
+            }
+          }
+        }
+        for (std::size_t r = 0; r < mr; ++r) {
+          float* crow = c + (i + r) * n + j0;
+          for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = acc[r][jj];
+        }
+      }
+    }
+  });
+}
+
+/// Plain row-streaming C = A·B for sizes where packing does not pay off.
+void SimpleMatmulInto(const float* pa, std::size_t m, std::size_t k,
+                      std::size_t n, const float* pb, float* pc) {
+  std::fill(pc, pc + m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
     float* crow = pc + i * n;
     const float* arow = pa + i * k;
     for (std::size_t p = 0; p < k; ++p) {
@@ -152,53 +293,223 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
       const float* brow = pb + p * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
-  });
+  }
+}
+
+/// Plain dot-product C = A·Bᵀ for small sizes.
+void SimpleMatmulTransBInto(const float* pa, std::size_t m, std::size_t k,
+                            std::size_t n, const float* pb, float* pc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float s = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+}
+
+void CheckMatmulOut(const Tensor& c, std::size_t m, std::size_t n) {
+  CIP_CHECK_EQ(c.rank(), 2u);
+  CIP_CHECK_EQ(c.dim(0), m);
+  CIP_CHECK_EQ(c.dim(1), n);
+}
+
+}  // namespace
+
+void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CIP_CHECK_EQ(b.dim(0), k);
+  CheckMatmulOut(c, m, n);
+  if (m * n * k < kBlockedMinFlops) {
+    SimpleMatmulInto(a.data(), m, k, n, b.data(), c.data());
+    return;
+  }
+  std::vector<float> packed;
+  PackPanels(b.data(), k, n, /*trans=*/false, packed);
+  GemmPacked(a.data(), m, k, n, packed.data(), c.data());
+}
+
+void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor& c) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  CIP_CHECK_EQ(b.dim(1), k);
+  CheckMatmulOut(c, m, n);
+  if (m * n * k < kBlockedMinFlops) {
+    SimpleMatmulTransBInto(a.data(), m, k, n, b.data(), c.data());
+    return;
+  }
+  std::vector<float> packed;
+  PackPanels(b.data(), k, n, /*trans=*/true, packed);
+  GemmPacked(a.data(), m, k, n, packed.data(), c.data());
+}
+
+void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  CIP_CHECK_EQ(b.dim(0), k);
+  CheckMatmulOut(c, m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  if (m * n * k < kBlockedMinFlops) {
+    // c[i,j] = sum_p a[p,i] * b[p,j]; accumulate row by row for locality.
+    std::fill(pc, pc + m * n, 0.0f);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = pa + p * m;
+      const float* brow = pb + p * n;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  // Transpose A once (O(k·m), trivial next to the O(m·n·k) GEMM) so the
+  // blocked kernel reads rows contiguously.
+  std::vector<float> at(m * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    for (std::size_t i = 0; i < m; ++i) at[i * k + p] = arow[i];
+  }
+  std::vector<float> packed;
+  PackPanels(pb, k, n, /*trans=*/false, packed);
+  GemmPacked(at.data(), m, k, n, packed.data(), pc);
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  CIP_CHECK_EQ(b.rank(), 2u);
+  Tensor c({a.dim(0), b.dim(1)});
+  MatmulInto(a, b, c);
   return c;
 }
 
 Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  CIP_CHECK_EQ(b.dim(1), k);
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  ParallelFor(0, m, [&](std::size_t i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(s);
-    }
-  });
+  Tensor c({a.dim(0), b.dim(0)});
+  MatmulTransBInto(a, b, c);
   return c;
 }
 
 Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  CIP_CHECK_EQ(b.dim(0), k);
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // c[i,j] = sum_p a[p,i] * b[p,j]; accumulate row by row for locality.
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  Tensor c({a.dim(1), b.dim(1)});
+  MatmulTransAInto(a, b, c);
+  return c;
+}
+
+namespace {
+
+void CheckGeom(const Conv2dGeom& g) {
+  CIP_CHECK_GT(g.in_channels, 0u);
+  CIP_CHECK_GT(g.kernel, 0u);
+  CIP_CHECK_GT(g.stride, 0u);
+  CIP_CHECK_GE(g.height + 2 * g.pad, g.kernel);
+  CIP_CHECK_GE(g.width + 2 * g.pad, g.kernel);
+}
+
+}  // namespace
+
+void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
+                Tensor& col, std::size_t row_offset) {
+  CheckGeom(g);
+  CIP_DCHECK_EQ(x.rank(), 4u);
+  CIP_DCHECK_LT(n_index, x.dim(0));
+  CIP_DCHECK_EQ(x.dim(1), g.in_channels);
+  CIP_DCHECK_EQ(x.dim(2), g.height);
+  CIP_DCHECK_EQ(x.dim(3), g.width);
+  const std::size_t h = g.height, w = g.width, k = g.kernel;
+  const std::size_t oh = g.OutH(), ow = g.OutW();
+  const std::size_t cols = g.PatchSize();
+  CIP_DCHECK_EQ(col.rank(), 2u);
+  CIP_DCHECK_EQ(col.dim(1), cols);
+  CIP_DCHECK_LE(row_offset + oh * ow, col.dim(0));
+  const float* px = x.data() + n_index * g.in_channels * h * w;
+  float* pc = col.data() + row_offset * cols;
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      float* crow = pc + (oy * ow + ox) * cols;
+      for (std::size_t c = 0; c < g.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          const long iy =
+              static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.pad);
+          // Whole kernel row in one go when it is fully inside the image —
+          // the common interior case — with the zero-padding boundary handled
+          // tap by tap otherwise.
+          float* drow = crow + c * k * k + ky * k;
+          if (iy < 0 || iy >= static_cast<long>(h)) {
+            for (std::size_t kx = 0; kx < k; ++kx) drow[kx] = 0.0f;
+            continue;
+          }
+          const float* srow =
+              px + c * h * w + static_cast<std::size_t>(iy) * w;
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            const long ix = static_cast<long>(ox * g.stride + kx) -
+                            static_cast<long>(g.pad);
+            drow[kx] = (ix >= 0 && ix < static_cast<long>(w))
+                           ? srow[static_cast<std::size_t>(ix)]
+                           : 0.0f;
+          }
+        }
+      }
     }
   }
-  return c;
+}
+
+Tensor Im2Col(const Tensor& x, std::size_t n_index, const Conv2dGeom& g) {
+  CheckGeom(g);
+  Tensor col({g.OutH() * g.OutW(), g.PatchSize()});
+  Im2ColInto(x, n_index, g, col, 0);
+  return col;
+}
+
+void Col2ImInto(const Tensor& col, std::size_t row_offset, const Conv2dGeom& g,
+                Tensor& dx, std::size_t n_index) {
+  CheckGeom(g);
+  const std::size_t h = g.height, w = g.width, k = g.kernel;
+  const std::size_t oh = g.OutH(), ow = g.OutW();
+  const std::size_t cols = g.PatchSize();
+  CIP_DCHECK_EQ(col.rank(), 2u);
+  CIP_DCHECK_EQ(col.dim(1), cols);
+  CIP_DCHECK_LE(row_offset + oh * ow, col.dim(0));
+  CIP_DCHECK_EQ(dx.rank(), 4u);
+  CIP_DCHECK_LT(n_index, dx.dim(0));
+  CIP_DCHECK_EQ(dx.dim(1), g.in_channels);
+  CIP_DCHECK_EQ(dx.dim(2), h);
+  CIP_DCHECK_EQ(dx.dim(3), w);
+  float* px = dx.data() + n_index * g.in_channels * h * w;
+  const float* pc = col.data() + row_offset * cols;
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const float* crow = pc + (oy * ow + ox) * cols;
+      for (std::size_t c = 0; c < g.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          const long iy =
+              static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long>(h)) continue;
+          float* drow = px + c * h * w + static_cast<std::size_t>(iy) * w;
+          const float* srow = crow + c * k * k + ky * k;
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            const long ix = static_cast<long>(ox * g.stride + kx) -
+                            static_cast<long>(g.pad);
+            if (ix < 0 || ix >= static_cast<long>(w)) continue;
+            drow[static_cast<std::size_t>(ix)] += srow[kx];
+          }
+        }
+      }
+    }
+  }
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {

@@ -14,13 +14,18 @@ namespace cip::ops {
 // ---- elementwise ----------------------------------------------------------
 
 Tensor Add(const Tensor& a, const Tensor& b);
+/// a - b, elementwise; shapes must match.
 Tensor Sub(const Tensor& a, const Tensor& b);
+/// a * b, elementwise (Hadamard product); shapes must match.
 Tensor Mul(const Tensor& a, const Tensor& b);
+/// s * a, elementwise.
 Tensor Scale(const Tensor& a, float s);
 
+/// a += b, elementwise; shapes must match.
 void AddInPlace(Tensor& a, const Tensor& b);
 /// a += s * b  (axpy)
 void Axpy(Tensor& a, float s, const Tensor& b);
+/// a *= s, elementwise.
 void ScaleInPlace(Tensor& a, float s);
 /// Clamp every element into [lo, hi].
 void ClipInPlace(Tensor& a, float lo, float hi);
@@ -33,23 +38,97 @@ Tensor Sign(const Tensor& a);
 // ---- reductions -----------------------------------------------------------
 
 float SumAll(const Tensor& a);
+/// Mean over all elements; the tensor must be non-empty.
 float MeanAll(const Tensor& a);
+/// Sum of absolute values over all elements.
 float L1Norm(const Tensor& a);
+/// Euclidean norm over all elements (sqrt of sum of squares).
 float L2Norm(const Tensor& a);
+/// Maximum element; the tensor must be non-empty.
 float MaxAll(const Tensor& a);
+/// Inner product of the flattened tensors; sizes must match.
 float Dot(const Tensor& a, const Tensor& b);
 
 /// Column-wise sum of a [m, n] matrix -> [n].
 Tensor SumRows(const Tensor& a);
 
 // ---- linear algebra --------------------------------------------------------
+//
+// All matmuls run a cache-blocked kernel: B is packed into contiguous
+// column panels once, then the i (rows of C), k (depth), and j (columns of C)
+// loops are tiled so each panel stays L1/L2-resident while a small register
+// tile of C accumulates. Work is split across ParallelFor by row blocks, so
+// every output element is written by exactly one thread. Accumulation is in
+// float; results may differ from a sequential double-accumulated reference by
+// normal rounding (bounded by k · ulp), not by thread count — the blocking is
+// deterministic and independent of CIP_THREADS.
+//
+// `Into` variants write to a caller-owned output (callers reuse scratch
+// across training steps to avoid per-call allocation). The output must
+// already have the result shape and must not alias either input.
 
-/// C = A · B. A: [m,k], B: [k,n].
+/// C = A · B. A: [m,k], B: [k,n]. Returns a newly allocated [m,n] tensor.
 Tensor Matmul(const Tensor& a, const Tensor& b);
-/// C = A · Bᵀ. A: [m,k], B: [n,k].
+/// C = A · Bᵀ. A: [m,k], B: [n,k]. Returns [m,n].
 Tensor MatmulTransB(const Tensor& a, const Tensor& b);
-/// C = Aᵀ · B. A: [k,m], B: [k,n].
+/// C = Aᵀ · B. A: [k,m], B: [k,n]. Returns [m,n].
 Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+/// C = A · B into a preallocated [m,n] tensor (overwritten, no aliasing).
+void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = A · Bᵀ into a preallocated [m,n] tensor (overwritten, no aliasing).
+void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = Aᵀ · B into a preallocated [m,n] tensor (overwritten, no aliasing).
+void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c);
+
+// ---- convolution lowering (im2col / col2im) --------------------------------
+//
+// The conv2d hot path lowers convolution to GEMM: Im2Col unrolls each
+// receptive field of an NCHW sample into one row of a column matrix, the
+// convolution becomes `col · Wᵀ`, and Col2Im scatters the column-matrix
+// gradient back to image layout. See docs/ARCHITECTURE.md ("GEMM path").
+
+/// Static geometry of a 2-D convolution over NCHW tensors with symmetric
+/// zero padding. `kernel` must satisfy `kernel <= height + 2*pad` (same for
+/// width) and `stride >= 1`.
+struct Conv2dGeom {
+  std::size_t in_channels = 0;
+  std::size_t height = 0;  ///< input H
+  std::size_t width = 0;   ///< input W
+  std::size_t kernel = 0;  ///< square kernel extent K
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  /// Output height: (H + 2·pad − K)/stride + 1.
+  std::size_t OutH() const { return (height + 2 * pad - kernel) / stride + 1; }
+  /// Output width: (W + 2·pad − K)/stride + 1.
+  std::size_t OutW() const { return (width + 2 * pad - kernel) / stride + 1; }
+  /// Receptive-field size C·K·K — the column count of the im2col matrix and
+  /// the row length of a conv weight matrix [OC, C·K·K].
+  std::size_t PatchSize() const { return in_channels * kernel * kernel; }
+};
+
+/// Lower sample `n_index` of an NCHW tensor `x` into rows
+/// [row_offset, row_offset + OutH·OutW) of `col`, a matrix with
+/// PatchSize() columns. Row (oy·OutW + ox) holds the receptive field of
+/// output position (oy, ox) in C-major, then ky, then kx order; out-of-image
+/// taps are written as 0. Every addressed element of `col` is overwritten.
+/// Safe to call concurrently for disjoint row ranges (each sample writes
+/// only its own rows); `col` must not alias `x`.
+void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
+                Tensor& col, std::size_t row_offset = 0);
+
+/// Allocating convenience wrapper: the [OutH·OutW, PatchSize()] im2col
+/// matrix of one sample.
+Tensor Im2Col(const Tensor& x, std::size_t n_index, const Conv2dGeom& g);
+
+/// Adjoint of Im2ColInto: scatter-add rows [row_offset, row_offset+OutH·OutW)
+/// of `col` back into sample `n_index` of the NCHW tensor `dx` (accumulating,
+/// so `dx` must be zeroed by the caller first). Overlapping receptive fields
+/// sum, which is exactly d(loss)/d(input) of the lowered convolution. Safe to
+/// call concurrently for distinct `n_index`; `col` must not alias `dx`.
+void Col2ImInto(const Tensor& col, std::size_t row_offset, const Conv2dGeom& g,
+                Tensor& dx, std::size_t n_index);
 
 // ---- softmax family --------------------------------------------------------
 

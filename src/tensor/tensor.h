@@ -53,16 +53,22 @@ class Tensor {
   }
 
   const Shape& shape() const { return shape_; }
+  /// Number of dimensions (always >= 1).
   std::size_t rank() const { return shape_.size(); }
+  /// Total element count (product of all dimensions).
   std::size_t size() const { return data_.size(); }
+  /// Extent of dimension `i`; checks i < rank().
   std::size_t dim(std::size_t i) const {
     CIP_CHECK_LT(i, shape_.size());
     return shape_[i];
   }
 
+  /// Raw contiguous row-major storage; valid until the tensor is resized.
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
+  /// Whole storage as a span (same lifetime caveats as data()).
   std::span<float> flat() { return {data_.data(), data_.size()}; }
+  /// Const overload of flat().
   std::span<const float> flat() const { return {data_.data(), data_.size()}; }
 
   // Element access is the hottest path in the library; bounds checks are
@@ -83,6 +89,7 @@ class Tensor {
     CIP_DCHECK_LT(c, shape_[1]);
     return data_[r * shape_[1] + c];
   }
+  /// Const overload of At(r, c).
   float At(std::size_t r, std::size_t c) const {
     return const_cast<Tensor*>(this)->At(r, c);
   }
@@ -100,9 +107,12 @@ class Tensor {
   /// Batch slice [lo, hi) along dim 0 (copying).
   Tensor Slice(std::size_t lo, std::size_t hi) const;
 
+  /// Set every element to `v`.
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  /// Set every element to zero (shape unchanged).
   void Zero() { Fill(0.0f); }
 
+  /// True iff shapes are identical (same rank and extents).
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
  private:

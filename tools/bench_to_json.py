@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Run the kernel micro-benchmarks and emit the BENCH_kernels.json baseline.
+
+Runs ``bench_micro_ops`` (google-benchmark) once per requested CIP_THREADS
+value with ``--benchmark_format=json``, extracts per-benchmark wall time and
+throughput, computes the naive-vs-GEMM convolution speedups, and writes a
+single merged JSON document. Fields are documented in docs/BENCHMARKS.md.
+
+Usage:
+    tools/bench_to_json.py --binary build/bench/bench_micro_ops \
+        --output BENCH_kernels.json [--threads 1 4] [--filter REGEX]
+
+The script has no dependencies beyond the standard library. It fails loudly
+(non-zero exit) if the benchmark binary is missing, a run fails, or an
+expected conv benchmark is absent from the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+
+SCHEMA = "cip-bench-kernels/v1"
+
+# (gemm benchmark, naive benchmark) pairs whose time ratio is recorded under
+# "speedups". BM_Conv2dForward is the acceptance-gated one.
+SPEEDUP_PAIRS = [
+    ("BM_Conv2dForward", "BM_Conv2dForwardNaive"),
+    ("BM_Conv2dBackward", "BM_Conv2dBackwardNaive"),
+]
+
+# Performance floors for the GEMM conv path (docs/BENCHMARKS.md). Checked
+# only for thread counts that were actually run; --no-gate skips them.
+SPEEDUP_GATES = [
+    ("BM_Conv2dForwardNaive/BM_Conv2dForward", "threads=4", 3.0),
+    ("BM_Conv2dForwardNaive/BM_Conv2dForward", "threads=1", 1.5),
+]
+
+
+def run_benchmarks(binary: pathlib.Path, threads: int, bench_filter: str,
+                   min_time: float) -> dict:
+    """Run the binary at a given CIP_THREADS and return parsed JSON."""
+    env = dict(os.environ)
+    env["CIP_THREADS"] = str(threads)
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"[bench_to_json] CIP_THREADS={threads} {' '.join(cmd)}",
+          file=sys.stderr)
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(
+            f"benchmark run failed (exit {proc.returncode}) at "
+            f"CIP_THREADS={threads}")
+    return json.loads(proc.stdout)
+
+
+def summarize(raw: dict) -> dict:
+    """Flatten google-benchmark JSON into {name: {time_ms, ...}}."""
+    out = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "time_ms": round(b["real_time"] / 1e6, 4)
+            if b.get("time_unit") == "ns" else b["real_time"],
+            "cpu_ms": round(b["cpu_time"] / 1e6, 4)
+            if b.get("time_unit") == "ns" else b["cpu_time"],
+            "iterations": b.get("iterations"),
+        }
+        # items_per_second is MACs/s for the matmul/conv benches.
+        if "items_per_second" in b:
+            entry["gmacs_per_s"] = round(b["items_per_second"] / 1e9, 3)
+        out[b["name"]] = entry
+    return out
+
+
+def compute_speedups(per_run: dict) -> dict:
+    """naive_time / gemm_time per SPEEDUP_PAIRS entry and thread count."""
+    speedups = {}
+    for gemm, naive in SPEEDUP_PAIRS:
+        per_threads = {}
+        for key, benches in per_run.items():
+            if gemm not in benches or naive not in benches:
+                continue
+            g, n = benches[gemm]["time_ms"], benches[naive]["time_ms"]
+            if g > 0:
+                per_threads[key] = round(n / g, 2)
+        if per_threads:
+            speedups[f"{naive}/{gemm}"] = per_threads
+    return speedups
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--binary", type=pathlib.Path,
+                    default=pathlib.Path("build/bench/bench_micro_ops"))
+    ap.add_argument("--output", type=pathlib.Path,
+                    default=pathlib.Path("BENCH_kernels.json"))
+    ap.add_argument("--threads", type=int, nargs="+", default=[1, 4],
+                    help="CIP_THREADS values to benchmark (one run each)")
+    ap.add_argument("--filter", default="BM_(Matmul|MatmulTransB|Conv2d|Im2Col)",
+                    help="--benchmark_filter regex (kernel benches only by "
+                         "default; pass '' for the full suite)")
+    ap.add_argument("--min-time", type=float, default=0.5,
+                    help="--benchmark_min_time per case, in seconds")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="skip the GEMM-vs-naive speedup floors (useful on "
+                         "loaded machines or for exploratory runs)")
+    args = ap.parse_args()
+
+    if not args.binary.exists():
+        raise SystemExit(
+            f"benchmark binary not found: {args.binary}\n"
+            "build it first: cmake -B build -S . && "
+            "cmake --build build --target bench_micro_ops")
+
+    per_run = {}
+    context = None
+    for t in args.threads:
+        raw = run_benchmarks(args.binary, t, args.filter, args.min_time)
+        per_run[f"threads={t}"] = summarize(raw)
+        context = context or raw.get("context", {})
+
+    for gemm, naive in SPEEDUP_PAIRS:
+        for key, benches in per_run.items():
+            for name in (gemm, naive):
+                if name not in benches:
+                    raise SystemExit(
+                        f"expected benchmark {name} missing from {key} run "
+                        "(filter too narrow?)")
+
+    doc = {
+        "schema": SCHEMA,
+        "binary": str(args.binary),
+        "host": {
+            "cpu": platform.processor() or platform.machine(),
+            "num_cpus": (context or {}).get("num_cpus"),
+            "mhz_per_cpu": (context or {}).get("mhz_per_cpu"),
+            "library_build_type": (context or {}).get("library_build_type"),
+        },
+        "runs": per_run,
+        "speedups": compute_speedups(per_run),
+    }
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"[bench_to_json] wrote {args.output}", file=sys.stderr)
+    for pair, per_threads in doc["speedups"].items():
+        print(f"[bench_to_json] speedup {pair}: {per_threads}",
+              file=sys.stderr)
+
+    if not args.no_gate:
+        failures = []
+        for pair, key, floor in SPEEDUP_GATES:
+            got = doc["speedups"].get(pair, {}).get(key)
+            if got is not None and got < floor:
+                failures.append(f"{pair} at {key}: {got} < required {floor}")
+        if failures:
+            raise SystemExit("speedup gate FAILED:\n  " +
+                             "\n  ".join(failures))
+        print("[bench_to_json] speedup gates passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

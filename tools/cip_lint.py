@@ -10,8 +10,15 @@ Rules (see README "Correctness tooling"):
   reinterpret     `reinterpret_cast` is banned outside src/fl/serialize.cpp
                   (the audited byte-level (de)serialization boundary)
   include-style   no `#include <bits/...>`, no parent-relative includes
+  bench-json      committed BENCH_*.json perf baselines at the repo root
+                  must parse as JSON (a broken baseline silently disables
+                  regression comparison — see docs/BENCHMARKS.md)
+  doc-comment     WARNING (does not fail the run): public functions declared
+                  in src/tensor and src/nn headers should carry a doc
+                  comment on the preceding line
 
-Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+Exit status: 0 clean, 1 violations found, 2 usage/internal error. Warnings
+are printed but never affect the exit status.
 `--self-test` seeds one violation per rule into a temp tree and verifies the
 linter flags each of them (used as a ctest test so the linter itself cannot
 silently rot).
@@ -20,6 +27,7 @@ silently rot).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -47,12 +55,21 @@ RE_BITS_INCLUDE = re.compile(r'#\s*include\s*<bits/')
 RE_PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 
 
+# Rules reported as warnings: printed, self-tested, but never fatal.
+WARNING_RULES = {"doc-comment"}
+
+
 class Violation:
     def __init__(self, path: str, line: int, rule: str, message: str):
         self.path, self.line, self.rule, self.message = path, line, rule, message
 
+    @property
+    def is_warning(self) -> bool:
+        return self.rule in WARNING_RULES
+
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        sev = "warning" if self.is_warning else "error"
+        return f"{self.path}:{self.line}: [{self.rule}] {sev}: {self.message}"
 
 
 def strip_line_comment(line: str) -> str:
@@ -101,6 +118,77 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
     return out
 
 
+# Headers whose public functions must carry doc comments (the numeric core:
+# shape contracts, layout and threading guarantees live in these comments).
+DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/")
+
+# A function declaration/definition opener: optional specifiers, a return
+# type containing at least one type-ish token, a name, an open paren. Control
+# flow, macros and assignments are filtered out separately.
+RE_FUNC_OPEN = re.compile(
+    r"^\s{0,4}(?:template\s*<[^>]*>\s*)?"
+    r"(?:virtual\s+|static\s+|explicit\s+|inline\s+|constexpr\s+|friend\s+)*"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;()]*>)?[&*\s]+"          # return type
+    r"~?[A-Za-z_]\w*\s*\("                               # name(
+)
+RE_NOT_FUNC = re.compile(
+    r"^\s*(?:if|for|while|switch|return|else|do|case|using|typedef|namespace|"
+    r"CIP_\w+|EXPECT_\w+|ASSERT_\w+|TEST)\b"
+)
+RE_DOC_LINE = re.compile(r"^\s*(///|//|\*|/\*|\*/)")
+RE_ACCESS_SPEC = re.compile(r"^\s*(public|private|protected)\s*:")
+
+
+def check_doc_comments(rel: str, lines: list[str]) -> list[Violation]:
+    """Warn on function declarations in core headers with no comment above.
+
+    Heuristic, by design: it tracks private:/protected: sections (skipped)
+    and flags declaration openers whose preceding non-blank line is neither a
+    comment nor an access specifier. Lines indented more than one level are
+    taken to be statements inside an inline body rather than declarations.
+    """
+    if not any(rel.startswith(d) for d in DOC_COMMENT_DIRS):
+        return []
+    out: list[Violation] = []
+    visible = True  # inside a public/namespace-scope region
+    prev = ""
+    for i, raw in enumerate(lines, start=1):
+        if not raw.strip():
+            continue  # blank lines do not reset the doc-comment association
+        line = strip_line_comment(raw).rstrip()
+        if RE_ACCESS_SPEC.match(raw):
+            visible = RE_ACCESS_SPEC.match(raw).group(1) == "public"
+            prev = raw
+            continue
+        if (visible and RE_FUNC_OPEN.match(line)
+                and not RE_NOT_FUNC.match(line)
+                and "=" not in line.split("(")[0]
+                # `override` members inherit the base declaration's contract.
+                and not re.search(r"\boverride\b", line)
+                and not RE_DOC_LINE.match(prev)
+                and not RE_ACCESS_SPEC.match(prev)):
+            name = line.split("(")[0].strip().split()[-1]
+            out.append(Violation(
+                rel, i, "doc-comment",
+                f"public function `{name}` has no doc comment on the "
+                "preceding line (document shape/layout/threading contracts)"))
+        prev = raw
+    return out
+
+
+def check_bench_json(root: pathlib.Path) -> list[Violation]:
+    """Every BENCH_*.json at the repo root must be valid JSON."""
+    out: list[Violation] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        rel = path.name
+        try:
+            json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as e:
+            out.append(Violation(rel, 1, "bench-json",
+                                 f"perf baseline does not parse: {e}"))
+    return out
+
+
 def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
     rel = path.relative_to(root).as_posix()
     try:
@@ -110,6 +198,7 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
     out: list[Violation] = []
     if path.suffix == ".h":
         out += check_pragma_once(rel, lines)
+        out += check_doc_comments(rel, lines)
     out += check_content(rel, lines)
     return out
 
@@ -123,6 +212,7 @@ def lint_tree(root: pathlib.Path) -> list[Violation]:
         for path in sorted(base.rglob("*")):
             if path.suffix in SOURCE_SUFFIXES and path.is_file():
                 violations += lint_file(root, path)
+    violations += check_bench_json(root)
     return violations
 
 
@@ -133,6 +223,8 @@ SELF_TEST_CASES = {
     "unseeded-rng": "src/unseeded.cpp",
     "reinterpret": "src/casts.cpp",
     "include-style": "src/bad_include.cpp",
+    "doc-comment": "src/tensor/undocumented.h",
+    "bench-json": "BENCH_broken.json",
 }
 
 SELF_TEST_SOURCES = {
@@ -142,8 +234,22 @@ SELF_TEST_SOURCES = {
     "src/unseeded.cpp": "#include <random>\nvoid g() { std::mt19937_64 eng; (void)eng; }\n",
     "src/casts.cpp": "long p(void* v) { return *reinterpret_cast<long*>(v); }\n",
     "src/bad_include.cpp": '#include "../outside.h"\n',
-    # And one clean file that must NOT be flagged.
+    "src/tensor/undocumented.h": "#pragma once\nfloat Undocumented(int x);\n",
+    "BENCH_broken.json": "{this is not json\n",
+    # And clean files that must NOT be flagged.
     "src/clean.cpp": "#include <random>\nvoid h() { std::mt19937_64 eng(42); (void)eng; }\n",
+    "src/tensor/documented_clean.h":
+        "#pragma once\n"
+        "/// Shape contract: returns x doubled.\n"
+        "float Documented(int x);\n"
+        "class Foo {\n"
+        " public:\n"
+        "  /// Doc.\n"
+        "  void Bar();\n"
+        " private:\n"
+        "  void NoDocNeededHere();\n"
+        "};\n",
+    "BENCH_clean.json": '{"schema": "cip-bench-kernels/v1"}\n',
 }
 
 
@@ -161,7 +267,8 @@ def self_test() -> int:
             if rule not in rules_hit:
                 print(f"self-test FAIL: rule {rule} missed seeded violation in {rel}")
                 ok = False
-        clean_hits = [v for v in violations if v.path.endswith("clean.cpp")]
+        clean_hits = [str(v) for v in violations
+                      if "clean" in pathlib.Path(v.path).name]
         if clean_hits:
             print(f"self-test FAIL: false positives on clean file: {clean_hits}")
             ok = False
@@ -186,10 +293,14 @@ def main() -> int:
         print(f"cip_lint: {root} does not look like the repo root", file=sys.stderr)
         return 2
     violations = lint_tree(root)
-    for v in violations:
+    errors = [v for v in violations if not v.is_warning]
+    warnings = [v for v in violations if v.is_warning]
+    for v in errors + warnings:
         print(v)
-    if violations:
-        print(f"cip_lint: {len(violations)} violation(s)")
+    if warnings:
+        print(f"cip_lint: {len(warnings)} warning(s) (non-fatal)")
+    if errors:
+        print(f"cip_lint: {len(errors)} violation(s)")
         return 1
     print("cip_lint: clean")
     return 0
