@@ -57,7 +57,7 @@ int main() {
     fl::FlOptions opts;
     opts.rounds = Scaled(30);
     fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-    server.Run(ptrs, rng);
+    server.Run(ptrs, rng.NextU64());
 
     double acc = 0.0, loss = 0.0;
     for (auto& c : clients) {

@@ -12,6 +12,7 @@
 #include "attacks/pb_bayes.h"
 #include "core/cip_model.h"
 #include "eval/experiment.h"
+#include "fl/client_factory.h"
 
 using namespace cip;
 
@@ -69,7 +70,22 @@ int main() {
         {"CIP(a=0.9)", cip.client->EvalAccuracy(bundle.test),
          attacks::EvaluateAttack(pb, q, bundle.train, bundle.test).accuracy});
   }
-  for (const float eps : {2.0f, 16.0f}) {  // LDP
+  // Every defense target goes through the client factory: fill a ClientSpec,
+  // train one local round (epochs folded into TrainConfig::epochs), attack
+  // the concrete model.
+  fl::ClientSpec base;
+  base.model = bundle.spec;
+  base.data = bundle.train;
+  base.train = train;
+  base.train.epochs = epochs;
+  auto train_client = [&](const fl::ClientSpec& spec,
+                          std::uint64_t round_seed) {
+    std::unique_ptr<fl::ClientBase> client = fl::MakeClient(spec);
+    client->SetGlobal(fl::InitialStateFor(spec));
+    client->TrainLocal(fl::MakeRoundContext(round_seed, 1, 0));
+    return client;
+  };
+  auto dp_for = [&](float eps) {
     defenses::DpConfig dp;
     dp.epsilon = eps;
     dp.clip_norm = 4.0f;
@@ -77,80 +93,71 @@ int main() {
     dp.sampling_rate =
         std::min(1.0f, static_cast<float>(train.batch_size) /
                            static_cast<float>(bundle.train.size()));
-    fl::TrainConfig dp_train = train;
-    dp_train.epochs = epochs;
-    defenses::DpSgdClient client(bundle.spec, bundle.train, dp_train, dp, 43);
-    client.SetGlobal(fl::InitialState(bundle.spec));
-    Rng r(44);
-    client.TrainLocal(0, r);
-    entries.push_back({"DP(eps=" + TextTable::Num(eps, 0) + ")",
-                       client.EvalAccuracy(bundle.test),
-                       attack_classifier(client.model())});
+    return dp;
+  };
+  for (const float eps : {2.0f, 16.0f}) {  // LDP
+    fl::ClientSpec spec = base;
+    spec.kind = fl::ClientKind::kDpSgd;
+    spec.dp = dp_for(eps);
+    spec.seed = 43;
+    const auto client = train_client(spec, 44);
+    entries.push_back(
+        {"DP(eps=" + TextTable::Num(eps, 0) + ")",
+         client->EvalAccuracy(bundle.test),
+         attack_classifier(
+             static_cast<defenses::DpSgdClient&>(*client).model())});
   }
   for (const float eps : {2.0f, 16.0f}) {  // HDP
-    defenses::DpConfig dp;
-    dp.epsilon = eps;
-    dp.clip_norm = 4.0f;
-    dp.total_steps = epochs * (bundle.train.size() / train.batch_size + 1);
-    dp.sampling_rate =
-        std::min(1.0f, static_cast<float>(train.batch_size) /
-                           static_cast<float>(bundle.train.size()));
-    fl::TrainConfig dp_train = train;
-    dp_train.epochs = epochs;
-    defenses::HdpClient client(bundle.spec, bundle.train, dp_train, dp, 45);
-    client.SetGlobal(defenses::HdpClient::InitialState(bundle.spec));
-    Rng r(46);
-    client.TrainLocal(0, r);
-    entries.push_back({"HDP(eps=" + TextTable::Num(eps, 0) + ")",
-                       client.EvalAccuracy(bundle.test),
-                       attack_classifier(client.model())});
+    fl::ClientSpec spec = base;
+    spec.kind = fl::ClientKind::kHdp;
+    spec.dp = dp_for(eps);
+    spec.seed = 45;
+    const auto client = train_client(spec, 46);
+    entries.push_back(
+        {"HDP(eps=" + TextTable::Num(eps, 0) + ")",
+         client->EvalAccuracy(bundle.test),
+         attack_classifier(
+             static_cast<defenses::HdpClient&>(*client).model())});
   }
   for (const float lambda : {1.0f, 2.0f}) {  // adversarial regularization
-    defenses::ArConfig ar;
-    ar.lambda = lambda;
-    ar.attack_steps = 5;
-    fl::TrainConfig ar_train = train;
-    ar_train.epochs = epochs;
+    fl::ClientSpec spec = base;
+    spec.kind = fl::ClientKind::kAdvReg;
+    spec.ar.lambda = lambda;
+    spec.ar.attack_steps = 5;
     Rng sample_rng(47);
-    defenses::ArClient client(bundle.spec, bundle.train,
-                              bundle.sample(bundle.train.size(), sample_rng),
-                              ar_train, ar, 48);
-    client.SetGlobal(fl::InitialState(bundle.spec));
-    Rng r(49);
-    client.TrainLocal(0, r);
-    entries.push_back({"AR(l=" + TextTable::Num(lambda, 1) + ")",
-                       client.EvalAccuracy(bundle.test),
-                       attack_classifier(client.model())});
+    spec.reference = bundle.sample(bundle.train.size(), sample_rng);
+    spec.seed = 48;
+    const auto client = train_client(spec, 49);
+    entries.push_back(
+        {"AR(l=" + TextTable::Num(lambda, 1) + ")",
+         client->EvalAccuracy(bundle.test),
+         attack_classifier(static_cast<defenses::ArClient&>(*client).model())});
   }
   for (const float mu : {2.5f, 10.0f}) {  // Mixup + MMD
-    defenses::MmConfig mm;
-    mm.mu = mu;
-    fl::TrainConfig mm_train = train;
-    mm_train.epochs = epochs;
+    fl::ClientSpec spec = base;
+    spec.kind = fl::ClientKind::kMixupMmd;
+    spec.mm.mu = mu;
     Rng sample_rng(50);
-    defenses::MixupMmdClient client(
-        bundle.spec, bundle.train,
-        bundle.sample(bundle.train.size(), sample_rng), mm_train, mm, 51);
-    client.SetGlobal(fl::InitialState(bundle.spec));
-    Rng r(52);
-    client.TrainLocal(0, r);
-    entries.push_back({"MM(mu=" + TextTable::Num(mu, 1) + ")",
-                       client.EvalAccuracy(bundle.test),
-                       attack_classifier(client.model())});
+    spec.reference = bundle.sample(bundle.train.size(), sample_rng);
+    spec.seed = 51;
+    const auto client = train_client(spec, 52);
+    entries.push_back(
+        {"MM(mu=" + TextTable::Num(mu, 1) + ")",
+         client->EvalAccuracy(bundle.test),
+         attack_classifier(
+             static_cast<defenses::MixupMmdClient&>(*client).model())});
   }
   for (const float omega : {1.0f, 5.0f}) {  // RelaxLoss
-    defenses::RlConfig rl;
-    rl.omega = omega;
-    fl::TrainConfig rl_train = train;
-    rl_train.epochs = epochs;
-    defenses::RelaxLossClient client(bundle.spec, bundle.train, rl_train, rl,
-                                     53);
-    client.SetGlobal(fl::InitialState(bundle.spec));
-    Rng r(54);
-    client.TrainLocal(0, r);
-    entries.push_back({"RL(w=" + TextTable::Num(omega, 1) + ")",
-                       client.EvalAccuracy(bundle.test),
-                       attack_classifier(client.model())});
+    fl::ClientSpec spec = base;
+    spec.kind = fl::ClientKind::kRelaxLoss;
+    spec.rl.omega = omega;
+    spec.seed = 53;
+    const auto client = train_client(spec, 54);
+    entries.push_back(
+        {"RL(w=" + TextTable::Num(omega, 1) + ")",
+         client->EvalAccuracy(bundle.test),
+         attack_classifier(
+             static_cast<defenses::RelaxLossClient&>(*client).model())});
   }
 
   TextTable table({"Defense", "test acc", "Pb-Bayes attack acc"});

@@ -80,7 +80,7 @@ int main() {
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(fl::InitialState(spec), opts);
-      const fl::FlLog log = server.Run(ptrs, rng);
+      const fl::FlLog log = server.Run(ptrs, rng.NextU64());
       emd_nodef = MeanPairwiseEmd(log.client_losses);
     }
     double emd_cip = 0.0;
@@ -99,7 +99,7 @@ int main() {
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-      const fl::FlLog log = server.Run(ptrs, rng);
+      const fl::FlLog log = server.Run(ptrs, rng.NextU64());
       emd_cip = MeanPairwiseEmd(log.client_losses);
     }
     table.AddRow({std::to_string(cpc), TextTable::Num(emd_nodef),

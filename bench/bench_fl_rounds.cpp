@@ -1,0 +1,252 @@
+// Federated round-engine benchmark and baseline (BENCH_fl_rounds.json).
+//
+// Measures the parallel client phase of FederatedAveraging::Run along the two
+// axes that matter for it:
+//   1. determinism — the same 4-client/3-round federation must produce
+//      bit-identical final_global and client_losses at a worker budget of 1
+//      and of 4 (the round engine's hard invariant);
+//   2. overlap — with clients whose round cost is dominated by waiting
+//      (sleeping stand-ins for I/O- or accelerator-bound clients), a budget
+//      of 4 must cover 4 clients in roughly one client's time; this holds
+//      on any host, single-core containers included. The compute-bound
+//      federation is timed too and its speedup is reported honestly — it can
+//      only exceed 1 when the host actually has spare cores, so the gate on
+//      it applies where hardware_concurrency >= 4.
+//
+// Run via scripts/bench_baseline.sh, which commits the JSON output.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "fl/client_factory.h"
+#include "fl/server.h"
+
+using namespace cip;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// A client whose round is pure latency: sleep, then echo the broadcast.
+/// Stands in for clients bottlenecked on I/O or a remote accelerator, and
+/// makes the engine's client-phase overlap measurable even on one core.
+class SleepClient : public fl::ClientBase {
+ public:
+  SleepClient(std::chrono::milliseconds delay, data::Dataset data)
+      : delay_(delay), data_(std::move(data)) {}
+
+  void SetGlobal(const fl::ModelState& global) override { state_ = global; }
+  fl::ModelState TrainLocal(fl::RoundContext /*ctx*/) override {
+    std::this_thread::sleep_for(delay_);
+    return state_;
+  }
+  double EvalAccuracy(const data::Dataset&) override { return 0.0; }
+  float LastTrainLoss() const override { return 0.0f; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+ private:
+  std::chrono::milliseconds delay_;
+  data::Dataset data_;
+  fl::ModelState state_;
+};
+
+struct Federation {
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  fl::ModelState init;
+};
+
+/// Fresh 4-client legacy federation (clients are stateful; every Run needs
+/// its own copy).
+Federation MakeComputeFederation(std::size_t num_clients,
+                                 std::size_t samples_per_client) {
+  Federation fed;
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  Rng data_rng(7);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kLegacy;
+  spec.model.arch = nn::Arch::kMLP;
+  spec.model.input_shape = gen.SampleShape();
+  spec.model.num_classes = gen.config().num_classes;
+  spec.model.width = 16;
+  spec.model.seed = 11;
+  spec.train.lr = 0.05f;
+  spec.train.momentum = 0.9f;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    spec.data = gen.Sample(samples_per_client, data_rng);
+    spec.seed = 13 + k;
+    fed.clients.push_back(fl::MakeClient(spec));
+    fed.ptrs.push_back(fed.clients.back().get());
+  }
+  fed.init = fl::InitialStateFor(spec);
+  return fed;
+}
+
+fl::FlLog RunFederation(Federation& fed, std::size_t rounds,
+                        std::size_t budget, std::uint64_t run_seed) {
+  fl::FlOptions options;
+  options.rounds = rounds;
+  options.max_parallel_clients = budget;
+  fl::FederatedAveraging server(fed.init, options);
+  return server.Run(fed.ptrs, run_seed);
+}
+
+bool BitIdentical(const fl::FlLog& a, const fl::FlLog& b) {
+  const std::span<const float> av = a.final_global.values();
+  const std::span<const float> bv = b.final_global.values();
+  if (av.size() != bv.size()) return false;
+  // memcmp, not ==: bit-identity is the claim (distinguishes -0.0f, NaNs).
+  if (std::memcmp(av.data(), bv.data(), av.size() * sizeof(float)) != 0) {
+    return false;
+  }
+  if (a.client_losses.size() != b.client_losses.size()) return false;
+  for (std::size_t r = 0; r < a.client_losses.size(); ++r) {
+    const auto& ar = a.client_losses[r];
+    const auto& br = b.client_losses[r];
+    if (ar.size() != br.size()) return false;
+    if (std::memcmp(ar.data(), br.data(), ar.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PutNum(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* output_path = "BENCH_fl_rounds.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    }
+  }
+
+  bench::PrintHeader(
+      "FL round engine — parallel client phase",
+      "n/a (infrastructure bench; enables the paper's 5-20 client settings)",
+      "bit-identical results across worker budgets; latency-bound speedup ~4x");
+  bench::BenchTimer timer;
+
+  const std::size_t kClients = 4;
+  const std::size_t kRounds = 3;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // ---- determinism gate ------------------------------------------------------
+  Federation fed1 = MakeComputeFederation(kClients, Scaled(100));
+  Federation fed4 = MakeComputeFederation(kClients, Scaled(100));
+  const fl::FlLog log1 = RunFederation(fed1, kRounds, /*budget=*/1, 21);
+  const fl::FlLog log4 = RunFederation(fed4, kRounds, /*budget=*/4, 21);
+  const bool identical = BitIdentical(log1, log4);
+  std::cout << "determinism (budget 1 vs 4): "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  // ---- compute-bound timing --------------------------------------------------
+  // Real local training; on a single-core host the workers time-share and the
+  // speedup honestly sits near (or below) 1.
+  const int kReps = 3;
+  double compute_s1 = 1e300, compute_s4 = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Federation f1 = MakeComputeFederation(kClients, Scaled(100));
+    auto t0 = Clock::now();
+    RunFederation(f1, kRounds, 1, 33 + rep);
+    compute_s1 = std::min(compute_s1, SecondsSince(t0));
+    Federation f4 = MakeComputeFederation(kClients, Scaled(100));
+    t0 = Clock::now();
+    RunFederation(f4, kRounds, 4, 33 + rep);
+    compute_s4 = std::min(compute_s4, SecondsSince(t0));
+  }
+  const double compute_speedup = compute_s1 / compute_s4;
+
+  // ---- latency-bound timing --------------------------------------------------
+  const auto kDelay = std::chrono::milliseconds(50);
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  Rng sleep_rng(3);
+  const data::Dataset tiny = gen.Sample(4, sleep_rng);
+  double sleep_s1 = 1e300, sleep_s4 = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const std::size_t budget : {std::size_t{1}, std::size_t{4}}) {
+      Federation fed;
+      for (std::size_t k = 0; k < kClients; ++k) {
+        fed.clients.push_back(std::make_unique<SleepClient>(kDelay, tiny));
+        fed.ptrs.push_back(fed.clients.back().get());
+      }
+      fed.init = fl::ModelState(std::vector<float>(64, 0.5f));
+      const auto t0 = Clock::now();
+      RunFederation(fed, kRounds, budget, 55 + rep);
+      const double s = SecondsSince(t0);
+      (budget == 1 ? sleep_s1 : sleep_s4) =
+          std::min(budget == 1 ? sleep_s1 : sleep_s4, s);
+    }
+  }
+  const double sleep_speedup = sleep_s1 / sleep_s4;
+
+  TextTable table({"Workload", "budget=1 s", "budget=4 s", "speedup"});
+  table.AddRow({"compute-bound (4 MLP clients)", TextTable::Num(compute_s1, 3),
+                TextTable::Num(compute_s4, 3),
+                TextTable::Num(compute_speedup, 2) + "x"});
+  table.AddRow({"latency-bound (4 x 50ms sleep)", TextTable::Num(sleep_s1, 3),
+                TextTable::Num(sleep_s4, 3),
+                TextTable::Num(sleep_speedup, 2) + "x"});
+  table.Print(std::cout);
+  std::cout << "host hardware_concurrency=" << hw << "\n";
+
+  // ---- JSON baseline ---------------------------------------------------------
+  std::ofstream js(output_path);
+  js << "{\n  \"schema\": \"cip-bench-fl-rounds/v1\",\n"
+     << "  \"host\": {\"num_cpus\": " << hw << "},\n"
+     << "  \"setup\": {\"clients\": " << kClients
+     << ", \"rounds\": " << kRounds << ", \"budgets\": [1, 4]},\n"
+     << "  \"determinism\": {\"bit_identical\": "
+     << (identical ? "true" : "false") << "},\n"
+     << "  \"compute_bound\": {\"budget1_seconds\": ";
+  PutNum(js, compute_s1);
+  js << ", \"budget4_seconds\": ";
+  PutNum(js, compute_s4);
+  js << ", \"speedup\": ";
+  PutNum(js, compute_speedup);
+  js << "},\n  \"latency_bound\": {\"sleep_ms_per_client\": 50, "
+     << "\"budget1_seconds\": ";
+  PutNum(js, sleep_s1);
+  js << ", \"budget4_seconds\": ";
+  PutNum(js, sleep_s4);
+  js << ", \"speedup\": ";
+  PutNum(js, sleep_speedup);
+  js << "}\n}\n";
+  js.close();
+  std::cout << "baseline written to " << output_path << "\n";
+
+  // ---- gates -----------------------------------------------------------------
+  bool ok = identical;
+  if (!identical) {
+    std::cerr << "FAIL: results differ across worker budgets\n";
+  }
+  if (sleep_speedup < 2.0) {
+    std::cerr << "FAIL: latency-bound speedup " << sleep_speedup
+              << "x < 2x — client phase is not overlapping\n";
+    ok = false;
+  }
+  if (hw >= 4 && compute_speedup < 2.0) {
+    std::cerr << "FAIL: compute-bound speedup " << compute_speedup
+              << "x < 2x on a " << hw << "-core host\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

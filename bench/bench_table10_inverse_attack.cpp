@@ -85,7 +85,7 @@ int main() {
     fl::FlOptions opts2;
     opts2.rounds = Scaled(30);
     fl::FederatedAveraging server(core::InitialDualState(spec), opts2);
-    server.Run(ptrs, rng);
+    server.Run(ptrs, rng.NextU64());
 
     // The malicious client queries the victim's data with ITS OWN t'.
     core::CipQuery with_substitute(victim.model(), cfg.blend,

@@ -75,7 +75,7 @@ int main() {
     fl::FlOptions opts;
     opts.rounds = row.rounds;
     fl::FederatedAveraging server(fl::InitialState(spec), opts);
-    server.Run(ptrs, rng);
+    server.Run(ptrs, rng.NextU64());
 
     double train_acc = 0.0, test_acc = 0.0;
     for (std::size_t k = 0; k < ptrs.size(); ++k) {

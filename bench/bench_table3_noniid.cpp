@@ -85,7 +85,7 @@ int main() {
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-      server.Run(ptrs, rng);
+      server.Run(ptrs, rng.NextU64());
       for (fl::ClientBase* c : ptrs) cip_acc += c->EvalAccuracy(test);
       cip_acc /= kClients;
     }
@@ -103,7 +103,7 @@ int main() {
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(fl::InitialState(spec), opts);
-      server.Run(ptrs, rng);
+      server.Run(ptrs, rng.NextU64());
       for (fl::ClientBase* c : ptrs) nodef_acc += c->EvalAccuracy(test);
       nodef_acc /= kClients;
     }
@@ -115,8 +115,9 @@ int main() {
       for (std::size_t k = 0; k < kClients; ++k) {
         fl::LegacyClient client(spec, shards[k], train, 90 + k);
         client.SetGlobal(fl::InitialState(spec));
-        Rng r(91 + k);
-        for (std::size_t e = 0; e < rounds; ++e) client.TrainLocal(e, r);
+        for (std::size_t e = 0; e < rounds; ++e) {
+          client.TrainLocal(fl::MakeRoundContext(91 + k, e + 1, k));
+        }
         const std::vector<int> classes =
             data::ClassesPresent(client.LocalData());
         Rng tr(92 + k);

@@ -74,7 +74,7 @@ int main() {
     opts.rounds = kRounds;
     opts.record_client_updates = true;  // the malicious server watches
     fl::FederatedAveraging server(fl::InitialState(spec), opts);
-    const fl::FlLog log = server.Run(ptrs, rng);
+    const fl::FlLog log = server.Run(ptrs, rng.NextU64());
 
     std::vector<fl::ModelState> victim_snaps;
     for (auto it = log.client_updates.end() - 3;
@@ -123,7 +123,7 @@ int main() {
     opts.rounds = kRounds;
     opts.record_client_updates = true;
     fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-    const fl::FlLog log = server.Run(ptrs, rng);
+    const fl::FlLog log = server.Run(ptrs, rng.NextU64());
 
     std::vector<fl::ModelState> victim_snaps;
     for (auto it = log.client_updates.end() - 3;

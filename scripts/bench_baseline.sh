@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Regenerate the committed kernel-performance baseline (BENCH_kernels.json).
+# Regenerate the committed performance baselines (BENCH_kernels.json and
+# BENCH_fl_rounds.json).
 #
-# Builds bench_micro_ops in the tier-1 Release tree (./build), then runs the
+# Builds bench_micro_ops in the tier-1 Release tree (./build), runs the
 # kernel benchmarks at CIP_THREADS=1 and CIP_THREADS=4 and merges the results
-# via tools/bench_to_json.py. Run on an otherwise idle machine; see
-# docs/BENCHMARKS.md for what the fields mean and how to compare against the
-# committed baseline.
+# via tools/bench_to_json.py; then runs bench_fl_rounds, which times the
+# federated round engine across worker budgets, checks its bit-identity
+# invariant, and writes its own JSON baseline. Run on an otherwise idle
+# machine; see docs/BENCHMARKS.md for what the fields mean and how to compare
+# against the committed baselines.
 #
 #   scripts/bench_baseline.sh                 # full run (~a few minutes)
 #   CIP_BENCH_MIN_TIME=0.05 scripts/bench_baseline.sh   # quicker, noisier
@@ -17,10 +20,14 @@ jobs="${CIP_CHECK_JOBS:-$(nproc)}"
 min_time="${CIP_BENCH_MIN_TIME:-0.5}"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_micro_ops
+cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds
 
 python3 tools/bench_to_json.py \
   --binary build/bench/bench_micro_ops \
   --output BENCH_kernels.json \
   --threads 1 4 \
   --min-time "$min_time"
+
+# Round-engine baseline: exits non-zero if the bit-identity invariant breaks
+# or the latency-bound client phase fails to overlap (speedup < 2x).
+./build/bench/bench_fl_rounds --output BENCH_fl_rounds.json

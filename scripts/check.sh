@@ -42,6 +42,17 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset" -j "$jobs"
 done
 
+if [[ "$run_tsan" == 1 ]]; then
+  # The parallel round engine's race-freedom certificate: the coarse-grained
+  # ParallelForCoarse patterns plus a real multi-client federation, forced
+  # onto real worker threads, under ThreadSanitizer. Already part of the
+  # preset's ctest run above; repeated here explicitly so a filtered-out or
+  # renamed stress suite fails loudly instead of silently shrinking coverage.
+  step "round-engine stress [tsan]"
+  ctest --preset tsan -R 'ParallelCoarseStress|RoundEngineStress' \
+    --no-tests=error --output-on-failure
+fi
+
 if [[ "$run_bench" == 1 ]]; then
   # Smoke mode: ~1ms per benchmark, enough to exercise every registered case.
   # For real numbers use scripts/bench_baseline.sh (see docs/BENCHMARKS.md).

@@ -39,14 +39,17 @@ std::size_t ParallelThreads() {
   return kThreads;
 }
 
-void ParallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)>& fn,
-                 std::size_t max_threads) {
+namespace {
+
+// Shared chunk-per-worker core. min_parallel is the smallest range worth
+// spawning threads for; below it (or at a budget of 1) the loop runs serially.
+void RunChunked(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& fn,
+                std::size_t max_threads, std::size_t min_parallel) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   const std::size_t threads = std::min(std::max<std::size_t>(max_threads, 1), n);
-  // Thread start/join overhead dominates for tiny ranges.
-  if (threads <= 1 || n < 16) {
+  if (threads <= 1 || n < min_parallel) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -80,9 +83,26 @@ void ParallelFor(std::size_t begin, std::size_t end,
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
+}  // namespace
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t max_threads) {
+  // Thread start/join overhead dominates for tiny fine-grained ranges.
+  RunChunked(begin, end, fn, max_threads, /*min_parallel=*/16);
+}
+
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn) {
   ParallelFor(begin, end, fn, ParallelThreads());
+}
+
+void ParallelForCoarse(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t max_threads) {
+  RunChunked(begin, end, fn,
+             max_threads == 0 ? ParallelThreads() : max_threads,
+             /*min_parallel=*/2);
 }
 
 }  // namespace cip

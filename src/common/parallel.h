@@ -43,6 +43,15 @@ void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t max_threads);
 
+/// ParallelFor for coarse work items (e.g. one FL client's local training
+/// round): spawns workers whenever the budget allows, without ParallelFor's
+/// small-range serial fallback. A 4-item range at a budget of 4 really runs
+/// on 4 threads. max_threads == 0 means ParallelThreads(). Same chunking,
+/// determinism, and exception contract as ParallelFor.
+void ParallelForCoarse(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t max_threads = 0);
+
 namespace internal {
 
 /// Strict parse of a CIP_THREADS-style value. Returns nullopt unless `s` is a

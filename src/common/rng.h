@@ -87,4 +87,26 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 finalizer: a bijective 64-bit mix whose outputs pass strict
+/// statistical tests even for sequential inputs. Used to turn structured
+/// (root, label) pairs into well-separated seeds.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Derive the (a, b) child stream of a root seed. Unlike Rng::Fork — which
+/// advances the parent and therefore depends on call order — the derived
+/// stream is a pure function of (root, a, b): any party that knows the root
+/// can reconstruct any stream, in any order, on any thread. The FL round
+/// engine uses this as DeriveStream(run_seed, round, client) so client
+/// randomness is identical no matter how rounds are scheduled.
+inline Rng DeriveStream(std::uint64_t root, std::uint64_t a,
+                        std::uint64_t b = 0) {
+  return Rng(SplitMix64(root ^ SplitMix64(a + 0x632BE59BD9B4E019ull) ^
+                        SplitMix64(b + 0xD1B54A32D192ED03ull)));
+}
+
 }  // namespace cip

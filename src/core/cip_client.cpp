@@ -1,5 +1,6 @@
 #include "core/cip_client.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "tensor/ops.h"
@@ -13,15 +14,16 @@ CipClient::CipClient(const nn::ModelSpec& spec, data::Dataset local_data,
       cfg_(std::move(cfg)),
       opt_(cfg_.train.lr, cfg_.train.momentum, cfg_.train.weight_decay,
            cfg_.train.grad_clip),
-      rng_(seed) {
+      init_rng_(seed) {
   CIP_CHECK(!data_.empty());
   const Shape sample_shape = data_.SampleShape();
   if (cfg_.init_seed.size() > 0) {
     CIP_CHECK(cfg_.init_seed.shape() == sample_shape);
-    t_ = Perturbation::FromSeed(cfg_.init_seed, cfg_.init_noise_weight, rng_,
-                                cfg_.blend.clip_lo, cfg_.blend.clip_hi);
+    t_ = Perturbation::FromSeed(cfg_.init_seed, cfg_.init_noise_weight,
+                                init_rng_, cfg_.blend.clip_lo,
+                                cfg_.blend.clip_hi);
   } else {
-    t_ = Perturbation::Random(sample_shape, rng_, cfg_.blend.clip_lo,
+    t_ = Perturbation::Random(sample_shape, init_rng_, cfg_.blend.clip_lo,
                               cfg_.blend.clip_hi);
   }
 }
@@ -31,26 +33,37 @@ void CipClient::SetGlobal(const fl::ModelState& global) {
   global.ApplyTo(params);
 }
 
-fl::ModelState CipClient::TrainLocal(std::size_t round, Rng& /*rng*/) {
-  opt_.set_lr(fl::LrAtRound(cfg_.train, round));
-  StepIOptimizePerturbation();
+fl::ModelState CipClient::TrainLocal(fl::RoundContext ctx) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  opt_.set_lr(ctx.LrFor(cfg_.train));
+  const auto step1_t0 = Clock::now();
+  StepIOptimizePerturbation(ctx.rng);
+  const double step1_seconds = seconds_since(step1_t0);
+  const auto step2_t0 = Clock::now();
   float loss = 0.0f;
   for (std::size_t e = 0; e < cfg_.train.epochs; ++e) {
-    loss = StepIITrainModel();
+    loss = StepIITrainModel(ctx.rng);
+  }
+  if (ctx.telemetry != nullptr) {
+    ctx.telemetry->step1_seconds = step1_seconds;
+    ctx.telemetry->step2_seconds = seconds_since(step2_t0);
   }
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();
   return fl::ModelState::From(params);
 }
 
-void CipClient::StepIOptimizePerturbation() {
+void CipClient::StepIOptimizePerturbation(Rng& rng) {
   OptimizePerturbation(*model_, data_, t_.tensor(), cfg_.blend, cfg_.lambda_t,
                        cfg_.lr_t, cfg_.perturb_steps, cfg_.perturb_batch,
-                       rng_);
+                       rng);
 }
 
-float CipClient::StepIITrainModel() {
-  const std::vector<std::size_t> perm = rng_.Permutation(data_.size());
+float CipClient::StepIITrainModel(Rng& rng) {
+  const std::vector<std::size_t> perm = rng.Permutation(data_.size());
   const std::vector<nn::Parameter*> params = model_->Parameters();
   const Tensor empty_t;  // raw-query path B(x, 0)
   double total_loss = 0.0;
@@ -62,7 +75,7 @@ float CipClient::StepIITrainModel() {
     const std::span<const std::size_t> idx(perm.data() + start, end - start);
     data::Dataset batch = data_.Subset(idx);
     Tensor inputs = cfg_.train.augment
-                        ? data::Augment(batch.inputs, cfg_.train.aug, rng_)
+                        ? data::Augment(batch.inputs, cfg_.train.aug, rng)
                         : std::move(batch.inputs);
 
     // Minimize CE on the blended data D_t.

@@ -46,7 +46,7 @@ class CipClient : public fl::ClientBase {
             CipConfig cfg, std::uint64_t seed);
 
   void SetGlobal(const fl::ModelState& global) override;
-  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  fl::ModelState TrainLocal(fl::RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -60,14 +60,14 @@ class CipClient : public fl::ClientBase {
   float BlendedDataLoss();
 
  private:
-  void StepIOptimizePerturbation();
-  float StepIITrainModel();
+  void StepIOptimizePerturbation(Rng& rng);
+  float StepIITrainModel(Rng& rng);
 
   std::unique_ptr<nn::DualChannelClassifier> model_;
   data::Dataset data_;
   CipConfig cfg_;
   optim::Sgd opt_;
-  Rng rng_;
+  Rng init_rng_;  ///< construction-time randomness (perturbation init) only
   Perturbation t_;
   float last_loss_ = 0.0f;
 };

@@ -27,8 +27,9 @@ ArClient::ArClient(const nn::ModelSpec& spec, data::Dataset local_data,
       reference_(std::move(reference)),
       cfg_(train_cfg),
       ar_(ar_cfg),
-      rng_(seed),
-      attacker_(BuildAttacker(spec.num_classes, ar_cfg.attack_hidden, rng_)),
+      init_rng_(seed),
+      attacker_(
+          BuildAttacker(spec.num_classes, ar_cfg.attack_hidden, init_rng_)),
       attacker_opt_(ar_cfg.attack_lr, 0.5f),
       model_opt_(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay,
                  train_cfg.grad_clip) {
@@ -54,7 +55,7 @@ Tensor ArClient::AttackInput(const Tensor& probs,
   return u;
 }
 
-void ArClient::TrainAttacker() {
+void ArClient::TrainAttacker(Rng& rng) {
   const std::vector<nn::Parameter*> hp = attacker_->Parameters();
   const std::size_t bsz = std::min<std::size_t>(cfg_.batch_size,
                                                 std::min(data_.size(),
@@ -63,8 +64,8 @@ void ArClient::TrainAttacker() {
     // One member batch, one non-member batch.
     std::vector<std::size_t> mi(bsz), ni(bsz);
     for (std::size_t i = 0; i < bsz; ++i) {
-      mi[i] = rng_.Index(data_.size());
-      ni[i] = rng_.Index(reference_.size());
+      mi[i] = rng.Index(data_.size());
+      ni[i] = rng.Index(reference_.size());
     }
     const data::Dataset mb = data_.Subset(mi);
     const data::Dataset nb = reference_.Subset(ni);
@@ -89,8 +90,8 @@ void ArClient::TrainAttacker() {
   }
 }
 
-float ArClient::TrainModelEpoch() {
-  const std::vector<std::size_t> perm = rng_.Permutation(data_.size());
+float ArClient::TrainModelEpoch(Rng& rng) {
+  const std::vector<std::size_t> perm = rng.Permutation(data_.size());
   const std::vector<nn::Parameter*> params = model_->Parameters();
   double total_loss = 0.0;
   std::size_t batches = 0;
@@ -137,11 +138,12 @@ float ArClient::TrainModelEpoch() {
   return batches > 0 ? static_cast<float>(total_loss / batches) : 0.0f;
 }
 
-fl::ModelState ArClient::TrainLocal(std::size_t /*round*/, Rng& /*rng*/) {
+fl::ModelState ArClient::TrainLocal(fl::RoundContext ctx) {
+  model_opt_.set_lr(ctx.LrFor(cfg_));
   float loss = 0.0f;
   for (std::size_t e = 0; e < cfg_.epochs; ++e) {
-    TrainAttacker();
-    loss = TrainModelEpoch();
+    TrainAttacker(ctx.rng);
+    loss = TrainModelEpoch(ctx.rng);
   }
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();

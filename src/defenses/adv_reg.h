@@ -28,7 +28,7 @@ class ArClient : public fl::ClientBase {
            std::uint64_t seed);
 
   void SetGlobal(const fl::ModelState& global) override;
-  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  fl::ModelState TrainLocal(fl::RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -38,15 +38,15 @@ class ArClient : public fl::ClientBase {
  private:
   /// Build the attack input [softmax(logits) ; one-hot(y)].
   Tensor AttackInput(const Tensor& probs, std::span<const int> labels) const;
-  void TrainAttacker();
-  float TrainModelEpoch();
+  void TrainAttacker(Rng& rng);
+  float TrainModelEpoch(Rng& rng);
 
   std::unique_ptr<nn::Classifier> model_;
   data::Dataset data_;
   data::Dataset reference_;
   fl::TrainConfig cfg_;
   ArConfig ar_;
-  Rng rng_;
+  Rng init_rng_;  ///< construction-time randomness (attacker init) only
   // Attack model h: MLP over [C probs ; C one-hot] -> 2 logits.
   std::unique_ptr<nn::Sequential> attacker_;
   optim::Sgd attacker_opt_;

@@ -19,13 +19,12 @@ float NoiseMultiplier(const DpConfig& cfg) {
 
 DpSgdClient::DpSgdClient(const nn::ModelSpec& spec, data::Dataset local_data,
                          fl::TrainConfig train_cfg, DpConfig dp_cfg,
-                         std::uint64_t seed)
+                         std::uint64_t /*seed*/)
     : model_(nn::MakeClassifier(spec)),
       data_(std::move(local_data)),
       cfg_(train_cfg),
       dp_(dp_cfg),
-      sigma_(NoiseMultiplier(dp_cfg)),
-      rng_(seed) {
+      sigma_(NoiseMultiplier(dp_cfg)) {
   CIP_CHECK(!data_.empty());
   CIP_CHECK_GT(dp_.clip_norm, 0.0f);
 }
@@ -35,16 +34,17 @@ void DpSgdClient::SetGlobal(const fl::ModelState& global) {
   global.ApplyTo(params);
 }
 
-fl::ModelState DpSgdClient::TrainLocal(std::size_t /*round*/, Rng& /*rng*/) {
+fl::ModelState DpSgdClient::TrainLocal(fl::RoundContext ctx) {
+  const float lr = ctx.LrFor(cfg_);
   float loss = 0.0f;
-  for (std::size_t e = 0; e < cfg_.epochs; ++e) loss = PrivateEpoch();
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) loss = PrivateEpoch(ctx.rng, lr);
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();
   return fl::ModelState::From(params);
 }
 
-float DpSgdClient::PrivateEpoch() {
-  const std::vector<std::size_t> perm = rng_.Permutation(data_.size());
+float DpSgdClient::PrivateEpoch(Rng& rng, float lr) {
+  const std::vector<std::size_t> perm = rng.Permutation(data_.size());
   const std::vector<nn::Parameter*> params = model_->Parameters();
   double total_loss = 0.0;
   std::size_t batches = 0;
@@ -85,8 +85,8 @@ float DpSgdClient::PrivateEpoch() {
     for (std::size_t pi = 0; pi < params.size(); ++pi) {
       nn::Parameter& p = *params[pi];
       for (std::size_t j = 0; j < p.value.size(); ++j) {
-        const float noisy = (acc[pi][j] + noise_std * rng_.Normal()) * inv_b;
-        p.value[j] -= cfg_.lr * noisy;
+        const float noisy = (acc[pi][j] + noise_std * rng.Normal()) * inv_b;
+        p.value[j] -= lr * noisy;
       }
     }
     total_loss += batch_loss / static_cast<double>(bsz);

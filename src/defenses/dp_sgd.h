@@ -32,11 +32,13 @@ float NoiseMultiplier(const DpConfig& cfg);
 
 class DpSgdClient : public fl::ClientBase {
  public:
+  /// `seed` is kept for constructor-shape uniformity across client kinds;
+  /// round-time randomness comes exclusively from the RoundContext stream.
   DpSgdClient(const nn::ModelSpec& spec, data::Dataset local_data,
               fl::TrainConfig train_cfg, DpConfig dp_cfg, std::uint64_t seed);
 
   void SetGlobal(const fl::ModelState& global) override;
-  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  fl::ModelState TrainLocal(fl::RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -45,14 +47,13 @@ class DpSgdClient : public fl::ClientBase {
   float sigma() const { return sigma_; }
 
  private:
-  float PrivateEpoch();
+  float PrivateEpoch(Rng& rng, float lr);
 
   std::unique_ptr<nn::Classifier> model_;
   data::Dataset data_;
   fl::TrainConfig cfg_;
   DpConfig dp_;
   float sigma_;
-  Rng rng_;
   float last_loss_ = 0.0f;
 };
 

@@ -31,13 +31,12 @@ std::unique_ptr<nn::Classifier> MakeRandomFeatureModel(
 
 HdpClient::HdpClient(const nn::ModelSpec& spec, data::Dataset local_data,
                      fl::TrainConfig train_cfg, DpConfig dp_cfg,
-                     std::uint64_t seed, std::size_t feature_boost)
+                     std::uint64_t /*seed*/, std::size_t feature_boost)
     : model_(MakeRandomFeatureModel(spec, feature_boost)),
       data_(std::move(local_data)),
       cfg_(train_cfg),
       dp_(dp_cfg),
-      sigma_(NoiseMultiplier(dp_cfg)),
-      rng_(seed) {
+      sigma_(NoiseMultiplier(dp_cfg)) {
   CIP_CHECK(!data_.empty());
 }
 
@@ -53,16 +52,19 @@ void HdpClient::SetGlobal(const fl::ModelState& global) {
   global.ApplyTo(params);
 }
 
-fl::ModelState HdpClient::TrainLocal(std::size_t /*round*/, Rng& /*rng*/) {
+fl::ModelState HdpClient::TrainLocal(fl::RoundContext ctx) {
+  const float lr = ctx.LrFor(cfg_);
   float loss = 0.0f;
-  for (std::size_t e = 0; e < cfg_.epochs; ++e) loss = PrivateHeadEpoch();
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    loss = PrivateHeadEpoch(ctx.rng, lr);
+  }
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();
   return fl::ModelState::From(params);
 }
 
-float HdpClient::PrivateHeadEpoch() {
-  const std::vector<std::size_t> perm = rng_.Permutation(data_.size());
+float HdpClient::PrivateHeadEpoch(Rng& rng, float lr) {
+  const std::vector<std::size_t> perm = rng.Permutation(data_.size());
   const std::vector<nn::Parameter*> head = HeadParams();
   double total_loss = 0.0;
   std::size_t batches = 0;
@@ -98,8 +100,8 @@ float HdpClient::PrivateHeadEpoch() {
     for (std::size_t pi = 0; pi < head.size(); ++pi) {
       nn::Parameter& p = *head[pi];
       for (std::size_t j = 0; j < p.value.size(); ++j) {
-        const float noisy = (acc[pi][j] + noise_std * rng_.Normal()) * inv_b;
-        p.value[j] -= cfg_.lr * noisy;
+        const float noisy = (acc[pi][j] + noise_std * rng.Normal()) * inv_b;
+        p.value[j] -= lr * noisy;
       }
     }
     total_loss += batch_loss / static_cast<double>(bsz);

@@ -24,7 +24,7 @@ class HdpClient : public fl::ClientBase {
             std::size_t feature_boost = 16);
 
   void SetGlobal(const fl::ModelState& global) override;
-  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  fl::ModelState TrainLocal(fl::RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -42,7 +42,7 @@ class HdpClient : public fl::ClientBase {
       const nn::ModelSpec& spec, std::size_t feature_boost = 16);
 
  private:
-  float PrivateHeadEpoch();
+  float PrivateHeadEpoch(Rng& rng, float lr);
   /// Head parameters only (the privately trained subset).
   std::vector<nn::Parameter*> HeadParams();
 
@@ -51,7 +51,6 @@ class HdpClient : public fl::ClientBase {
   fl::TrainConfig cfg_;
   DpConfig dp_;
   float sigma_;
-  Rng rng_;
   float last_loss_ = 0.0f;
 };
 

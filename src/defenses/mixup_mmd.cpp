@@ -10,15 +10,14 @@ MixupMmdClient::MixupMmdClient(const nn::ModelSpec& spec,
                                data::Dataset local_data,
                                data::Dataset validation,
                                fl::TrainConfig train_cfg, MmConfig mm_cfg,
-                               std::uint64_t seed)
+                               std::uint64_t /*seed*/)
     : model_(nn::MakeClassifier(spec)),
       data_(std::move(local_data)),
       validation_(std::move(validation)),
       cfg_(train_cfg),
       mm_(mm_cfg),
       opt_(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay,
-           train_cfg.grad_clip),
-      rng_(seed) {
+           train_cfg.grad_clip) {
   CIP_CHECK(!data_.empty());
   CIP_CHECK(!validation_.empty());
 }
@@ -28,8 +27,8 @@ void MixupMmdClient::SetGlobal(const fl::ModelState& global) {
   global.ApplyTo(params);
 }
 
-float MixupMmdClient::TrainEpochMixupMmd() {
-  const std::vector<std::size_t> perm = rng_.Permutation(data_.size());
+float MixupMmdClient::TrainEpochMixupMmd(Rng& rng) {
+  const std::vector<std::size_t> perm = rng.Permutation(data_.size());
   const std::vector<nn::Parameter*> params = model_->Parameters();
   double total_loss = 0.0;
   std::size_t batches = 0;
@@ -44,12 +43,12 @@ float MixupMmdClient::TrainEpochMixupMmd() {
     // Beta(α,α) with α=1 is uniform; approximate other α by clamping the
     // symmetric Beta with a power transform of a uniform draw.
     const float lam = mm_.mixup_alpha == 1.0f
-                          ? rng_.Uniform()
-                          : std::pow(rng_.Uniform(), 1.0f / mm_.mixup_alpha) /
-                                (std::pow(rng_.Uniform(), 1.0f / mm_.mixup_alpha) +
-                                 std::pow(rng_.Uniform(), 1.0f / mm_.mixup_alpha));
+                          ? rng.Uniform()
+                          : std::pow(rng.Uniform(), 1.0f / mm_.mixup_alpha) /
+                                (std::pow(rng.Uniform(), 1.0f / mm_.mixup_alpha) +
+                                 std::pow(rng.Uniform(), 1.0f / mm_.mixup_alpha));
     std::vector<std::size_t> partner(n);
-    for (std::size_t i = 0; i < n; ++i) partner[i] = rng_.Index(n);
+    for (std::size_t i = 0; i < n; ++i) partner[i] = rng.Index(n);
     Tensor mixed(batch.inputs.shape());
     const std::size_t stride = mixed.size() / n;
     for (std::size_t i = 0; i < n; ++i) {
@@ -80,7 +79,7 @@ float MixupMmdClient::TrainEpochMixupMmd() {
       const std::size_t c = probs.dim(1);
       const std::size_t vb = std::min<std::size_t>(n, validation_.size());
       std::vector<std::size_t> vi(vb);
-      for (std::size_t i = 0; i < vb; ++i) vi[i] = rng_.Index(validation_.size());
+      for (std::size_t i = 0; i < vb; ++i) vi[i] = rng.Index(validation_.size());
       const data::Dataset vbatch = validation_.Subset(vi);
       const Tensor vprobs =
           ops::SoftmaxRows(fl::LogitsFor(*model_, vbatch.inputs));
@@ -112,10 +111,12 @@ float MixupMmdClient::TrainEpochMixupMmd() {
   return batches > 0 ? static_cast<float>(total_loss / batches) : 0.0f;
 }
 
-fl::ModelState MixupMmdClient::TrainLocal(std::size_t /*round*/,
-                                          Rng& /*rng*/) {
+fl::ModelState MixupMmdClient::TrainLocal(fl::RoundContext ctx) {
+  opt_.set_lr(ctx.LrFor(cfg_));
   float loss = 0.0f;
-  for (std::size_t e = 0; e < cfg_.epochs; ++e) loss = TrainEpochMixupMmd();
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    loss = TrainEpochMixupMmd(ctx.rng);
+  }
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();
   return fl::ModelState::From(params);

@@ -27,7 +27,7 @@ class MixupMmdClient : public fl::ClientBase {
                  MmConfig mm_cfg, std::uint64_t seed);
 
   void SetGlobal(const fl::ModelState& global) override;
-  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  fl::ModelState TrainLocal(fl::RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -35,7 +35,7 @@ class MixupMmdClient : public fl::ClientBase {
   nn::Classifier& model() { return *model_; }
 
  private:
-  float TrainEpochMixupMmd();
+  float TrainEpochMixupMmd(Rng& rng);
 
   std::unique_ptr<nn::Classifier> model_;
   data::Dataset data_;
@@ -43,7 +43,6 @@ class MixupMmdClient : public fl::ClientBase {
   fl::TrainConfig cfg_;
   MmConfig mm_;
   optim::Sgd opt_;
-  Rng rng_;
   float last_loss_ = 0.0f;
 };
 

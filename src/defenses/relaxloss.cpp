@@ -7,14 +7,13 @@ namespace cip::defenses {
 RelaxLossClient::RelaxLossClient(const nn::ModelSpec& spec,
                                  data::Dataset local_data,
                                  fl::TrainConfig train_cfg, RlConfig rl_cfg,
-                                 std::uint64_t seed)
+                                 std::uint64_t /*seed*/)
     : model_(nn::MakeClassifier(spec)),
       data_(std::move(local_data)),
       cfg_(train_cfg),
       rl_(rl_cfg),
       opt_(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay,
-           train_cfg.grad_clip),
-      rng_(seed) {
+           train_cfg.grad_clip) {
   CIP_CHECK(!data_.empty());
   CIP_CHECK_GE(rl_.omega, 0.0f);
 }
@@ -24,8 +23,8 @@ void RelaxLossClient::SetGlobal(const fl::ModelState& global) {
   global.ApplyTo(params);
 }
 
-float RelaxLossClient::RelaxEpoch() {
-  const std::vector<std::size_t> perm = rng_.Permutation(data_.size());
+float RelaxLossClient::RelaxEpoch(Rng& rng) {
+  const std::vector<std::size_t> perm = rng.Permutation(data_.size());
   const std::vector<nn::Parameter*> params = model_->Parameters();
   double total_loss = 0.0;
   std::size_t batches = 0;
@@ -49,10 +48,10 @@ float RelaxLossClient::RelaxEpoch() {
   return batches > 0 ? static_cast<float>(total_loss / batches) : 0.0f;
 }
 
-fl::ModelState RelaxLossClient::TrainLocal(std::size_t /*round*/,
-                                           Rng& /*rng*/) {
+fl::ModelState RelaxLossClient::TrainLocal(fl::RoundContext ctx) {
+  opt_.set_lr(ctx.LrFor(cfg_));
   float loss = 0.0f;
-  for (std::size_t e = 0; e < cfg_.epochs; ++e) loss = RelaxEpoch();
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) loss = RelaxEpoch(ctx.rng);
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();
   return fl::ModelState::From(params);

@@ -22,7 +22,7 @@ class RelaxLossClient : public fl::ClientBase {
                   std::uint64_t seed);
 
   void SetGlobal(const fl::ModelState& global) override;
-  fl::ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  fl::ModelState TrainLocal(fl::RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -30,14 +30,13 @@ class RelaxLossClient : public fl::ClientBase {
   nn::Classifier& model() { return *model_; }
 
  private:
-  float RelaxEpoch();
+  float RelaxEpoch(Rng& rng);
 
   std::unique_ptr<nn::Classifier> model_;
   data::Dataset data_;
   fl::TrainConfig cfg_;
   RlConfig rl_;
   optim::Sgd opt_;
-  Rng rng_;
   float last_loss_ = 0.0f;
 };
 

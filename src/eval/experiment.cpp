@@ -4,6 +4,7 @@
 #include "attacks/pb_bayes.h"
 #include "attacks/shadow.h"
 #include "fl/client.h"
+#include "fl/client_factory.h"
 
 namespace cip::eval {
 
@@ -86,7 +87,9 @@ fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
                        Rng& rng, fl::FlOptions options) {
   options.rounds = rounds;
   fl::FederatedAveraging server(init, options);
-  return server.Run(clients, rng);
+  // One draw off the caller's rng roots every stream in the run; the server
+  // derives per-(round, client) streams from it (see fl/round_context.h).
+  return server.Run(clients, rng.NextU64());
 }
 
 fl::FlLog RunSingle(fl::ClientBase& client, const fl::ModelState& init,
@@ -113,11 +116,17 @@ CipSingleResult TrainCipSingle(const DataBundle& bundle, float alpha,
   const core::CipConfig cfg = cfg_override != nullptr
                                   ? *cfg_override
                                   : DefaultCipConfig(bundle, alpha);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kCip;
+  spec.model = bundle.spec;
+  spec.data = bundle.train;
+  spec.train = cfg.train;
+  spec.cip = cfg;
+  spec.seed = bundle.spec.seed + 5;
   CipSingleResult out;
-  out.client = std::make_unique<core::CipClient>(bundle.spec, bundle.train,
-                                                 cfg, bundle.spec.seed + 5);
-  out.log = RunSingle(*out.client, core::InitialDualState(bundle.spec),
-                      rounds, rng, std::move(options));
+  out.client = fl::MakeCipClient(spec);
+  out.log = RunSingle(*out.client, fl::InitialStateFor(spec), rounds, rng,
+                      std::move(options));
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include "defenses/hdp.h"
 #include "eval/experiment.h"
 #include "fl/client.h"
+#include "fl/client_factory.h"
 #include "fl/server.h"
 #include "tensor/ops.h"
 
@@ -89,64 +90,42 @@ InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
   train.momentum = 0.9f;
 
   // ---- build clients per defense -------------------------------------------
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  fl::ModelState init;
+  fl::ClientSpec proto;
+  proto.model = spec;
+  proto.train = train;
   core::BlendConfig blend;
   blend.alpha = cfg.alpha;
   switch (cfg.defense) {
-    case InternalDefense::kNone: {
-      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
-        clients.push_back(std::make_unique<fl::LegacyClient>(
-            spec, shards[k], train, cfg.seed * 31 + k));
-      }
-      init = fl::InitialState(spec);
+    case InternalDefense::kNone:
+      proto.kind = fl::ClientKind::kLegacy;
       break;
-    }
-    case InternalDefense::kCip: {
-      core::CipConfig cip;
-      cip.blend = blend;
-      cip.train = train;
-      cip.perturb_steps = 6;
-      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
-        clients.push_back(std::make_unique<core::CipClient>(
-            spec, shards[k], cip, cfg.seed * 31 + k));
-      }
-      init = core::InitialDualState(spec);
+    case InternalDefense::kCip:
+      proto.kind = fl::ClientKind::kCip;
+      proto.cip.blend = blend;
+      proto.cip.perturb_steps = 6;
       break;
-    }
-    case InternalDefense::kDp: {
-      defenses::DpConfig dp;
-      dp.epsilon = cfg.epsilon;
-      dp.clip_norm = cfg.dp_clip;
-      dp.total_steps =
+    case InternalDefense::kDp:
+    case InternalDefense::kHdp:
+      proto.kind = cfg.defense == InternalDefense::kDp
+                       ? fl::ClientKind::kDpSgd
+                       : fl::ClientKind::kHdp;
+      proto.dp.epsilon = cfg.epsilon;
+      proto.dp.clip_norm = cfg.dp_clip;
+      proto.dp.total_steps =
           cfg.rounds * (cfg.samples_per_client / train.batch_size + 1);
-      dp.sampling_rate =
+      proto.dp.sampling_rate =
           std::min(1.0f, static_cast<float>(train.batch_size) /
                              static_cast<float>(cfg.samples_per_client));
-      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
-        clients.push_back(std::make_unique<defenses::DpSgdClient>(
-            spec, shards[k], train, dp, cfg.seed * 31 + k));
-      }
-      init = fl::InitialState(spec);
       break;
-    }
-    case InternalDefense::kHdp: {
-      defenses::DpConfig dp;
-      dp.epsilon = cfg.epsilon;
-      dp.clip_norm = cfg.dp_clip;
-      dp.total_steps =
-          cfg.rounds * (cfg.samples_per_client / train.batch_size + 1);
-      dp.sampling_rate =
-          std::min(1.0f, static_cast<float>(train.batch_size) /
-                             static_cast<float>(cfg.samples_per_client));
-      for (std::size_t k = 0; k < cfg.num_clients; ++k) {
-        clients.push_back(std::make_unique<defenses::HdpClient>(
-            spec, shards[k], train, dp, cfg.seed * 31 + k));
-      }
-      init = defenses::HdpClient::InitialState(spec);
-      break;
-    }
   }
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  for (std::size_t k = 0; k < cfg.num_clients; ++k) {
+    fl::ClientSpec cs = proto;
+    cs.data = shards[k];
+    cs.seed = cfg.seed * 31 + k;
+    clients.push_back(fl::MakeClient(cs));
+  }
+  const fl::ModelState init = fl::InitialStateFor(proto);
 
   std::vector<fl::ClientBase*> ptrs;
   for (auto& c : clients) ptrs.push_back(c.get());
@@ -156,7 +135,7 @@ InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
   options.rounds = cfg.rounds;
   options.record_client_updates = true;
   fl::FederatedAveraging server(init, options);
-  const fl::FlLog log = server.Run(ptrs, rng);
+  const fl::FlLog log = server.Run(ptrs, rng.NextU64());
 
   InternalExpResult result;
   result.train_acc = ptrs[0]->EvalAccuracy(ptrs[0]->LocalData());
@@ -252,7 +231,7 @@ InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
         active_server, std::move(ascent), targets,
         /*start_round=*/cfg.rounds > 5 ? cfg.rounds - 4 : 1);
     Rng active_rng(cfg.seed * 131 + 7);
-    const fl::FlLog active_log = active_server.Run(ptrs, active_rng);
+    const fl::FlLog active_log = active_server.Run(ptrs, active_rng.NextU64());
 
     const std::unique_ptr<fl::QueryModel> final_q =
         factory(active_log.final_global);

@@ -3,13 +3,12 @@
 namespace cip::fl {
 
 LegacyClient::LegacyClient(const nn::ModelSpec& spec, data::Dataset local_data,
-                           TrainConfig train_cfg, std::uint64_t seed)
+                           TrainConfig train_cfg, std::uint64_t /*seed*/)
     : model_(nn::MakeClassifier(spec)),
       data_(std::move(local_data)),
       cfg_(train_cfg),
       opt_(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay,
-           train_cfg.grad_clip),
-      rng_(seed) {
+           train_cfg.grad_clip) {
   CIP_CHECK(!data_.empty());
 }
 
@@ -18,11 +17,11 @@ void LegacyClient::SetGlobal(const ModelState& global) {
   global.ApplyTo(params);
 }
 
-ModelState LegacyClient::TrainLocal(std::size_t round, Rng& /*rng*/) {
-  opt_.set_lr(LrAtRound(cfg_, round));
+ModelState LegacyClient::TrainLocal(RoundContext ctx) {
+  opt_.set_lr(ctx.LrFor(cfg_));
   float loss = 0.0f;
   for (std::size_t e = 0; e < cfg_.epochs; ++e) {
-    loss = TrainEpoch(*model_, data_, opt_, cfg_, rng_);
+    loss = TrainEpoch(*model_, data_, opt_, cfg_, ctx.rng);
   }
   last_loss_ = loss;
   const std::vector<nn::Parameter*> params = model_->Parameters();

@@ -10,6 +10,7 @@
 
 #include "data/dataset.h"
 #include "fl/model_state.h"
+#include "fl/round_context.h"
 #include "fl/trainer.h"
 #include "nn/backbones.h"
 
@@ -22,8 +23,12 @@ class ClientBase {
   /// Install the aggregated global model for the coming round.
   virtual void SetGlobal(const ModelState& global) = 0;
 
-  /// Run one round of local training; returns the updated local state.
-  virtual ModelState TrainLocal(std::size_t round, Rng& rng) = 0;
+  /// Run one round of local training; returns the updated local state. The
+  /// context carries this client's private RNG stream and the round's
+  /// learning-rate scale; taken by value so the client may consume the
+  /// stream freely. Must be safe to call concurrently on *distinct* client
+  /// objects (the round engine trains sampled clients in parallel).
+  virtual ModelState TrainLocal(RoundContext ctx) = 0;
 
   /// Client-side accuracy on a dataset using the client's own inference path
   /// (the CIP client blends inputs with its secret perturbation here).
@@ -39,11 +44,13 @@ class ClientBase {
 /// Standard FedAvg client: single-channel classifier, plain SGD.
 class LegacyClient : public ClientBase {
  public:
+  /// `seed` is kept for constructor-shape uniformity across client kinds;
+  /// round-time randomness comes exclusively from the RoundContext stream.
   LegacyClient(const nn::ModelSpec& spec, data::Dataset local_data,
                TrainConfig train_cfg, std::uint64_t seed);
 
   void SetGlobal(const ModelState& global) override;
-  ModelState TrainLocal(std::size_t round, Rng& rng) override;
+  ModelState TrainLocal(RoundContext ctx) override;
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
@@ -55,7 +62,6 @@ class LegacyClient : public ClientBase {
   data::Dataset data_;
   TrainConfig cfg_;
   optim::Sgd opt_;
-  Rng rng_;
   float last_loss_ = 0.0f;
 };
 

@@ -1,26 +1,64 @@
 #include "fl/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace cip::fl {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Stream label for participant sampling; clients use their index as the
+// label, so sampling gets one no client index can collide with.
+constexpr std::uint64_t kSamplingStream = ~std::uint64_t{0};
+
+}  // namespace
+
+void FlOptions::Validate() const {
+  CIP_CHECK_MSG(rounds > 0, "FlOptions.rounds must be >= 1");
+  CIP_CHECK_MSG(participation > 0.0f && participation <= 1.0f,
+                "FlOptions.participation must be in (0, 1]");
+  std::size_t prev = 0;
+  for (const std::size_t r : snapshot_rounds) {
+    CIP_CHECK_MSG(r >= 1 && r <= rounds,
+                  "FlOptions.snapshot_rounds entries must be 1-based rounds "
+                  "in [1, rounds]");
+    CIP_CHECK_MSG(r > prev,
+                  "FlOptions.snapshot_rounds must be strictly increasing");
+    prev = r;
+  }
+  CIP_CHECK_MSG(lr_decay > 0.0f && lr_decay <= 1.0f,
+                "FlOptions.lr_decay must be in (0, 1]");
+}
+
 FederatedAveraging::FederatedAveraging(ModelState initial, FlOptions options)
     : global_(std::move(initial)), options_(std::move(options)) {
-  CIP_CHECK_GT(options_.rounds, 0u);
-  CIP_CHECK(options_.participation > 0.0f && options_.participation <= 1.0f);
+  options_.Validate();
   CIP_CHECK(!global_.empty());
 }
 
-FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients, Rng& rng) {
+FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
+                              std::uint64_t run_seed) {
+  options_.Validate();
   CIP_CHECK(!clients.empty());
   FlLog log;
   for (std::size_t round = 1; round <= options_.rounds; ++round) {
-    // Broadcast (possibly tampered) global.
+    RoundStats stats;
+    stats.round = round;
+    // --- Coordinator: broadcast (possibly tampered) global and sample this
+    // round's participants (FedAvg partial participation).
+    const auto broadcast_t0 = Clock::now();
     const ModelState broadcast =
         tamper_ ? tamper_(round, global_) : global_;
-    // Sample this round's participants (FedAvg partial participation).
     std::vector<std::size_t> participants;
     if (options_.participation >= 1.0f) {
       for (std::size_t k = 0; k < clients.size(); ++k) participants.push_back(k);
@@ -28,18 +66,52 @@ FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients, Rng& rng) {
       const std::size_t count = std::max<std::size_t>(
           1, static_cast<std::size_t>(options_.participation *
                                       static_cast<float>(clients.size())));
-      participants = rng.SampleWithoutReplacement(clients.size(), count);
+      Rng sample_rng = DeriveStream(run_seed, round, kSamplingStream);
+      participants =
+          sample_rng.SampleWithoutReplacement(clients.size(), count);
       std::sort(participants.begin(), participants.end());
     }
-    std::vector<ModelState> updates;
-    updates.reserve(participants.size());
-    std::vector<float> losses(clients.size(), 0.0f);
-    for (const std::size_t k : participants) {
-      clients[k]->SetGlobal(broadcast);
-      updates.push_back(clients[k]->TrainLocal(round, rng));
-      losses[k] = clients[k]->LastTrainLoss();
+    stats.broadcast_seconds = SecondsSince(broadcast_t0);
+
+    // --- Parallel client phase. Each worker touches only its own client,
+    // its own updates/stats slot, and its own losses element; the RNG stream
+    // in each context is derived from (run_seed, round, client index), so
+    // the result is independent of how workers are scheduled.
+    float lr_scale = 1.0f;
+    if (options_.lr_decay_every != 0) {
+      const auto steps =
+          static_cast<float>((round - 1) / options_.lr_decay_every);
+      lr_scale = std::pow(options_.lr_decay, steps);
     }
+    const std::size_t m = participants.size();
+    std::vector<ModelState> updates(m);
+    std::vector<float> losses(clients.size(), 0.0f);
+    stats.clients.resize(m);
+    const auto train_t0 = Clock::now();
+    ParallelForCoarse(
+        0, m,
+        [&](std::size_t i) {
+          const std::size_t k = participants[i];
+          RoundContext ctx = MakeRoundContext(run_seed, round, k, lr_scale);
+          ctx.telemetry = &stats.clients[i];
+          const auto client_t0 = Clock::now();
+          clients[k]->SetGlobal(broadcast);
+          updates[i] = clients[k]->TrainLocal(std::move(ctx));
+          ClientRoundStats& cs = stats.clients[i];
+          cs.round = round;
+          cs.client = k;
+          cs.loss = clients[k]->LastTrainLoss();
+          cs.train_seconds = SecondsSince(client_t0);
+          losses[k] = cs.loss;
+        },
+        options_.max_parallel_clients);
+    stats.train_wall_seconds = SecondsSince(train_t0);
+
+    // --- Coordinator: deterministic fixed-order reduction.
+    const auto aggregate_t0 = Clock::now();
     global_ = ModelState::Average(updates);
+    stats.aggregate_seconds = SecondsSince(aggregate_t0);
+
     log.client_losses.push_back(std::move(losses));
     if (options_.record_client_updates) {
       log.client_updates.push_back(std::move(updates));
@@ -49,6 +121,7 @@ FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients, Rng& rng) {
                   round) != options_.snapshot_rounds.end()) {
       log.global_snapshots.push_back(global_);
     }
+    log.telemetry.rounds.push_back(std::move(stats));
   }
   // Clients see the final aggregate (inference uses the global model).
   for (ClientBase* client : clients) client->SetGlobal(global_);

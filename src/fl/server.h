@@ -4,13 +4,22 @@
 // local model each round (passive attack surface) and may send back altered
 // global models (active attack surface). Both capabilities are modeled as
 // optional hooks so honest training and attacks share one code path.
+//
+// Round engine: each round the coordinator thread broadcasts (and possibly
+// tampers) the global, samples participants, and builds one RoundContext per
+// participant; the participants then train concurrently on ParallelForCoarse
+// workers. Because every context's RNG stream is a pure function of
+// (run seed, round, client index) and aggregation is a fixed-order serial
+// reduction, results are bit-identical for any CIP_THREADS value.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "fl/client.h"
 #include "fl/model_state.h"
+#include "fl/telemetry.h"
 
 namespace cip::fl {
 
@@ -23,8 +32,21 @@ struct FlOptions {
   /// passive observation; memory-heavy, off by default).
   bool record_client_updates = false;
   /// Record the aggregated global model at these rounds (1-based round
-  /// indices; the paper attacks "the last several iterations").
+  /// indices, strictly increasing, each within [1, rounds]; the paper
+  /// attacks "the last several iterations").
   std::vector<std::size_t> snapshot_rounds;
+  /// Server-side learning-rate schedule broadcast to clients through
+  /// RoundContext::lr_scale: multiply by lr_decay every lr_decay_every
+  /// rounds (0 = off, scale stays 1).
+  float lr_decay = 0.5f;
+  std::size_t lr_decay_every = 0;
+  /// Worker-thread budget for the per-round client phase; 0 means
+  /// ParallelThreads() (i.e. CIP_THREADS / hardware default).
+  std::size_t max_parallel_clients = 0;
+
+  /// CHECK-fails (throws cip::CheckError) on out-of-domain settings; called
+  /// by FederatedAveraging at construction and at the top of Run.
+  void Validate() const;
 };
 
 struct FlLog {
@@ -37,6 +59,8 @@ struct FlLog {
   std::vector<std::vector<ModelState>> client_updates;
   /// [round][client] mean local training loss.
   std::vector<std::vector<float>> client_losses;
+  /// Per-round wall-clock and loss telemetry (always recorded; cheap).
+  RoundTelemetry telemetry;
 };
 
 class FederatedAveraging {
@@ -50,8 +74,11 @@ class FederatedAveraging {
 
   void set_tamper(GlobalTamper tamper) { tamper_ = std::move(tamper); }
 
-  /// Run the configured number of rounds over the given clients.
-  FlLog Run(std::span<ClientBase* const> clients, Rng& rng);
+  /// Run the configured number of rounds over the given clients. run_seed is
+  /// the root of every RNG stream in the run (participant sampling and each
+  /// client's per-round stream); two runs with the same seed, clients, and
+  /// options produce bit-identical logs regardless of thread count.
+  FlLog Run(std::span<ClientBase* const> clients, std::uint64_t run_seed);
 
  private:
   ModelState global_;

@@ -1,0 +1,46 @@
+#include "fl/telemetry.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cip::fl {
+
+namespace {
+
+// Compact float formatting that always round-trips (JSON has no NaN/Inf; the
+// sources here are wall-clock durations and finite losses).
+void PutNumber(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void RoundTelemetry::WriteJsonl(std::ostream& os) const {
+  for (const RoundStats& r : rounds) {
+    os << "{\"round\":" << r.round << ",\"broadcast_seconds\":";
+    PutNumber(os, r.broadcast_seconds);
+    os << ",\"train_wall_seconds\":";
+    PutNumber(os, r.train_wall_seconds);
+    os << ",\"aggregate_seconds\":";
+    PutNumber(os, r.aggregate_seconds);
+    os << ",\"clients\":[";
+    for (std::size_t i = 0; i < r.clients.size(); ++i) {
+      const ClientRoundStats& c = r.clients[i];
+      if (i > 0) os << ',';
+      os << "{\"client\":" << c.client << ",\"loss\":";
+      PutNumber(os, c.loss);
+      os << ",\"train_seconds\":";
+      PutNumber(os, c.train_seconds);
+      os << ",\"step1_seconds\":";
+      PutNumber(os, c.step1_seconds);
+      os << ",\"step2_seconds\":";
+      PutNumber(os, c.step2_seconds);
+      os << '}';
+    }
+    os << "]}\n";
+  }
+}
+
+}  // namespace cip::fl

@@ -1,0 +1,47 @@
+// Round telemetry for the federated round engine.
+//
+// The server records wall-clock and loss figures for every round it runs —
+// per-client local-training time plus per-round broadcast/aggregate time —
+// into FlLog::telemetry. Defense clients may additionally fill the
+// step1/step2 split through RoundContext::telemetry (the CIP client reports
+// its Eq. 3 perturbation step and Eq. 4 model step separately, which is what
+// Table XI measures). WriteJsonl turns the whole run into one JSON object
+// per round for offline analysis.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace cip::fl {
+
+/// Timings and loss for one client within one round.
+struct ClientRoundStats {
+  std::size_t round = 0;   ///< 1-based round index
+  std::size_t client = 0;  ///< index into the Run() clients span
+  float loss = 0.0f;       ///< mean local training loss (LastTrainLoss)
+  double train_seconds = 0.0;  ///< SetGlobal + TrainLocal wall-clock
+  /// Defense-internal split, filled by the client when it has one (CIP:
+  /// Step I perturbation / Step II model training). Zero when unused.
+  double step1_seconds = 0.0;
+  double step2_seconds = 0.0;
+};
+
+/// Coordinator-side timings for one round.
+struct RoundStats {
+  std::size_t round = 0;            ///< 1-based round index
+  double broadcast_seconds = 0.0;   ///< tamper hook + participant sampling
+  double train_wall_seconds = 0.0;  ///< wall-clock of the (parallel) client phase
+  double aggregate_seconds = 0.0;   ///< fixed-order FedAvg reduction
+  std::vector<ClientRoundStats> clients;  ///< one entry per participant
+};
+
+/// Telemetry for a whole federated run.
+struct RoundTelemetry {
+  std::vector<RoundStats> rounds;
+
+  /// Write one JSON object per round (JSON Lines).
+  void WriteJsonl(std::ostream& os) const;
+};
+
+}  // namespace cip::fl

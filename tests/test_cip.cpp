@@ -241,8 +241,9 @@ TEST(CipClient, RoundImprovesBlendedAccuracy) {
 
   client.SetGlobal(core::InitialDualState(spec));
   const double before = client.EvalAccuracy(train);
-  Rng round_rng(9);
-  for (int r = 0; r < 8; ++r) client.TrainLocal(r, round_rng);
+  for (int r = 0; r < 8; ++r) {
+    client.TrainLocal(fl::MakeRoundContext(9, static_cast<std::size_t>(r) + 1, 0));
+  }
   EXPECT_GT(client.EvalAccuracy(train), before + 0.2);
 }
 
@@ -283,8 +284,7 @@ TEST(CipClient, StateSizeMatchesDualModel) {
   cfg.perturb_steps = 1;
   core::CipClient client(spec, gen.Sample(40, rng), cfg, 3);
   client.SetGlobal(core::InitialDualState(spec));
-  Rng r(12);
-  const fl::ModelState state = client.TrainLocal(0, r);
+  const fl::ModelState state = client.TrainLocal(fl::MakeRoundContext(12, 1, 0));
   auto model = nn::MakeDualChannelClassifier(spec);
   EXPECT_EQ(state.size(), model->ParameterCount());
 }

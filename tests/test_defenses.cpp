@@ -67,8 +67,7 @@ TEST(DpSgd, LargeEpsilonLearnsSmallEpsilonDoesNot) {
     dp.sampling_rate = 32.0f / 300.0f;
     defenses::DpSgdClient client(spec, data, train, dp, 81);
     client.SetGlobal(fl::InitialState(spec));
-    Rng rng(2);
-    client.TrainLocal(0, rng);
+    client.TrainLocal(fl::MakeRoundContext(2, 1, 0));
     return client.EvalAccuracy(data);
   };
   const double loose = run(4096.0f);  // σ ≈ 0: behaves like clipped SGD
@@ -97,9 +96,8 @@ TEST(Hdp, BeatsDpAtSameEpsilon) {
   dp_client.SetGlobal(fl::InitialState(spec));
   defenses::HdpClient hdp_client(spec, data, train, dp, 83);
   hdp_client.SetGlobal(fl::ModelState::From(hdp_client.model().Parameters()));
-  Rng rng(4);
-  dp_client.TrainLocal(0, rng);
-  hdp_client.TrainLocal(0, rng);
+  dp_client.TrainLocal(fl::MakeRoundContext(4, 1, 0));
+  hdp_client.TrainLocal(fl::MakeRoundContext(4, 1, 1));
   EXPECT_GT(hdp_client.EvalAccuracy(data), dp_client.EvalAccuracy(data));
 }
 
@@ -113,8 +111,7 @@ TEST(Hdp, OnlyHeadParametersChange) {
   const fl::ModelState init =
       fl::ModelState::From(client.model().Parameters());
   client.SetGlobal(init);
-  Rng rng(6);
-  const fl::ModelState after = client.TrainLocal(0, rng);
+  const fl::ModelState after = client.TrainLocal(fl::MakeRoundContext(6, 1, 0));
   // Backbone prefix must be bit-identical; head suffix must differ.
   const std::size_t head_size = client.model().num_classes() *
                                     client.model().feature_dim() +
@@ -141,8 +138,7 @@ TEST(AdvReg, TrainsAndRegularizes) {
   defenses::ArClient client(spec, PurchaseSample(300, 7),
                             PurchaseSample(300, 8), train, ar, 85);
   client.SetGlobal(fl::InitialState(spec));
-  Rng rng(9);
-  client.TrainLocal(0, rng);
+  client.TrainLocal(fl::MakeRoundContext(9, 1, 0));
   const double train_acc = client.EvalAccuracy(client.LocalData());
   EXPECT_GT(train_acc, 0.2);  // still learns under regularization
 }
@@ -166,8 +162,7 @@ TEST(AdvReg, RegularizerGradientFlowsIntoModel) {
     ar.lambda = lambda;
     defenses::ArClient client(spec, members, reference, train, ar, 86);
     client.SetGlobal(fl::InitialState(spec));
-    Rng rng(13);
-    return client.TrainLocal(0, rng);
+    return client.TrainLocal(fl::MakeRoundContext(13, 1, 0));
   };
   const fl::ModelState base = run(0.0f);
   const fl::ModelState again = run(0.0f);
@@ -195,8 +190,7 @@ TEST(MixupMmd, TrainsAndShrinksGap) {
     mm.mu = mu;
     defenses::MixupMmdClient client(spec, members, validation, train, mm, 87);
     client.SetGlobal(fl::InitialState(spec));
-    Rng rng(17);
-    client.TrainLocal(0, rng);
+    client.TrainLocal(fl::MakeRoundContext(29, 1, 0));
     const auto ml = fl::PerSampleLosses(client.model(), members);
     const auto nl = fl::PerSampleLosses(client.model(), nonmembers);
     return Mean(std::span<const float>(nl)) -
@@ -217,8 +211,7 @@ TEST(RelaxLoss, KeepsLossNearOmega) {
   defenses::RelaxLossClient client(spec, PurchaseSample(300, 18), train, rl,
                                    88);
   client.SetGlobal(fl::InitialState(spec));
-  Rng rng(19);
-  client.TrainLocal(0, rng);
+  client.TrainLocal(fl::MakeRoundContext(19, 1, 0));
   const auto losses = fl::PerSampleLosses(client.model(), client.LocalData());
   const double mean_loss = Mean(std::span<const float>(losses));
   // Training settles near ω instead of collapsing to ~0.
@@ -236,8 +229,7 @@ TEST(RelaxLoss, OmegaZeroBehavesLikePlainTraining) {
   defenses::RelaxLossClient client(spec, PurchaseSample(300, 20), train, rl,
                                    89);
   client.SetGlobal(fl::InitialState(spec));
-  Rng rng(21);
-  client.TrainLocal(0, rng);
+  client.TrainLocal(fl::MakeRoundContext(21, 1, 0));
   EXPECT_GT(client.EvalAccuracy(client.LocalData()), 0.6);
 }
 

@@ -82,7 +82,7 @@ TEST(FedAvg, ConvergesOnBlobs) {
   fl::FlOptions opts;
   opts.rounds = 15;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  server.Run(ptrs, rng);
+  server.Run(ptrs, rng.NextU64());
 
   data::Dataset test = testing::TwoBlobs(100, 6, rng);
   for (float& v : test.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
@@ -103,7 +103,7 @@ TEST(FedAvg, SnapshotsRecordedAtRequestedRounds) {
   opts.snapshot_rounds = {2, 4, 5};
   opts.record_client_updates = true;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  const fl::FlLog log = server.Run(std::span(&ptr, 1), rng);
+  const fl::FlLog log = server.Run(std::span(&ptr, 1), rng.NextU64());
 
   EXPECT_EQ(log.global_snapshots.size(), 3u);
   EXPECT_EQ(log.client_updates.size(), 5u);
@@ -129,7 +129,7 @@ TEST(FedAvg, TamperHookSeesEveryRound) {
     seen.push_back(round);
     return honest;
   });
-  server.Run(std::span(&ptr, 1), rng);
+  server.Run(std::span(&ptr, 1), rng.NextU64());
   EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3, 4}));
 }
 
@@ -148,7 +148,7 @@ TEST(FedAvg, AggregateEqualsClientAverageOneRound) {
   opts.rounds = 1;
   opts.record_client_updates = true;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  const fl::FlLog log = server.Run(ptrs, rng);
+  const fl::FlLog log = server.Run(ptrs, rng.NextU64());
 
   const fl::ModelState manual =
       fl::ModelState::Average(log.client_updates[0]);
@@ -170,7 +170,7 @@ TEST(Query, LossesMatchAccuracySignals) {
   opts.rounds = 10;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
   Rng rng2(6);
-  server.Run(std::span(&ptr, 1), rng2);
+  server.Run(std::span(&ptr, 1), rng2.NextU64());
 
   fl::ClassifierQuery q(client.model());
   EXPECT_NEAR(q.Accuracy(full), client.EvalAccuracy(full), 1e-9);

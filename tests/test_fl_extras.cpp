@@ -175,7 +175,7 @@ TEST(Participation, SubsetOfClientsTrainsEachRound) {
   opts.participation = 0.5f;
   opts.record_client_updates = true;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  const fl::FlLog log = server.Run(ptrs, rng);
+  const fl::FlLog log = server.Run(ptrs, rng.NextU64());
   for (const auto& round : log.client_updates) {
     EXPECT_EQ(round.size(), 2u);  // half of four clients per round
   }

@@ -1,19 +1,26 @@
-// Stress tests for ParallelFor: TSan-visible write patterns, exception
-// propagation from workers, and strict CIP_THREADS parsing. Designed to run
-// under the `tsan` preset — the overlapping-write scenarios only touch shared
-// state through atomics, so a clean run certifies the harness itself is
-// race-free.
+// Stress tests for ParallelFor / ParallelForCoarse and the federated round
+// engine built on them: TSan-visible write patterns, exception propagation
+// from workers, and strict CIP_THREADS parsing. Designed to run under the
+// `tsan` preset — the overlapping-write scenarios only touch shared state
+// through atomics, so a clean run certifies the harness itself is race-free.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "data/partition.h"
+#include "fl/client_factory.h"
+#include "fl/server.h"
+#include "testing_util.h"
 
 namespace cip {
 namespace {
@@ -123,6 +130,84 @@ TEST(ParallelStress, EmptyAndReversedRangesAreNoOps) {
   ParallelFor(5, 5, [&](std::size_t) { calls.fetch_add(1); }, kThreads);
   ParallelFor(9, 3, [&](std::size_t) { calls.fetch_add(1); }, kThreads);
   EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelCoarseStress, SmallRangesStillRunOnWorkers) {
+  // ParallelFor serializes n < 16; ParallelForCoarse must not — a 4-client
+  // federated round is exactly a 4-element range. Prove genuine concurrency:
+  // 4 workers all block until everyone has arrived; only real parallelism
+  // (not time-slicing of a serial loop) lets the rendezvous complete.
+  std::atomic<int> arrived{0};
+  ParallelForCoarse(0, 4, [&](std::size_t) {
+    arrived.fetch_add(1, std::memory_order_relaxed);
+    while (arrived.load(std::memory_order_relaxed) < 4) {
+      std::this_thread::yield();
+    }
+  }, kThreads);
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ParallelCoarseStress, OverlappingAtomicCounter) {
+  std::atomic<std::size_t> counter{0};
+  ParallelForCoarse(0, kN, [&](std::size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }, kThreads);
+  EXPECT_EQ(counter.load(), kN);
+}
+
+TEST(ParallelCoarseStress, WorkerExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      ParallelForCoarse(0, 4, [](std::size_t i) {
+        if (i == 2) throw std::runtime_error("coarse worker failed");
+      }, kThreads),
+      std::runtime_error);
+}
+
+TEST(ParallelCoarseStress, SingleElementRangeRunsSerially) {
+  std::atomic<int> calls{0};
+  ParallelForCoarse(3, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 3u);
+    calls.fetch_add(1);
+  }, kThreads);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(RoundEngineStress, ParallelFederationIsRaceFree) {
+  // The real round engine under TSan: 8 tiny MLP clients training
+  // concurrently on 8 workers for 2 rounds. Any shared mutable state in the
+  // client phase (models, optimizers, RNGs, telemetry slots) shows up here.
+  constexpr std::size_t kClients = 8;
+  Rng rng(6);
+  data::Dataset full = testing::TwoBlobs(16 * kClients, 4, rng);
+  for (float& v : full.inputs.flat()) {
+    v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  }
+  const auto shards = data::PartitionIid(full, kClients, rng);
+
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kLegacy;
+  spec.model.arch = nn::Arch::kMLP;
+  spec.model.input_shape = {4};
+  spec.model.num_classes = 2;
+  spec.model.width = 4;
+  spec.model.seed = 3;
+  spec.train.lr = 0.1f;
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  for (std::size_t k = 0; k < kClients; ++k) {
+    spec.data = shards[k];
+    spec.seed = 60 + k;
+    clients.push_back(fl::MakeClient(spec));
+    ptrs.push_back(clients.back().get());
+  }
+
+  fl::FlOptions opts;
+  opts.rounds = 2;
+  opts.max_parallel_clients = kClients;
+  fl::FederatedAveraging server(fl::InitialStateFor(spec), opts);
+  const fl::FlLog log = server.Run(ptrs, 61);
+  EXPECT_EQ(log.telemetry.rounds.size(), 2u);
+  EXPECT_EQ(log.client_losses.at(0).size(), kClients);
 }
 
 TEST(ParallelThreadsEnv, DefaultIsAtLeastOne) {

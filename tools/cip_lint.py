@@ -13,6 +13,12 @@ Rules (see README "Correctness tooling"):
   bench-json      committed BENCH_*.json perf baselines at the repo root
                   must parse as JSON (a broken baseline silently disables
                   regression comparison — see docs/BENCHMARKS.md)
+  rng-ref-param   headers under src/fl and src/core must not declare new
+                  `Rng&` parameters: shared mutable RNG streams are what made
+                  concurrent client execution racy pre-RoundContext. Client
+                  randomness flows through RoundContext::rng (a per-(round,
+                  client) value stream); private helpers that thread a local
+                  stream live on the allowlist.
   doc-comment     WARNING (does not fail the run): public functions declared
                   in src/tensor and src/nn headers should carry a doc
                   comment on the preceding line
@@ -40,6 +46,14 @@ SOURCE_SUFFIXES = {".h", ".cpp"}
 ALLOWLIST = {
     "unseeded-rng": {"src/common/rng.h"},
     "reinterpret": {"src/fl/serialize.cpp"},
+    # Private helpers that receive the RoundContext's stream by reference
+    # (cip_client, perturbation) and the epoch-level training primitive that
+    # callers drive with a local stream (trainer). No public round-time API.
+    "rng-ref-param": {
+        "src/fl/trainer.h",
+        "src/core/cip_client.h",
+        "src/core/perturbation.h",
+    },
 }
 
 RE_COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
@@ -51,6 +65,11 @@ RE_UNSEEDED_RNG = re.compile(
     r"\s+\w+\s*(;|\{\s*\}|\(\s*\))"
 )
 RE_REINTERPRET = re.compile(r"\breinterpret_cast\b")
+# An `Rng&` function parameter: `Rng& rng,`, `Rng& rng)`, unnamed `Rng&)`.
+# Local `Rng&` bindings (`Rng& r = ...`) don't hit a separator and stay legal.
+RE_RNG_REF_PARAM = re.compile(r"\bRng\s*&\s*\w*\s*[,)]")
+# Directories whose headers define the client-facing FL surface.
+RNG_REF_DIRS = ("src/fl/", "src/core/")
 RE_BITS_INCLUDE = re.compile(r'#\s*include\s*<bits/')
 RE_PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 
@@ -115,6 +134,13 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
         if RE_PARENT_INCLUDE.search(line):
             out.append(Violation(rel, i, "include-style",
                                  'use project-root-relative includes, not "../"'))
+        if (rel.endswith(".h") and rel.startswith(RNG_REF_DIRS)
+                and rel not in ALLOWLIST["rng-ref-param"]
+                and RE_RNG_REF_PARAM.search(line)):
+            out.append(Violation(rel, i, "rng-ref-param",
+                                 "new `Rng&` parameter in a client-facing "
+                                 "header; take randomness from "
+                                 "RoundContext::rng instead"))
     return out
 
 
@@ -225,6 +251,7 @@ SELF_TEST_CASES = {
     "include-style": "src/bad_include.cpp",
     "doc-comment": "src/tensor/undocumented.h",
     "bench-json": "BENCH_broken.json",
+    "rng-ref-param": "src/fl/bad_rng_param.h",
 }
 
 SELF_TEST_SOURCES = {
@@ -236,6 +263,8 @@ SELF_TEST_SOURCES = {
     "src/bad_include.cpp": '#include "../outside.h"\n',
     "src/tensor/undocumented.h": "#pragma once\nfloat Undocumented(int x);\n",
     "BENCH_broken.json": "{this is not json\n",
+    "src/fl/bad_rng_param.h":
+        "#pragma once\nvoid TrainThing(int epochs, Rng& rng);\n",
     # And clean files that must NOT be flagged.
     "src/clean.cpp": "#include <random>\nvoid h() { std::mt19937_64 eng(42); (void)eng; }\n",
     "src/tensor/documented_clean.h":
@@ -250,6 +279,13 @@ SELF_TEST_SOURCES = {
         "  void NoDocNeededHere();\n"
         "};\n",
     "BENCH_clean.json": '{"schema": "cip-bench-kernels/v1"}\n',
+    # Rng& is fine outside src/fl and src/core headers (data/nn/attacks keep
+    # explicit stream-passing), in .cpp files, and as a local binding.
+    "src/data/rng_param_clean.h":
+        "#pragma once\nvoid SampleThing(int n, Rng& rng);\n",
+    "src/fl/rng_local_clean.h":
+        "#pragma once\ninline int F(RoundContext& ctx) {\n"
+        "  Rng& rng = ctx.rng;\n  return rng.NextU64() & 1;\n}\n",
 }
 
 
