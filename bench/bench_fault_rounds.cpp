@@ -1,0 +1,286 @@
+// Fault-tolerant round engine benchmark and baseline
+// (BENCH_fault_rounds.json).
+//
+// Exercises the round engine's degraded modes at bench scale and gates on
+// the invariants docs/ROBUSTNESS.md promises:
+//   1. determinism — a faulted federation (dropouts + mid-round failures +
+//      retries) must produce bit-identical results at worker budgets 1 and 4;
+//   2. graceful degradation — under a 20% dropout plan no round above quorum
+//      is skipped, and every round's aggregate equals the renormalized mean
+//      over that round's surviving updates (checked by recomputation);
+//   3. resume — crash-at-round-k + resume from the checkpoint file must
+//      reproduce the uninterrupted run's final global bit-identically.
+// It also times healthy vs. faulted runs and the checkpoint save/load path,
+// and writes the JSON baseline committed at the repo root.
+//
+// Run via scripts/bench_baseline.sh, which commits the JSON output.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "fl/checkpoint.h"
+#include "fl/client_factory.h"
+#include "fl/server.h"
+
+using namespace cip;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Federation {
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  fl::ModelState init;
+};
+
+/// Fresh legacy federation (clients are stateful; every run needs its own).
+Federation MakeFederation(std::size_t num_clients,
+                          std::size_t samples_per_client) {
+  Federation fed;
+  data::SyntheticPurchase gen(data::Purchase50Like());
+  Rng data_rng(7);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kLegacy;
+  spec.model.arch = nn::Arch::kMLP;
+  spec.model.input_shape = gen.SampleShape();
+  spec.model.num_classes = gen.config().num_classes;
+  spec.model.width = 16;
+  spec.model.seed = 11;
+  spec.train.lr = 0.05f;
+  spec.train.momentum = 0.9f;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    spec.data = gen.Sample(samples_per_client, data_rng);
+    spec.seed = 13 + k;
+    fed.clients.push_back(fl::MakeClient(spec));
+    fed.ptrs.push_back(fed.clients.back().get());
+  }
+  fed.init = fl::InitialStateFor(spec);
+  return fed;
+}
+
+fl::FaultPlan DropoutPlan() {
+  fl::FaultPlan plan;
+  plan.dropout_rate = 0.2f;
+  plan.failure_rate = 0.05f;
+  return plan;
+}
+
+bool SameFloats(std::span<const float> a, std::span<const float> b) {
+  // memcmp, not ==: bit-identity is the claim (distinguishes -0.0f, NaNs).
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+bool BitIdentical(const fl::FlLog& a, const fl::FlLog& b) {
+  if (!SameFloats(a.final_global.values(), b.final_global.values())) {
+    return false;
+  }
+  if (a.client_losses.size() != b.client_losses.size()) return false;
+  for (std::size_t r = 0; r < a.client_losses.size(); ++r) {
+    if (!SameFloats(a.client_losses[r], b.client_losses[r])) return false;
+  }
+  return true;
+}
+
+void PutNum(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* output_path = "BENCH_fault_rounds.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    }
+  }
+
+  bench::PrintHeader(
+      "FL round engine — fault tolerance and checkpoint/resume",
+      "n/a (infrastructure bench; production FL fleets drop ~5-30% of "
+      "clients per round)",
+      "bit-identical under faults and across crash/resume; 20% dropout "
+      "degrades gracefully");
+  bench::BenchTimer timer;
+
+  const std::size_t kClients = 5;
+  const std::size_t kRounds = 4;
+  const std::size_t samples = Scaled(100);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // ---- determinism gate (faults on) -----------------------------------------
+  fl::FlOptions faulty;
+  faulty.rounds = kRounds;
+  faulty.faults = DropoutPlan();
+  faulty.max_retries = 2;
+  Federation fed1 = MakeFederation(kClients, samples);
+  Federation fed4 = MakeFederation(kClients, samples);
+  fl::FlOptions o1 = faulty;
+  o1.max_parallel_clients = 1;
+  fl::FlOptions o4 = faulty;
+  o4.max_parallel_clients = 4;
+  const fl::FlLog log1 =
+      fl::FederatedAveraging(fed1.init, o1).Run(fed1.ptrs, 21);
+  const fl::FlLog log4 =
+      fl::FederatedAveraging(fed4.init, o4).Run(fed4.ptrs, 21);
+  const bool identical = BitIdentical(log1, log4);
+  std::cout << "determinism under faults (budget 1 vs 4): "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  // ---- graceful degradation at 20% dropout ----------------------------------
+  // Record survivor updates and per-round snapshots, then recompute each
+  // round's renormalized survivor mean and demand bitwise equality.
+  fl::FlOptions degrade = faulty;
+  degrade.record_client_updates = true;
+  for (std::size_t r = 1; r <= kRounds; ++r) {
+    degrade.snapshot_rounds.push_back(r);
+  }
+  Federation fedd = MakeFederation(kClients, samples);
+  const auto degrade_t0 = Clock::now();
+  const fl::FlLog dlog =
+      fl::FederatedAveraging(fedd.init, degrade).Run(fedd.ptrs, 22);
+  const double faulty_seconds = SecondsSince(degrade_t0);
+
+  std::size_t total_faults = 0, skipped_rounds = 0, survivor_sum = 0;
+  bool renormalized_ok = true;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const fl::RoundStats& stats = dlog.telemetry.rounds[r];
+    survivor_sum += stats.survivors;
+    if (stats.skipped) ++skipped_rounds;
+    for (const fl::ClientRoundStats& c : stats.clients) {
+      if (c.fault != fl::FaultKind::kNone) ++total_faults;
+    }
+    if (!stats.skipped) {
+      const fl::ModelState mean =
+          fl::ModelState::Average(dlog.client_updates[r]);
+      renormalized_ok = renormalized_ok &&
+                        SameFloats(mean.values(),
+                                   dlog.global_snapshots[r].values());
+    }
+  }
+  const double mean_survivors =
+      static_cast<double>(survivor_sum) / static_cast<double>(kRounds);
+  std::cout << "20% dropout: " << total_faults << " faults over " << kRounds
+            << " rounds, mean survivors " << mean_survivors << "/" << kClients
+            << ", skipped " << skipped_rounds << ", renormalized mean "
+            << (renormalized_ok ? "exact" : "MISMATCH") << "\n";
+
+  // Healthy reference timing for the overhead column.
+  Federation fedh = MakeFederation(kClients, samples);
+  fl::FlOptions healthy;
+  healthy.rounds = kRounds;
+  const auto healthy_t0 = Clock::now();
+  fl::FederatedAveraging(fedh.init, healthy).Run(fedh.ptrs, 22);
+  const double healthy_seconds = SecondsSince(healthy_t0);
+
+  // ---- crash-at-k + resume gate ---------------------------------------------
+  const std::string ckpt_path = std::string(output_path) + ".ckpt.tmp";
+  const std::size_t kCrashRound = 2;
+  Federation straight = MakeFederation(kClients, samples);
+  const fl::FlLog full =
+      fl::FederatedAveraging(straight.init, faulty).Run(straight.ptrs, 23);
+
+  Federation crashed = MakeFederation(kClients, samples);
+  fl::FlOptions crash_opts = faulty;
+  crash_opts.checkpoint_every = 1;
+  crash_opts.checkpoint_path = ckpt_path;
+  crash_opts.stop_after_round = kCrashRound;
+  const auto save_t0 = Clock::now();
+  fl::FederatedAveraging(crashed.init, crash_opts).Run(crashed.ptrs, 23);
+  const double crash_run_seconds = SecondsSince(save_t0);
+
+  std::ifstream size_probe(ckpt_path, std::ios::binary | std::ios::ate);
+  const auto ckpt_bytes = static_cast<std::size_t>(size_probe.tellg());
+  size_probe.close();
+
+  const auto load_t0 = Clock::now();
+  const fl::Checkpoint ckpt = fl::LoadCheckpointFile(ckpt_path);
+  const double load_seconds = SecondsSince(load_t0);
+  Federation resumed = MakeFederation(kClients, samples);
+  const fl::FlLog tail =
+      fl::FederatedAveraging(resumed.init, faulty).Resume(resumed.ptrs, ckpt);
+  const bool resume_identical =
+      SameFloats(full.final_global.values(), tail.final_global.values());
+  std::remove(ckpt_path.c_str());
+  std::cout << "crash at round " << kCrashRound << " + resume: "
+            << (resume_identical ? "bit-identical" : "MISMATCH") << " ("
+            << ckpt_bytes << "-byte checkpoint, load "
+            << TextTable::Num(load_seconds * 1e3, 2) << "ms)\n";
+
+  TextTable table({"Run", "seconds"});
+  table.AddRow({"healthy (5 clients x 4 rounds)",
+                TextTable::Num(healthy_seconds, 3)});
+  table.AddRow({"20% dropout + retries", TextTable::Num(faulty_seconds, 3)});
+  table.AddRow({"crashed half-run (checkpointing every round)",
+                TextTable::Num(crash_run_seconds, 3)});
+  table.Print(std::cout);
+  std::cout << "host hardware_concurrency=" << hw << "\n";
+
+  // ---- JSON baseline ---------------------------------------------------------
+  std::ofstream js(output_path);
+  js << "{\n  \"schema\": \"cip-bench-fault-rounds/v1\",\n"
+     << "  \"host\": {\"num_cpus\": " << hw << "},\n"
+     << "  \"setup\": {\"clients\": " << kClients
+     << ", \"rounds\": " << kRounds
+     << ", \"dropout_rate\": 0.2, \"failure_rate\": 0.05, "
+     << "\"max_retries\": 2, \"budgets\": [1, 4]},\n"
+     << "  \"determinism\": {\"bit_identical\": "
+     << (identical ? "true" : "false") << "},\n"
+     << "  \"degradation\": {\"total_faults\": " << total_faults
+     << ", \"mean_survivors\": ";
+  PutNum(js, mean_survivors);
+  js << ", \"skipped_rounds\": " << skipped_rounds
+     << ", \"renormalized_mean_exact\": "
+     << (renormalized_ok ? "true" : "false") << "},\n"
+     << "  \"resume\": {\"crash_round\": " << kCrashRound
+     << ", \"bit_identical\": " << (resume_identical ? "true" : "false")
+     << ", \"checkpoint_bytes\": " << ckpt_bytes << ", \"load_seconds\": ";
+  PutNum(js, load_seconds);
+  js << "},\n  \"timing\": {\"healthy_seconds\": ";
+  PutNum(js, healthy_seconds);
+  js << ", \"faulty_seconds\": ";
+  PutNum(js, faulty_seconds);
+  js << "}\n}\n";
+  js.close();
+  std::cout << "baseline written to " << output_path << "\n";
+
+  // ---- gates -----------------------------------------------------------------
+  bool ok = true;
+  if (!identical) {
+    std::cerr << "FAIL: faulted results differ across worker budgets\n";
+    ok = false;
+  }
+  if (total_faults == 0) {
+    std::cerr << "FAIL: fault plan injected nothing — gate is vacuous\n";
+    ok = false;
+  }
+  if (skipped_rounds != 0) {
+    std::cerr << "FAIL: " << skipped_rounds
+              << " rounds skipped above quorum\n";
+    ok = false;
+  }
+  if (!renormalized_ok) {
+    std::cerr << "FAIL: aggregate is not the renormalized survivor mean\n";
+    ok = false;
+  }
+  if (!resume_identical) {
+    std::cerr << "FAIL: crash+resume diverged from the uninterrupted run\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+// Runbook demo: fault-injected federated training with checkpoint/resume.
+//
+// A small CIP fleet trains under injected dropouts and stragglers while the
+// server checkpoints every few rounds. Kill the run at round k (--stop-after
+// simulates the crash cleanly) and continue it with --resume: the resumed
+// run reconstructs every RNG stream from the checkpointed seed, so its final
+// global model is bit-identical to an uninterrupted run. docs/ROBUSTNESS.md
+// explains why; README's Runbook section walks through this binary.
+//
+// Typical session:
+//   fault_tolerant_run --rounds 8 --checkpoint /tmp/demo.ckpt --stop-after 3
+//   fault_tolerant_run --rounds 8 --checkpoint /tmp/demo.ckpt --resume
+//   fault_tolerant_run --rounds 8            # straight run, same final norm
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "fl/server.h"
+
+using namespace cip;
+
+namespace {
+
+struct Args {
+  std::size_t rounds = 8;
+  std::size_t clients = 4;
+  std::size_t stop_after = 0;  // 0 = run to completion
+  std::size_t checkpoint_every = 2;
+  std::uint64_t seed = 7;
+  float dropout = 0.2f;
+  float straggler = 0.1f;
+  bool resume = false;
+  std::string checkpoint;        // empty = checkpointing off
+  std::string telemetry_jsonl;   // empty = stdout summary only
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      CIP_CHECK_MSG(i + 1 < argc, flag << " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--rounds") a.rounds = std::stoul(value());
+    else if (flag == "--clients") a.clients = std::stoul(value());
+    else if (flag == "--stop-after") a.stop_after = std::stoul(value());
+    else if (flag == "--checkpoint-every") a.checkpoint_every = std::stoul(value());
+    else if (flag == "--seed") a.seed = std::stoull(value());
+    else if (flag == "--dropout") a.dropout = std::stof(value());
+    else if (flag == "--straggler") a.straggler = std::stof(value());
+    else if (flag == "--checkpoint") a.checkpoint = value();
+    else if (flag == "--telemetry") a.telemetry_jsonl = value();
+    else if (flag == "--resume") a.resume = true;
+    else {
+      std::cerr << "unknown flag " << flag << "\n"
+                << "flags: --rounds N --clients N --stop-after K\n"
+                << "       --checkpoint PATH --checkpoint-every N --resume\n"
+                << "       --dropout R --straggler R --telemetry PATH "
+                   "--seed S\n";
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  // The fleet must be constructed identically on every invocation (fresh or
+  // resumed) — the checkpoint only carries private *state*, not the clients.
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng data_rng(args.seed);
+  const data::Dataset full = gen.Sample(args.clients * 80, data_rng);
+  const auto shards = data::PartitionIid(full, args.clients, data_rng);
+
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kResNet;
+  spec.input_shape = gen.SampleShape();
+  spec.num_classes = 8;
+  spec.width = 6;
+  spec.seed = args.seed + 1;
+
+  core::CipConfig cfg;
+  cfg.blend.alpha = 0.7f;
+  cfg.train.lr = 0.02f;
+  cfg.train.momentum = 0.9f;
+  cfg.perturb_steps = 4;
+
+  std::vector<std::unique_ptr<core::CipClient>> fleet;
+  std::vector<fl::ClientBase*> ptrs;
+  for (std::size_t k = 0; k < args.clients; ++k) {
+    fleet.push_back(
+        std::make_unique<core::CipClient>(spec, shards[k], cfg, 100 + k));
+    ptrs.push_back(fleet.back().get());
+  }
+
+  fl::FlOptions opts;
+  opts.faults.dropout_rate = args.dropout;
+  opts.faults.straggler_rate = args.straggler;
+  opts.faults.straggler_delay_seconds = 5.0;
+  opts.round_timeout_seconds = 2.0;  // stragglers miss this deadline
+  opts.min_quorum = 1;
+  opts.max_retries = 2;
+  opts.checkpoint_path = args.checkpoint;
+  opts.checkpoint_every = args.checkpoint.empty() ? 0 : args.checkpoint_every;
+  opts.stop_after_round = args.stop_after;
+
+  // Same init on every invocation; CIP clients are dual-channel, so the
+  // broadcast state must be the dual-channel layout.
+  const fl::ModelState init = core::InitialDualState(spec);
+  fl::FlLog log;
+  if (args.resume) {
+    CIP_CHECK_MSG(!args.checkpoint.empty(), "--resume needs --checkpoint");
+    std::cout << "resuming from " << args.checkpoint << "\n";
+    log = eval::ResumeFederated(ptrs, init, args.checkpoint, opts);
+  } else {
+    opts.rounds = args.rounds;
+    fl::FederatedAveraging server(init, opts);
+    // Root the run directly in --seed so a crashed run and a fresh run of
+    // the same seed share all RNG streams.
+    log = server.Run(ptrs, args.seed);
+  }
+
+  for (const fl::RoundStats& r : log.telemetry.rounds) {
+    std::size_t faults = 0;
+    for (const fl::ClientRoundStats& c : r.clients) {
+      if (c.fault != fl::FaultKind::kNone) ++faults;
+    }
+    std::cout << "round " << r.round << ": " << r.survivors << "/"
+              << r.clients.size() << " survivors, " << faults << " faults"
+              << (r.skipped ? " [skipped: below quorum]" : "") << "\n";
+  }
+  if (!args.telemetry_jsonl.empty()) {
+    std::ofstream os(args.telemetry_jsonl);
+    CIP_CHECK_MSG(os.is_open(), "cannot open " << args.telemetry_jsonl);
+    log.telemetry.WriteJsonl(os);
+    std::cout << "telemetry -> " << args.telemetry_jsonl << "\n";
+  }
+  std::cout << "final global L2 norm: " << log.final_global.L2Norm() << "\n";
+  if (args.stop_after > 0 && !args.checkpoint.empty()) {
+    std::cout << "stopped after round " << args.stop_after
+              << "; continue with --resume --checkpoint " << args.checkpoint
+              << "\n";
+  }
+  return 0;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Regenerate the committed performance baselines (BENCH_kernels.json and
-# BENCH_fl_rounds.json).
+# Regenerate the committed performance baselines (BENCH_kernels.json,
+# BENCH_fl_rounds.json and BENCH_fault_rounds.json).
 #
 # Builds bench_micro_ops in the tier-1 Release tree (./build), runs the
 # kernel benchmarks at CIP_THREADS=1 and CIP_THREADS=4 and merges the results
@@ -20,7 +20,7 @@ jobs="${CIP_CHECK_JOBS:-$(nproc)}"
 min_time="${CIP_BENCH_MIN_TIME:-0.5}"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds
+cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds
 
 python3 tools/bench_to_json.py \
   --binary build/bench/bench_micro_ops \
@@ -31,3 +31,8 @@ python3 tools/bench_to_json.py \
 # Round-engine baseline: exits non-zero if the bit-identity invariant breaks
 # or the latency-bound client phase fails to overlap (speedup < 2x).
 ./build/bench/bench_fl_rounds --output BENCH_fl_rounds.json
+
+# Fault-tolerance baseline: exits non-zero if faulted runs lose bit-identity
+# across worker budgets, 20% dropout skips rounds above quorum or breaks
+# renormalized aggregation, or crash+resume diverges from a straight run.
+./build/bench/bench_fault_rounds --output BENCH_fault_rounds.json

@@ -114,6 +114,23 @@ float CipClient::StepIITrainModel(Rng& rng) {
   return batches > 0 ? static_cast<float>(total_loss / batches) : 0.0f;
 }
 
+fl::ClientState CipClient::ExportState() const {
+  fl::ClientState state;
+  state.tensors.push_back(t_.tensor());
+  for (Tensor& v : opt_.ExportState()) state.tensors.push_back(std::move(v));
+  return state;
+}
+
+void CipClient::RestoreState(const fl::ClientState& state) {
+  CIP_CHECK_MSG(!state.tensors.empty(),
+                "CIP client snapshot must carry the perturbation tensor");
+  CIP_CHECK_MSG(state.tensors.front().shape() == data_.SampleShape(),
+                "checkpointed perturbation shape does not match this "
+                "client's sample shape");
+  t_ = Perturbation(state.tensors.front());
+  opt_.RestoreState({state.tensors.begin() + 1, state.tensors.end()});
+}
+
 double CipClient::EvalAccuracy(const data::Dataset& data) {
   return DualAccuracy(*model_, data, t_.tensor(), cfg_.blend);
 }

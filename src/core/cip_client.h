@@ -50,7 +50,14 @@ class CipClient : public fl::ClientBase {
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
+  /// Snapshot layout: the secret perturbation t first, then the Step-II
+  /// optimizer's momentum tensors. t never leaves the client during
+  /// training; a checkpoint containing it must be protected like the client
+  /// key material it is (see docs/ROBUSTNESS.md).
+  fl::ClientState ExportState() const override;
+  void RestoreState(const fl::ClientState& state) override;
 
+  /// The client's dual-channel model (mutable: evaluation helpers feed it).
   nn::DualChannelClassifier& model() { return *model_; }
   const Tensor& perturbation() const { return t_.tensor(); }
   const CipConfig& config() const { return cfg_; }

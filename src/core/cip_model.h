@@ -19,10 +19,14 @@ Tensor DualLogits(nn::DualChannelClassifier& model, const Tensor& inputs,
                   const Tensor& t, const BlendConfig& cfg,
                   std::size_t batch_size = 64);
 
+/// Top-1 accuracy of a dual-channel model on `ds` with inputs blended
+/// with t (empty tensor = no perturbation).
 double DualAccuracy(nn::DualChannelClassifier& model,
                     const data::Dataset& ds, const Tensor& t,
                     const BlendConfig& cfg, std::size_t batch_size = 64);
 
+/// Per-sample cross-entropy losses, same blending convention as DualLogits;
+/// output is ordered like `ds`.
 std::vector<float> DualLosses(nn::DualChannelClassifier& model,
                               const data::Dataset& ds, const Tensor& t,
                               const BlendConfig& cfg,

@@ -13,6 +13,7 @@ namespace cip::core {
 class Perturbation {
  public:
   Perturbation() = default;
+  /// Wrap an existing tensor as the perturbation (shape = sample shape).
   explicit Perturbation(Tensor t) : t_(std::move(t)) {}
 
   /// Uniform random init in [lo, hi] — the "random input" start point.
@@ -25,8 +26,10 @@ class Perturbation {
   static Perturbation FromSeed(const Tensor& seed, float noise_weight,
                                Rng& rng, float lo = 0.0f, float hi = 1.0f);
 
+  /// The underlying tensor t, shaped like one input sample.
   Tensor& tensor() { return t_; }
   const Tensor& tensor() const { return t_; }
+  /// True before initialization (t has no elements — treated as t = 0).
   bool empty() const { return t_.size() == 0; }
 
  private:

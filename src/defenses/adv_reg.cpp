@@ -154,4 +154,43 @@ double ArClient::EvalAccuracy(const data::Dataset& data) {
   return fl::Evaluate(*model_, data);
 }
 
+fl::ClientState ArClient::ExportState() const {
+  const std::vector<nn::Parameter*> hp = attacker_->Parameters();
+  const std::vector<Tensor> attacker_opt = attacker_opt_.ExportState();
+  const std::vector<Tensor> model_opt = model_opt_.ExportState();
+  fl::ClientState state;
+  Tensor header({3});
+  header[0] = static_cast<float>(hp.size());
+  header[1] = static_cast<float>(attacker_opt.size());
+  header[2] = static_cast<float>(model_opt.size());
+  state.tensors.push_back(std::move(header));
+  for (const nn::Parameter* p : hp) state.tensors.push_back(p->value);
+  for (const Tensor& t : attacker_opt) state.tensors.push_back(t);
+  for (const Tensor& t : model_opt) state.tensors.push_back(t);
+  return state;
+}
+
+void ArClient::RestoreState(const fl::ClientState& state) {
+  CIP_CHECK_MSG(!state.tensors.empty() && state.tensors.front().size() == 3,
+                "AR client snapshot must start with a {3} section header");
+  const Tensor& header = state.tensors.front();
+  const auto na = static_cast<std::size_t>(header[0]);
+  const auto nao = static_cast<std::size_t>(header[1]);
+  const auto nmo = static_cast<std::size_t>(header[2]);
+  CIP_CHECK_EQ(state.tensors.size(), 1 + na + nao + nmo);
+  const std::vector<nn::Parameter*> hp = attacker_->Parameters();
+  CIP_CHECK_EQ(na, hp.size());
+  std::size_t cursor = 1;
+  for (nn::Parameter* p : hp) {
+    const Tensor& v = state.tensors[cursor++];
+    CIP_CHECK(v.SameShape(p->value));
+    p->value = v;
+  }
+  attacker_opt_.RestoreState({state.tensors.begin() + cursor,
+                              state.tensors.begin() + cursor + nao});
+  cursor += nao;
+  model_opt_.RestoreState({state.tensors.begin() + cursor,
+                           state.tensors.begin() + cursor + nmo});
+}
+
 }  // namespace cip::defenses

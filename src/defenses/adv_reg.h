@@ -32,6 +32,12 @@ class ArClient : public fl::ClientBase {
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
+  /// Snapshot layout: a shape-{3} section header (attacker parameter count,
+  /// attacker-optimizer tensor count, model-optimizer tensor count) followed
+  /// by those three sections — the attack model h evolves across rounds and
+  /// is never re-broadcast, so it must travel with checkpoints.
+  fl::ClientState ExportState() const override;
+  void RestoreState(const fl::ClientState& state) override;
 
   nn::Classifier& model() { return *model_; }
 

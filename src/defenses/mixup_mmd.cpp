@@ -126,4 +126,12 @@ double MixupMmdClient::EvalAccuracy(const data::Dataset& data) {
   return fl::Evaluate(*model_, data);
 }
 
+fl::ClientState MixupMmdClient::ExportState() const {
+  return fl::ClientState{opt_.ExportState()};
+}
+
+void MixupMmdClient::RestoreState(const fl::ClientState& state) {
+  opt_.RestoreState(state.tensors);
+}
+
 }  // namespace cip::defenses

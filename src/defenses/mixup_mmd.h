@@ -31,6 +31,8 @@ class MixupMmdClient : public fl::ClientBase {
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
+  fl::ClientState ExportState() const override;
+  void RestoreState(const fl::ClientState& state) override;
 
   nn::Classifier& model() { return *model_; }
 

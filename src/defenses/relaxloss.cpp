@@ -61,4 +61,12 @@ double RelaxLossClient::EvalAccuracy(const data::Dataset& data) {
   return fl::Evaluate(*model_, data);
 }
 
+fl::ClientState RelaxLossClient::ExportState() const {
+  return fl::ClientState{opt_.ExportState()};
+}
+
+void RelaxLossClient::RestoreState(const fl::ClientState& state) {
+  opt_.RestoreState(state.tensors);
+}
+
 }  // namespace cip::defenses

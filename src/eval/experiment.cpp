@@ -92,6 +92,19 @@ fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
   return server.Run(clients, rng.NextU64());
 }
 
+fl::FlLog ResumeFederated(std::span<fl::ClientBase* const> clients,
+                          const fl::ModelState& init,
+                          const std::string& checkpoint_path,
+                          fl::FlOptions options) {
+  const fl::Checkpoint ckpt = fl::LoadCheckpointFile(checkpoint_path);
+  // The checkpoint is authoritative for the run length; everything else
+  // (fault plan, quorum, checkpoint cadence) comes from the caller, who must
+  // pass the original run's options for the tail to be bit-identical.
+  options.rounds = ckpt.total_rounds;
+  fl::FederatedAveraging server(init, std::move(options));
+  return server.Resume(clients, ckpt);
+}
+
 fl::FlLog RunSingle(fl::ClientBase& client, const fl::ModelState& init,
                     std::size_t rounds, Rng& rng, fl::FlOptions options) {
   fl::ClientBase* ptr = &client;

@@ -64,6 +64,17 @@ fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
                        const fl::ModelState& init, std::size_t rounds,
                        Rng& rng, fl::FlOptions options = {});
 
+/// Continue an interrupted federated run from a checkpoint file written by a
+/// previous run with FlOptions::checkpoint_every set. The clients span must
+/// be constructed exactly as in the original run; options.rounds is taken
+/// from the checkpoint, and no fresh seed is drawn — the resumed tail
+/// replays the original run's RNG streams bit-identically (see
+/// docs/ROBUSTNESS.md).
+fl::FlLog ResumeFederated(std::span<fl::ClientBase* const> clients,
+                          const fl::ModelState& init,
+                          const std::string& checkpoint_path,
+                          fl::FlOptions options = {});
+
 /// Single-client convenience (the paper's external-adversary setting).
 fl::FlLog RunSingle(fl::ClientBase& client, const fl::ModelState& init,
                     std::size_t rounds, Rng& rng, fl::FlOptions options = {});

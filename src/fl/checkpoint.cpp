@@ -1,0 +1,109 @@
+#include "fl/checkpoint.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "fl/serialize.h"
+
+namespace cip::fl {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4349504B;  // "CIPK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Count ceilings for untrusted input: a hostile or corrupt prefix must fail
+// here, before any buffer is sized from it. Far above anything this library
+// simulates, far below allocation-of-death territory.
+constexpr std::uint64_t kMaxClients = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxTensorsPerClient = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxRetries = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxRounds = std::uint64_t{1} << 32;
+
+using wire::ReadU32;
+using wire::ReadU64;
+using wire::WriteU32;
+using wire::WriteU64;
+
+std::size_t ReadCount(std::istream& is, std::uint64_t ceiling,
+                      const char* what) {
+  const std::uint64_t n = ReadU64(is);
+  CIP_CHECK_MSG(n <= ceiling,
+                "checkpoint " << what << " count implausibly large: " << n);
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+void SaveCheckpoint(const Checkpoint& ckpt, std::ostream& os) {
+  WriteU32(os, kCheckpointMagic);
+  WriteU32(os, kCheckpointVersion);
+  WriteU64(os, ckpt.run_seed);
+  WriteU64(os, ckpt.total_rounds);
+  WriteU64(os, ckpt.next_round);
+  WriteU64(os, ckpt.telemetry_rounds);
+  SaveModelState(ckpt.global, os);
+  WriteU64(os, ckpt.clients.size());
+  for (const ClientState& client : ckpt.clients) {
+    WriteU64(os, client.tensors.size());
+    for (const Tensor& t : client.tensors) SaveTensor(t, os);
+  }
+  WriteU64(os, ckpt.retries.size());
+  for (const RetryState& r : ckpt.retries) {
+    WriteU64(os, r.client);
+    WriteU64(os, r.attempts);
+    WriteU64(os, r.next_round);
+  }
+  CIP_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+Checkpoint LoadCheckpoint(std::istream& is) {
+  CIP_CHECK_MSG(ReadU32(is) == kCheckpointMagic,
+                "not a CIP checkpoint stream");
+  const std::uint32_t version = ReadU32(is);
+  CIP_CHECK_MSG(version == kCheckpointVersion,
+                "unsupported checkpoint version " << version << " (this "
+                "build reads v" << kCheckpointVersion << ")");
+  Checkpoint ckpt;
+  ckpt.run_seed = ReadU64(is);
+  ckpt.total_rounds = ReadCount(is, kMaxRounds, "total_rounds");
+  ckpt.next_round = ReadCount(is, kMaxRounds, "next_round");
+  ckpt.telemetry_rounds = ReadCount(is, kMaxRounds, "telemetry_rounds");
+  CIP_CHECK_MSG(ckpt.next_round >= 1 &&
+                    ckpt.next_round <= ckpt.total_rounds + 1,
+                "checkpoint next_round " << ckpt.next_round
+                    << " outside [1, total_rounds + 1]");
+  ckpt.global = LoadModelState(is);
+  const std::size_t num_clients = ReadCount(is, kMaxClients, "client");
+  ckpt.clients.resize(num_clients);
+  for (ClientState& client : ckpt.clients) {
+    const std::size_t num_tensors =
+        ReadCount(is, kMaxTensorsPerClient, "client-tensor");
+    client.tensors.reserve(num_tensors);
+    for (std::size_t i = 0; i < num_tensors; ++i) {
+      client.tensors.push_back(LoadTensor(is));
+    }
+  }
+  const std::size_t num_retries = ReadCount(is, kMaxRetries, "retry");
+  ckpt.retries.resize(num_retries);
+  for (RetryState& r : ckpt.retries) {
+    r.client = ReadCount(is, kMaxClients, "retry client");
+    r.attempts = ReadCount(is, kMaxRounds, "retry attempts");
+    r.next_round = ReadCount(is, kMaxRounds, "retry next_round");
+  }
+  return ckpt;
+}
+
+void SaveCheckpointFile(const Checkpoint& ckpt, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  CIP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  SaveCheckpoint(ckpt, os);
+}
+
+Checkpoint LoadCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CIP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return LoadCheckpoint(is);
+}
+
+}  // namespace cip::fl

@@ -1,0 +1,71 @@
+// Versioned checkpoints for federated runs: crash-at-round-k + resume is
+// bit-identical to an uninterrupted run.
+//
+// A checkpoint captures everything the round engine cannot re-derive from
+// (clients, options, run seed) alone: the aggregated global model, each
+// client's private cross-round state (optimizer momentum, the CIP secret
+// perturbation t), the retry/backoff queue for faulted clients, and the
+// round + telemetry cursors. Because every RNG stream in a run is a pure
+// function of (run_seed, round, client) — never of history — replaying
+// rounds k+1..R from a checkpoint taken after round k consumes exactly the
+// streams the uninterrupted run would have (the determinism argument is
+// spelled out in docs/ROBUSTNESS.md, the format spec too).
+//
+// Wire format v1 (little-endian, built on fl/serialize's audited
+// primitives): magic "CIPK", version, run_seed, total_rounds, next_round,
+// telemetry_rounds, global ModelState, client-state list (count, then
+// per-client tensor count + tensors), retry list (count, then
+// client/attempts/next_round triples). Loaders throw cip::CheckError on bad
+// magic, unknown versions, truncation and implausible counts — before
+// sizing any buffer from untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/model_state.h"
+
+namespace cip::fl {
+
+/// Retry bookkeeping for one faulted client, persisted with checkpoints so
+/// a resumed run issues the same bounded retry-with-backoff schedule. An
+/// entry with attempts > FlOptions::max_retries is exhausted: it schedules
+/// no further retries but stays queued so fresh faults cannot restart the
+/// cycle; any successful delivery clears the entry.
+struct RetryState {
+  std::size_t client = 0;      ///< index into the Run() clients span
+  std::size_t attempts = 0;    ///< faulted participations so far
+  std::size_t next_round = 0;  ///< earliest 1-based round eligible for retry
+};
+
+/// Everything needed to resume a federated run after round `next_round - 1`.
+struct Checkpoint {
+  /// Root seed of the interrupted run; Resume re-derives every RNG stream
+  /// from it, which is what makes resumption bit-identical.
+  std::uint64_t run_seed = 0;
+  std::size_t total_rounds = 0;      ///< FlOptions::rounds of the saved run
+  std::size_t next_round = 1;        ///< first round to execute on resume
+  /// Telemetry rounds already emitted before the checkpoint — the JSONL
+  /// cursor. A harness appending RoundTelemetry across a resume skips
+  /// re-emitting the first `telemetry_rounds` rounds.
+  std::size_t telemetry_rounds = 0;
+  ModelState global;                 ///< aggregate after round next_round - 1
+  std::vector<ClientState> clients;  ///< private state, indexed like Run()
+  std::vector<RetryState> retries;   ///< pending retry queue
+};
+
+/// Write a checkpoint (format v1 above); throws CheckError on I/O failure.
+void SaveCheckpoint(const Checkpoint& ckpt, std::ostream& os);
+/// Read a checkpoint written by SaveCheckpoint; throws CheckError on bad
+/// magic/version, truncation, or implausible counts.
+Checkpoint LoadCheckpoint(std::istream& is);
+
+/// SaveCheckpoint to a file; throws CheckError if the file cannot be opened.
+void SaveCheckpointFile(const Checkpoint& ckpt, const std::string& path);
+/// LoadCheckpoint from a file; throws CheckError on open or parse failure.
+Checkpoint LoadCheckpointFile(const std::string& path);
+
+}  // namespace cip::fl

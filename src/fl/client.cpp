@@ -2,6 +2,13 @@
 
 namespace cip::fl {
 
+void ClientBase::RestoreState(const ClientState& state) {
+  CIP_CHECK_MSG(state.tensors.empty(),
+                "this client kind exports no private state; refusing a "
+                "snapshot of " << state.tensors.size()
+                               << " tensors (checkpoint/client mismatch)");
+}
+
 LegacyClient::LegacyClient(const nn::ModelSpec& spec, data::Dataset local_data,
                            TrainConfig train_cfg, std::uint64_t /*seed*/)
     : model_(nn::MakeClassifier(spec)),
@@ -30,6 +37,16 @@ ModelState LegacyClient::TrainLocal(RoundContext ctx) {
 
 double LegacyClient::EvalAccuracy(const data::Dataset& data) {
   return Evaluate(*model_, data);
+}
+
+ClientState LegacyClient::ExportState() const {
+  // The model itself is re-broadcast by the server every round; the only
+  // cross-round private state is the optimizer's momentum.
+  return ClientState{opt_.ExportState()};
+}
+
+void LegacyClient::RestoreState(const ClientState& state) {
+  opt_.RestoreState(state.tensors);
 }
 
 ModelState InitialState(const nn::ModelSpec& spec) {

@@ -16,6 +16,16 @@
 
 namespace cip::fl {
 
+/// A client's cross-round private state for checkpoint/resume: everything a
+/// client carries *between* rounds that is not re-broadcast by the server
+/// (optimizer momentum, the CIP secret perturbation t, …). The tensor layout
+/// is client-kind-defined but stable: RestoreState on a freshly constructed
+/// client of the same kind/config/seed reproduces subsequent TrainLocal
+/// results bit-identically (see docs/ROBUSTNESS.md).
+struct ClientState {
+  std::vector<Tensor> tensors;
+};
+
 class ClientBase {
  public:
   virtual ~ClientBase() = default;
@@ -39,6 +49,18 @@ class ClientBase {
 
   /// Local training data (members of this client, for attack evaluation).
   virtual const data::Dataset& LocalData() const = 0;
+
+  /// Snapshot the client's cross-round private state (see ClientState). The
+  /// default returns an empty state — correct only for clients that carry
+  /// nothing between rounds; stateful clients must override this pair or
+  /// checkpoint resume will silently restart their private state.
+  virtual ClientState ExportState() const { return {}; }
+
+  /// Install a snapshot produced by ExportState on the same client kind and
+  /// configuration. The default accepts only an empty snapshot and throws
+  /// cip::CheckError otherwise (a non-empty snapshot reaching a client that
+  /// did not export one is a checkpoint/client mismatch).
+  virtual void RestoreState(const ClientState& state);
 };
 
 /// Standard FedAvg client: single-channel classifier, plain SGD.
@@ -54,7 +76,10 @@ class LegacyClient : public ClientBase {
   double EvalAccuracy(const data::Dataset& data) override;
   float LastTrainLoss() const override { return last_loss_; }
   const data::Dataset& LocalData() const override { return data_; }
+  ClientState ExportState() const override;
+  void RestoreState(const ClientState& state) override;
 
+  /// The client's local model (mutable: evaluation helpers feed it).
   nn::Classifier& model() { return *model_; }
 
  private:

@@ -1,0 +1,65 @@
+#include "fl/fault.h"
+
+#include "common/check.h"
+
+namespace cip::fl {
+
+namespace {
+
+// Salt folded into the run seed before stream derivation so fault decisions
+// live in a label space disjoint from client training streams (which use the
+// raw run seed) and from participant sampling (label ~0 on the raw seed).
+constexpr std::uint64_t kFaultSalt = 0xFA17FA17FA17FA17ull;
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kMidRoundFailure: return "mid_round_failure";
+    case FaultKind::kStraggler: return "straggler";
+  }
+  return "unknown";
+}
+
+void FaultPlan::Validate() const {
+  CIP_CHECK_MSG(dropout_rate >= 0.0f && dropout_rate <= 1.0f,
+                "FaultPlan.dropout_rate must be in [0, 1]");
+  CIP_CHECK_MSG(failure_rate >= 0.0f && failure_rate <= 1.0f,
+                "FaultPlan.failure_rate must be in [0, 1]");
+  CIP_CHECK_MSG(straggler_rate >= 0.0f && straggler_rate <= 1.0f,
+                "FaultPlan.straggler_rate must be in [0, 1]");
+  CIP_CHECK_MSG(dropout_rate + failure_rate + straggler_rate <= 1.0f,
+                "FaultPlan rates must sum to <= 1 (they are exclusive "
+                "outcomes of one round)");
+  CIP_CHECK_MSG(straggler_delay_seconds >= 0.0,
+                "FaultPlan.straggler_delay_seconds must be >= 0");
+  for (const ForcedFault& f : forced) {
+    CIP_CHECK_MSG(f.round >= 1, "ForcedFault.round is 1-based (got 0)");
+  }
+}
+
+FaultKind FaultPlan::Decide(std::uint64_t run_seed, std::size_t round,
+                            std::size_t client) const {
+  for (const ForcedFault& f : forced) {
+    if (f.round == round && f.client == client) return f.kind;
+  }
+  if (dropout_rate <= 0.0f && failure_rate <= 0.0f &&
+      straggler_rate <= 0.0f) {
+    return FaultKind::kNone;
+  }
+  // One uniform draw per (round, client) partitions [0, 1) into the three
+  // fault bands plus the healthy remainder; a fresh derived stream makes the
+  // decision order-free and non-interfering with training randomness.
+  Rng rng = DeriveStream(SplitMix64(run_seed ^ kFaultSalt), round, client);
+  const float u = rng.Uniform();
+  if (u < dropout_rate) return FaultKind::kDropout;
+  if (u < dropout_rate + failure_rate) return FaultKind::kMidRoundFailure;
+  if (u < dropout_rate + failure_rate + straggler_rate) {
+    return FaultKind::kStraggler;
+  }
+  return FaultKind::kNone;
+}
+
+}  // namespace cip::fl

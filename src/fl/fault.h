@@ -1,0 +1,79 @@
+// Deterministic fault injection for the federated round engine.
+//
+// Production FL serves fleets where client dropouts, mid-round failures and
+// stragglers are the norm, not the exception. A FaultPlan makes those events
+// first-class *and reproducible*: every fault decision is a pure function of
+// (run seed, round, client) via its own DeriveStream label space, so a
+// faulted run is bit-identical across worker budgets and across resume
+// boundaries — exactly like client training randomness (see
+// fl/round_context.h and docs/ROBUSTNESS.md).
+//
+// Faults are *simulated* at the coordinator: the engine decides from the
+// plan what would have happened to a client's round (never trained, trained
+// but the update was lost, trained but finished late) and applies the
+// consequence. Straggler lateness is simulated time, not wall-clock — a
+// wall-clock timeout would make results depend on host load and break the
+// bit-identity invariant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cip::fl {
+
+/// What happened to one client's round.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,        ///< trained and delivered its update
+  kDropout,         ///< never started (device offline before training)
+  kMidRoundFailure, ///< trained, but crashed/lost the update before upload
+  kStraggler,       ///< trained, delivered late by FaultPlan's simulated delay
+};
+
+/// Stable lowercase name for telemetry/JSONL ("none", "dropout", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// A scripted fault for one specific (round, client) — used by tests and
+/// reproductions of specific incident patterns on top of (or instead of)
+/// the random rates.
+struct ForcedFault {
+  std::size_t round = 0;   ///< 1-based round index
+  std::size_t client = 0;  ///< index into the Run() clients span
+  FaultKind kind = FaultKind::kDropout;
+};
+
+/// Per-run fault model. Rates are per-(round, client) probabilities,
+/// evaluated independently for every sampled participant; forced faults
+/// override the random draw for their exact (round, client).
+struct FaultPlan {
+  float dropout_rate = 0.0f;    ///< P(client never starts the round)
+  float failure_rate = 0.0f;    ///< P(client trains but loses its update)
+  float straggler_rate = 0.0f;  ///< P(client delivers late)
+  /// Simulated lateness of a straggler, in seconds. Compared against
+  /// FlOptions::round_timeout_seconds to decide whether the late update is
+  /// still accepted. Simulated — never a wall-clock measurement.
+  double straggler_delay_seconds = 1.0;
+  /// Scripted faults (tests, incident replay); see ForcedFault.
+  std::vector<ForcedFault> forced;
+
+  /// True if any fault source is configured (rates or forced entries).
+  bool enabled() const {
+    return dropout_rate > 0.0f || failure_rate > 0.0f ||
+           straggler_rate > 0.0f || !forced.empty();
+  }
+
+  /// CHECK-fails (throws cip::CheckError) unless rates are in [0, 1], their
+  /// sum is <= 1, the delay is >= 0 and forced entries carry 1-based rounds.
+  void Validate() const;
+
+  /// The fault assigned to `client` in `round` — a pure function of the
+  /// arguments and the plan (no internal state is advanced), so any party
+  /// that knows the run seed can reconstruct every fault decision in any
+  /// order on any thread.
+  FaultKind Decide(std::uint64_t run_seed, std::size_t round,
+                   std::size_t client) const;
+};
+
+}  // namespace cip::fl

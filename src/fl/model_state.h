@@ -16,6 +16,7 @@ namespace cip::fl {
 class ModelState {
  public:
   ModelState() = default;
+  /// Adopt a flat value vector (caller vouches for the parameter order).
   explicit ModelState(std::vector<float> values) : values_(std::move(values)) {}
 
   /// Snapshot the current values of a parameter set.
@@ -28,14 +29,20 @@ class ModelState {
   /// Write this state into a parameter set of matching total size.
   void ApplyTo(std::span<nn::Parameter* const> params) const;
 
+  /// Total number of scalar parameters in the snapshot.
   std::size_t size() const { return values_.size(); }
+  /// True for a default-constructed (no-parameters) state.
   bool empty() const { return values_.empty(); }
+  /// The flat values, in the model's deterministic parameter order.
   std::span<const float> values() const { return values_; }
+  /// Mutable view of the flat values (attack/tamper code edits in place).
   std::span<float> values() { return values_; }
 
   /// this += a * other
   void Axpy(float a, const ModelState& other);
+  /// this *= a (element-wise).
   void Scale(float a);
+  /// Euclidean norm over all parameters (accumulated in double).
   float L2Norm() const;
 
   /// Element-wise mean of non-empty states of equal size (FedAvg).

@@ -25,12 +25,16 @@ class QueryModel {
   /// Logits for a batch of raw inputs (eval mode).
   virtual Tensor Logits(const Tensor& inputs) = 0;
 
+  /// Width of the logit vector this model produces.
   virtual std::size_t NumClasses() const = 0;
 
   // ---- convenience on top of Logits ----
   Tensor Probs(const Tensor& inputs);
+  /// Argmax class per input row.
   std::vector<int> Predict(const Tensor& inputs);
+  /// Per-sample cross-entropy losses over `ds`, in dataset order.
   std::vector<float> Losses(const data::Dataset& ds);
+  /// Top-1 accuracy over `ds`.
   double Accuracy(const data::Dataset& ds);
 };
 

@@ -33,6 +33,21 @@ std::uint64_t CheckedNumElements(const Shape& shape) {
   return n;
 }
 
+void WriteFloats(std::ostream& os, std::span<const float> v) {
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void ReadFloats(std::istream& is, std::span<float> v) {
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  CIP_CHECK_MSG(is.good(), "truncated stream while reading float payload");
+}
+
+}  // namespace
+
+namespace wire {
+
 void WriteU32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -55,18 +70,12 @@ std::uint64_t ReadU64(std::istream& is) {
   return v;
 }
 
-void WriteFloats(std::ostream& os, std::span<const float> v) {
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(float)));
-}
+}  // namespace wire
 
-void ReadFloats(std::istream& is, std::span<float> v) {
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(float)));
-  CIP_CHECK_MSG(is.good(), "truncated stream while reading float payload");
-}
-
-}  // namespace
+using wire::ReadU32;
+using wire::ReadU64;
+using wire::WriteU32;
+using wire::WriteU64;
 
 void SaveModelState(const ModelState& state, std::ostream& os) {
   WriteU32(os, kStateMagic);

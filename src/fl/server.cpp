@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -21,6 +22,14 @@ double SecondsSince(Clock::time_point t0) {
 // label, so sampling gets one no client index can collide with.
 constexpr std::uint64_t kSamplingStream = ~std::uint64_t{0};
 
+// How many clients a round samples from a fleet of n. The no-silent-clamp
+// rule lives in FlOptions::Validate(n): a fraction that truncates to zero is
+// a configuration error, not something to round up behind the caller's back.
+std::size_t SampledCount(float participation, std::size_t n) {
+  if (participation >= 1.0f) return n;
+  return static_cast<std::size_t>(participation * static_cast<float>(n));
+}
+
 }  // namespace
 
 void FlOptions::Validate() const {
@@ -38,6 +47,30 @@ void FlOptions::Validate() const {
   }
   CIP_CHECK_MSG(lr_decay > 0.0f && lr_decay <= 1.0f,
                 "FlOptions.lr_decay must be in (0, 1]");
+  faults.Validate();
+  CIP_CHECK_MSG(round_timeout_seconds >= 0.0,
+                "FlOptions.round_timeout_seconds must be >= 0");
+  CIP_CHECK_MSG(min_quorum >= 1, "FlOptions.min_quorum must be >= 1");
+  CIP_CHECK_MSG(max_retries == 0 || retry_backoff_rounds >= 1,
+                "FlOptions.retry_backoff_rounds must be >= 1 when retries "
+                "are enabled");
+  CIP_CHECK_MSG(checkpoint_every == 0 || !checkpoint_path.empty(),
+                "FlOptions.checkpoint_every needs a checkpoint_path");
+  CIP_CHECK_MSG(stop_after_round == 0 || stop_after_round <= rounds,
+                "FlOptions.stop_after_round must be within [1, rounds]");
+}
+
+void FlOptions::Validate(std::size_t num_clients) const {
+  Validate();
+  CIP_CHECK_MSG(num_clients > 0, "need at least one client");
+  CIP_CHECK_MSG(SampledCount(participation, num_clients) >= 1,
+                "FlOptions.participation = "
+                    << participation << " samples zero of " << num_clients
+                    << " clients per round; raise it (or add clients)");
+  CIP_CHECK_MSG(min_quorum <= num_clients,
+                "FlOptions.min_quorum = " << min_quorum
+                                          << " can never be met by "
+                                          << num_clients << " clients");
 }
 
 FederatedAveraging::FederatedAveraging(ModelState initial, FlOptions options)
@@ -48,14 +81,47 @@ FederatedAveraging::FederatedAveraging(ModelState initial, FlOptions options)
 
 FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
                               std::uint64_t run_seed) {
-  options_.Validate();
-  CIP_CHECK(!clients.empty());
+  return RunRounds(clients, run_seed, /*start_round=*/1,
+                   /*telemetry_offset=*/0, /*retries=*/{});
+}
+
+FlLog FederatedAveraging::Resume(std::span<ClientBase* const> clients,
+                                 const Checkpoint& ckpt) {
+  options_.Validate(clients.size());
+  CIP_CHECK_MSG(ckpt.total_rounds == options_.rounds,
+                "checkpoint is from a " << ckpt.total_rounds
+                                        << "-round run; FlOptions.rounds is "
+                                        << options_.rounds);
+  CIP_CHECK_MSG(ckpt.clients.size() == clients.size(),
+                "checkpoint holds " << ckpt.clients.size()
+                                    << " client states for a fleet of "
+                                    << clients.size());
+  CIP_CHECK(!ckpt.global.empty());
+  global_ = ckpt.global;
+  for (std::size_t k = 0; k < clients.size(); ++k) {
+    clients[k]->RestoreState(ckpt.clients[k]);
+  }
+  return RunRounds(clients, ckpt.run_seed, ckpt.next_round,
+                   ckpt.telemetry_rounds, ckpt.retries);
+}
+
+FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
+                                    std::uint64_t run_seed,
+                                    std::size_t start_round,
+                                    std::size_t telemetry_offset,
+                                    std::vector<RetryState> retries) {
+  options_.Validate(clients.size());
+  const bool faults_on = options_.faults.enabled();
+  const std::size_t last_round =
+      options_.stop_after_round > 0 ? options_.stop_after_round
+                                    : options_.rounds;
   FlLog log;
-  for (std::size_t round = 1; round <= options_.rounds; ++round) {
+  for (std::size_t round = start_round; round <= last_round; ++round) {
     RoundStats stats;
     stats.round = round;
     // --- Coordinator: broadcast (possibly tampered) global and sample this
-    // round's participants (FedAvg partial participation).
+    // round's participants (FedAvg partial participation), then merge in
+    // faulted clients whose retry backoff has elapsed.
     const auto broadcast_t0 = Clock::now();
     const ModelState broadcast =
         tamper_ ? tamper_(round, global_) : global_;
@@ -63,20 +129,44 @@ FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
     if (options_.participation >= 1.0f) {
       for (std::size_t k = 0; k < clients.size(); ++k) participants.push_back(k);
     } else {
-      const std::size_t count = std::max<std::size_t>(
-          1, static_cast<std::size_t>(options_.participation *
-                                      static_cast<float>(clients.size())));
+      const std::size_t count =
+          SampledCount(options_.participation, clients.size());
       Rng sample_rng = DeriveStream(run_seed, round, kSamplingStream);
       participants =
           sample_rng.SampleWithoutReplacement(clients.size(), count);
       std::sort(participants.begin(), participants.end());
     }
+    // An entry is "due" while the client still has retry budget left;
+    // exhausted entries stay in the queue (so fresh faults cannot restart
+    // the cycle) until a successful delivery clears them.
+    const auto retry_due = [&](std::size_t k) {
+      for (const RetryState& r : retries) {
+        if (r.client == k && r.attempts <= options_.max_retries &&
+            r.next_round <= round) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!retries.empty()) {
+      bool merged = false;
+      for (const RetryState& r : retries) {
+        if (r.attempts <= options_.max_retries && r.next_round <= round &&
+            std::find(participants.begin(), participants.end(), r.client) ==
+                participants.end()) {
+          participants.push_back(r.client);
+          merged = true;
+        }
+      }
+      if (merged) std::sort(participants.begin(), participants.end());
+    }
     stats.broadcast_seconds = SecondsSince(broadcast_t0);
 
     // --- Parallel client phase. Each worker touches only its own client,
     // its own updates/stats slot, and its own losses element; the RNG stream
-    // in each context is derived from (run_seed, round, client index), so
-    // the result is independent of how workers are scheduled.
+    // in each context is derived from (run_seed, round, client index), fault
+    // decisions from the same triple through a salted stream, so the result
+    // is independent of how workers are scheduled.
     float lr_scale = 1.0f;
     if (options_.lr_decay_every != 0) {
       const auto steps =
@@ -92,29 +182,98 @@ FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
         0, m,
         [&](std::size_t i) {
           const std::size_t k = participants[i];
-          RoundContext ctx = MakeRoundContext(run_seed, round, k, lr_scale);
-          ctx.telemetry = &stats.clients[i];
-          const auto client_t0 = Clock::now();
-          clients[k]->SetGlobal(broadcast);
-          updates[i] = clients[k]->TrainLocal(std::move(ctx));
           ClientRoundStats& cs = stats.clients[i];
           cs.round = round;
           cs.client = k;
-          cs.loss = clients[k]->LastTrainLoss();
+          cs.retried = retry_due(k);
+          const FaultKind fault =
+              faults_on ? options_.faults.Decide(run_seed, round, k)
+                        : FaultKind::kNone;
+          cs.fault = fault;
+          if (fault == FaultKind::kDropout) {
+            // Device went offline before training started: no local work,
+            // no update, no loss report.
+            cs.dropped = true;
+            return;
+          }
+          RoundContext ctx = MakeRoundContext(run_seed, round, k, lr_scale);
+          ctx.telemetry = &cs;
+          const auto client_t0 = Clock::now();
+          clients[k]->SetGlobal(broadcast);
+          updates[i] = clients[k]->TrainLocal(std::move(ctx));
           cs.train_seconds = SecondsSince(client_t0);
+          if (fault == FaultKind::kMidRoundFailure ||
+              (fault == FaultKind::kStraggler &&
+               options_.round_timeout_seconds > 0.0 &&
+               options_.faults.straggler_delay_seconds >
+                   options_.round_timeout_seconds)) {
+            // The client trained (its private state advanced) but the server
+            // never received the update: crashed before upload, or delivered
+            // past the round deadline.
+            updates[i] = ModelState();
+            cs.dropped = true;
+            return;
+          }
+          cs.loss = clients[k]->LastTrainLoss();
           losses[k] = cs.loss;
         },
         options_.max_parallel_clients);
     stats.train_wall_seconds = SecondsSince(train_t0);
 
-    // --- Coordinator: deterministic fixed-order reduction.
+    // --- Coordinator: deterministic fixed-order reduction over survivors.
+    // The plain mean over survivors *is* the renormalized FedAvg aggregate:
+    // each survivor's weight grows from 1/m to 1/survivors.
     const auto aggregate_t0 = Clock::now();
-    global_ = ModelState::Average(updates);
+    std::vector<ModelState> survivors;
+    survivors.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!stats.clients[i].dropped) survivors.push_back(std::move(updates[i]));
+    }
+    stats.survivors = survivors.size();
+    if (survivors.size() < options_.min_quorum) {
+      CIP_CHECK_MSG(options_.quorum_policy != QuorumPolicy::kAbort,
+                    "round " << round << " lost quorum: " << survivors.size()
+                             << " survivors < min_quorum "
+                             << options_.min_quorum);
+      // Below quorum with kSkipRound: the global model is carried over
+      // unchanged and the round is recorded as skipped.
+      stats.skipped = true;
+    } else {
+      global_ = ModelState::Average(survivors);
+    }
     stats.aggregate_seconds = SecondsSince(aggregate_t0);
+
+    // --- Retry bookkeeping (serial): successful delivery clears a pending
+    // entry; a lost update schedules (or reschedules) one with exponential
+    // backoff until the attempt budget runs out.
+    if (options_.max_retries > 0 || !retries.empty()) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t k = participants[i];
+        auto it = std::find_if(
+            retries.begin(), retries.end(),
+            [k](const RetryState& r) { return r.client == k; });
+        if (!stats.clients[i].dropped) {
+          if (it != retries.end()) retries.erase(it);
+          continue;
+        }
+        if (options_.max_retries == 0) continue;
+        if (it == retries.end()) {
+          retries.push_back(RetryState{k, 0, 0});
+          it = retries.end() - 1;
+        }
+        ++it->attempts;
+        if (it->attempts <= options_.max_retries) {
+          it->next_round =
+              round + (options_.retry_backoff_rounds << (it->attempts - 1));
+        }
+        // Past the budget the entry is kept as exhausted (never due) so the
+        // client is not re-enrolled until it delivers an update again.
+      }
+    }
 
     log.client_losses.push_back(std::move(losses));
     if (options_.record_client_updates) {
-      log.client_updates.push_back(std::move(updates));
+      log.client_updates.push_back(std::move(survivors));
     }
     if (std::find(options_.snapshot_rounds.begin(),
                   options_.snapshot_rounds.end(),
@@ -122,6 +281,22 @@ FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
       log.global_snapshots.push_back(global_);
     }
     log.telemetry.rounds.push_back(std::move(stats));
+
+    if (options_.checkpoint_every > 0 &&
+        (round % options_.checkpoint_every == 0 || round == last_round)) {
+      Checkpoint ckpt;
+      ckpt.run_seed = run_seed;
+      ckpt.total_rounds = options_.rounds;
+      ckpt.next_round = round + 1;
+      ckpt.telemetry_rounds = telemetry_offset + log.telemetry.rounds.size();
+      ckpt.global = global_;
+      ckpt.clients.reserve(clients.size());
+      for (const ClientBase* client : clients) {
+        ckpt.clients.push_back(client->ExportState());
+      }
+      ckpt.retries = retries;
+      SaveCheckpointFile(ckpt, options_.checkpoint_path);
+    }
   }
   // Clients see the final aggregate (inference uses the global model).
   for (ClientBase* client : clients) client->SetGlobal(global_);

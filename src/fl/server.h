@@ -11,25 +11,50 @@
 // workers. Because every context's RNG stream is a pure function of
 // (run seed, round, client index) and aggregation is a fixed-order serial
 // reduction, results are bit-identical for any CIP_THREADS value.
+//
+// Fault tolerance: an FlOptions::faults plan injects deterministic client
+// dropouts, mid-round failures and stragglers (fl/fault.h); the engine
+// degrades gracefully by averaging the surviving updates (FedAvg weight
+// renormalization falls out of the plain mean over survivors), skipping or
+// aborting rounds that fall below min_quorum, and retrying faulted clients
+// with bounded exponential backoff. Periodic checkpoints (fl/checkpoint.h)
+// plus Resume() make crash-at-round-k + resume bit-identical to an
+// uninterrupted run; docs/ROBUSTNESS.md spells out the semantics.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/fault.h"
 #include "fl/model_state.h"
 #include "fl/telemetry.h"
 
 namespace cip::fl {
 
+/// What the round engine does when a round's survivors fall below
+/// FlOptions::min_quorum.
+enum class QuorumPolicy {
+  /// Skip aggregation: the global model is unchanged, the round is recorded
+  /// with RoundStats::skipped = true, and the run continues.
+  kSkipRound,
+  /// Treat quorum loss as fatal: CHECK-fail (throws cip::CheckError).
+  kAbort,
+};
+
 struct FlOptions {
   std::size_t rounds = 10;
-  /// Fraction of clients sampled per round (FedAvg partial participation);
-  /// at least one client always trains.
+  /// Fraction of clients sampled per round (FedAvg partial participation).
+  /// Validate(num_clients) rejects fractions that round to zero sampled
+  /// clients for the fleet actually passed to Run().
   float participation = 1.0f;
   /// Record every client's returned state each round (malicious-server
-  /// passive observation; memory-heavy, off by default).
+  /// passive observation; memory-heavy, off by default). Only delivered
+  /// updates are recorded — a dropped client's state never reaches the
+  /// server, so it is not part of the observation surface.
   bool record_client_updates = false;
   /// Record the aggregated global model at these rounds (1-based round
   /// indices, strictly increasing, each within [1, rounds]; the paper
@@ -44,9 +69,42 @@ struct FlOptions {
   /// ParallelThreads() (i.e. CIP_THREADS / hardware default).
   std::size_t max_parallel_clients = 0;
 
+  /// Deterministic fault injection (dropouts / mid-round failures /
+  /// stragglers); disabled by default. See fl/fault.h.
+  FaultPlan faults;
+  /// Per-round delivery deadline in *simulated* seconds. A straggler whose
+  /// FaultPlan::straggler_delay_seconds exceeds this is dropped from the
+  /// round; 0 disables the deadline (late updates are always accepted).
+  /// Never compared against wall-clock — that would break bit-identity.
+  double round_timeout_seconds = 0.0;
+  /// Minimum surviving updates required to aggregate a round; rounds below
+  /// it follow quorum_policy. At least 1 (an empty mean is undefined).
+  std::size_t min_quorum = 1;
+  /// What to do when survivors < min_quorum (skip the round by default).
+  QuorumPolicy quorum_policy = QuorumPolicy::kSkipRound;
+  /// Bounded retry of faulted clients: a client whose update was lost is
+  /// re-invited up to max_retries times (0 disables retries), waiting
+  /// retry_backoff_rounds * 2^(attempt-1) rounds between attempts.
+  std::size_t max_retries = 0;
+  std::size_t retry_backoff_rounds = 1;
+
+  /// Write a Checkpoint to checkpoint_path after every checkpoint_every-th
+  /// round (0 disables checkpointing). The file is overwritten in place;
+  /// the run can later continue from it via FederatedAveraging::Resume.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Stop after this 1-based round, returning the partial log (0 = run to
+  /// completion). Used to run in resumable chunks and, in tests, to
+  /// simulate a crash at round k.
+  std::size_t stop_after_round = 0;
+
   /// CHECK-fails (throws cip::CheckError) on out-of-domain settings; called
-  /// by FederatedAveraging at construction and at the top of Run.
+  /// by FederatedAveraging at construction.
   void Validate() const;
+  /// Validate() plus fleet-dependent checks: rejects a participation
+  /// fraction that rounds to zero sampled clients for num_clients. Called
+  /// at the top of Run()/Resume() with the actual fleet size.
+  void Validate(std::size_t num_clients) const;
 };
 
 struct FlLog {
@@ -54,12 +112,14 @@ struct FlLog {
   ModelState final_global;
   /// Globals at FlOptions::snapshot_rounds (same order).
   std::vector<ModelState> global_snapshots;
-  /// [round][participant] client states, if record_client_updates (equal to
-  /// [round][client] under full participation).
+  /// [round][survivor] client states, if record_client_updates (equal to
+  /// [round][client] under full participation with no faults).
   std::vector<std::vector<ModelState>> client_updates;
-  /// [round][client] mean local training loss.
+  /// [round][client] mean local training loss (0 for clients that did not
+  /// deliver an update that round).
   std::vector<std::vector<float>> client_losses;
-  /// Per-round wall-clock and loss telemetry (always recorded; cheap).
+  /// Per-round wall-clock, loss and fault telemetry (always recorded;
+  /// cheap). On Resume, covers only the resumed rounds.
   RoundTelemetry telemetry;
 };
 
@@ -72,15 +132,30 @@ class FederatedAveraging {
 
   FederatedAveraging(ModelState initial, FlOptions options);
 
+  /// Install a malicious-server hook applied to every round's aggregate.
   void set_tamper(GlobalTamper tamper) { tamper_ = std::move(tamper); }
 
   /// Run the configured number of rounds over the given clients. run_seed is
-  /// the root of every RNG stream in the run (participant sampling and each
-  /// client's per-round stream); two runs with the same seed, clients, and
-  /// options produce bit-identical logs regardless of thread count.
+  /// the root of every RNG stream in the run (participant sampling, each
+  /// client's per-round stream, and fault decisions); two runs with the same
+  /// seed, clients, and options produce bit-identical logs regardless of
+  /// thread count.
   FlLog Run(std::span<ClientBase* const> clients, std::uint64_t run_seed);
 
+  /// Continue an interrupted run from a checkpoint: restores the global
+  /// model, each client's private state and the retry queue, then executes
+  /// rounds [ckpt.next_round, rounds]. The clients span must describe the
+  /// same fleet (same order, same construction) as the run that wrote the
+  /// checkpoint, and options.rounds must equal ckpt.total_rounds; the
+  /// resumed tail is then bit-identical to the uninterrupted run's.
+  FlLog Resume(std::span<ClientBase* const> clients, const Checkpoint& ckpt);
+
  private:
+  FlLog RunRounds(std::span<ClientBase* const> clients,
+                  std::uint64_t run_seed, std::size_t start_round,
+                  std::size_t telemetry_offset,
+                  std::vector<RetryState> retries);
+
   ModelState global_;
   FlOptions options_;
   GlobalTamper tamper_;

@@ -25,6 +25,8 @@ void RoundTelemetry::WriteJsonl(std::ostream& os) const {
     PutNumber(os, r.train_wall_seconds);
     os << ",\"aggregate_seconds\":";
     PutNumber(os, r.aggregate_seconds);
+    os << ",\"survivors\":" << r.survivors
+       << ",\"skipped\":" << (r.skipped ? "true" : "false");
     os << ",\"clients\":[";
     for (std::size_t i = 0; i < r.clients.size(); ++i) {
       const ClientRoundStats& c = r.clients[i];
@@ -37,6 +39,9 @@ void RoundTelemetry::WriteJsonl(std::ostream& os) const {
       PutNumber(os, c.step1_seconds);
       os << ",\"step2_seconds\":";
       PutNumber(os, c.step2_seconds);
+      os << ",\"fault\":\"" << FaultKindName(c.fault) << '"'
+         << ",\"dropped\":" << (c.dropped ? "true" : "false")
+         << ",\"retried\":" << (c.retried ? "true" : "false");
       os << '}';
     }
     os << "]}\n";

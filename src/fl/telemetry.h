@@ -13,6 +13,8 @@
 #include <iosfwd>
 #include <vector>
 
+#include "fl/fault.h"
+
 namespace cip::fl {
 
 /// Timings and loss for one client within one round.
@@ -25,6 +27,13 @@ struct ClientRoundStats {
   /// Step I perturbation / Step II model training). Zero when unused.
   double step1_seconds = 0.0;
   double step2_seconds = 0.0;
+  /// Injected fault for this (round, client); kNone for a healthy round.
+  FaultKind fault = FaultKind::kNone;
+  /// True when the client's update was excluded from aggregation (dropout,
+  /// mid-round failure, or a straggler past the round timeout).
+  bool dropped = false;
+  /// True when this participation is a retry of an earlier faulted round.
+  bool retried = false;
 };
 
 /// Coordinator-side timings for one round.
@@ -33,6 +42,11 @@ struct RoundStats {
   double broadcast_seconds = 0.0;   ///< tamper hook + participant sampling
   double train_wall_seconds = 0.0;  ///< wall-clock of the (parallel) client phase
   double aggregate_seconds = 0.0;   ///< fixed-order FedAvg reduction
+  /// Updates aggregated this round (participants minus dropped clients).
+  std::size_t survivors = 0;
+  /// True when survivors fell below FlOptions::min_quorum and the round was
+  /// skipped (global model unchanged).
+  bool skipped = false;
   std::vector<ClientRoundStats> clients;  ///< one entry per participant
 };
 

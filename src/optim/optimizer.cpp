@@ -7,6 +7,12 @@
 
 namespace cip::optim {
 
+void Optimizer::RestoreState(std::vector<Tensor> state) {
+  CIP_CHECK_MSG(state.empty(),
+                "this optimizer kind carries no cross-step state; refusing a "
+                "non-empty snapshot of " << state.size() << " tensors");
+}
+
 Sgd::Sgd(float lr, float momentum, float weight_decay, float clip_norm)
     : lr_(lr),
       momentum_(momentum),
@@ -51,6 +57,12 @@ void Sgd::Step(std::span<nn::Parameter* const> params) {
   }
 }
 
+void Sgd::RestoreState(std::vector<Tensor> state) {
+  // Either a pre-first-step snapshot (empty) or one velocity per parameter;
+  // the lazy init in Step validates the count against the parameter set.
+  velocity_ = std::move(state);
+}
+
 Adam::Adam(float lr, float beta1, float beta2, float eps)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
   CIP_CHECK_GT(lr, 0.0f);
@@ -83,6 +95,33 @@ void Adam::Step(std::span<nn::Parameter* const> params) {
       p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
     p.ZeroGrad();
+  }
+}
+
+std::vector<Tensor> Adam::ExportState() const {
+  std::vector<Tensor> out;
+  out.reserve(1 + 2 * m_.size());
+  Tensor step({1});
+  step[0] = static_cast<float>(step_);
+  out.push_back(std::move(step));
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    out.push_back(m_[i]);
+    out.push_back(v_[i]);
+  }
+  return out;
+}
+
+void Adam::RestoreState(std::vector<Tensor> state) {
+  CIP_CHECK_MSG(!state.empty() && state.front().size() == 1 &&
+                    state.size() % 2 == 1,
+                "Adam snapshot must be {step} + (m, v) pairs");
+  step_ = static_cast<long>(state.front()[0]);
+  CIP_CHECK_GE(step_, 0L);
+  m_.clear();
+  v_.clear();
+  for (std::size_t i = 1; i < state.size(); i += 2) {
+    m_.push_back(std::move(state[i]));
+    v_.push_back(std::move(state[i + 1]));
   }
 }
 

@@ -21,6 +21,18 @@ class Optimizer {
 
   virtual void set_lr(float lr) = 0;
   virtual float lr() const = 0;
+
+  /// Snapshot the optimizer's cross-step state (momentum buffers, moment
+  /// estimates, …) as a flat tensor list for checkpoint/resume. The layout is
+  /// implementation-defined but stable: RestoreState on a freshly constructed
+  /// optimizer of the same kind and hyperparameters reproduces subsequent
+  /// Step results bit-identically. Stateless optimizers return {}.
+  virtual std::vector<Tensor> ExportState() const { return {}; }
+
+  /// Install a snapshot produced by ExportState on the same optimizer kind.
+  /// Throws CheckError if the snapshot layout does not match. The default
+  /// accepts only an empty snapshot (stateless optimizers).
+  virtual void RestoreState(std::vector<Tensor> state);
 };
 
 /// SGD with optional momentum, decoupled weight decay, and global-norm
@@ -34,6 +46,12 @@ class Sgd : public Optimizer {
   void Step(std::span<nn::Parameter* const> params) override;
   void set_lr(float lr) override { lr_ = lr; }
   float lr() const override { return lr_; }
+
+  /// Snapshot: one velocity tensor per parameter (empty before the first
+  /// momentum Step or when momentum is 0).
+  std::vector<Tensor> ExportState() const override { return velocity_; }
+  /// Install velocity tensors exported from an equally configured Sgd.
+  void RestoreState(std::vector<Tensor> state) override;
 
  private:
   float lr_;
@@ -52,6 +70,12 @@ class Adam : public Optimizer {
   void Step(std::span<nn::Parameter* const> params) override;
   void set_lr(float lr) override { lr_ = lr; }
   float lr() const override { return lr_; }
+
+  /// Snapshot layout: a shape-{1} step counter, then the first- and
+  /// second-moment tensors interleaved per parameter (m0, v0, m1, v1, …).
+  std::vector<Tensor> ExportState() const override;
+  /// Install a snapshot exported from an equally configured Adam.
+  void RestoreState(std::vector<Tensor> state) override;
 
  private:
   float lr_, beta1_, beta2_, eps_;

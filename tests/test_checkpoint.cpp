@@ -1,0 +1,553 @@
+// Checkpoint/resume tests: format round-trips, adversarial input (bad
+// magic/version, truncation at every byte, hostile counts), optimizer and
+// client state export/restore, and the headline invariant — crash at round k
+// + resume is bit-identical to an uninterrupted run, across worker budgets,
+// with faults enabled, for Legacy and CIP fleets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "fl/checkpoint.h"
+#include "fl/client.h"
+#include "fl/client_factory.h"
+#include "fl/serialize.h"
+#include "fl/server.h"
+#include "nn/module.h"
+#include "optim/optimizer.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+fl::Checkpoint SampleCheckpoint() {
+  fl::Checkpoint ckpt;
+  ckpt.run_seed = 0xDEADBEEFCAFEBABEull;
+  ckpt.total_rounds = 12;
+  ckpt.next_round = 5;
+  ckpt.telemetry_rounds = 4;
+  ckpt.global = fl::ModelState(std::vector<float>{1.0f, -2.5f, 3.25f});
+  fl::ClientState c0;
+  Tensor t({2, 2});
+  t[0] = 0.5f;
+  t[3] = -7.0f;
+  c0.tensors.push_back(t);
+  c0.tensors.push_back(Tensor({3}));
+  ckpt.clients.push_back(std::move(c0));
+  ckpt.clients.push_back(fl::ClientState{});  // stateless client
+  ckpt.retries.push_back(fl::RetryState{1, 2, 7});
+  return ckpt;
+}
+
+std::string Serialize(const fl::Checkpoint& ckpt) {
+  std::stringstream ss;
+  fl::SaveCheckpoint(ckpt, ss);
+  return ss.str();
+}
+
+void ExpectSameCheckpoint(const fl::Checkpoint& a, const fl::Checkpoint& b) {
+  EXPECT_EQ(a.run_seed, b.run_seed);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.next_round, b.next_round);
+  EXPECT_EQ(a.telemetry_rounds, b.telemetry_rounds);
+  ASSERT_EQ(a.global.size(), b.global.size());
+  for (std::size_t i = 0; i < a.global.size(); ++i) {
+    EXPECT_EQ(a.global.values()[i], b.global.values()[i]);
+  }
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t k = 0; k < a.clients.size(); ++k) {
+    ASSERT_EQ(a.clients[k].tensors.size(), b.clients[k].tensors.size());
+    for (std::size_t j = 0; j < a.clients[k].tensors.size(); ++j) {
+      const Tensor& ta = a.clients[k].tensors[j];
+      const Tensor& tb = b.clients[k].tensors[j];
+      ASSERT_TRUE(ta.SameShape(tb));
+      for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+    }
+  }
+  ASSERT_EQ(a.retries.size(), b.retries.size());
+  for (std::size_t i = 0; i < a.retries.size(); ++i) {
+    EXPECT_EQ(a.retries[i].client, b.retries[i].client);
+    EXPECT_EQ(a.retries[i].attempts, b.retries[i].attempts);
+    EXPECT_EQ(a.retries[i].next_round, b.retries[i].next_round);
+  }
+}
+
+// ---- format round-trips -----------------------------------------------------
+
+TEST(Checkpoint, StreamRoundTripPreservesEveryField) {
+  const fl::Checkpoint ckpt = SampleCheckpoint();
+  std::stringstream ss(Serialize(ckpt));
+  ExpectSameCheckpoint(ckpt, fl::LoadCheckpoint(ss));
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  const fl::Checkpoint ckpt = SampleCheckpoint();
+  fl::SaveCheckpointFile(ckpt, path);
+  ExpectSameCheckpoint(ckpt, fl::LoadCheckpointFile(path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(fl::LoadCheckpointFile(TempPath("no_such_checkpoint.bin")),
+               CheckError);
+}
+
+// ---- adversarial input ------------------------------------------------------
+
+TEST(Checkpoint, RejectsWrongMagic) {
+  std::string bytes = Serialize(SampleCheckpoint());
+  bytes[0] ^= 0x5A;
+  std::stringstream ss(bytes);
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+TEST(Checkpoint, RejectsUnknownVersion) {
+  std::string bytes = Serialize(SampleCheckpoint());
+  bytes[4] ^= 0x7F;  // version field follows the 4-byte magic
+  std::stringstream ss(bytes);
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+TEST(Checkpoint, RejectsTruncationAtEveryByte) {
+  const std::string bytes = Serialize(SampleCheckpoint());
+  ASSERT_GT(bytes.size(), 0u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream ss(bytes.substr(0, len));
+    EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError)
+        << "prefix of " << len << " bytes parsed without error";
+  }
+  // The full stream, untouched, still parses.
+  std::stringstream ss(bytes);
+  EXPECT_NO_THROW(fl::LoadCheckpoint(ss));
+}
+
+TEST(Checkpoint, RejectsHostileClientCount) {
+  // Hand-craft a header whose client count would allocate absurd memory;
+  // the loader must throw on the count itself, before sizing anything.
+  std::stringstream ss;
+  fl::wire::WriteU32(ss, 0x4349504B);  // checkpoint magic "CIPK"
+  fl::wire::WriteU32(ss, 1);           // version
+  fl::wire::WriteU64(ss, 9);           // run_seed
+  fl::wire::WriteU64(ss, 10);          // total_rounds
+  fl::wire::WriteU64(ss, 1);           // next_round
+  fl::wire::WriteU64(ss, 0);           // telemetry_rounds
+  fl::SaveModelState(fl::ModelState(std::vector<float>{1.0f}), ss);
+  fl::wire::WriteU64(ss, std::uint64_t{1} << 60);  // hostile client count
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+TEST(Checkpoint, RejectsHostileRoundCursor) {
+  std::stringstream ss;
+  fl::wire::WriteU32(ss, 0x4349504B);
+  fl::wire::WriteU32(ss, 1);
+  fl::wire::WriteU64(ss, 9);
+  fl::wire::WriteU64(ss, 10);  // total_rounds
+  fl::wire::WriteU64(ss, 12);  // next_round past total_rounds + 1
+  fl::wire::WriteU64(ss, 0);
+  fl::SaveModelState(fl::ModelState(std::vector<float>{1.0f}), ss);
+  fl::wire::WriteU64(ss, 0);
+  fl::wire::WriteU64(ss, 0);
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+TEST(Checkpoint, RejectsCorruptEmbeddedLengthPrefix) {
+  // Corrupt the ModelState length prefix inside an otherwise valid stream:
+  // it sits right after the fixed 40-byte checkpoint header and the 8-byte
+  // ModelState magic+version.
+  std::string bytes = Serialize(SampleCheckpoint());
+  const std::size_t length_offset = 40 + 8;
+  ASSERT_GT(bytes.size(), length_offset + 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[length_offset + i] = static_cast<char>(0xFF);
+  }
+  std::stringstream ss(bytes);
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+// ---- optimizer state export/restore ----------------------------------------
+
+std::vector<float> StepTwice(optim::Optimizer& opt, nn::Parameter& param) {
+  std::vector<float> out;
+  for (int step = 0; step < 2; ++step) {
+    for (std::size_t i = 0; i < param.grad.size(); ++i) {
+      param.grad[i] = 0.25f * static_cast<float>(i + step + 1);
+    }
+    nn::Parameter* p = &param;
+    opt.Step(std::span<nn::Parameter* const>(&p, 1));
+  }
+  out.assign(param.value.flat().begin(), param.value.flat().end());
+  return out;
+}
+
+TEST(OptimizerState, SgdRestoreReproducesStepsBitIdentically) {
+  nn::Parameter warm("w", Tensor({4}));
+  optim::Sgd a(0.1f, 0.9f);
+  StepTwice(a, warm);  // build up momentum
+
+  optim::Sgd b(0.1f, 0.9f);
+  b.RestoreState(a.ExportState());
+  nn::Parameter wa("w", warm.value);
+  nn::Parameter wb("w", warm.value);
+  EXPECT_EQ(StepTwice(a, wa), StepTwice(b, wb));
+}
+
+TEST(OptimizerState, AdamRestoreReproducesStepsBitIdentically) {
+  nn::Parameter warm("w", Tensor({4}));
+  optim::Adam a(0.01f);
+  StepTwice(a, warm);  // advance moments and the step counter
+
+  optim::Adam b(0.01f);
+  b.RestoreState(a.ExportState());
+  nn::Parameter wa("w", warm.value);
+  nn::Parameter wb("w", warm.value);
+  // Bias correction depends on the step counter, so a counter lost in the
+  // snapshot would diverge here immediately.
+  EXPECT_EQ(StepTwice(a, wa), StepTwice(b, wb));
+}
+
+TEST(OptimizerState, RestoreRejectsMismatchedSnapshots) {
+  optim::Adam adam(0.01f);
+  EXPECT_THROW(adam.RestoreState({Tensor({2}), Tensor({2})}), CheckError);
+  nn::Parameter warm("w", Tensor({4}));
+  optim::Sgd sgd(0.1f, 0.9f);
+  StepTwice(sgd, warm);
+  // An Sgd snapshot (no step counter) must not restore into Adam.
+  EXPECT_THROW(adam.RestoreState(sgd.ExportState()), CheckError);
+}
+
+// ---- client state export/restore -------------------------------------------
+
+// Minimal stateless client relying on the ClientBase defaults.
+class StatelessClient : public fl::ClientBase {
+ public:
+  void SetGlobal(const fl::ModelState& /*global*/) override {}
+  fl::ModelState TrainLocal(fl::RoundContext /*ctx*/) override {
+    return fl::ModelState(std::vector<float>{1.0f});
+  }
+  double EvalAccuracy(const data::Dataset& /*data*/) override { return 0.0; }
+  float LastTrainLoss() const override { return 0.0f; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+ private:
+  data::Dataset data_;
+};
+
+TEST(ClientState, DefaultRejectsNonEmptySnapshot) {
+  StatelessClient client;
+  EXPECT_EQ(client.ExportState().tensors.size(), 0u);
+  EXPECT_NO_THROW(client.RestoreState(fl::ClientState{}));
+  fl::ClientState wrong;
+  wrong.tensors.push_back(Tensor({1}));
+  EXPECT_THROW(client.RestoreState(wrong), CheckError);
+}
+
+data::Dataset ClampedBlobs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset full = testing::TwoBlobs(n, 4, rng);
+  for (float& v : full.inputs.flat()) {
+    v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  }
+  return full;
+}
+
+nn::ModelSpec MlpSpec() {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {4};
+  spec.num_classes = 2;
+  spec.width = 6;
+  spec.seed = 19;
+  return spec;
+}
+
+TEST(ClientState, LegacyClientRestoreReproducesTrainingBitIdentically) {
+  const data::Dataset data = ClampedBlobs(40, 77);
+  fl::TrainConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.9f;
+
+  fl::LegacyClient a(MlpSpec(), data, cfg, 5);
+  const fl::ModelState init = fl::InitialState(MlpSpec());
+  a.SetGlobal(init);
+  a.TrainLocal(fl::MakeRoundContext(1, 1, 0, 1.0f));  // builds momentum
+
+  fl::LegacyClient b(MlpSpec(), data, cfg, 5);
+  b.RestoreState(a.ExportState());
+  // Same broadcast + same round stream -> the restored client must produce
+  // the exact update of the original.
+  const fl::ModelState broadcast = fl::InitialState(MlpSpec());
+  a.SetGlobal(broadcast);
+  b.SetGlobal(broadcast);
+  const fl::ModelState ua = a.TrainLocal(fl::MakeRoundContext(1, 2, 0, 1.0f));
+  const fl::ModelState ub = b.TrainLocal(fl::MakeRoundContext(1, 2, 0, 1.0f));
+  ASSERT_EQ(ua.size(), ub.size());
+  for (std::size_t i = 0; i < ua.size(); ++i) {
+    EXPECT_EQ(ua.values()[i], ub.values()[i]);
+  }
+}
+
+TEST(ClientState, CipClientSnapshotCarriesPerturbationFirst) {
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng rng(3);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kCip;
+  spec.data = gen.Sample(24, rng);
+  spec.model.arch = nn::Arch::kResNet;
+  spec.model.input_shape = gen.SampleShape();
+  spec.model.num_classes = 8;
+  spec.model.width = 4;
+  spec.model.seed = 9;
+  spec.train.lr = 0.02f;
+  spec.train.momentum = 0.9f;
+  spec.cip.blend.alpha = 0.7f;
+  spec.cip.perturb_steps = 2;
+  spec.seed = 21;
+
+  const std::unique_ptr<core::CipClient> a = fl::MakeCipClient(spec);
+  a->SetGlobal(fl::InitialStateFor(spec));
+  a->TrainLocal(fl::MakeRoundContext(2, 1, 0, 1.0f));
+  const fl::ClientState snap = a->ExportState();
+  ASSERT_FALSE(snap.tensors.empty());
+  // Layout contract: the secret perturbation t leads the snapshot.
+  EXPECT_EQ(snap.tensors.front().shape(), spec.data.SampleShape());
+
+  const std::unique_ptr<core::CipClient> b = fl::MakeCipClient(spec);
+  b->RestoreState(snap);
+  const fl::ModelState broadcast = fl::InitialStateFor(spec);
+  a->SetGlobal(broadcast);
+  b->SetGlobal(broadcast);
+  const fl::ModelState ua =
+      a->TrainLocal(fl::MakeRoundContext(2, 2, 0, 1.0f));
+  const fl::ModelState ub =
+      b->TrainLocal(fl::MakeRoundContext(2, 2, 0, 1.0f));
+  ASSERT_EQ(ua.size(), ub.size());
+  for (std::size_t i = 0; i < ua.size(); ++i) {
+    EXPECT_EQ(ua.values()[i], ub.values()[i]);
+  }
+  // Same kind but different data shape must be rejected, not misapplied.
+  fl::ClientState wrong = snap;
+  wrong.tensors.front() = Tensor({1, 2, 3});
+  EXPECT_THROW(b->RestoreState(wrong), CheckError);
+}
+
+// ---- crash-at-k + resume bit-identity --------------------------------------
+
+struct Federation {
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  fl::ModelState init;
+};
+
+Federation MakeLegacyFederation(std::size_t num_clients) {
+  Federation fed;
+  data::Dataset full = ClampedBlobs(40 * num_clients, 31);
+  Rng part_rng(32);
+  const auto shards = data::PartitionIid(full, num_clients, part_rng);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kLegacy;
+  spec.model = MlpSpec();
+  spec.train.lr = 0.1f;
+  spec.train.momentum = 0.9f;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    spec.data = shards[k];
+    spec.seed = 50 + k;
+    fed.clients.push_back(fl::MakeClient(spec));
+    fed.ptrs.push_back(fed.clients.back().get());
+  }
+  fed.init = fl::InitialStateFor(spec);
+  return fed;
+}
+
+Federation MakeCipFederation(std::size_t num_clients) {
+  Federation fed;
+  data::SyntheticVision gen(data::ChMnistLike());
+  Rng rng(41);
+  const data::Dataset full = gen.Sample(24 * num_clients, rng);
+  Rng part_rng(42);
+  const auto shards = data::PartitionIid(full, num_clients, part_rng);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kCip;
+  spec.model.arch = nn::Arch::kResNet;
+  spec.model.input_shape = gen.SampleShape();
+  spec.model.num_classes = 8;
+  spec.model.width = 4;
+  spec.model.seed = 43;
+  spec.train.lr = 0.02f;
+  spec.train.momentum = 0.9f;
+  spec.cip.blend.alpha = 0.7f;
+  spec.cip.perturb_steps = 2;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    spec.data = shards[k];
+    spec.seed = 60 + k;
+    fed.clients.push_back(fl::MakeClient(spec));
+    fed.ptrs.push_back(fed.clients.back().get());
+  }
+  fed.init = fl::InitialStateFor(spec);
+  return fed;
+}
+
+fl::FlOptions FaultyOptions(std::size_t rounds) {
+  fl::FlOptions opts;
+  opts.rounds = rounds;
+  opts.faults.dropout_rate = 0.2f;
+  opts.faults.failure_rate = 0.1f;
+  opts.max_retries = 2;
+  return opts;
+}
+
+void ExpectSameModelState(const fl::ModelState& a, const fl::ModelState& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.values()[i], b.values()[i]);
+  }
+}
+
+// Runs the full federation straight through, then re-runs it crashing after
+// round k (checkpointing as it goes) and resumes from the file; the resumed
+// tail must be bit-identical to the straight run.
+void CheckCrashResumeBitIdentity(bool cip, std::size_t k,
+                                 std::size_t budget) {
+  const std::size_t kRounds = cip ? 4 : 6;
+  const std::uint64_t run_seed = 91;
+  const std::string path = TempPath(
+      "resume_" + std::to_string(cip) + "_" + std::to_string(k) + "_" +
+      std::to_string(budget) + ".ckpt");
+  auto make = [&] {
+    return cip ? MakeCipFederation(3) : MakeLegacyFederation(4);
+  };
+
+  fl::FlOptions opts = FaultyOptions(kRounds);
+  opts.max_parallel_clients = budget;
+
+  Federation straight = make();
+  fl::FederatedAveraging straight_server(straight.init, opts);
+  const fl::FlLog full = straight_server.Run(straight.ptrs, run_seed);
+
+  // Crash: same configuration, but stop (and checkpoint) at round k.
+  Federation crashed = make();
+  fl::FlOptions crash_opts = opts;
+  crash_opts.checkpoint_every = 2;
+  crash_opts.checkpoint_path = path;
+  crash_opts.stop_after_round = k;
+  fl::FederatedAveraging crash_server(crashed.init, crash_opts);
+  crash_server.Run(crashed.ptrs, run_seed);
+
+  const fl::Checkpoint ckpt = fl::LoadCheckpointFile(path);
+  EXPECT_EQ(ckpt.run_seed, run_seed);
+  EXPECT_EQ(ckpt.total_rounds, kRounds);
+  EXPECT_EQ(ckpt.next_round, k + 1);
+  EXPECT_EQ(ckpt.telemetry_rounds, k);
+
+  // Resume on a *fresh* federation, as a restarted process would.
+  Federation resumed = make();
+  fl::FederatedAveraging resume_server(resumed.init, opts);
+  const fl::FlLog tail = resume_server.Resume(resumed.ptrs, ckpt);
+
+  ExpectSameModelState(full.final_global, tail.final_global);
+  ASSERT_EQ(tail.client_losses.size(), kRounds - k);
+  for (std::size_t r = 0; r < tail.client_losses.size(); ++r) {
+    ASSERT_EQ(tail.client_losses[r].size(), full.client_losses[k + r].size());
+    for (std::size_t i = 0; i < tail.client_losses[r].size(); ++i) {
+      EXPECT_EQ(tail.client_losses[r][i], full.client_losses[k + r][i]);
+    }
+  }
+  ASSERT_FALSE(tail.telemetry.rounds.empty());
+  EXPECT_EQ(tail.telemetry.rounds.front().round, k + 1);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, BitIdenticalAfterCrashAtRound2SingleWorker) {
+  CheckCrashResumeBitIdentity(/*cip=*/false, /*k=*/2, /*budget=*/1);
+}
+
+TEST(Resume, BitIdenticalAfterCrashAtRound2FourWorkers) {
+  CheckCrashResumeBitIdentity(/*cip=*/false, /*k=*/2, /*budget=*/4);
+}
+
+TEST(Resume, BitIdenticalAfterCrashAtRound4SingleWorker) {
+  CheckCrashResumeBitIdentity(/*cip=*/false, /*k=*/4, /*budget=*/1);
+}
+
+TEST(Resume, BitIdenticalAfterCrashAtRound4FourWorkers) {
+  CheckCrashResumeBitIdentity(/*cip=*/false, /*k=*/4, /*budget=*/4);
+}
+
+TEST(Resume, BitIdenticalForCipFleet) {
+  CheckCrashResumeBitIdentity(/*cip=*/true, /*k=*/2, /*budget=*/4);
+}
+
+TEST(Resume, HarnessResumeFederatedMatchesServerResume) {
+  const std::string path = TempPath("harness_resume.ckpt");
+  const std::uint64_t run_seed = 93;
+  fl::FlOptions opts = FaultyOptions(4);
+
+  Federation straight = MakeLegacyFederation(4);
+  fl::FederatedAveraging straight_server(straight.init, opts);
+  const fl::FlLog full = straight_server.Run(straight.ptrs, run_seed);
+
+  Federation crashed = MakeLegacyFederation(4);
+  fl::FlOptions crash_opts = opts;
+  crash_opts.checkpoint_every = 2;
+  crash_opts.checkpoint_path = path;
+  crash_opts.stop_after_round = 2;
+  fl::FederatedAveraging crash_server(crashed.init, crash_opts);
+  crash_server.Run(crashed.ptrs, run_seed);
+
+  Federation resumed = MakeLegacyFederation(4);
+  const fl::FlLog tail =
+      eval::ResumeFederated(resumed.ptrs, resumed.init, path, opts);
+  ExpectSameModelState(full.final_global, tail.final_global);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, RejectsMismatchedRunShape) {
+  Federation fed = MakeLegacyFederation(4);
+  fl::FlOptions opts = FaultyOptions(4);
+  fl::FederatedAveraging server(fed.init, opts);
+
+  fl::Checkpoint ckpt;
+  ckpt.run_seed = 1;
+  ckpt.total_rounds = 5;  // run was configured for 4
+  ckpt.next_round = 2;
+  ckpt.global = fed.init;
+  ckpt.clients.resize(4);
+  EXPECT_THROW(server.Resume(fed.ptrs, ckpt), CheckError);
+
+  ckpt.total_rounds = 4;
+  ckpt.clients.resize(3);  // fleet size mismatch
+  EXPECT_THROW(server.Resume(fed.ptrs, ckpt), CheckError);
+}
+
+TEST(Resume, CompletedCheckpointRunsNoFurtherRounds) {
+  Federation fed = MakeLegacyFederation(4);
+  fl::FlOptions opts;
+  opts.rounds = 3;
+  fl::FederatedAveraging server(fed.init, opts);
+
+  fl::Checkpoint ckpt;
+  ckpt.run_seed = 1;
+  ckpt.total_rounds = 3;
+  ckpt.next_round = 4;  // the run already finished
+  ckpt.global = fed.init;
+  ckpt.clients.resize(4);
+  const fl::FlLog log = server.Resume(fed.ptrs, ckpt);
+  EXPECT_TRUE(log.telemetry.rounds.empty());
+  ExpectSameModelState(log.final_global, fed.init);
+}
+
+}  // namespace
+}  // namespace cip

@@ -1,0 +1,570 @@
+// Fault-tolerance tests: FaultPlan validation and determinism, graceful
+// degradation (survivor renormalization), quorum skip/abort, bounded
+// retry-with-backoff, fleet-dependent FlOptions validation, fault telemetry,
+// and bit-identity across worker budgets with faults enabled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "data/partition.h"
+#include "fl/client.h"
+#include "fl/client_factory.h"
+#include "fl/fault.h"
+#include "fl/server.h"
+#include "testing_util.h"
+
+namespace cip {
+namespace {
+
+// ---- FaultPlan --------------------------------------------------------------
+
+TEST(FaultPlan, DisabledByDefault) {
+  fl::FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_NO_THROW(plan.Validate());
+  EXPECT_EQ(plan.Decide(1, 1, 0), fl::FaultKind::kNone);
+}
+
+TEST(FaultPlan, ValidateRejectsBadRates) {
+  fl::FaultPlan plan;
+  plan.dropout_rate = -0.1f;
+  EXPECT_THROW(plan.Validate(), CheckError);
+  plan.dropout_rate = 1.5f;
+  EXPECT_THROW(plan.Validate(), CheckError);
+  plan.dropout_rate = 0.6f;
+  plan.failure_rate = 0.6f;  // sum > 1
+  EXPECT_THROW(plan.Validate(), CheckError);
+  plan.failure_rate = 0.2f;
+  EXPECT_NO_THROW(plan.Validate());
+  plan.straggler_delay_seconds = -1.0;
+  EXPECT_THROW(plan.Validate(), CheckError);
+}
+
+TEST(FaultPlan, ValidateRejectsZeroBasedForcedRound) {
+  fl::FaultPlan plan;
+  plan.forced.push_back({0, 0, fl::FaultKind::kDropout});
+  EXPECT_THROW(plan.Validate(), CheckError);
+  plan.forced[0].round = 1;
+  EXPECT_NO_THROW(plan.Validate());
+}
+
+TEST(FaultPlan, DecideIsAPureFunction) {
+  fl::FaultPlan plan;
+  plan.dropout_rate = 0.3f;
+  plan.failure_rate = 0.3f;
+  plan.straggler_rate = 0.3f;
+  // Same triple, same answer — in any call order, any number of times.
+  const fl::FaultKind first = plan.Decide(9, 4, 2);
+  for (std::size_t round = 1; round <= 5; ++round) {
+    for (std::size_t client = 0; client < 5; ++client) {
+      EXPECT_EQ(plan.Decide(9, round, client), plan.Decide(9, round, client));
+    }
+  }
+  EXPECT_EQ(plan.Decide(9, 4, 2), first);
+}
+
+TEST(FaultPlan, ForcedFaultOverridesRandomDraw) {
+  fl::FaultPlan plan;  // no random faults at all
+  plan.forced.push_back({3, 1, fl::FaultKind::kStraggler});
+  EXPECT_EQ(plan.Decide(7, 3, 1), fl::FaultKind::kStraggler);
+  EXPECT_EQ(plan.Decide(7, 3, 2), fl::FaultKind::kNone);  // other client
+  EXPECT_EQ(plan.Decide(7, 2, 1), fl::FaultKind::kNone);  // other round
+}
+
+TEST(FaultPlan, RatesRoughlyMatchEmpiricalFrequency) {
+  fl::FaultPlan plan;
+  plan.dropout_rate = 0.5f;
+  std::size_t dropouts = 0;
+  const std::size_t trials = 2000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (plan.Decide(123, 1 + i / 50, i % 50) == fl::FaultKind::kDropout) {
+      ++dropouts;
+    }
+  }
+  const double rate = static_cast<double>(dropouts) / trials;
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.6);
+}
+
+TEST(FaultPlan, DecisionsVaryAcrossSeedsRoundsAndClients) {
+  fl::FaultPlan plan;
+  plan.dropout_rate = 0.5f;
+  // With p = 0.5 over 64 coordinates, all-equal outcomes are astronomically
+  // unlikely; a constant Decide would be a salted-stream wiring bug.
+  bool any_dropout = false, any_none = false;
+  for (std::size_t client = 0; client < 64; ++client) {
+    if (plan.Decide(5, 1, client) == fl::FaultKind::kDropout) {
+      any_dropout = true;
+    } else {
+      any_none = true;
+    }
+  }
+  EXPECT_TRUE(any_dropout);
+  EXPECT_TRUE(any_none);
+}
+
+// ---- probe-client federation ------------------------------------------------
+
+// Returns a constant one-element state so aggregation arithmetic is exact,
+// and counts TrainLocal calls so tests can tell "never started" (dropout)
+// from "trained but the update was lost" (mid-round failure / straggler).
+class ProbeClient : public fl::ClientBase {
+ public:
+  explicit ProbeClient(float value) : value_(value) {}
+
+  void SetGlobal(const fl::ModelState& global) override {
+    broadcasts_.push_back(global.values()[0]);
+  }
+  fl::ModelState TrainLocal(fl::RoundContext /*ctx*/) override {
+    ++train_calls_;
+    return fl::ModelState(std::vector<float>{value_});
+  }
+  double EvalAccuracy(const data::Dataset& /*data*/) override { return 0.0; }
+  float LastTrainLoss() const override { return value_; }
+  const data::Dataset& LocalData() const override { return data_; }
+
+  int train_calls() const { return train_calls_; }
+  /// First element of every ModelState this client received, in order —
+  /// per-round broadcasts for rounds it started, then the final aggregate.
+  const std::vector<float>& broadcasts() const { return broadcasts_; }
+
+ private:
+  float value_;
+  std::vector<float> broadcasts_;
+  int train_calls_ = 0;
+  data::Dataset data_;
+};
+
+struct ProbeFleet {
+  std::vector<std::unique_ptr<ProbeClient>> probes;
+  std::vector<fl::ClientBase*> ptrs;
+};
+
+ProbeFleet MakeProbes(std::size_t n) {
+  ProbeFleet fleet;
+  for (std::size_t k = 0; k < n; ++k) {
+    fleet.probes.push_back(
+        std::make_unique<ProbeClient>(static_cast<float>(k + 1)));
+    fleet.ptrs.push_back(fleet.probes.back().get());
+  }
+  return fleet;
+}
+
+fl::ModelState OneWeight() {
+  return fl::ModelState(std::vector<float>{0.0f});
+}
+
+TEST(FaultRounds, DropoutClientIsExcludedAndMeanRenormalized) {
+  ProbeFleet fleet = MakeProbes(4);
+  fl::FlOptions opts;
+  opts.rounds = 1;
+  opts.faults.forced.push_back({1, 2, fl::FaultKind::kDropout});
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 11);
+  // Survivors deliver 1, 2, 4; the plain mean over survivors is the
+  // renormalized aggregate: each weight grows from 1/4 to 1/3.
+  EXPECT_FLOAT_EQ(log.final_global.values()[0], (1.0f + 2.0f + 4.0f) / 3.0f);
+  EXPECT_EQ(fleet.probes[2]->train_calls(), 0);  // never started
+  const fl::RoundStats& r = log.telemetry.rounds.at(0);
+  EXPECT_EQ(r.survivors, 3u);
+  EXPECT_FALSE(r.skipped);
+  EXPECT_EQ(r.clients.at(2).fault, fl::FaultKind::kDropout);
+  EXPECT_TRUE(r.clients.at(2).dropped);
+  EXPECT_FALSE(r.clients.at(1).dropped);
+  // A dropped client reports no loss.
+  EXPECT_EQ(log.client_losses.at(0).at(2), 0.0f);
+  EXPECT_EQ(log.client_losses.at(0).at(3), 4.0f);
+}
+
+TEST(FaultRounds, MidRoundFailureTrainsButLosesTheUpdate) {
+  ProbeFleet fleet = MakeProbes(3);
+  fl::FlOptions opts;
+  opts.rounds = 1;
+  opts.faults.forced.push_back({1, 0, fl::FaultKind::kMidRoundFailure});
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 12);
+  EXPECT_EQ(fleet.probes[0]->train_calls(), 1);  // it did train...
+  EXPECT_FLOAT_EQ(log.final_global.values()[0], (2.0f + 3.0f) / 2.0f);
+  EXPECT_TRUE(log.telemetry.rounds.at(0).clients.at(0).dropped);
+}
+
+TEST(FaultRounds, StragglerDroppedOnlyPastTheSimulatedDeadline) {
+  fl::FlOptions opts;
+  opts.rounds = 1;
+  opts.faults.forced.push_back({1, 1, fl::FaultKind::kStraggler});
+  opts.faults.straggler_delay_seconds = 3.0;
+
+  {  // no deadline: the late update is still accepted
+    ProbeFleet fleet = MakeProbes(3);
+    opts.round_timeout_seconds = 0.0;
+    fl::FederatedAveraging server(OneWeight(), opts);
+    const fl::FlLog log = server.Run(fleet.ptrs, 13);
+    EXPECT_FLOAT_EQ(log.final_global.values()[0], 2.0f);  // mean(1,2,3)
+    EXPECT_FALSE(log.telemetry.rounds.at(0).clients.at(1).dropped);
+  }
+  {  // generous deadline: still accepted
+    ProbeFleet fleet = MakeProbes(3);
+    opts.round_timeout_seconds = 10.0;
+    fl::FederatedAveraging server(OneWeight(), opts);
+    const fl::FlLog log = server.Run(fleet.ptrs, 13);
+    EXPECT_FLOAT_EQ(log.final_global.values()[0], 2.0f);
+  }
+  {  // delay exceeds the deadline: trained, but dropped
+    ProbeFleet fleet = MakeProbes(3);
+    opts.round_timeout_seconds = 2.0;
+    fl::FederatedAveraging server(OneWeight(), opts);
+    const fl::FlLog log = server.Run(fleet.ptrs, 13);
+    EXPECT_EQ(fleet.probes[1]->train_calls(), 1);
+    EXPECT_FLOAT_EQ(log.final_global.values()[0], (1.0f + 3.0f) / 2.0f);
+    EXPECT_TRUE(log.telemetry.rounds.at(0).clients.at(1).dropped);
+  }
+}
+
+TEST(FaultRounds, QuorumLossSkipsRoundAndCarriesGlobalOver) {
+  ProbeFleet fleet = MakeProbes(2);
+  fl::FlOptions opts;
+  opts.rounds = 2;
+  opts.min_quorum = 2;
+  // Round 1 loses one client -> 1 survivor < quorum 2 -> skipped; round 2 is
+  // healthy and aggregates normally.
+  opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
+  fl::FederatedAveraging server(
+      fl::ModelState(std::vector<float>{42.0f}), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 14);
+  const fl::RoundStats& r1 = log.telemetry.rounds.at(0);
+  EXPECT_TRUE(r1.skipped);
+  EXPECT_EQ(r1.survivors, 1u);
+  // Client 1 started both rounds; the round-2 broadcast is the *original*
+  // global — the skipped round changed nothing.
+  ASSERT_GE(fleet.probes[1]->broadcasts().size(), 2u);
+  EXPECT_FLOAT_EQ(fleet.probes[1]->broadcasts()[0], 42.0f);
+  EXPECT_FLOAT_EQ(fleet.probes[1]->broadcasts()[1], 42.0f);
+  const fl::RoundStats& r2 = log.telemetry.rounds.at(1);
+  EXPECT_FALSE(r2.skipped);
+  EXPECT_FLOAT_EQ(log.final_global.values()[0], 1.5f);
+}
+
+TEST(FaultRounds, SkippedFirstRoundBroadcastsUnchangedGlobal) {
+  ProbeFleet fleet = MakeProbes(1);
+  fl::FlOptions opts;
+  opts.rounds = 2;
+  opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
+  fl::FederatedAveraging server(
+      fl::ModelState(std::vector<float>{42.0f}), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 15);
+  EXPECT_TRUE(log.telemetry.rounds.at(0).skipped);
+  EXPECT_EQ(log.telemetry.rounds.at(0).survivors, 0u);
+  // The dropout skipped round 1's broadcast entirely, so the client's first
+  // received state is round 2's — the untouched initial model — followed by
+  // the final aggregate.
+  ASSERT_EQ(fleet.probes[0]->broadcasts().size(), 2u);
+  EXPECT_FLOAT_EQ(fleet.probes[0]->broadcasts()[0], 42.0f);
+  EXPECT_FLOAT_EQ(log.final_global.values()[0], 1.0f);
+}
+
+TEST(FaultRounds, QuorumAbortPolicyThrows) {
+  ProbeFleet fleet = MakeProbes(2);
+  fl::FlOptions opts;
+  opts.rounds = 1;
+  opts.min_quorum = 2;
+  opts.quorum_policy = fl::QuorumPolicy::kAbort;
+  opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
+  fl::FederatedAveraging server(OneWeight(), opts);
+  EXPECT_THROW(server.Run(fleet.ptrs, 16), CheckError);
+}
+
+TEST(FaultRounds, RetryReinvitesFaultedClientWithBackoff) {
+  ProbeFleet fleet = MakeProbes(3);
+  fl::FlOptions opts;
+  opts.rounds = 4;
+  opts.max_retries = 2;
+  opts.retry_backoff_rounds = 1;
+  opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 17);
+  // Full participation: client 0 is sampled in round 2 anyway, but the
+  // engine must label that participation as the scheduled retry...
+  EXPECT_TRUE(log.telemetry.rounds.at(1).clients.at(0).retried);
+  // ...and clear the pending entry once the retry succeeds.
+  EXPECT_FALSE(log.telemetry.rounds.at(2).clients.at(0).retried);
+}
+
+TEST(FaultRounds, RetryMergesUnsampledClientIntoParticipants) {
+  // 0.3 participation over 4 clients -> 1 sampled client per round. Learn
+  // the schedule from a fault-free run, then force a dropout on round 1's
+  // participant: the retry must merge it back in round 2 even when sampling
+  // does not pick it.
+  fl::FlOptions opts;
+  opts.rounds = 2;
+  opts.participation = 0.3f;
+  const std::uint64_t run_seed = 18;
+
+  ProbeFleet dry = MakeProbes(4);
+  fl::FederatedAveraging dry_server(OneWeight(), opts);
+  const fl::FlLog dry_log = dry_server.Run(dry.ptrs, run_seed);
+  ASSERT_EQ(dry_log.telemetry.rounds.at(0).clients.size(), 1u);
+  const std::size_t victim =
+      dry_log.telemetry.rounds.at(0).clients.at(0).client;
+
+  opts.max_retries = 1;
+  opts.faults.forced.push_back({1, victim, fl::FaultKind::kDropout});
+  ProbeFleet fleet = MakeProbes(4);
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, run_seed);
+  const fl::RoundStats& r2 = log.telemetry.rounds.at(1);
+  bool found = false;
+  for (const fl::ClientRoundStats& c : r2.clients) {
+    if (c.client == victim) {
+      found = true;
+      EXPECT_TRUE(c.retried);
+    }
+  }
+  EXPECT_TRUE(found) << "faulted client " << victim
+                     << " was not re-invited in round 2";
+}
+
+TEST(FaultRounds, RetryGivesUpAfterAttemptBudget) {
+  ProbeFleet fleet = MakeProbes(2);
+  fl::FlOptions opts;
+  opts.rounds = 4;
+  opts.max_retries = 1;
+  // Client 0 faults every round; after the single allowed retry (round 2)
+  // the engine must stop labeling its participations as retries.
+  for (std::size_t r = 1; r <= 4; ++r) {
+    opts.faults.forced.push_back({r, 0, fl::FaultKind::kDropout});
+  }
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 19);
+  EXPECT_TRUE(log.telemetry.rounds.at(1).clients.at(0).retried);
+  EXPECT_FALSE(log.telemetry.rounds.at(2).clients.at(0).retried);
+  EXPECT_FALSE(log.telemetry.rounds.at(3).clients.at(0).retried);
+}
+
+TEST(FaultRounds, TwentyPercentDropoutDegradesGracefully) {
+  // The ISSUE acceptance bar: a 20% dropout plan over a 10-client fleet must
+  // keep aggregating renormalized survivor means without ever losing quorum.
+  ProbeFleet fleet = MakeProbes(10);
+  fl::FlOptions opts;
+  opts.rounds = 6;
+  opts.faults.dropout_rate = 0.2f;
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 20);
+  std::size_t total_faults = 0;
+  for (const fl::RoundStats& r : log.telemetry.rounds) {
+    EXPECT_FALSE(r.skipped);
+    EXPECT_GE(r.survivors, 1u);
+    EXPECT_LE(r.survivors, 10u);
+    float expected = 0.0f;
+    std::size_t survivors = 0;
+    for (const fl::ClientRoundStats& c : r.clients) {
+      if (c.fault != fl::FaultKind::kNone) ++total_faults;
+      if (!c.dropped) {
+        expected += static_cast<float>(c.client + 1);
+        ++survivors;
+      }
+    }
+    ASSERT_EQ(survivors, r.survivors);
+  }
+  // Seed 20 must actually exercise the fault path for this test to mean
+  // anything; ~0.2 * 60 participations ≈ 12 faults expected.
+  EXPECT_GT(total_faults, 0u);
+  // Final round's aggregate equals the renormalized survivor mean.
+  const fl::RoundStats& last = log.telemetry.rounds.back();
+  float sum = 0.0f;
+  for (const fl::ClientRoundStats& c : last.clients) {
+    if (!c.dropped) sum += static_cast<float>(c.client + 1);
+  }
+  EXPECT_FLOAT_EQ(log.final_global.values()[0],
+                  sum / static_cast<float>(last.survivors));
+}
+
+// ---- fleet-dependent validation (no silent participant clamp) --------------
+
+TEST(FlOptionsValidateFleet, RejectsParticipationRoundingToZeroClients) {
+  fl::FlOptions opts;
+  opts.participation = 0.1f;
+  EXPECT_THROW(opts.Validate(5), CheckError);   // 0.5 -> 0 sampled
+  EXPECT_NO_THROW(opts.Validate(20));           // 2 sampled
+  opts.participation = 1.0f;
+  EXPECT_NO_THROW(opts.Validate(1));
+}
+
+TEST(FlOptionsValidateFleet, RejectsUnmeetableQuorum) {
+  fl::FlOptions opts;
+  opts.min_quorum = 5;
+  EXPECT_THROW(opts.Validate(4), CheckError);
+  EXPECT_NO_THROW(opts.Validate(5));
+}
+
+TEST(FlOptionsValidateFleet, RunRejectsZeroSampleConfiguration) {
+  ProbeFleet fleet = MakeProbes(5);
+  fl::FlOptions opts;
+  opts.participation = 0.1f;
+  fl::FederatedAveraging server(OneWeight(), opts);  // fleet-free ctor passes
+  EXPECT_THROW(server.Run(fleet.ptrs, 21), CheckError);
+}
+
+TEST(FlOptionsValidate, RejectsBadFaultToleranceKnobs) {
+  fl::FlOptions opts;
+  opts.min_quorum = 0;
+  EXPECT_THROW(opts.Validate(), CheckError);
+  opts.min_quorum = 1;
+  opts.round_timeout_seconds = -1.0;
+  EXPECT_THROW(opts.Validate(), CheckError);
+  opts.round_timeout_seconds = 0.0;
+  opts.max_retries = 1;
+  opts.retry_backoff_rounds = 0;
+  EXPECT_THROW(opts.Validate(), CheckError);
+  opts.retry_backoff_rounds = 1;
+  opts.checkpoint_every = 2;  // no path
+  EXPECT_THROW(opts.Validate(), CheckError);
+  opts.checkpoint_every = 0;
+  opts.stop_after_round = opts.rounds + 1;
+  EXPECT_THROW(opts.Validate(), CheckError);
+  opts.stop_after_round = 0;
+  opts.faults.dropout_rate = 2.0f;  // FaultPlan::Validate is folded in
+  EXPECT_THROW(opts.Validate(), CheckError);
+}
+
+// ---- telemetry JSONL --------------------------------------------------------
+
+TEST(FaultTelemetry, JsonlCarriesFaultFields) {
+  ProbeFleet fleet = MakeProbes(2);
+  fl::FlOptions opts;
+  opts.rounds = 1;
+  opts.faults.forced.push_back({1, 1, fl::FaultKind::kDropout});
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.ptrs, 22);
+  std::ostringstream os;
+  log.telemetry.WriteJsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"survivors\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"skipped\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"fault\":\"dropout\""), std::string::npos);
+  EXPECT_NE(line.find("\"fault\":\"none\""), std::string::npos);
+  EXPECT_NE(line.find("\"dropped\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"retried\":false"), std::string::npos);
+}
+
+TEST(FaultTelemetry, FaultKindNamesAreStable) {
+  EXPECT_STREQ(fl::FaultKindName(fl::FaultKind::kNone), "none");
+  EXPECT_STREQ(fl::FaultKindName(fl::FaultKind::kDropout), "dropout");
+  EXPECT_STREQ(fl::FaultKindName(fl::FaultKind::kMidRoundFailure),
+               "mid_round_failure");
+  EXPECT_STREQ(fl::FaultKindName(fl::FaultKind::kStraggler), "straggler");
+}
+
+// ---- bit-identity with faults enabled --------------------------------------
+
+nn::ModelSpec MlpSpec() {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.input_shape = {4};
+  spec.num_classes = 2;
+  spec.width = 6;
+  spec.seed = 19;
+  return spec;
+}
+
+struct Federation {
+  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  std::vector<fl::ClientBase*> ptrs;
+  fl::ModelState init;
+};
+
+Federation MakeFederation(std::size_t num_clients) {
+  Federation fed;
+  Rng data_rng(31);
+  data::Dataset full = testing::TwoBlobs(40 * num_clients, 4, data_rng);
+  for (float& v : full.inputs.flat()) {
+    v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
+  }
+  Rng part_rng(32);
+  const auto shards = data::PartitionIid(full, num_clients, part_rng);
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kLegacy;
+  spec.model = MlpSpec();
+  spec.train.lr = 0.1f;
+  spec.train.momentum = 0.9f;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    spec.data = shards[k];
+    spec.seed = 50 + k;
+    fed.clients.push_back(fl::MakeClient(spec));
+    fed.ptrs.push_back(fed.clients.back().get());
+  }
+  fed.init = fl::InitialStateFor(spec);
+  return fed;
+}
+
+fl::FlOptions FaultyOptions() {
+  fl::FlOptions opts;
+  opts.rounds = 4;
+  opts.faults.dropout_rate = 0.2f;
+  opts.faults.failure_rate = 0.1f;
+  opts.faults.straggler_rate = 0.1f;
+  opts.faults.straggler_delay_seconds = 4.0;
+  opts.round_timeout_seconds = 2.0;
+  opts.max_retries = 2;
+  return opts;
+}
+
+TEST(FaultRounds, BitIdenticalAcrossWorkerBudgetsWithFaults) {
+  fl::FlLog logs[2];
+  const std::size_t budgets[2] = {1, 4};
+  for (int b = 0; b < 2; ++b) {
+    Federation fed = MakeFederation(4);
+    fl::FlOptions opts = FaultyOptions();
+    opts.max_parallel_clients = budgets[b];
+    fl::FederatedAveraging server(fed.init, opts);
+    logs[b] = server.Run(fed.ptrs, 91);
+  }
+  ASSERT_EQ(logs[0].final_global.size(), logs[1].final_global.size());
+  for (std::size_t i = 0; i < logs[0].final_global.size(); ++i) {
+    EXPECT_EQ(logs[0].final_global.values()[i],
+              logs[1].final_global.values()[i]);
+  }
+  ASSERT_EQ(logs[0].telemetry.rounds.size(), logs[1].telemetry.rounds.size());
+  for (std::size_t r = 0; r < logs[0].telemetry.rounds.size(); ++r) {
+    const fl::RoundStats& ra = logs[0].telemetry.rounds[r];
+    const fl::RoundStats& rb = logs[1].telemetry.rounds[r];
+    EXPECT_EQ(ra.survivors, rb.survivors);
+    EXPECT_EQ(ra.skipped, rb.skipped);
+    ASSERT_EQ(ra.clients.size(), rb.clients.size());
+    for (std::size_t i = 0; i < ra.clients.size(); ++i) {
+      EXPECT_EQ(ra.clients[i].fault, rb.clients[i].fault);
+      EXPECT_EQ(ra.clients[i].dropped, rb.clients[i].dropped);
+      EXPECT_EQ(ra.clients[i].loss, rb.clients[i].loss);
+    }
+  }
+}
+
+TEST(FaultRounds, FaultStreamIsDisjointFromTrainingStreams) {
+  // A plan whose faults never drop anyone (straggler with no deadline) must
+  // not disturb training results: fault decisions draw from a salted stream,
+  // never from the client's training stream.
+  Federation clean = MakeFederation(3);
+  fl::FlOptions opts;
+  opts.rounds = 2;
+  {
+    fl::FederatedAveraging server(clean.init, opts);
+    const fl::FlLog base = server.Run(clean.ptrs, 92);
+    Federation faulty = MakeFederation(3);
+    opts.faults.straggler_rate = 1.0f;  // everyone is late...
+    opts.round_timeout_seconds = 0.0;   // ...but no deadline drops them
+    fl::FederatedAveraging server2(faulty.init, opts);
+    const fl::FlLog with_faults = server2.Run(faulty.ptrs, 92);
+    ASSERT_EQ(base.final_global.size(), with_faults.final_global.size());
+    for (std::size_t i = 0; i < base.final_global.size(); ++i) {
+      EXPECT_EQ(base.final_global.values()[i],
+                with_faults.final_global.values()[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cip

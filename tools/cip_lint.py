@@ -20,8 +20,11 @@ Rules (see README "Correctness tooling"):
                   client) value stream); private helpers that thread a local
                   stream live on the allowlist.
   doc-comment     WARNING (does not fail the run): public functions declared
-                  in src/tensor and src/nn headers should carry a doc
-                  comment on the preceding line
+                  in src/tensor, src/nn, src/fl and src/core headers should
+                  carry a doc comment on the preceding line
+  doc-link        relative markdown links in README.md and docs/*.md must
+                  resolve to files that exist (stale links rot silently;
+                  anchors/URLs are not checked)
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error. Warnings
 are printed but never affect the exit status.
@@ -144,9 +147,10 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
     return out
 
 
-# Headers whose public functions must carry doc comments (the numeric core:
-# shape contracts, layout and threading guarantees live in these comments).
-DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/")
+# Headers whose public functions must carry doc comments (the numeric core
+# plus the federated surface: shape contracts, layout, threading and
+# determinism guarantees live in these comments).
+DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/", "src/fl/", "src/core/")
 
 # A function declaration/definition opener: optional specifiers, a return
 # type containing at least one type-ish token, a name, an open paren. Control
@@ -202,6 +206,44 @@ def check_doc_comments(rel: str, lines: list[str]) -> list[Violation]:
     return out
 
 
+# A markdown link/image target: `[text](target)`. Good enough for this
+# repo's docs; no reference-style links are used.
+RE_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Targets the doc-link rule does not try to resolve.
+RE_MD_EXTERNAL = re.compile(r"^(https?://|mailto:|#)")
+
+
+def check_doc_links(root: pathlib.Path) -> list[Violation]:
+    """Relative links in README.md and docs/*.md must point at real files."""
+    out: list[Violation] = []
+    pages = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    for page in pages:
+        if not page.is_file():
+            continue
+        rel = page.relative_to(root).as_posix()
+        in_code_fence = False
+        for i, line in enumerate(
+                page.read_text(encoding="utf-8").splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for m in RE_MD_LINK.finditer(line):
+                target = m.group(1)
+                if RE_MD_EXTERNAL.match(target):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                if not (page.parent / path_part).exists():
+                    out.append(Violation(
+                        rel, i, "doc-link",
+                        f"link target `{target}` does not resolve "
+                        f"(relative to {page.parent.relative_to(root).as_posix() or '.'}/)"))
+    return out
+
+
 def check_bench_json(root: pathlib.Path) -> list[Violation]:
     """Every BENCH_*.json at the repo root must be valid JSON."""
     out: list[Violation] = []
@@ -239,6 +281,7 @@ def lint_tree(root: pathlib.Path) -> list[Violation]:
             if path.suffix in SOURCE_SUFFIXES and path.is_file():
                 violations += lint_file(root, path)
     violations += check_bench_json(root)
+    violations += check_doc_links(root)
     return violations
 
 
@@ -252,6 +295,7 @@ SELF_TEST_CASES = {
     "doc-comment": "src/tensor/undocumented.h",
     "bench-json": "BENCH_broken.json",
     "rng-ref-param": "src/fl/bad_rng_param.h",
+    "doc-link": "docs/bad_links.md",
 }
 
 SELF_TEST_SOURCES = {
@@ -284,8 +328,20 @@ SELF_TEST_SOURCES = {
     "src/data/rng_param_clean.h":
         "#pragma once\nvoid SampleThing(int n, Rng& rng);\n",
     "src/fl/rng_local_clean.h":
-        "#pragma once\ninline int F(RoundContext& ctx) {\n"
+        "#pragma once\n/// Doc (fl headers need doc comments too).\n"
+        "inline int F(RoundContext& ctx) {\n"
         "  Rng& rng = ctx.rng;\n  return rng.NextU64() & 1;\n}\n",
+    # The fl/core doc-comment extension must flag undocumented fl headers.
+    "src/fl/undocumented.h": "#pragma once\nfloat AlsoUndocumented(int x);\n",
+    # Doc links: a dangling relative target must be flagged; resolvable
+    # relative targets, anchors, URLs and fenced code blocks must not.
+    "docs/bad_links.md":
+        "See [the missing page](no_such_file.md) for details.\n",
+    "docs/clean_links.md":
+        "A [sibling](bad_links.md), a [parent file](../README.md), an\n"
+        "[anchor](#section), a [URL](https://example.com/x.md), and\n"
+        "```\n[not a link](inside_code_fence.md)\n```\n",
+    "README.md": "Root page: [docs](docs/clean_links.md).\n",
 }
 
 
