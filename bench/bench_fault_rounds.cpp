@@ -234,7 +234,13 @@ int main(int argc, char** argv) {
   // ---- JSON baseline ---------------------------------------------------------
   std::ofstream js(output_path);
   js << "{\n  \"schema\": \"cip-bench-fault-rounds/v1\",\n"
-     << "  \"host\": {\"num_cpus\": " << hw << "},\n"
+     << "  \"host\": {\"num_cpus\": " << hw << ", \"cip_build_type\": \""
+#ifdef NDEBUG
+     << "release"
+#else
+     << "debug"
+#endif
+     << "\"},\n"
      << "  \"setup\": {\"clients\": " << kClients
      << ", \"rounds\": " << kRounds
      << ", \"dropout_rate\": 0.2, \"failure_rate\": 0.05, "

@@ -211,7 +211,13 @@ int main(int argc, char** argv) {
   // ---- JSON baseline ---------------------------------------------------------
   std::ofstream js(output_path);
   js << "{\n  \"schema\": \"cip-bench-fl-rounds/v1\",\n"
-     << "  \"host\": {\"num_cpus\": " << hw << "},\n"
+     << "  \"host\": {\"num_cpus\": " << hw << ", \"cip_build_type\": \""
+#ifdef NDEBUG
+     << "release"
+#else
+     << "debug"
+#endif
+     << "\"},\n"
      << "  \"setup\": {\"clients\": " << kClients
      << ", \"rounds\": " << kRounds << ", \"budgets\": [1, 4]},\n"
      << "  \"determinism\": {\"bit_identical\": "

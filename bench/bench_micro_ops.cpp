@@ -1,12 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the numeric kernels every
-// experiment is built on: matmul (blocked GEMM), im2col/GEMM vs naive
-// convolution, softmax/cross-entropy, the CIP blending function, and a full
-// dual-channel forward/backward step. docs/BENCHMARKS.md explains how
+// experiment is built on: matmul (blocked GEMM, persistent-pool vs
+// spawn-per-call dispatch), im2col/GEMM vs naive convolution,
+// softmax/cross-entropy, the CIP blending function, and a full dual-channel
+// forward/backward step. docs/BENCHMARKS.md explains how
 // scripts/bench_baseline.sh turns this suite into the committed
 // BENCH_kernels.json baseline.
+//
+// The JSON context carries a "cip_build_type" key ("release"/"debug") so
+// tools/bench_to_json.py can refuse to bless a baseline produced by a
+// non-Release build.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "common/env.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/blend.h"
 #include "nn/backbones.h"
@@ -34,6 +42,68 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<long>(n * n * n));
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Same GEMM, legacy spawn-a-thread-per-chunk dispatch (CIP_SPAWN_THREADS=1
+// path). The BM_Matmul/64-vs-BM_MatmulSpawn/64 ratio at CIP_THREADS=4 is the
+// committed dispatch-overhead gate: the persistent pool must win by >= 1.3x.
+void BM_MatmulSpawn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  internal::SetSpawnPerCallForTesting(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+  }
+  internal::SetSpawnPerCallForTesting(false);
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_MatmulSpawn)->Arg(32)->Arg(64);
+
+// GEMM against a pre-packed weight (the PackedB cache layers keep for frozen
+// weights) — isolates the per-call packing pass BM_Matmul still pays.
+void BM_MatmulPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = RandomTensor({n, n}, 1);
+  const Tensor b = RandomTensor({n, n}, 2);
+  ops::PackedB packed;
+  ops::PackBForMatmulInto(b, packed);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    ops::MatmulPackedInto(a, packed, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_MatmulPacked)->Arg(64)->Arg(256);
+
+// Pure dispatch overhead: a ParallelForCoarse over 4 near-empty chunks with
+// an explicit budget of 4. Measures wake/rendezvous latency of the pool
+// (BM_ParallelForDispatch) against thread clone/join per call
+// (BM_ParallelForDispatchSpawn).
+void RunDispatchBench(benchmark::State& state, bool spawn_per_call) {
+  internal::SetSpawnPerCallForTesting(spawn_per_call);
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    ParallelForCoarse(
+        0, 4,
+        [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); },
+        /*max_threads=*/4);
+  }
+  internal::SetSpawnPerCallForTesting(false);
+  benchmark::DoNotOptimize(sink.load());
+}
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  RunDispatchBench(state, /*spawn_per_call=*/false);
+}
+BENCHMARK(BM_ParallelForDispatch);
+
+void BM_ParallelForDispatchSpawn(benchmark::State& state) {
+  RunDispatchBench(state, /*spawn_per_call=*/true);
+}
+BENCHMARK(BM_ParallelForDispatchSpawn);
 
 void BM_MatmulTransB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -193,4 +263,18 @@ BENCHMARK(BM_SingleChannelTrainStep)->Arg(8)->Arg(12);
 }  // namespace
 }  // namespace cip
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the JSON context records whether this binary
+// was compiled with optimizations: the committed baseline must come from a
+// Release build (tools/bench_to_json.py enforces it via this key).
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("cip_build_type", "release");
+#else
+  benchmark::AddCustomContext("cip_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

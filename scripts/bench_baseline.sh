@@ -22,6 +22,9 @@ min_time="${CIP_BENCH_MIN_TIME:-0.5}"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds
 
+# bench_to_json.py refuses to write a baseline unless the binary reports
+# cip_build_type=release, and tools/cip_lint.py rejects committed baselines
+# without it — debug numbers can never become the regression reference.
 python3 tools/bench_to_json.py \
   --binary build/bench/bench_micro_ops \
   --output BENCH_kernels.json \

@@ -43,19 +43,23 @@ for preset in "${presets[@]}"; do
 done
 
 if [[ "$run_tsan" == 1 ]]; then
-  # The parallel round engine's race-freedom certificate: the coarse-grained
-  # ParallelForCoarse patterns plus a real multi-client federation, forced
-  # onto real worker threads, under ThreadSanitizer. Already part of the
-  # preset's ctest run above; repeated here explicitly so a filtered-out or
-  # renamed stress suite fails loudly instead of silently shrinking coverage.
-  step "round-engine stress [tsan]"
-  ctest --preset tsan -R 'ParallelCoarseStress|RoundEngineStress' \
+  # The execution engine's race-freedom certificate: the persistent worker
+  # pool (spawn storms, nested dispatch, exception propagation, the legacy
+  # spawn-per-call path), the coarse-grained ParallelForCoarse patterns, and
+  # a real multi-client federation, all forced onto real worker threads,
+  # under ThreadSanitizer. Already part of the preset's ctest run above;
+  # repeated here explicitly so a filtered-out or renamed stress suite fails
+  # loudly instead of silently shrinking coverage.
+  step "pool + round-engine stress [tsan]"
+  ctest --preset tsan -R 'ParallelStress|ParallelCoarseStress|RoundEngineStress' \
     --no-tests=error --output-on-failure
 fi
 
 if [[ "$run_bench" == 1 ]]; then
-  # Smoke mode: ~1ms per benchmark, enough to exercise every registered case.
-  # For real numbers use scripts/bench_baseline.sh (see docs/BENCHMARKS.md).
+  # Smoke mode: ~1ms per benchmark, enough to exercise every registered case
+  # including the pool-vs-spawn dispatch-overhead pair (BM_ParallelForDispatch
+  # and friends). For real numbers use scripts/bench_baseline.sh (see
+  # docs/BENCHMARKS.md).
   step "benchmark smoke run [release]"
   cmake --build --preset release -j "$jobs" --target bench_micro_ops
   ./build-release/bench/bench_micro_ops --benchmark_min_time=0.001

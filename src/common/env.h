@@ -21,6 +21,15 @@ std::size_t Scaled(std::size_t nominal, std::size_t min_value = 1);
 /// runtime via internal::SetNaiveConvForTesting.
 bool NaiveConvEnabled();
 
+/// CIP_SPAWN_THREADS (default 0): when 1, ParallelFor/ParallelForCoarse use
+/// the legacy spawn-one-thread-per-chunk-per-call dispatch instead of the
+/// persistent worker pool. Strict parsing: only the exact strings "0" and
+/// "1" are honored; anything else is ignored (pool). Read once at first use;
+/// the dispatch-overhead benchmarks flip the path at runtime via
+/// internal::SetSpawnPerCallForTesting. Results are bit-identical across the
+/// two paths — only dispatch latency differs.
+bool SpawnPerCallEnabled();
+
 namespace internal {
 
 /// Strict parse of a 0/1 flag value. Returns nullopt unless `s` is exactly
@@ -30,6 +39,11 @@ std::optional<bool> ParseBoolFlag(const char* s);
 /// Override NaiveConvEnabled() for the rest of the process, bypassing the
 /// environment. For parity tests and the naive-vs-GEMM benches only.
 void SetNaiveConvForTesting(bool enabled);
+
+/// Override SpawnPerCallEnabled() for the rest of the process, bypassing the
+/// environment. For the pool-vs-spawn dispatch benchmarks and stress tests
+/// only.
+void SetSpawnPerCallForTesting(bool enabled);
 
 }  // namespace internal
 

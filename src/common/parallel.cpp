@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/env.h"
 
 namespace cip {
 
@@ -41,54 +45,220 @@ std::size_t ParallelThreads() {
 
 namespace {
 
-// Shared chunk-per-worker core. min_parallel is the smallest range worth
-// spawning threads for; below it (or at a budget of 1) the loop runs serially.
+// > 0 while this thread executes inside a parallel region: permanently on
+// pool workers, transiently on callers while they run their share of chunks.
+// Guards against re-entrant pool dispatch (which would deadlock: the nested
+// call would wait for workers that are busy running the outer region).
+thread_local int t_parallel_depth = 0;
+
+// Set when the pool singleton has been destroyed (static teardown order is
+// unspecified; a ParallelFor from a later static destructor must not touch
+// the dead pool). Trivially destructible, so reading it at any point of
+// shutdown is safe.
+std::atomic<bool> g_pool_destroyed{false};
+
+// One dispatched parallel region. Lives on the caller's stack for the
+// duration of the call; workers only touch it between the generation
+// publish and their completion report, both of which synchronize through
+// the pool mutex, so every field is stable when the caller reads it back.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;       // indices per chunk
+  std::size_t num_chunks = 0;  // fixed by (n, budget): deterministic
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  // Claim and run chunks until none remain or a failure is flagged. Safe to
+  // call from any number of runners concurrently; each chunk runs exactly
+  // once. First exception wins; the flag makes other runners bail at their
+  // next index so the caller sees the failure promptly.
+  void RunChunks() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          (*fn)(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+// Lazily-started persistent worker pool. All workers participate in every
+// dispatched job (those that find no unclaimed chunk just report done and
+// park again); the actual parallelism of a job is bounded by its chunk
+// count, which the dispatch derives from the caller's thread budget.
+class WorkerPool {
+ public:
+  static WorkerPool& Instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Run `job` with the calling thread plus up to `extra_workers` pool
+  // workers. Serializes independent top-level callers (one region at a
+  // time). On return every runner has finished and job's error state is
+  // stable.
+  void Run(Job& job, std::size_t extra_workers) {
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    std::size_t participants = 0;
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      // Grow on demand; workers spawned now read generation_ before the
+      // publish below, so they participate in this very job.
+      const std::size_t want =
+          std::min(extra_workers, kMaxParallelThreads - 1);
+      while (workers_.size() < want) {
+        const std::uint64_t start_gen = generation_;
+        workers_.emplace_back(
+            [this, start_gen] { WorkerLoop(start_gen); });
+      }
+      job_ = &job;
+      ++generation_;
+      finished_ = 0;
+      participants = participants_ = workers_.size();
+    }
+    cv_work_.notify_all();
+    // The caller is a full runner: on a loaded machine it often drains the
+    // whole range before a worker gets scheduled, which is exactly the
+    // latency-optimal behavior for small dispatches.
+    ++t_parallel_depth;
+    job.RunChunks();
+    --t_parallel_depth;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_done_.wait(lk, [&] { return finished_ == participants; });
+      job_ = nullptr;
+    }
+  }
+
+  std::size_t WorkerCount() {
+    const std::lock_guard<std::mutex> lk(m_);
+    return workers_.size();
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    workers_.clear();  // jthread dtor joins each worker
+    g_pool_destroyed.store(true, std::memory_order_release);
+  }
+
+  void WorkerLoop(std::uint64_t seen_generation) {
+    ++t_parallel_depth;  // workers run nested ParallelFor calls serially
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      cv_work_.wait(lk, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      Job* job = job_;
+      lk.unlock();
+      if (job != nullptr) job->RunChunks();
+      lk.lock();
+      if (++finished_ == participants_) cv_done_.notify_one();
+    }
+  }
+
+  std::mutex run_mutex_;  // serializes top-level parallel regions
+  std::mutex m_;          // guards everything below
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::jthread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t participants_ = 0;
+  std::size_t finished_ = 0;
+  bool stop_ = false;
+};
+
+// Legacy dispatch: spawn one jthread per chunk, join on scope exit. Kept
+// runtime-selectable (CIP_SPAWN_THREADS=1) as the reference point for the
+// dispatch-overhead benchmarks; semantics match the pool path exactly.
+void RunSpawnPerCall(Job& job, std::size_t threads) {
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      const std::size_t lo = job.begin + w * job.chunk;
+      if (lo >= job.end) break;
+      workers.emplace_back([&job] {
+        ++t_parallel_depth;
+        job.RunChunks();
+        --t_parallel_depth;
+      });
+    }
+  }  // jthreads join here; job state is stable afterwards.
+}
+
+// Shared chunk-per-runner core. min_parallel is the smallest range worth
+// dispatching for; below it (or at a budget of 1, or nested inside another
+// parallel region, or after pool teardown) the loop runs serially inline.
 void RunChunked(std::size_t begin, std::size_t end,
                 const std::function<void(std::size_t)>& fn,
                 std::size_t max_threads, std::size_t min_parallel) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   const std::size_t threads = std::min(std::max<std::size_t>(max_threads, 1), n);
-  if (threads <= 1 || n < min_parallel) {
+  if (threads <= 1 || n < min_parallel || t_parallel_depth > 0 ||
+      g_pool_destroyed.load(std::memory_order_acquire)) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  // First worker exception wins; the flag makes the other workers bail at
-  // their next index so the caller sees the failure promptly.
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::size_t chunk = (n + threads - 1) / threads;
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(threads);
-    for (std::size_t w = 0; w < threads; ++w) {
-      const std::size_t lo = begin + w * chunk;
-      const std::size_t hi = std::min(end, lo + chunk);
-      if (lo >= hi) break;
-      workers.emplace_back([lo, hi, &fn, &failed, &first_error, &error_mutex] {
-        try {
-          for (std::size_t i = lo; i < hi; ++i) {
-            if (failed.load(std::memory_order_relaxed)) return;
-            fn(i);
-          }
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (first_error == nullptr) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-        }
-      });
-    }
-  }  // jthreads join here; first_error is stable afterwards.
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.chunk = (n + threads - 1) / threads;
+  job.num_chunks = (n + job.chunk - 1) / job.chunk;
+  if (SpawnPerCallEnabled()) {
+    RunSpawnPerCall(job, threads);
+  } else {
+    WorkerPool::Instance().Run(job, threads - 1);
+  }
+  if (job.first_error != nullptr) std::rethrow_exception(job.first_error);
 }
 
 }  // namespace
 
+namespace internal {
+
+bool InParallelRegion() { return t_parallel_depth > 0; }
+
+std::size_t PoolWorkerCount() {
+  if (g_pool_destroyed.load(std::memory_order_acquire)) return 0;
+  return WorkerPool::Instance().WorkerCount();
+}
+
+}  // namespace internal
+
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t max_threads) {
-  // Thread start/join overhead dominates for tiny fine-grained ranges.
+  // Dispatch overhead dominates for tiny fine-grained ranges.
   RunChunked(begin, end, fn, max_threads, /*min_parallel=*/16);
 }
 

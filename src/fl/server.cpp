@@ -162,11 +162,12 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
     }
     stats.broadcast_seconds = SecondsSince(broadcast_t0);
 
-    // --- Parallel client phase. Each worker touches only its own client,
-    // its own updates/stats slot, and its own losses element; the RNG stream
-    // in each context is derived from (run_seed, round, client index), fault
-    // decisions from the same triple through a salted stream, so the result
-    // is independent of how workers are scheduled.
+    // --- Parallel client phase, dispatched onto the persistent worker pool.
+    // Each worker touches only its own client, its own updates/stats slot,
+    // and its own losses element; the RNG stream in each context is derived
+    // from (run_seed, round, client index), fault decisions from the same
+    // triple through a salted stream, so the result is independent of how —
+    // or on which dispatch backend — workers are scheduled.
     float lr_scale = 1.0f;
     if (options_.lr_decay_every != 0) {
       const auto steps =

@@ -8,9 +8,14 @@
 // Round engine: each round the coordinator thread broadcasts (and possibly
 // tampers) the global, samples participants, and builds one RoundContext per
 // participant; the participants then train concurrently on ParallelForCoarse
-// workers. Because every context's RNG stream is a pure function of
-// (run seed, round, client index) and aggregation is a fixed-order serial
-// reduction, results are bit-identical for any CIP_THREADS value.
+// workers drawn from the persistent pool (common/parallel.h). A client
+// running on a pool worker is inside a parallel region, so the GEMM kernels
+// it calls run serially inline on that worker — client-level parallelism is
+// the outermost (and only) fan-out. Because every context's RNG stream is a
+// pure function of (run seed, round, client index) and aggregation is a
+// fixed-order serial reduction, results are bit-identical for any
+// CIP_THREADS value and for either dispatch backend (pool or
+// CIP_SPAWN_THREADS=1 spawn-per-call).
 //
 // Fault tolerance: an FlOptions::faults plan injects deterministic client
 // dropouts, mid-round failures and stragglers (fl/fault.h); the engine

@@ -1,20 +1,12 @@
 #include "nn/conv2d.h"
 
+#include <utility>
+
 #include "common/env.h"
 #include "common/parallel.h"
 #include "nn/init.h"
 
 namespace cip::nn {
-
-namespace {
-
-/// Reallocate `t` only when the wanted shape differs — the scratch reuse
-/// that keeps steady-state training allocation-free.
-void EnsureShape(Tensor& t, Shape shape) {
-  if (t.shape() != shape) t = Tensor(std::move(shape));
-}
-
-}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t padding,
@@ -45,11 +37,22 @@ Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
     ops::Im2ColInto(x, i, geom, col_, i * oh * ow);
   });
   EnsureShape(gemm_y_, {rows, oc_});
-  ops::MatmulTransBInto(col_, w_.value, gemm_y_);  // [rows, oc]
+  if (ops::internal::UsesBlockedGemm(rows, patch, oc_)) {
+    // Blocked regime: multiply against the cached pre-packed weight, repacking
+    // only when the weight actually changed (optimizer steps bump version()).
+    // Bit-identical to MatmulTransBInto, which packs the same panels per call.
+    if (packed_w_.empty() || packed_w_version_ != w_.value.version()) {
+      ops::PackBForMatmulTransBInto(w_.value, packed_w_);
+      packed_w_version_ = w_.value.version();
+    }
+    ops::MatmulPackedInto(col_, packed_w_, gemm_y_);  // [rows, oc]
+  } else {
+    ops::MatmulTransBInto(col_, w_.value, gemm_y_);  // [rows, oc]
+  }
   // Scatter [N·OH·OW, OC] back to NCHW and add the bias.
   Tensor y({n, oc_, oh, ow});
-  const float* pg = gemm_y_.data();
-  const float* pb = b_.value.data();
+  const float* pg = std::as_const(gemm_y_).data();
+  const float* pb = std::as_const(b_.value).data();
   float* py_all = y.data();
   ParallelFor(0, n, [&](std::size_t i) {
     const float* grow = pg + i * oh * ow * oc_;
@@ -137,8 +140,8 @@ Tensor Conv2d::BackwardGemm(const Tensor& x, const Tensor& grad_out) {
     }
   });
 
-  // Bias gradient: column sums of gy_.
-  ops::AddInPlace(b_.grad, ops::SumRows(gy_));
+  // Bias gradient: column sums of gy_, accumulated without a temporary.
+  ops::SumRowsAccumInto(gy_, b_.grad);
 
   // Recompute the batched lowering of x. The col_ scratch cannot be trusted
   // to still hold it: the dual-channel model runs forward(ch1), forward(ch2)

@@ -81,6 +81,12 @@ class Conv2d : public Module {
   // dcol_: [N·OH·OW, IC·K·K] column-space input gradient; dw_: [OC, IC·K·K]
   // per-call weight gradient before accumulation.
   Tensor col_, gemm_y_, gy_, dcol_, dw_;
+
+  // Forward weight pre-packed for the blocked GEMM, rebuilt only when
+  // w_.value.version() moves (i.e. after an optimizer step). Keeps the
+  // steady-state eval forward free of the per-call packing pass.
+  ops::PackedB packed_w_;
+  std::uint64_t packed_w_version_ = 0;
 };
 
 }  // namespace cip::nn

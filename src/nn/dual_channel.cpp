@@ -6,38 +6,38 @@ namespace cip::nn {
 
 namespace {
 
-/// Concat two [N, D] matrices along dim 1.
-Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+/// Concat two [N, D] matrices along dim 1 into caller-owned scratch.
+void ConcatColsInto(const Tensor& a, const Tensor& b, Tensor& out) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
   CIP_CHECK_EQ(a.dim(0), b.dim(0));
   const std::size_t n = a.dim(0), da = a.dim(1), db = b.dim(1);
   CIP_DCHECK_EQ(a.size(), n * da);
   CIP_DCHECK_EQ(b.size(), n * db);
-  Tensor out({n, da + db});
+  EnsureShape(out, {n, da + db});
+  float* po = out.data();
   for (std::size_t i = 0; i < n; ++i) {
-    std::copy(a.data() + i * da, a.data() + (i + 1) * da,
-              out.data() + i * (da + db));
+    std::copy(a.data() + i * da, a.data() + (i + 1) * da, po + i * (da + db));
     std::copy(b.data() + i * db, b.data() + (i + 1) * db,
-              out.data() + i * (da + db) + da);
+              po + i * (da + db) + da);
   }
-  return out;
 }
 
-/// Split the column-concat gradient back into the two halves.
-std::pair<Tensor, Tensor> SplitCols(const Tensor& g, std::size_t da) {
+/// Split the column-concat gradient back into caller-owned halves.
+void SplitColsInto(const Tensor& g, std::size_t da, Tensor& ga, Tensor& gb) {
   CIP_CHECK_EQ(g.rank(), 2u);
   CIP_CHECK_GT(g.dim(1), da);
   const std::size_t n = g.dim(0), db = g.dim(1) - da;
-  Tensor ga({n, da});
-  Tensor gb({n, db});
+  EnsureShape(ga, {n, da});
+  EnsureShape(gb, {n, db});
+  float* pa = ga.data();
+  float* pb = gb.data();
   for (std::size_t i = 0; i < n; ++i) {
     std::copy(g.data() + i * (da + db), g.data() + i * (da + db) + da,
-              ga.data() + i * da);
+              pa + i * da);
     std::copy(g.data() + i * (da + db) + da, g.data() + (i + 1) * (da + db),
-              gb.data() + i * db);
+              pb + i * db);
   }
-  return {std::move(ga), std::move(gb)};
 }
 
 }  // namespace
@@ -62,17 +62,18 @@ Tensor DualChannelClassifier::Forward(const Tensor& x1, const Tensor& x2,
   Tensor f2 = gap_.Forward(backbone_->Forward(x2, train), train);
   CIP_CHECK_EQ(f1.dim(1), feature_dim_);
   CIP_DCHECK(f1.SameShape(f2));
-  return head_.Forward(ConcatCols(f1, f2), train);
+  ConcatColsInto(f1, f2, concat_);
+  return head_.Forward(concat_, train);
 }
 
 std::pair<Tensor, Tensor> DualChannelClassifier::Backward(
     const Tensor& dlogits) {
   Tensor dconcat = head_.Backward(dlogits);
   CIP_DCHECK_EQ(dconcat.dim(1), 2 * feature_dim_);
-  auto [df1, df2] = SplitCols(dconcat, feature_dim_);
+  SplitColsInto(dconcat, feature_dim_, ga_, gb_);
   // Pop channel-2 caches first, then channel-1.
-  Tensor dx2 = backbone_->Backward(gap_.Backward(df2));
-  Tensor dx1 = backbone_->Backward(gap_.Backward(df1));
+  Tensor dx2 = backbone_->Backward(gap_.Backward(gb_));
+  Tensor dx1 = backbone_->Backward(gap_.Backward(ga_));
   return {std::move(dx1), std::move(dx2)};
 }
 

@@ -52,6 +52,11 @@ class DualChannelClassifier {
   std::size_t feature_dim_;
   std::size_t num_classes_;
   Linear head_;  // input width 2 * feature_dim
+
+  // Concat/split staging, reused across steps (reallocated only on
+  // batch-shape change): concat_ [N, 2D] feeds the head; ga_/gb_ [N, D] are
+  // the per-channel halves of the head's input gradient.
+  Tensor concat_, ga_, gb_;
 };
 
 }  // namespace cip::nn

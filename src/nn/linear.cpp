@@ -1,5 +1,7 @@
 #include "nn/linear.h"
 
+#include <utility>
+
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -20,13 +22,26 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
 Tensor Linear::Forward(const Tensor& x, bool train) {
   CIP_CHECK_EQ(x.rank(), 2u);
   CIP_CHECK_EQ(x.dim(1), in_);
-  Tensor y = ops::MatmulTransB(x, w_.value);  // [N, out]
-  CIP_DCHECK_EQ(y.dim(1), out_);
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_});
+  if (ops::internal::UsesBlockedGemm(n, in_, out_)) {
+    // Blocked regime: multiply against the cached pre-packed weight, repacking
+    // only when the weight actually changed (optimizer steps bump version()).
+    // Bit-identical to MatmulTransBInto, which packs the same panels per call.
+    if (packed_w_.empty() || packed_w_version_ != w_.value.version()) {
+      ops::PackBForMatmulTransBInto(w_.value, packed_w_);
+      packed_w_version_ = w_.value.version();
+    }
+    ops::MatmulPackedInto(x, packed_w_, y);  // [N, out]
+  } else {
+    ops::MatmulTransBInto(x, w_.value, y);  // [N, out]
+  }
   CIP_DCHECK_EQ(b_.value.size(), out_);
-  const std::size_t n = y.dim(0);
+  const float* pb = std::as_const(b_.value).data();
+  float* py = y.data();
   for (std::size_t i = 0; i < n; ++i) {
-    float* row = y.data() + i * out_;
-    for (std::size_t j = 0; j < out_; ++j) row[j] += b_.value[j];
+    float* row = py + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += pb[j];
   }
   if (train) cached_inputs_.push(x);
   return y;
@@ -40,9 +55,13 @@ Tensor Linear::Backward(const Tensor& grad_out) {
   CIP_CHECK_EQ(grad_out.dim(0), x.dim(0));
   CIP_CHECK_EQ(grad_out.dim(1), out_);
   // dW = gradᵀ · x,  db = sum over batch,  dx = grad · W
-  ops::AddInPlace(w_.grad, ops::MatmulTransA(grad_out, x));
-  ops::AddInPlace(b_.grad, ops::SumRows(grad_out));
-  return ops::Matmul(grad_out, w_.value);
+  EnsureShape(dw_, {out_, in_});
+  ops::MatmulTransAInto(grad_out, x, dw_);
+  ops::AddInPlace(w_.grad, dw_);
+  ops::SumRowsAccumInto(grad_out, b_.grad);
+  Tensor dx({x.dim(0), in_});
+  ops::MatmulInto(grad_out, w_.value, dx);
+  return dx;
 }
 
 void Linear::CollectParameters(std::vector<Parameter*>& out) {

@@ -1,10 +1,15 @@
 // Fully connected layer: y = x·Wᵀ + b, x: [N, in], W: [out, in], b: [out].
+//
+// Forward/Backward write into per-layer scratch tensors and (when the product
+// is large enough for the blocked GEMM) multiply against a cached pre-packed
+// weight, so steady-state calls allocate nothing beyond the returned tensor.
 #pragma once
 
 #include <stack>
 
 #include "common/rng.h"
 #include "nn/module.h"
+#include "tensor/ops.h"
 
 namespace cip::nn {
 
@@ -35,6 +40,15 @@ class Linear : public Module {
   Parameter w_;
   Parameter b_;
   std::stack<Tensor> cached_inputs_;
+
+  // Per-call weight gradient before accumulation into w_.grad; reused across
+  // steps (reallocated only on batch-shape change).
+  Tensor dw_;
+
+  // Forward weight pre-packed for the blocked GEMM, rebuilt only when
+  // w_.value.version() moves (i.e. after an optimizer step).
+  ops::PackedB packed_w_;
+  std::uint64_t packed_w_version_ = 0;
 };
 
 }  // namespace cip::nn

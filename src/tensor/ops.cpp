@@ -125,13 +125,20 @@ float Dot(const Tensor& a, const Tensor& b) {
 
 Tensor SumRows(const Tensor& a) {
   CIP_CHECK_EQ(a.rank(), 2u);
-  const std::size_t m = a.dim(0), n = a.dim(1);
-  Tensor out({n});
-  const float* pa = a.data();
-  for (std::size_t r = 0; r < m; ++r) {
-    for (std::size_t c = 0; c < n; ++c) out[c] += pa[r * n + c];
-  }
+  Tensor out({a.dim(1)});
+  SumRowsAccumInto(a, out);
   return out;
+}
+
+void SumRowsAccumInto(const Tensor& a, Tensor& out) {
+  CIP_CHECK_EQ(a.rank(), 2u);
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  CIP_CHECK_EQ(out.size(), n);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) po[c] += pa[r * n + c];
+  }
 }
 
 namespace {
@@ -151,18 +158,41 @@ namespace {
 constexpr std::size_t kMR = 4;    // register-tile rows
 constexpr std::size_t kNR = 8;    // register-tile columns (two SSE lanes)
 constexpr std::size_t kKC = 256;  // k-block: panel slice stays in L1
-constexpr std::size_t kMC = 64;   // i-block: unit of parallel work
+// i-block: unit of parallel work. Small enough that a 64-row GEMM still
+// yields several chunks for the pool (panel reuse happens per kMR-row
+// micro-tile, so shrinking the i-block does not hurt cache behavior).
+constexpr std::size_t kMC = 16;
 // Below this flop count the packing pass costs more than it saves; use the
 // plain row-streaming loops instead.
 constexpr std::size_t kBlockedMinFlops = 16 * 1024;
+// Below this flop count even the pool's dispatch latency exceeds the kernel
+// time; run the row blocks serially on the caller. 64x64x64 is the smallest
+// size that dispatches.
+constexpr std::size_t kParallelMinFlops = 256 * 1024;
 
 std::size_t NumPanels(std::size_t n) { return (n + kNR - 1) / kNR; }
+
+// Per-thread scratch for the packing and transpose passes: grow-once,
+// reuse-forever, so steady-state GEMMs perform no heap allocation. Pool
+// worker threads are persistent, so their arenas amortize the same way the
+// caller's does. The pack counter feeds the PackCount() test hook.
+struct GemmArena {
+  std::vector<float> packed;      // panel storage for per-call packing
+  std::vector<float> transposed;  // A-transpose staging for MatmulTransAInto
+  std::uint64_t packs = 0;
+};
+
+GemmArena& LocalArena() {
+  thread_local GemmArena arena;
+  return arena;
+}
 
 /// Pack B into zero-padded kNR-wide column panels. `trans == false`: B is
 /// [k, n] and B(p, j) = b[p*n + j]; `trans == true`: B is [n, k] and
 /// B(p, j) = b[j*k + p].
 void PackPanels(const float* b, std::size_t k, std::size_t n, bool trans,
                 std::vector<float>& packed) {
+  ++LocalArena().packs;
   const std::size_t panels = NumPanels(n);
   packed.assign(panels * k * kNR, 0.0f);
   for (std::size_t jp = 0; jp < panels; ++jp) {
@@ -212,11 +242,14 @@ inline void Store8(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof v); }
 #endif
 
 /// C[m,n] = A[m,k] · B where B is pre-packed into panels. Overwrites C.
+/// Row blocks go through the worker pool when the product is large enough to
+/// amortize dispatch; the block partition (hence every output value) is
+/// independent of the thread budget either way.
 void GemmPacked(const float* a, std::size_t m, std::size_t k, std::size_t n,
                 const float* packed, float* c) {
   const std::size_t panels = NumPanels(n);
   const std::size_t row_blocks = (m + kMC - 1) / kMC;
-  ParallelFor(0, row_blocks, [&](std::size_t ib) {
+  const auto run_block = [&](std::size_t ib) {
     const std::size_t i_lo = ib * kMC;
     const std::size_t i_hi = std::min(m, i_lo + kMC);
     for (std::size_t i = i_lo; i < i_hi; i += kMR) {
@@ -277,7 +310,12 @@ void GemmPacked(const float* a, std::size_t m, std::size_t k, std::size_t n,
         }
       }
     }
-  });
+  };
+  if (m * n * k >= kParallelMinFlops && row_blocks > 1) {
+    ParallelForCoarse(0, row_blocks, run_block);
+  } else {
+    for (std::size_t ib = 0; ib < row_blocks; ++ib) run_block(ib);
+  }
 }
 
 /// Plain row-streaming C = A·B for sizes where packing does not pay off.
@@ -319,17 +357,33 @@ void CheckMatmulOut(const Tensor& c, std::size_t m, std::size_t n) {
 
 }  // namespace
 
+namespace internal {
+
+bool UsesBlockedGemm(std::size_t m, std::size_t k, std::size_t n) {
+  return m * n * k >= kBlockedMinFlops;
+}
+
+std::size_t GemmArenaBytes() {
+  const GemmArena& arena = LocalArena();
+  return (arena.packed.capacity() + arena.transposed.capacity()) *
+         sizeof(float);
+}
+
+std::uint64_t PackCount() { return LocalArena().packs; }
+
+}  // namespace internal
+
 void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CIP_CHECK_EQ(b.dim(0), k);
   CheckMatmulOut(c, m, n);
-  if (m * n * k < kBlockedMinFlops) {
+  if (!internal::UsesBlockedGemm(m, k, n)) {
     SimpleMatmulInto(a.data(), m, k, n, b.data(), c.data());
     return;
   }
-  std::vector<float> packed;
+  std::vector<float>& packed = LocalArena().packed;
   PackPanels(b.data(), k, n, /*trans=*/false, packed);
   GemmPacked(a.data(), m, k, n, packed.data(), c.data());
 }
@@ -340,13 +394,36 @@ void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   CIP_CHECK_EQ(b.dim(1), k);
   CheckMatmulOut(c, m, n);
-  if (m * n * k < kBlockedMinFlops) {
+  if (!internal::UsesBlockedGemm(m, k, n)) {
     SimpleMatmulTransBInto(a.data(), m, k, n, b.data(), c.data());
     return;
   }
-  std::vector<float> packed;
+  std::vector<float>& packed = LocalArena().packed;
   PackPanels(b.data(), k, n, /*trans=*/true, packed);
   GemmPacked(a.data(), m, k, n, packed.data(), c.data());
+}
+
+void PackBForMatmulInto(const Tensor& b, PackedB& out) {
+  CIP_CHECK_EQ(b.rank(), 2u);
+  out.k_ = b.dim(0);
+  out.n_ = b.dim(1);
+  PackPanels(b.data(), out.k_, out.n_, /*trans=*/false, out.panels_);
+}
+
+void PackBForMatmulTransBInto(const Tensor& b, PackedB& out) {
+  CIP_CHECK_EQ(b.rank(), 2u);
+  out.k_ = b.dim(1);
+  out.n_ = b.dim(0);
+  PackPanels(b.data(), out.k_, out.n_, /*trans=*/true, out.panels_);
+}
+
+void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c) {
+  CIP_CHECK(!b.empty());
+  CIP_CHECK_EQ(a.rank(), 2u);
+  const std::size_t m = a.dim(0);
+  CIP_CHECK_EQ(a.dim(1), b.k());
+  CheckMatmulOut(c, m, b.n());
+  GemmPacked(a.data(), m, b.k(), b.n(), b.panels_.data(), c.data());
 }
 
 void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -374,15 +451,17 @@ void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c) {
     return;
   }
   // Transpose A once (O(k·m), trivial next to the O(m·n·k) GEMM) so the
-  // blocked kernel reads rows contiguously.
-  std::vector<float> at(m * k);
+  // blocked kernel reads rows contiguously. Staged in the thread-local arena
+  // so repeated calls stop allocating once the buffers have grown.
+  GemmArena& arena = LocalArena();
+  std::vector<float>& at = arena.transposed;
+  if (at.size() < m * k) at.resize(m * k);
   for (std::size_t p = 0; p < k; ++p) {
     const float* arow = pa + p * m;
     for (std::size_t i = 0; i < m; ++i) at[i * k + p] = arow[i];
   }
-  std::vector<float> packed;
-  PackPanels(pb, k, n, /*trans=*/false, packed);
-  GemmPacked(at.data(), m, k, n, packed.data(), pc);
+  PackPanels(pb, k, n, /*trans=*/false, arena.packed);
+  GemmPacked(at.data(), m, k, n, arena.packed.data(), pc);
 }
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {

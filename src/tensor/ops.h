@@ -52,6 +52,11 @@ float Dot(const Tensor& a, const Tensor& b);
 /// Column-wise sum of a [m, n] matrix -> [n].
 Tensor SumRows(const Tensor& a);
 
+/// out += column-wise sums of a [m, n] matrix. out must be a preallocated
+/// [n] tensor (accumulating, allocation-free variant of SumRows for reused
+/// gradient buffers).
+void SumRowsAccumInto(const Tensor& a, Tensor& out);
+
 // ---- linear algebra --------------------------------------------------------
 //
 // All matmuls run a cache-blocked kernel: B is packed into contiguous
@@ -80,6 +85,67 @@ void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c);
 void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor& c);
 /// C = Aᵀ · B into a preallocated [m,n] tensor (overwritten, no aliasing).
 void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c);
+
+// ---- weight prepacking -----------------------------------------------------
+//
+// Every blocked matmul first repacks B into kNR-wide column panels. When the
+// same B is multiplied repeatedly without changing (a frozen weight matrix
+// across an eval sweep, the whole batch of an im2col GEMM), the packing pass
+// can be hoisted out and paid once. Layers cache a PackedB next to the
+// weight and invalidate it via Tensor::version().
+
+/// Pre-packed right-hand side of a GEMM. Opaque storage produced by the
+/// PackBFor* functions below; reusable (and reused, capacity kept) across
+/// repacks. A default-constructed PackedB is empty().
+class PackedB {
+ public:
+  /// True until one of the PackBFor*Into functions has filled this object.
+  bool empty() const { return k_ == 0; }
+  /// Depth (rows of the logical B) this packing was built for.
+  std::size_t k() const { return k_; }
+  /// Columns of the logical B (columns of the product).
+  std::size_t n() const { return n_; }
+
+ private:
+  friend void PackBForMatmulInto(const Tensor& b, PackedB& out);
+  friend void PackBForMatmulTransBInto(const Tensor& b, PackedB& out);
+  friend void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c);
+
+  std::vector<float> panels_;
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Pack B ([k, n], Matmul orientation) into `out`, reusing its storage.
+void PackBForMatmulInto(const Tensor& b, PackedB& out);
+/// Pack B ([n, k] row-major, MatmulTransB orientation: C = A · Bᵀ) into
+/// `out`, reusing its storage.
+void PackBForMatmulTransBInto(const Tensor& b, PackedB& out);
+/// C = A · B against a pre-packed B. A: [m, b.k()], C: [m, b.n()]
+/// (preallocated, overwritten, no aliasing). Always runs the cache-blocked
+/// kernel and is bit-identical to the blocked path of MatmulInto /
+/// MatmulTransBInto; callers use internal::UsesBlockedGemm to keep small
+/// products on the cheaper streaming loops.
+void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c);
+
+namespace internal {
+
+/// True when Matmul*Into for these dimensions takes the cache-blocked packed
+/// kernel; below the threshold the plain streaming loops win and a PackedB
+/// cache does not pay off. Layers consult this to decide whether to maintain
+/// a prepacked weight.
+bool UsesBlockedGemm(std::size_t m, std::size_t k, std::size_t n);
+
+/// Capacity in bytes of the calling thread's GEMM scratch arena (packing +
+/// transpose buffers, grow-once / reuse-forever). Test hook: stable across
+/// calls once warmed up.
+std::size_t GemmArenaBytes();
+
+/// Number of panel-packing passes the calling thread has executed. Test
+/// hook: stays flat across repeated calls when a PackedB cache hits.
+std::uint64_t PackCount();
+
+}  // namespace internal
 
 // ---- convolution lowering (im2col / col2im) --------------------------------
 //

@@ -1,9 +1,26 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <numeric>
 #include <sstream>
 
 namespace cip {
+
+namespace internal {
+
+namespace {
+std::atomic<std::uint64_t> g_tensor_allocs{0};
+}  // namespace
+
+std::uint64_t TensorAllocCount() {
+  return g_tensor_allocs.load(std::memory_order_relaxed);
+}
+
+void BumpTensorAllocCount() {
+  g_tensor_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 std::size_t NumElements(const Shape& shape) {
   std::size_t n = 1;

@@ -4,9 +4,22 @@
 // rank 0 is disallowed (use a rank-1 tensor of size 1 for scalars). All
 // layers in src/nn operate on batch-first tensors: [N, D] for vector data and
 // [N, C, H, W] for image data.
+//
+// Every tensor carries a per-object modification counter (version()): any
+// non-const access that could mutate elements bumps it. Layers use it to
+// invalidate caches derived from a tensor's contents (e.g. the pre-packed
+// GEMM panels of a weight matrix) without rescanning the data. The counter
+// is monotonic per object; it deliberately over-counts (a non-const data()
+// that never writes still bumps) — consumers only rely on "unchanged version
+// implies unchanged contents".
+//
+// internal::TensorAllocCount() counts element-buffer allocations process-wide
+// so tests can assert that steady-state hot paths stop allocating (see
+// tests/test_alloc_free.cpp).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -24,6 +37,18 @@ std::size_t NumElements(const Shape& shape);
 /// Human-readable shape, e.g. "[32, 3, 12, 12]".
 std::string ShapeToString(const Shape& shape);
 
+namespace internal {
+
+/// Process-wide count of tensor element-buffer allocations (constructions
+/// and capacity-growing assignments). Monotonic; tests snapshot it around a
+/// steady-state region and assert the delta. Thread-safe.
+std::uint64_t TensorAllocCount();
+
+/// Bump TensorAllocCount(). Called by Tensor's allocating paths only.
+void BumpTensorAllocCount();
+
+}  // namespace internal
+
 class Tensor {
  public:
   /// Empty tensor (rank 1, size 0). Useful as a placeholder.
@@ -33,11 +58,13 @@ class Tensor {
   explicit Tensor(Shape shape)
       : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {
     CIP_CHECK(!shape_.empty());
+    if (!data_.empty()) internal::BumpTensorAllocCount();
   }
 
   Tensor(Shape shape, float fill)
       : shape_(std::move(shape)), data_(NumElements(shape_), fill) {
     CIP_CHECK(!shape_.empty());
+    if (!data_.empty()) internal::BumpTensorAllocCount();
   }
 
   /// Takes ownership of `data`; size must match the shape.
@@ -45,6 +72,33 @@ class Tensor {
       : shape_(std::move(shape)), data_(std::move(data)) {
     CIP_CHECK(!shape_.empty());
     CIP_CHECK_EQ(data_.size(), NumElements(shape_));
+  }
+
+  Tensor(const Tensor& o) : shape_(o.shape_), data_(o.data_) {
+    if (!data_.empty()) internal::BumpTensorAllocCount();
+  }
+
+  Tensor(Tensor&& o) noexcept = default;
+
+  /// Copy assignment reuses existing capacity when it fits; the version is
+  /// always bumped (contents may have changed).
+  Tensor& operator=(const Tensor& o) {
+    if (this != &o) {
+      if (o.data_.size() > data_.capacity() && !o.data_.empty()) {
+        internal::BumpTensorAllocCount();
+      }
+      shape_ = o.shape_;
+      data_ = o.data_;
+      ++version_;
+    }
+    return *this;
+  }
+
+  Tensor& operator=(Tensor&& o) noexcept {
+    shape_ = std::move(o.shape_);
+    data_ = std::move(o.data_);
+    ++version_;
+    return *this;
   }
 
   /// Convenience for tests: rank-1 tensor from a list.
@@ -63,11 +117,22 @@ class Tensor {
     return shape_[i];
   }
 
+  /// Modification counter: bumped by every access that may mutate elements.
+  /// Unchanged version implies unchanged contents (the converse need not
+  /// hold). Monotonic per object; not meaningful across objects.
+  std::uint64_t version() const { return version_; }
+
   /// Raw contiguous row-major storage; valid until the tensor is resized.
-  float* data() { return data_.data(); }
+  float* data() {
+    ++version_;
+    return data_.data();
+  }
   const float* data() const { return data_.data(); }
   /// Whole storage as a span (same lifetime caveats as data()).
-  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<float> flat() {
+    ++version_;
+    return {data_.data(), data_.size()};
+  }
   /// Const overload of flat().
   std::span<const float> flat() const { return {data_.data(), data_.size()}; }
 
@@ -75,6 +140,7 @@ class Tensor {
   // debug-tier (on in Debug and sanitizer presets, compiled out in Release).
   float& operator[](std::size_t i) {
     CIP_DCHECK_LT(i, data_.size());
+    ++version_;
     return data_[i];
   }
   float operator[](std::size_t i) const {
@@ -87,11 +153,15 @@ class Tensor {
     CIP_DCHECK_EQ(rank(), 2u);
     CIP_DCHECK_LT(r, shape_[0]);
     CIP_DCHECK_LT(c, shape_[1]);
+    ++version_;
     return data_[r * shape_[1] + c];
   }
   /// Const overload of At(r, c).
   float At(std::size_t r, std::size_t c) const {
-    return const_cast<Tensor*>(this)->At(r, c);
+    CIP_DCHECK_EQ(rank(), 2u);
+    CIP_DCHECK_LT(r, shape_[0]);
+    CIP_DCHECK_LT(c, shape_[1]);
+    return data_[r * shape_[1] + c];
   }
 
   /// Reinterpret with a new shape of equal element count.
@@ -108,7 +178,10 @@ class Tensor {
   Tensor Slice(std::size_t lo, std::size_t hi) const;
 
   /// Set every element to `v`.
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Fill(float v) {
+    ++version_;
+    std::fill(data_.begin(), data_.end(), v);
+  }
   /// Set every element to zero (shape unchanged).
   void Zero() { Fill(0.0f); }
 
@@ -118,6 +191,14 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  std::uint64_t version_ = 0;
 };
+
+/// Reallocate `t` only when the wanted shape differs — the scratch-reuse
+/// idiom that keeps steady-state hot paths allocation-free (grow once, reuse
+/// forever). Contents are unspecified after a reshape; unchanged otherwise.
+inline void EnsureShape(Tensor& t, Shape shape) {
+  if (t.shape() != shape) t = Tensor(std::move(shape));
+}
 
 }  // namespace cip

@@ -1,0 +1,189 @@
+// Steady-state allocation discipline of the hot paths.
+//
+// The acceptance contract of the persistent-pool / scratch-arena work: after
+// a warm-up call has grown every per-layer scratch tensor, per-thread GEMM
+// arena, and cached PackedB weight, repeated forward (and train-step) calls
+// must perform no heap allocation beyond the tensors they hand back to the
+// caller. Verified through two hooks:
+//   * cip::internal::TensorAllocCount() — process-wide counter bumped by
+//     every Tensor element-buffer allocation (constructions and
+//     capacity-growing assignments);
+//   * cip::ops::internal::GemmArenaBytes()/PackCount() — the calling
+//     thread's GEMM scratch capacity and packing-pass count.
+//
+// These tests run the layers serially (no explicit thread budget) so all
+// arena traffic lands on this thread; the pool's workers amortize their own
+// thread-local arenas the same way because they are persistent.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/backbones.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace cip {
+namespace {
+
+Tensor RandomTensor(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(shape);
+  for (float& v : t.flat()) v = rng.Normal();
+  return t;
+}
+
+std::uint64_t AllocCount() { return internal::TensorAllocCount(); }
+
+TEST(AllocFree, TensorCountersTrackAllocations) {
+  const std::uint64_t before = AllocCount();
+  Tensor t({4, 4});
+  EXPECT_EQ(AllocCount(), before + 1);
+  Tensor copy = t;  // copy ctor allocates
+  EXPECT_EQ(AllocCount(), before + 2);
+  Tensor moved = std::move(copy);  // move does not
+  EXPECT_EQ(AllocCount(), before + 2);
+  Tensor small({2, 2});
+  EXPECT_EQ(AllocCount(), before + 3);
+  small = t;  // grows capacity -> counts
+  EXPECT_EQ(AllocCount(), before + 4);
+  small = moved;  // fits in capacity -> free
+  EXPECT_EQ(AllocCount(), before + 4);
+}
+
+TEST(AllocFree, TensorVersionBumpsOnMutatingAccessOnly) {
+  Tensor t({2, 2});
+  const std::uint64_t v0 = t.version();
+  (void)std::as_const(t).data();
+  (void)std::as_const(t)[0];
+  (void)std::as_const(t).At(0, 0);
+  EXPECT_EQ(t.version(), v0);
+  (void)t.data();
+  EXPECT_GT(t.version(), v0);
+  const std::uint64_t v1 = t.version();
+  t.Fill(1.0f);
+  EXPECT_GT(t.version(), v1);
+}
+
+TEST(AllocFree, MatmulSteadyStateDoesNotAllocate) {
+  // 64x64 is in the blocked (packing) regime; the per-call pack must land in
+  // the thread-local arena, so after one warm-up call the arena stops
+  // growing and MatmulInto performs zero tensor allocations.
+  const Tensor a = RandomTensor({64, 64}, 1);
+  const Tensor b = RandomTensor({64, 64}, 2);
+  Tensor c({64, 64});
+  ops::MatmulInto(a, b, c);  // warm-up: grows the arena
+  const std::size_t arena = ops::internal::GemmArenaBytes();
+  const std::uint64_t allocs = AllocCount();
+  for (int i = 0; i < 10; ++i) ops::MatmulInto(a, b, c);
+  EXPECT_EQ(AllocCount(), allocs);
+  EXPECT_EQ(ops::internal::GemmArenaBytes(), arena);
+}
+
+TEST(AllocFree, MatmulTransAUsesArenaForTranspose) {
+  const Tensor a = RandomTensor({64, 64}, 3);
+  const Tensor b = RandomTensor({64, 64}, 4);
+  Tensor c({64, 64});
+  ops::MatmulTransAInto(a, b, c);  // warm-up
+  const std::uint64_t allocs = AllocCount();
+  for (int i = 0; i < 10; ++i) ops::MatmulTransAInto(a, b, c);
+  EXPECT_EQ(AllocCount(), allocs);
+}
+
+TEST(AllocFree, PackedBSkipsRepacking) {
+  const Tensor a = RandomTensor({64, 64}, 5);
+  const Tensor b = RandomTensor({64, 64}, 6);
+  ops::PackedB packed;
+  ops::PackBForMatmulInto(b, packed);
+  Tensor c({64, 64});
+  const std::uint64_t packs = ops::internal::PackCount();
+  for (int i = 0; i < 10; ++i) ops::MatmulPackedInto(a, packed, c);
+  EXPECT_EQ(ops::internal::PackCount(), packs);  // no packing pass at all
+  // Same numbers as the pack-per-call path (both run the blocked kernel).
+  Tensor ref({64, 64});
+  ops::MatmulInto(a, b, ref);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(std::as_const(ref)[i], std::as_const(c)[i]);
+  }
+}
+
+TEST(AllocFree, Conv2dEvalForwardAllocatesOnlyTheOutput) {
+  // The acceptance gate: steady-state Conv2d forward performs zero heap
+  // allocations beyond the returned output tensor — im2col scratch, GEMM
+  // product scratch, the packed weight, and the GEMM arena are all reused.
+  Rng rng(7);
+  nn::Conv2d conv(3, 32, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+  const Tensor x = RandomTensor({8, 3, 16, 16}, 8);
+  (void)conv.Forward(x, /*train=*/false);  // warm-up: scratch + pack
+  const std::size_t arena = ops::internal::GemmArenaBytes();
+  const std::uint64_t packs = ops::internal::PackCount();
+  const std::uint64_t allocs = AllocCount();
+  constexpr int kIters = 10;
+  for (int i = 0; i < kIters; ++i) {
+    const Tensor y = conv.Forward(x, /*train=*/false);
+    ASSERT_EQ(y.dim(1), 32u);
+  }
+  // Exactly one allocation per call: the returned output.
+  EXPECT_EQ(AllocCount(), allocs + kIters);
+  EXPECT_EQ(ops::internal::PackCount(), packs);  // weight unchanged: no repack
+  EXPECT_EQ(ops::internal::GemmArenaBytes(), arena);
+}
+
+TEST(AllocFree, Conv2dRepacksAfterWeightUpdate) {
+  Rng rng(9);
+  nn::Conv2d conv(3, 32, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+  const Tensor x = RandomTensor({8, 3, 16, 16}, 10);
+  (void)conv.Forward(x, /*train=*/false);
+  const std::uint64_t packs = ops::internal::PackCount();
+  // Touch the weight the way an optimizer step does.
+  std::vector<nn::Parameter*> params;
+  conv.CollectParameters(params);
+  params[0]->value.data()[0] += 0.5f;
+  (void)conv.Forward(x, /*train=*/false);
+  EXPECT_GT(ops::internal::PackCount(), packs);  // version moved: repacked
+}
+
+TEST(AllocFree, LinearSteadyStateAllocatesOnlyTheOutput) {
+  Rng rng(11);
+  nn::Linear linear(256, 64, rng);
+  const Tensor x = RandomTensor({32, 256}, 12);
+  (void)linear.Forward(x, /*train=*/false);  // warm-up
+  const std::uint64_t allocs = AllocCount();
+  constexpr int kIters = 10;
+  for (int i = 0; i < kIters; ++i) {
+    (void)linear.Forward(x, /*train=*/false);
+  }
+  EXPECT_EQ(AllocCount(), allocs + kIters);
+}
+
+TEST(AllocFree, TrainStepSteadyStateAllocationIsBounded) {
+  // Full forward/backward keeps per-call allocations to the tensors handed
+  // across the Module API (outputs, dx, the cached-input copy) — a small
+  // constant, not proportional to depth times scratch count. Measure one
+  // steady-state step and pin the budget.
+  Rng rng(13);
+  nn::Conv2d conv(3, 8, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+  const Tensor x = RandomTensor({4, 3, 12, 12}, 14);
+  const Tensor grad = RandomTensor({4, 8, 12, 12}, 15);
+  auto step = [&] {
+    (void)conv.Forward(x, /*train=*/true);
+    (void)conv.Backward(grad);
+  };
+  step();  // warm-up
+  step();  // settle capacity-reusing assignments
+  const std::uint64_t allocs = AllocCount();
+  step();
+  const std::uint64_t per_step = AllocCount() - allocs;
+  // forward output + cached-input copy + dx, and nothing else.
+  EXPECT_LE(per_step, 3u);
+  // And it stays flat: 5 more steps cost exactly 5x as much.
+  const std::uint64_t before = AllocCount();
+  for (int i = 0; i < 5; ++i) step();
+  EXPECT_EQ(AllocCount() - before, 5 * per_step);
+}
+
+}  // namespace
+}  // namespace cip

@@ -1,25 +1,33 @@
-// Stress tests for ParallelFor / ParallelForCoarse and the federated round
-// engine built on them: TSan-visible write patterns, exception propagation
-// from workers, and strict CIP_THREADS parsing. Designed to run under the
-// `tsan` preset — the overlapping-write scenarios only touch shared state
-// through atomics, so a clean run certifies the harness itself is race-free.
+// Stress tests for ParallelFor / ParallelForCoarse — now backed by the
+// persistent worker pool — and the federated round engine built on them:
+// TSan-visible write patterns, spawn storms across changing budgets, nested
+// dispatch from inside a worker, exception propagation from workers, the
+// legacy CIP_SPAWN_THREADS=1 spawn-per-call path, and strict CIP_THREADS
+// parsing. Designed to run under the `tsan` preset — the overlapping-write
+// scenarios only touch shared state through atomics, so a clean run
+// certifies the harness itself is race-free.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/parallel.h"
 #include "data/partition.h"
 #include "fl/client_factory.h"
 #include "fl/server.h"
+#include "tensor/ops.h"
 #include "testing_util.h"
 
 namespace cip {
@@ -170,6 +178,146 @@ TEST(ParallelCoarseStress, SingleElementRangeRunsSerially) {
     calls.fetch_add(1);
   }, kThreads);
   EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelStress, SpawnStormAcrossChangingBudgets) {
+  // Hundreds of back-to-back parallel regions with a different explicit
+  // budget each time: exercises lazy pool growth, generation handoff, and
+  // worker parking under maximal churn. Budgets above the current worker
+  // count force mid-storm growth.
+  std::atomic<std::size_t> counter{0};
+  std::size_t expected = 0;
+  for (std::size_t rep = 0; rep < 300; ++rep) {
+    const std::size_t budget = (rep % 8) + 1;
+    const std::size_t n = 16 + (rep % 61);
+    ParallelForCoarse(0, n, [&](std::size_t) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }, budget);
+    expected += n;
+  }
+  EXPECT_EQ(counter.load(), expected);
+  // Workers are persistent and bounded by the largest budget ever requested.
+  EXPECT_LE(internal::PoolWorkerCount(), kMaxParallelThreads - 1);
+}
+
+TEST(ParallelStress, PoolGrowsLazilyAndPersists) {
+  const std::size_t before = internal::PoolWorkerCount();
+  ParallelForCoarse(0, 8, [](std::size_t) {}, kThreads);
+  const std::size_t after = internal::PoolWorkerCount();
+  // A budget of kThreads needs kThreads-1 workers (the caller participates).
+  EXPECT_GE(after, kThreads - 1);
+  EXPECT_GE(after, before);  // never shrinks
+}
+
+TEST(ParallelStress, NestedCallFromWorkerRunsInline) {
+  // The pool runs one job at a time, so a nested ParallelFor issued from a
+  // worker must run serially inline on that worker (not re-enter the pool,
+  // which would deadlock). Assert every inner index runs on the thread that
+  // issued the nested call.
+  std::atomic<std::size_t> wrong_thread{0};
+  std::atomic<std::size_t> inner_total{0};
+  ParallelForCoarse(0, 4, [&](std::size_t) {
+    EXPECT_TRUE(internal::InParallelRegion());
+    const auto outer_id = std::this_thread::get_id();
+    ParallelForCoarse(0, 8, [&](std::size_t) {
+      if (std::this_thread::get_id() != outer_id) {
+        wrong_thread.fetch_add(1, std::memory_order_relaxed);
+      }
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    }, kThreads);
+  }, kThreads);
+  EXPECT_FALSE(internal::InParallelRegion());
+  EXPECT_EQ(wrong_thread.load(), 0u);
+  EXPECT_EQ(inner_total.load(), 4u * 8u);
+}
+
+TEST(ParallelStress, ExplicitBudgetOverload) {
+  // Budget far beyond the range (and the machine): chunking clamps to one
+  // index per chunk and every index still runs exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  ParallelForCoarse(0, 3, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  }, /*max_threads=*/32);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // And a large range under a large budget, repeatedly.
+  std::atomic<std::size_t> counter{0};
+  for (int rep = 0; rep < 4; ++rep) {
+    ParallelFor(0, kN, [&](std::size_t) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }, /*max_threads=*/32);
+  }
+  EXPECT_EQ(counter.load(), 4 * kN);
+}
+
+TEST(ParallelStress, DistinctWorkersActuallyParticipate) {
+  // With a blocking rendezvous the runners must be distinct OS threads:
+  // collect their ids and require kThreads unique ones.
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  std::atomic<int> arrived{0};
+  ParallelForCoarse(0, kThreads, [&](std::size_t) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      ids.insert(std::this_thread::get_id());
+    }
+    arrived.fetch_add(1, std::memory_order_relaxed);
+    while (arrived.load(std::memory_order_relaxed) <
+           static_cast<int>(kThreads)) {
+      std::this_thread::yield();
+    }
+  }, kThreads);
+  EXPECT_EQ(ids.size(), kThreads);
+}
+
+TEST(ParallelStress, SpawnPerCallPathStillWorks) {
+  // The legacy CIP_SPAWN_THREADS=1 dispatch (a thread per chunk, per call)
+  // stays behaviorally identical: disjoint writes, exception propagation,
+  // and determinism of the chunk partition.
+  internal::SetSpawnPerCallForTesting(true);
+  std::vector<int> hits(kN, 0);
+  ParallelFor(0, kN, [&](std::size_t i) { hits[i] += 1; }, kThreads);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+  EXPECT_THROW(
+      ParallelFor(0, kN, [](std::size_t i) {
+        if (i == 99) throw std::runtime_error("spawned worker failed");
+      }, kThreads),
+      std::runtime_error);
+  internal::SetSpawnPerCallForTesting(false);
+}
+
+TEST(ParallelStress, PoolIsReusableAfterException) {
+  // A throw must not wedge the pool: the very next region runs fine.
+  EXPECT_THROW(
+      ParallelForCoarse(0, 8, [](std::size_t) {
+        throw std::runtime_error("boom");
+      }, kThreads),
+      std::runtime_error);
+  std::atomic<std::size_t> counter{0};
+  ParallelForCoarse(0, 8, [&](std::size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }, kThreads);
+  EXPECT_EQ(counter.load(), 8u);
+}
+
+TEST(ParallelStress, GemmBitIdenticalAcrossDispatchModes) {
+  // The chunk partition depends only on (range, budget), never on which
+  // thread runs a chunk — so a parallel GEMM must be bit-identical between
+  // the pool and the legacy spawn path. This is the kernel-level half of the
+  // FL round bit-identity invariant (tests/test_round_engine.cpp holds the
+  // round-level half).
+  Rng rng(123);
+  Tensor a({128, 128}), b({128, 128});
+  for (float& v : a.flat()) v = rng.Normal();
+  for (float& v : b.flat()) v = rng.Normal();
+  const Tensor pool_c = ops::Matmul(a, b);
+  internal::SetSpawnPerCallForTesting(true);
+  const Tensor spawn_c = ops::Matmul(a, b);
+  internal::SetSpawnPerCallForTesting(false);
+  ASSERT_EQ(pool_c.size(), spawn_c.size());
+  EXPECT_EQ(std::memcmp(pool_c.data(), spawn_c.data(),
+                        pool_c.size() * sizeof(float)),
+            0);
 }
 
 TEST(RoundEngineStress, ParallelFederationIsRaceFree) {

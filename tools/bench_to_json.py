@@ -27,18 +27,25 @@ import sys
 
 SCHEMA = "cip-bench-kernels/v1"
 
-# (gemm benchmark, naive benchmark) pairs whose time ratio is recorded under
-# "speedups". BM_Conv2dForward is the acceptance-gated one.
+# (fast benchmark, reference benchmark) pairs whose time ratio is recorded
+# under "speedups". BM_Conv2dForward (vs the naive convolution) and
+# BM_Matmul/64 (persistent pool vs spawn-per-call dispatch) are the
+# acceptance-gated ones.
 SPEEDUP_PAIRS = [
     ("BM_Conv2dForward", "BM_Conv2dForwardNaive"),
     ("BM_Conv2dBackward", "BM_Conv2dBackwardNaive"),
+    ("BM_Matmul/64", "BM_MatmulSpawn/64"),
+    ("BM_Matmul/32", "BM_MatmulSpawn/32"),
+    ("BM_ParallelForDispatch", "BM_ParallelForDispatchSpawn"),
 ]
 
-# Performance floors for the GEMM conv path (docs/BENCHMARKS.md). Checked
-# only for thread counts that were actually run; --no-gate skips them.
+# Performance floors (docs/BENCHMARKS.md). Checked only for thread counts
+# that were actually run; --no-gate skips them. The BM_Matmul/64 floor gates
+# the worker pool's dispatch overhead against spawn-per-call threading.
 SPEEDUP_GATES = [
     ("BM_Conv2dForwardNaive/BM_Conv2dForward", "threads=4", 3.0),
     ("BM_Conv2dForwardNaive/BM_Conv2dForward", "threads=1", 1.5),
+    ("BM_MatmulSpawn/64/BM_Matmul/64", "threads=4", 1.3),
 ]
 
 
@@ -109,14 +116,18 @@ def main() -> int:
                     default=pathlib.Path("BENCH_kernels.json"))
     ap.add_argument("--threads", type=int, nargs="+", default=[1, 4],
                     help="CIP_THREADS values to benchmark (one run each)")
-    ap.add_argument("--filter", default="BM_(Matmul|MatmulTransB|Conv2d|Im2Col)",
-                    help="--benchmark_filter regex (kernel benches only by "
-                         "default; pass '' for the full suite)")
+    ap.add_argument("--filter",
+                    default="BM_(Matmul|MatmulTransB|Conv2d|Im2Col|ParallelFor)",
+                    help="--benchmark_filter regex (kernel + dispatch benches "
+                         "only by default; pass '' for the full suite)")
     ap.add_argument("--min-time", type=float, default=0.5,
                     help="--benchmark_min_time per case, in seconds")
     ap.add_argument("--no-gate", action="store_true",
                     help="skip the GEMM-vs-naive speedup floors (useful on "
                          "loaded machines or for exploratory runs)")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="emit a baseline even from a non-Release binary "
+                         "(exploratory only; never commit such a baseline)")
     args = ap.parse_args()
 
     if not args.binary.exists():
@@ -131,6 +142,18 @@ def main() -> int:
         raw = run_benchmarks(args.binary, t, args.filter, args.min_time)
         per_run[f"threads={t}"] = summarize(raw)
         context = context or raw.get("context", {})
+
+    # Numbers from an unoptimized build are meaningless as a baseline: refuse
+    # to emit one. The binary stamps its own build type into the context
+    # (bench_micro_ops main); note that google-benchmark's library_build_type
+    # describes the *library* build, not ours, so it is not consulted.
+    build_type = (context or {}).get("cip_build_type", "unknown")
+    if build_type != "release" and not args.allow_debug:
+        raise SystemExit(
+            f"refusing to emit a baseline from a non-Release binary "
+            f"(cip_build_type={build_type!r}). Rebuild with "
+            "-DCMAKE_BUILD_TYPE=Release (scripts/bench_baseline.sh does), or "
+            "pass --allow-debug for a throwaway run.")
 
     for gemm, naive in SPEEDUP_PAIRS:
         for key, benches in per_run.items():
@@ -148,6 +171,7 @@ def main() -> int:
             "num_cpus": (context or {}).get("num_cpus"),
             "mhz_per_cpu": (context or {}).get("mhz_per_cpu"),
             "library_build_type": (context or {}).get("library_build_type"),
+            "cip_build_type": build_type,
         },
         "runs": per_run,
         "speedups": compute_speedups(per_run),

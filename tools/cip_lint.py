@@ -13,6 +13,14 @@ Rules (see README "Correctness tooling"):
   bench-json      committed BENCH_*.json perf baselines at the repo root
                   must parse as JSON (a broken baseline silently disables
                   regression comparison — see docs/BENCHMARKS.md)
+  bench-release   committed BENCH_*.json baselines must record
+                  host.cip_build_type == "release": numbers from an
+                  unoptimized build are meaningless as a regression baseline
+  raw-thread      constructing `std::thread` / `std::jthread` is banned
+                  outside src/common/parallel.cpp — all parallelism goes
+                  through ParallelFor's persistent worker pool so thread
+                  creation stays centralized (reading
+                  std::thread::hardware_concurrency is fine)
   rng-ref-param   headers under src/fl and src/core must not declare new
                   `Rng&` parameters: shared mutable RNG streams are what made
                   concurrent client execution racy pre-RoundContext. Client
@@ -57,6 +65,8 @@ ALLOWLIST = {
         "src/core/cip_client.h",
         "src/core/perturbation.h",
     },
+    # The worker pool is the single sanctioned thread-creation site.
+    "raw-thread": {"src/common/parallel.cpp"},
 }
 
 RE_COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
@@ -75,6 +85,10 @@ RE_RNG_REF_PARAM = re.compile(r"\bRng\s*&\s*\w*\s*[,)]")
 RNG_REF_DIRS = ("src/fl/", "src/core/")
 RE_BITS_INCLUDE = re.compile(r'#\s*include\s*<bits/')
 RE_PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+# `std::thread` / `std::jthread` the type; the (?!:) lookahead keeps
+# `std::thread::hardware_concurrency` legal, and `std::this_thread::...`
+# never matches `std::thread` in the first place.
+RE_RAW_THREAD = re.compile(r"\bstd::(?:jthread\b|thread\b(?!\s*::))")
 
 
 # Rules reported as warnings: printed, self-tested, but never fatal.
@@ -137,6 +151,11 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
         if RE_PARENT_INCLUDE.search(line):
             out.append(Violation(rel, i, "include-style",
                                  'use project-root-relative includes, not "../"'))
+        if rel not in ALLOWLIST["raw-thread"] and RE_RAW_THREAD.search(line):
+            out.append(Violation(rel, i, "raw-thread",
+                                 "raw std::thread/std::jthread construction "
+                                 "only allowed in src/common/parallel.cpp; "
+                                 "use ParallelFor / ParallelForCoarse"))
         if (rel.endswith(".h") and rel.startswith(RNG_REF_DIRS)
                 and rel not in ALLOWLIST["rng-ref-param"]
                 and RE_RNG_REF_PARAM.search(line)):
@@ -245,15 +264,30 @@ def check_doc_links(root: pathlib.Path) -> list[Violation]:
 
 
 def check_bench_json(root: pathlib.Path) -> list[Violation]:
-    """Every BENCH_*.json at the repo root must be valid JSON."""
+    """BENCH_*.json at the repo root must parse and come from Release builds.
+
+    Every baseline document records host.cip_build_type (the emitting binary
+    stamps it from NDEBUG); anything other than "release" — including a
+    missing key, which means the baseline predates the stamp — is rejected so
+    unoptimized numbers can never become the regression reference.
+    """
     out: list[Violation] = []
     for path in sorted(root.glob("BENCH_*.json")):
         rel = path.name
         try:
-            json.loads(path.read_text(encoding="utf-8"))
+            doc = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, UnicodeDecodeError, json.JSONDecodeError) as e:
             out.append(Violation(rel, 1, "bench-json",
                                  f"perf baseline does not parse: {e}"))
+            continue
+        build_type = doc.get("host", {}).get("cip_build_type") \
+            if isinstance(doc, dict) else None
+        if build_type != "release":
+            out.append(Violation(
+                rel, 1, "bench-release",
+                f"baseline records host.cip_build_type={build_type!r}, not "
+                "'release'; regenerate with scripts/bench_baseline.sh "
+                "(Release build)"))
     return out
 
 
@@ -294,7 +328,9 @@ SELF_TEST_CASES = {
     "include-style": "src/bad_include.cpp",
     "doc-comment": "src/tensor/undocumented.h",
     "bench-json": "BENCH_broken.json",
+    "bench-release": "BENCH_debug.json",
     "rng-ref-param": "src/fl/bad_rng_param.h",
+    "raw-thread": "src/spawns_thread.cpp",
     "doc-link": "docs/bad_links.md",
 }
 
@@ -307,8 +343,15 @@ SELF_TEST_SOURCES = {
     "src/bad_include.cpp": '#include "../outside.h"\n',
     "src/tensor/undocumented.h": "#pragma once\nfloat Undocumented(int x);\n",
     "BENCH_broken.json": "{this is not json\n",
+    "BENCH_debug.json":
+        '{"schema": "cip-bench-kernels/v1", '
+        '"host": {"cip_build_type": "debug"}}\n',
     "src/fl/bad_rng_param.h":
         "#pragma once\nvoid TrainThing(int epochs, Rng& rng);\n",
+    "src/spawns_thread.cpp":
+        "#include <thread>\n"
+        "void Race() { std::jthread w([] {}); std::thread t([] {}); "
+        "t.join(); }\n",
     # And clean files that must NOT be flagged.
     "src/clean.cpp": "#include <random>\nvoid h() { std::mt19937_64 eng(42); (void)eng; }\n",
     "src/tensor/documented_clean.h":
@@ -322,7 +365,15 @@ SELF_TEST_SOURCES = {
         " private:\n"
         "  void NoDocNeededHere();\n"
         "};\n",
-    "BENCH_clean.json": '{"schema": "cip-bench-kernels/v1"}\n',
+    "BENCH_clean.json":
+        '{"schema": "cip-bench-kernels/v1", '
+        '"host": {"cip_build_type": "release"}}\n',
+    # Reading hardware_concurrency or using std::this_thread is not
+    # thread *construction* and stays legal everywhere.
+    "src/thread_query_clean.cpp":
+        "#include <thread>\n"
+        "unsigned Hw() { return std::thread::hardware_concurrency(); }\n"
+        "void Nap() { std::this_thread::yield(); }\n",
     # Rng& is fine outside src/fl and src/core headers (data/nn/attacks keep
     # explicit stream-passing), in .cpp files, and as a local binding.
     "src/data/rng_param_clean.h":
