@@ -111,12 +111,18 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  // Run `job` with the calling thread plus up to `extra_workers` pool
-  // workers. Serializes independent top-level callers (one region at a
-  // time). On return every runner has finished and job's error state is
-  // stable.
-  void Run(Job& job, std::size_t extra_workers) {
-    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  // Try to run `job` with the calling thread plus up to `extra_workers`
+  // pool workers. The pool executes one region at a time; when another
+  // top-level region currently owns it this returns false without touching
+  // `job`, and the caller falls back to spawn-per-call dispatch. Falling
+  // back (rather than blocking here) keeps concurrent regions progressing
+  // independently: a region whose fn waits on progress made by another
+  // caller's region would deadlock if that caller were parked on this
+  // mutex. On a true return every runner has finished and job's error
+  // state is stable.
+  bool TryRun(Job& job, std::size_t extra_workers) {
+    const std::unique_lock<std::mutex> run_lock(run_mutex_, std::try_to_lock);
+    if (!run_lock.owns_lock()) return false;
     std::size_t participants = 0;
     {
       const std::lock_guard<std::mutex> lk(m_);
@@ -146,6 +152,7 @@ class WorkerPool {
       cv_done_.wait(lk, [&] { return finished_ == participants; });
       job_ = nullptr;
     }
+    return true;
   }
 
   std::size_t WorkerCount() {
@@ -157,6 +164,12 @@ class WorkerPool {
   WorkerPool() = default;
 
   ~WorkerPool() {
+    // Drain first: TryRun holds run_mutex_ for the whole dispatch, so once
+    // we own it no worker is inside a job and the joins below cannot hang on
+    // in-flight work. Threads other than the one running static destructors
+    // must not issue new ParallelFor calls concurrently with teardown (see
+    // parallel.h); a TryRun racing this lock falls back to the spawn path.
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
     {
       const std::lock_guard<std::mutex> lk(m_);
       stop_ = true;
@@ -234,10 +247,13 @@ void RunChunked(std::size_t begin, std::size_t end,
   job.end = end;
   job.chunk = (n + threads - 1) / threads;
   job.num_chunks = (n + job.chunk - 1) / job.chunk;
-  if (SpawnPerCallEnabled()) {
+  // The pool runs one region at a time; a second concurrent top-level
+  // caller finds it busy and dispatches via spawn-per-call instead. The
+  // chunk partition above is fixed before dispatch, so both paths produce
+  // bit-identical results.
+  if (SpawnPerCallEnabled() ||
+      !WorkerPool::Instance().TryRun(job, threads - 1)) {
     RunSpawnPerCall(job, threads);
-  } else {
-    WorkerPool::Instance().Run(job, threads - 1);
   }
   if (job.first_error != nullptr) std::rethrow_exception(job.first_error);
 }

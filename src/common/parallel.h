@@ -11,8 +11,12 @@
 // Pool lifecycle: the pool starts no threads until the first call that
 // actually goes parallel; it grows on demand up to kMaxParallelThreads - 1
 // workers (the calling thread always participates as the remaining runner)
-// and is torn down — workers woken, joined — by a static destructor at
-// process exit. Calls issued after teardown run serially. Setting
+// and is torn down — an in-flight region drained, then workers woken and
+// joined — by a static destructor at process exit. Calls issued after
+// teardown run serially. Threads other than the one running static
+// destructors must not issue ParallelFor calls concurrently with process
+// exit: teardown waits only for the region in flight, and a dispatch racing
+// the destruction of the pool singleton itself is undefined. Setting
 // CIP_SPAWN_THREADS=1 (see src/common/env.h) restores the legacy
 // spawn-one-jthread-per-chunk-per-call dispatch; it exists as the reference
 // point for the dispatch-overhead benchmarks in bench/bench_micro_ops.cpp.
@@ -26,8 +30,12 @@
 // Nesting: a ParallelFor issued from inside a worker (or from a caller that
 // is itself executing chunks) runs serially on that thread instead of
 // re-entering the pool — nested calls can neither deadlock nor oversubscribe.
-// Independent top-level callers serialize: one parallel region runs at a
-// time, the next caller blocks until the pool is free.
+// The pool executes one region at a time, but independent top-level callers
+// never block on each other: a caller that finds the pool busy dispatches
+// that region via the spawn-per-call path instead (same chunk partition,
+// bit-identical results). Concurrent regions therefore always progress
+// independently, even when one region's fn waits on progress made by
+// another region.
 //
 // Exception safety: if any invocation of fn throws, the first exception (by
 // completion order) is captured and rethrown on the calling thread after

@@ -33,9 +33,16 @@ Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
   const std::size_t rows = n * oh * ow;
   const std::size_t patch = geom.PatchSize();
   EnsureShape(col_, {rows, patch});
-  ParallelFor(0, n, [&](std::size_t i) {
-    ops::Im2ColInto(x, i, geom, col_, i * oh * ow);
-  });
+  // Pointers hoisted out of the parallel region: a non-const data() bumps the
+  // tensor's version counter, which must not happen concurrently (tensor.h).
+  {
+    const float* px_all = x.data();
+    float* pcol = col_.data();
+    ParallelFor(0, n, [&](std::size_t i) {
+      ops::Im2ColInto(px_all + i * ic_ * h * w, geom,
+                      pcol + i * oh * ow * patch);
+    });
+  }
   EnsureShape(gemm_y_, {rows, oc_});
   if (ops::internal::UsesBlockedGemm(rows, patch, oc_)) {
     // Blocked regime: multiply against the cached pre-packed weight, repacking
@@ -148,9 +155,15 @@ Tensor Conv2d::BackwardGemm(const Tensor& x, const Tensor& grad_out) {
   // and then backs them out LIFO, so by the time ch1's Backward runs, col_
   // holds ch2's lowering.
   EnsureShape(col_, {rows, patch});
-  ParallelFor(0, n, [&](std::size_t i) {
-    ops::Im2ColInto(x, i, geom, col_, i * oh * ow);
-  });
+  {
+    // Hoisted for the same version-counter reason as in ForwardGemm.
+    const float* px_all = x.data();
+    float* pcol = col_.data();
+    ParallelFor(0, n, [&](std::size_t i) {
+      ops::Im2ColInto(px_all + i * ic_ * h * w, geom,
+                      pcol + i * oh * ow * patch);
+    });
+  }
 
   // Weight gradient: dW = gyᵀ · col, one GEMM for the whole batch.
   EnsureShape(dw_, {oc_, patch});
@@ -161,9 +174,14 @@ Tensor Conv2d::BackwardGemm(const Tensor& x, const Tensor& grad_out) {
   EnsureShape(dcol_, {rows, patch});
   ops::MatmulInto(gy_, w_.value, dcol_);
   Tensor dx({n, ic_, h, w});
-  ParallelFor(0, n, [&](std::size_t i) {
-    ops::Col2ImInto(dcol_, i * oh * ow, geom, dx, i);
-  });
+  {
+    const float* pdcol = std::as_const(dcol_).data();
+    float* pdx = dx.data();
+    ParallelFor(0, n, [&](std::size_t i) {
+      ops::Col2ImInto(pdcol + i * oh * ow * patch, geom,
+                      pdx + i * ic_ * h * w);
+    });
+  }
   return dx;
 }
 

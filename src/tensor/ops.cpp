@@ -500,22 +500,13 @@ void CheckGeom(const Conv2dGeom& g) {
 
 }  // namespace
 
-void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
-                Tensor& col, std::size_t row_offset) {
+void Im2ColInto(const float* x_sample, const Conv2dGeom& g, float* col_rows) {
   CheckGeom(g);
-  CIP_DCHECK_EQ(x.rank(), 4u);
-  CIP_DCHECK_LT(n_index, x.dim(0));
-  CIP_DCHECK_EQ(x.dim(1), g.in_channels);
-  CIP_DCHECK_EQ(x.dim(2), g.height);
-  CIP_DCHECK_EQ(x.dim(3), g.width);
   const std::size_t h = g.height, w = g.width, k = g.kernel;
   const std::size_t oh = g.OutH(), ow = g.OutW();
   const std::size_t cols = g.PatchSize();
-  CIP_DCHECK_EQ(col.rank(), 2u);
-  CIP_DCHECK_EQ(col.dim(1), cols);
-  CIP_DCHECK_LE(row_offset + oh * ow, col.dim(0));
-  const float* px = x.data() + n_index * g.in_channels * h * w;
-  float* pc = col.data() + row_offset * cols;
+  const float* px = x_sample;
+  float* pc = col_rows;
   for (std::size_t oy = 0; oy < oh; ++oy) {
     for (std::size_t ox = 0; ox < ow; ++ox) {
       float* crow = pc + (oy * ow + ox) * cols;
@@ -546,6 +537,22 @@ void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
   }
 }
 
+void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
+                Tensor& col, std::size_t row_offset) {
+  CheckGeom(g);
+  CIP_DCHECK_EQ(x.rank(), 4u);
+  CIP_DCHECK_LT(n_index, x.dim(0));
+  CIP_DCHECK_EQ(x.dim(1), g.in_channels);
+  CIP_DCHECK_EQ(x.dim(2), g.height);
+  CIP_DCHECK_EQ(x.dim(3), g.width);
+  CIP_DCHECK_EQ(col.rank(), 2u);
+  CIP_DCHECK_EQ(col.dim(1), g.PatchSize());
+  CIP_DCHECK_LE(row_offset + g.OutH() * g.OutW(), col.dim(0));
+  Im2ColInto(
+      x.data() + n_index * g.in_channels * g.height * g.width, g,
+      col.data() + row_offset * g.PatchSize());
+}
+
 Tensor Im2Col(const Tensor& x, std::size_t n_index, const Conv2dGeom& g) {
   CheckGeom(g);
   Tensor col({g.OutH() * g.OutW(), g.PatchSize()});
@@ -553,22 +560,13 @@ Tensor Im2Col(const Tensor& x, std::size_t n_index, const Conv2dGeom& g) {
   return col;
 }
 
-void Col2ImInto(const Tensor& col, std::size_t row_offset, const Conv2dGeom& g,
-                Tensor& dx, std::size_t n_index) {
+void Col2ImInto(const float* col_rows, const Conv2dGeom& g, float* dx_sample) {
   CheckGeom(g);
   const std::size_t h = g.height, w = g.width, k = g.kernel;
   const std::size_t oh = g.OutH(), ow = g.OutW();
   const std::size_t cols = g.PatchSize();
-  CIP_DCHECK_EQ(col.rank(), 2u);
-  CIP_DCHECK_EQ(col.dim(1), cols);
-  CIP_DCHECK_LE(row_offset + oh * ow, col.dim(0));
-  CIP_DCHECK_EQ(dx.rank(), 4u);
-  CIP_DCHECK_LT(n_index, dx.dim(0));
-  CIP_DCHECK_EQ(dx.dim(1), g.in_channels);
-  CIP_DCHECK_EQ(dx.dim(2), h);
-  CIP_DCHECK_EQ(dx.dim(3), w);
-  float* px = dx.data() + n_index * g.in_channels * h * w;
-  const float* pc = col.data() + row_offset * cols;
+  float* px = dx_sample;
+  const float* pc = col_rows;
   for (std::size_t oy = 0; oy < oh; ++oy) {
     for (std::size_t ox = 0; ox < ow; ++ox) {
       const float* crow = pc + (oy * ow + ox) * cols;
@@ -589,6 +587,22 @@ void Col2ImInto(const Tensor& col, std::size_t row_offset, const Conv2dGeom& g,
       }
     }
   }
+}
+
+void Col2ImInto(const Tensor& col, std::size_t row_offset, const Conv2dGeom& g,
+                Tensor& dx, std::size_t n_index) {
+  CheckGeom(g);
+  CIP_DCHECK_EQ(col.rank(), 2u);
+  CIP_DCHECK_EQ(col.dim(1), g.PatchSize());
+  CIP_DCHECK_LE(row_offset + g.OutH() * g.OutW(), col.dim(0));
+  CIP_DCHECK_EQ(dx.rank(), 4u);
+  CIP_DCHECK_LT(n_index, dx.dim(0));
+  CIP_DCHECK_EQ(dx.dim(1), g.in_channels);
+  CIP_DCHECK_EQ(dx.dim(2), g.height);
+  CIP_DCHECK_EQ(dx.dim(3), g.width);
+  Col2ImInto(
+      col.data() + row_offset * g.PatchSize(), g,
+      dx.data() + n_index * g.in_channels * g.height * g.width);
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {

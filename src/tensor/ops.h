@@ -174,13 +174,24 @@ struct Conv2dGeom {
   std::size_t PatchSize() const { return in_channels * kernel * kernel; }
 };
 
+/// Raw-pointer core of Im2ColInto: lower one C·H·W sample at `x_sample`
+/// into `col_rows`, OutH·OutW consecutive rows of PatchSize() floats each
+/// (layout as documented on the Tensor overload). This is the overload to
+/// call from inside a parallel region: it takes pre-hoisted pointers, so
+/// concurrent per-sample calls never touch a shared Tensor's non-const
+/// accessors (whose version bump is an unsynchronized write, see tensor.h).
+/// `col_rows` must not alias `x_sample`.
+void Im2ColInto(const float* x_sample, const Conv2dGeom& g, float* col_rows);
+
 /// Lower sample `n_index` of an NCHW tensor `x` into rows
 /// [row_offset, row_offset + OutH·OutW) of `col`, a matrix with
 /// PatchSize() columns. Row (oy·OutW + ox) holds the receptive field of
 /// output position (oy, ox) in C-major, then ky, then kx order; out-of-image
 /// taps are written as 0. Every addressed element of `col` is overwritten.
-/// Safe to call concurrently for disjoint row ranges (each sample writes
-/// only its own rows); `col` must not alias `x`.
+/// NOT safe to call concurrently on a shared `col` even for disjoint row
+/// ranges — each call bumps col's version counter unsynchronized; parallel
+/// callers hoist col.data() once and use the raw-pointer overload instead.
+/// `col` must not alias `x`.
 void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
                 Tensor& col, std::size_t row_offset = 0);
 
@@ -188,11 +199,20 @@ void Im2ColInto(const Tensor& x, std::size_t n_index, const Conv2dGeom& g,
 /// matrix of one sample.
 Tensor Im2Col(const Tensor& x, std::size_t n_index, const Conv2dGeom& g);
 
+/// Raw-pointer core of Col2ImInto: scatter-add OutH·OutW rows at `col_rows`
+/// into one C·H·W sample at `dx_sample` (accumulating — the caller zeroes
+/// first). Like the Im2ColInto raw overload, this is the form for parallel
+/// regions: pointers are hoisted by the caller, so concurrent per-sample
+/// calls perform no shared version-counter writes. Pointers must not alias.
+void Col2ImInto(const float* col_rows, const Conv2dGeom& g, float* dx_sample);
+
 /// Adjoint of Im2ColInto: scatter-add rows [row_offset, row_offset+OutH·OutW)
 /// of `col` back into sample `n_index` of the NCHW tensor `dx` (accumulating,
 /// so `dx` must be zeroed by the caller first). Overlapping receptive fields
-/// sum, which is exactly d(loss)/d(input) of the lowered convolution. Safe to
-/// call concurrently for distinct `n_index`; `col` must not alias `dx`.
+/// sum, which is exactly d(loss)/d(input) of the lowered convolution. NOT
+/// safe to call concurrently on a shared `dx` (unsynchronized version bump,
+/// as with Im2ColInto) — parallel callers hoist dx.data() once and use the
+/// raw-pointer overload. `col` must not alias `dx`.
 void Col2ImInto(const Tensor& col, std::size_t row_offset, const Conv2dGeom& g,
                 Tensor& dx, std::size_t n_index);
 

@@ -13,6 +13,13 @@
 // that never writes still bumps) — consumers only rely on "unchanged version
 // implies unchanged contents".
 //
+// The counter is deliberately NOT synchronized: bumping it from concurrent
+// threads is a data race even when the element writes themselves are
+// disjoint. Parallel writers to a shared tensor must therefore hoist a
+// single non-const data()/flat() call out of the parallel region and share
+// the raw pointer (see the ops::Im2ColInto / ops::Col2ImInto raw-pointer
+// overloads for the idiom).
+//
 // internal::TensorAllocCount() counts element-buffer allocations process-wide
 // so tests can assert that steady-state hot paths stop allocating (see
 // tests/test_alloc_free.cpp).
@@ -95,9 +102,11 @@ class Tensor {
   }
 
   Tensor& operator=(Tensor&& o) noexcept {
-    shape_ = std::move(o.shape_);
-    data_ = std::move(o.data_);
-    ++version_;
+    if (this != &o) {
+      shape_ = std::move(o.shape_);
+      data_ = std::move(o.data_);
+      ++version_;
+    }
     return *this;
   }
 

@@ -27,6 +27,7 @@
 #include "data/partition.h"
 #include "fl/client_factory.h"
 #include "fl/server.h"
+#include "nn/conv2d.h"
 #include "tensor/ops.h"
 #include "testing_util.h"
 
@@ -318,6 +319,54 @@ TEST(ParallelStress, GemmBitIdenticalAcrossDispatchModes) {
   EXPECT_EQ(std::memcmp(pool_c.data(), spawn_c.data(),
                         pool_c.size() * sizeof(float)),
             0);
+}
+
+TEST(ParallelStress, ConcurrentTopLevelRegionsMakeProgress) {
+  // Two independent top-level regions whose bodies rendezvous with each
+  // other. The pool runs one region at a time, so the second caller must
+  // fall back to spawn dispatch instead of parking on the pool mutex — if
+  // top-level callers serialized, the first region would spin forever
+  // waiting for arrivals from a region that can never start. Regression
+  // test for exactly that deadlock.
+  std::atomic<int> arrived{0};
+  const auto region = [&arrived] {
+    ParallelForCoarse(0, 2, [&](std::size_t) {
+      arrived.fetch_add(1, std::memory_order_relaxed);
+      while (arrived.load(std::memory_order_relaxed) < 4) {
+        std::this_thread::yield();
+      }
+    }, 2);
+  };
+  {
+    // An external top-level caller thread; allowlisted raw-thread use — the
+    // library API alone cannot produce two concurrent top-level regions
+    // (anything launched through it is nested and runs inline).
+    const std::jthread other(region);
+    region();
+  }
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ParallelStress, ConvGemmTopLevelParallelIsRaceFree) {
+  // Regression: Conv2d's im2col/col2im dispatches used to invoke non-const
+  // Tensor::data() on the shared scratch tensor from inside the parallel
+  // region, racing every worker on the (unsynchronized) version counter.
+  // Batch >= 16 so the per-sample ParallelFor really goes parallel at top
+  // level — FL-round suites run conv nested-serial under ParallelForCoarse
+  // and cannot catch this. Per-sample work is sized so the caller cannot
+  // drain every chunk before a pool worker wakes (a worker that never claims
+  // a chunk never touches the counter and the race goes unobserved), and the
+  // loop repeats to give the scheduler many windows. TSan certifies the fix.
+  Rng rng(7);
+  nn::Conv2d conv(3, 8, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng, "c");
+  Tensor x({32, 3, 24, 24});
+  for (float& v : x.flat()) v = rng.Normal();
+  for (int rep = 0; rep < 8; ++rep) {
+    const Tensor y = conv.Forward(x, /*train=*/true);
+    const Tensor g(y.shape(), 0.5f);
+    const Tensor dx = conv.Backward(g);
+    ASSERT_EQ(dx.shape(), x.shape());
+  }
 }
 
 TEST(RoundEngineStress, ParallelFederationIsRaceFree) {

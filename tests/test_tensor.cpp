@@ -1,6 +1,9 @@
 // Unit tests for the tensor core and free-function ops.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "common/rng.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -34,6 +37,28 @@ TEST(Tensor, ReshapePreservesData) {
   Tensor r = t.Reshaped({2, 3});
   EXPECT_EQ(r.At(1, 0), 4.0f);
   EXPECT_THROW(t.Reshaped({4, 2}), CheckError);
+}
+
+TEST(Tensor, SelfAssignmentPreservesContents) {
+  // Both assignment operators must tolerate t = t / t = std::move(t); an
+  // unguarded move-assign would leave data_ in a moved-from state.
+  Tensor t = Tensor::FromList({1, 2, 3});
+  Tensor& alias = t;
+  t = alias;
+  EXPECT_EQ(t[1], 2.0f);
+  t = std::move(alias);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, VersionBumpsOnMutationOnly) {
+  Tensor t({2, 2});
+  const std::uint64_t v0 = t.version();
+  (void)std::as_const(t).data();  // const access: no bump
+  EXPECT_EQ(t.version(), v0);
+  t.Fill(1.0f);
+  EXPECT_GT(t.version(), v0);
 }
 
 TEST(Tensor, RowAndSlice) {
