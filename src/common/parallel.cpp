@@ -76,6 +76,7 @@ struct Job {
   // call from any number of runners concurrently; each chunk runs exactly
   // once. First exception wins; the flag makes other runners bail at their
   // next index so the caller sees the failure promptly.
+  // CIP_HOT  (pool dispatch: every ParallelFor chunk runs through here)
   void RunChunks() {
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -132,6 +133,7 @@ class WorkerPool {
           std::min(extra_workers, kMaxParallelThreads - 1);
       while (workers_.size() < want) {
         const std::uint64_t start_gen = generation_;
+        // CIP_ANALYZE_OK(hot-alloc-container): pool grows monotonically to the thread budget once; steady state reuses workers
         workers_.emplace_back(
             [this, start_gen] { WorkerLoop(start_gen); });
       }
@@ -214,10 +216,12 @@ class WorkerPool {
 void RunSpawnPerCall(Job& job, std::size_t threads) {
   {
     std::vector<std::jthread> workers;
+    // CIP_ANALYZE_OK(hot-alloc-container): spawn-per-call fallback/reference path, explicitly not the steady-state pool
     workers.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w) {
       const std::size_t lo = job.begin + w * job.chunk;
       if (lo >= job.end) break;
+      // CIP_ANALYZE_OK(hot-alloc-container): spawn-per-call fallback: jthreads are constructed fresh by design here
       workers.emplace_back([&job] {
         ++t_parallel_depth;
         job.RunChunks();
@@ -230,6 +234,7 @@ void RunSpawnPerCall(Job& job, std::size_t threads) {
 // Shared chunk-per-runner core. min_parallel is the smallest range worth
 // dispatching for; below it (or at a budget of 1, or nested inside another
 // parallel region, or after pool teardown) the loop runs serially inline.
+// CIP_HOT  (dispatch front door: pool hand-off or spawn fallback)
 void RunChunked(std::size_t begin, std::size_t end,
                 const std::function<void(std::size_t)>& fn,
                 std::size_t max_threads, std::size_t min_parallel) {

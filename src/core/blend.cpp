@@ -16,8 +16,8 @@ Blended Blend(const Tensor& x, const Tensor& t, const BlendConfig& cfg) {
                   "perturbation size " << t.size()
                                        << " != sample size " << stride);
   }
-  Blended out{Tensor(x.shape()), Tensor(x.shape()), Tensor(x.shape()),
-              Tensor(x.shape())};
+  Blended out{Tensor(x.shape()), Tensor(x.shape()), Tensor(x.shape()),  // CIP_ANALYZE_OK(hot-alloc-tensor): Blend's four outputs are its contract; per-batch staging, not steady-state creep
+              Tensor(x.shape())};  // CIP_ANALYZE_OK(hot-alloc-tensor): second half of the Blended output aggregate (see previous line)
   const float a = cfg.alpha;
   for (std::size_t i = 0; i < n; ++i) {
     const float* px = x.data() + i * stride;

@@ -36,12 +36,15 @@ void CipClient::SetGlobal(const fl::ModelState& global) {
 fl::ModelState CipClient::TrainLocal(fl::RoundContext ctx) {
   using Clock = std::chrono::steady_clock;
   const auto seconds_since = [](Clock::time_point t0) {
+    // CIP_ANALYZE_OK(det-wallclock): step timing lands in RoundContext telemetry only, never in model state
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
   opt_.set_lr(ctx.LrFor(cfg_.train));
+  // CIP_ANALYZE_OK(det-wallclock): telemetry: Step I duration reported via ctx.telemetry
   const auto step1_t0 = Clock::now();
   StepIOptimizePerturbation(ctx.rng);
   const double step1_seconds = seconds_since(step1_t0);
+  // CIP_ANALYZE_OK(det-wallclock): telemetry: Step II duration reported via ctx.telemetry
   const auto step2_t0 = Clock::now();
   float loss = 0.0f;
   for (std::size_t e = 0; e < cfg_.train.epochs; ++e) {

@@ -7,11 +7,13 @@
 
 namespace cip::core {
 
+// CIP_HOT  (blend+forward eval path used by accuracy/loss sweeps)
 Tensor DualLogits(nn::DualChannelClassifier& model, const Tensor& inputs,
                   const Tensor& t, const BlendConfig& cfg,
                   std::size_t batch_size) {
   CIP_CHECK_GT(batch_size, 0u);
   const std::size_t n = inputs.dim(0);
+  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned logits buffer - the one allocation the eval sweep keeps
   Tensor out({n, model.num_classes()});
   for (std::size_t start = 0; start < n; start += batch_size) {
     const std::size_t end = std::min(start + batch_size, n);

@@ -15,6 +15,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point t0) {
+  // CIP_ANALYZE_OK(det-wallclock): telemetry helper: durations land in RoundStats, never in round results
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
@@ -122,6 +123,7 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
     // --- Coordinator: broadcast (possibly tampered) global and sample this
     // round's participants (FedAvg partial participation), then merge in
     // faulted clients whose retry backoff has elapsed.
+    // CIP_ANALYZE_OK(det-wallclock): telemetry: broadcast duration recorded in RoundStats
     const auto broadcast_t0 = Clock::now();
     const ModelState broadcast =
         tamper_ ? tamper_(round, global_) : global_;
@@ -178,6 +180,7 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
     std::vector<ModelState> updates(m);
     std::vector<float> losses(clients.size(), 0.0f);
     stats.clients.resize(m);
+    // CIP_ANALYZE_OK(det-wallclock): telemetry: per-round train duration recorded in RoundStats
     const auto train_t0 = Clock::now();
     ParallelForCoarse(
         0, m,
@@ -199,6 +202,7 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
           }
           RoundContext ctx = MakeRoundContext(run_seed, round, k, lr_scale);
           ctx.telemetry = &cs;
+          // CIP_ANALYZE_OK(det-wallclock): telemetry: per-client train duration recorded in RoundStats
           const auto client_t0 = Clock::now();
           clients[k]->SetGlobal(broadcast);
           updates[i] = clients[k]->TrainLocal(std::move(ctx));
@@ -224,6 +228,7 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
     // --- Coordinator: deterministic fixed-order reduction over survivors.
     // The plain mean over survivors *is* the renormalized FedAvg aggregate:
     // each survivor's weight grows from 1/m to 1/survivors.
+    // CIP_ANALYZE_OK(det-wallclock): telemetry: aggregation duration recorded in RoundStats
     const auto aggregate_t0 = Clock::now();
     std::vector<ModelState> survivors;
     survivors.reserve(m);

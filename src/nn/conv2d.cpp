@@ -26,6 +26,7 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   HeNormal(w_.value, ic_ * k_ * k_, rng);
 }
 
+// CIP_HOT  (eval conv forward: one output allocation, zero scratch)
 Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
                            std::size_t ow) {
   const std::size_t h = x.dim(2), w = x.dim(3);
@@ -57,6 +58,7 @@ Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
     ops::MatmulTransBInto(col_, w_.value, gemm_y_);  // [rows, oc]
   }
   // Scatter [N·OH·OW, OC] back to NCHW and add the bias.
+  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned output - the one allocation eval forward permits (test_alloc_free)
   Tensor y({n, oc_, oh, ow});
   const float* pg = std::as_const(gemm_y_).data();
   const float* pb = std::as_const(b_.value).data();

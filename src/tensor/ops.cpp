@@ -44,6 +44,7 @@ Tensor Scale(const Tensor& a, float s) {
   return out;
 }
 
+// CIP_HOT  (aggregation inner loop)
 void AddInPlace(Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   float* pa = a.data();
@@ -130,6 +131,7 @@ Tensor SumRows(const Tensor& a) {
   return out;
 }
 
+// CIP_HOT  (bias-gradient reduction inside Linear/Conv backward)
 void SumRowsAccumInto(const Tensor& a, Tensor& out) {
   CIP_CHECK_EQ(a.rank(), 2u);
   const std::size_t m = a.dim(0), n = a.dim(1);
@@ -194,6 +196,7 @@ void PackPanels(const float* b, std::size_t k, std::size_t n, bool trans,
                 std::vector<float>& packed) {
   ++LocalArena().packs;
   const std::size_t panels = NumPanels(n);
+  // CIP_ANALYZE_OK(hot-alloc-container): thread-local arena: assign reuses capacity once grown (PackCount tests)
   packed.assign(panels * k * kNR, 0.0f);
   for (std::size_t jp = 0; jp < panels; ++jp) {
     const std::size_t j0 = jp * kNR;
@@ -373,6 +376,7 @@ std::uint64_t PackCount() { return LocalArena().packs; }
 
 }  // namespace internal
 
+// CIP_HOT  (GEMM entry: Linear/Conv forward+backward)
 void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
@@ -388,6 +392,7 @@ void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c) {
   GemmPacked(a.data(), m, k, n, packed.data(), c.data());
 }
 
+// CIP_HOT  (GEMM entry: d(in) = d(out) * W)
 void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor& c) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
@@ -417,6 +422,7 @@ void PackBForMatmulTransBInto(const Tensor& b, PackedB& out) {
   PackPanels(b.data(), out.k_, out.n_, /*trans=*/true, out.panels_);
 }
 
+// CIP_HOT  (GEMM entry over pre-packed weights: eval forward)
 void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c) {
   CIP_CHECK(!b.empty());
   CIP_CHECK_EQ(a.rank(), 2u);
@@ -426,6 +432,7 @@ void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c) {
   GemmPacked(a.data(), m, b.k(), b.n(), b.panels_.data(), c.data());
 }
 
+// CIP_HOT  (GEMM entry: dW = x^T * d(out))
 void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c) {
   CIP_CHECK_EQ(a.rank(), 2u);
   CIP_CHECK_EQ(b.rank(), 2u);
@@ -455,6 +462,7 @@ void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c) {
   // so repeated calls stop allocating once the buffers have grown.
   GemmArena& arena = LocalArena();
   std::vector<float>& at = arena.transposed;
+  // CIP_ANALYZE_OK(hot-alloc-container): grow-once arena transpose staging, guarded by the size check above
   if (at.size() < m * k) at.resize(m * k);
   for (std::size_t p = 0; p < k; ++p) {
     const float* arow = pa + p * m;
@@ -500,6 +508,7 @@ void CheckGeom(const Conv2dGeom& g) {
 
 }  // namespace
 
+// CIP_HOT  (per-sample im2col body, runs inside ParallelFor)
 void Im2ColInto(const float* x_sample, const Conv2dGeom& g, float* col_rows) {
   CheckGeom(g);
   const std::size_t h = g.height, w = g.width, k = g.kernel;
@@ -560,6 +569,7 @@ Tensor Im2Col(const Tensor& x, std::size_t n_index, const Conv2dGeom& g) {
   return col;
 }
 
+// CIP_HOT  (per-sample col2im body, runs inside ParallelFor)
 void Col2ImInto(const float* col_rows, const Conv2dGeom& g, float* dx_sample) {
   CheckGeom(g);
   const std::size_t h = g.height, w = g.width, k = g.kernel;

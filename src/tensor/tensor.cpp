@@ -56,8 +56,10 @@ Tensor Tensor::Slice(std::size_t lo, std::size_t hi) const {
   Shape out_shape = shape_;
   out_shape[0] = hi - lo;
   const std::size_t stride = size() / std::max<std::size_t>(shape_[0], 1);
+  // CIP_ANALYZE_OK(hot-alloc-container): Slice copies by contract; callers own the per-batch staging cost
   std::vector<float> out(data_.begin() + static_cast<long>(lo * stride),
                          data_.begin() + static_cast<long>(hi * stride));
+  // CIP_ANALYZE_OK(hot-alloc-tensor): Slice returns a freshly allocated copy by contract
   return Tensor(std::move(out_shape), std::move(out));
 }
 

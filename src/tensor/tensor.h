@@ -207,7 +207,7 @@ class Tensor {
 /// idiom that keeps steady-state hot paths allocation-free (grow once, reuse
 /// forever). Contents are unspecified after a reshape; unchanged otherwise.
 inline void EnsureShape(Tensor& t, Shape shape) {
-  if (t.shape() != shape) t = Tensor(std::move(shape));
+  if (t.shape() != shape) t = Tensor(std::move(shape));  // CIP_ANALYZE_OK(hot-alloc-tensor): the grow-once idiom itself: allocates only on shape change
 }
 
 }  // namespace cip

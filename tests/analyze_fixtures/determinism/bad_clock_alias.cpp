@@ -1,0 +1,7 @@
+// ANALYZE-EXPECT: det-wallclock
+// Hiding the clock behind a type alias must not dodge the rule.
+using Clock = std::chrono::steady_clock;
+
+double Elapsed(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}

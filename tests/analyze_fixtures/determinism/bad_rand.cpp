@@ -1,0 +1,6 @@
+// ANALYZE-EXPECT: det-rand
+// Global C PRNG state: not per-(round,client) streamable, not reproducible
+// across thread budgets.
+float Jitter(float x) {
+  return x + static_cast<float>(std::rand()) / static_cast<float>(RAND_MAX);
+}

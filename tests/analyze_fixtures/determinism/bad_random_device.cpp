@@ -1,0 +1,7 @@
+// ANALYZE-EXPECT: det-seed
+// std::random_device is environment entropy; bit-identical federated rounds
+// require seeds derived from the run seed (DeriveStream).
+std::uint64_t FreshSeed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}

@@ -1,0 +1,5 @@
+// ANALYZE-EXPECT: det-rand, det-seed
+// Seeding global state from the wall clock: every run differs.
+void SeedFromClock() {
+  srand(time(nullptr));
+}

@@ -1,0 +1,7 @@
+// ANALYZE-EXPECT: det-wallclock
+// system_clock is a wall-clock read like any other.
+std::int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

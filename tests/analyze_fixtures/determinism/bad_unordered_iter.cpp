@@ -1,0 +1,11 @@
+// ANALYZE-EXPECT: det-unordered-iter
+// Unordered-container iteration order is unspecified; feeding it into an
+// accumulated float total makes the sum order — and the rounding — vary run
+// to run.
+float TotalLoss(const std::unordered_map<int, float>& losses_by_client) {
+  float total = 0.0f;
+  for (const auto& entry : losses_by_client) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,6 @@
+// ANALYZE-EXPECT: det-wallclock
+// A wall-clock read feeding logic (not telemetry) makes behavior depend on
+// machine speed.
+bool ShouldStop(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() >= deadline;
+}

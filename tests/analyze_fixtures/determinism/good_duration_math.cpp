@@ -1,0 +1,6 @@
+// ANALYZE-EXPECT: clean
+// chrono duration arithmetic involves no clock read at all.
+std::chrono::milliseconds Backoff(std::size_t attempt) {
+  const std::chrono::milliseconds base(50);
+  return base * static_cast<long>(1u << attempt);
+}

@@ -1,0 +1,5 @@
+// ANALYZE-EXPECT: clean
+// A std engine seeded from an explicit constant is reproducible.
+std::mt19937_64 MakeEngine(std::uint64_t seed) {
+  return std::mt19937_64(seed);
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: clean
+// std::map iterates in key order: deterministic aggregation.
+float TotalLoss(const std::map<int, float>& losses_by_client) {
+  float total = 0.0f;
+  for (const auto& entry : losses_by_client) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,7 @@
+// ANALYZE-EXPECT: clean
+// The sanctioned pattern: every stream derives from the explicit run seed,
+// salted by round and client (cip::Rng::DeriveStream).
+float ClientNoise(Rng& root, std::uint64_t round, std::uint64_t client) {
+  Rng stream = root.DeriveStream(round, client);
+  return stream.Uniform() - 0.5f;
+}

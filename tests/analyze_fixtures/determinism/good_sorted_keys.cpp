@@ -1,0 +1,11 @@
+// ANALYZE-EXPECT: clean
+// An unordered map used as a lookup table is fine as long as aggregation
+// walks an explicitly ordered key sequence.
+float TotalLoss(const std::unordered_map<int, float>& losses_by_client,
+                const std::vector<int>& ordered_clients) {
+  float total = 0.0f;
+  for (const int client : ordered_clients) {
+    total += losses_by_client.at(client);
+  }
+  return total;
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: clean
+// Telemetry timing is the sanctioned wall-clock use; the suppression records
+// that the value lands in stats only, never in round results.
+using Clock = std::chrono::steady_clock;
+
+double TrainSeconds(Clock::time_point t0) {
+  // CIP_ANALYZE_OK(det-wallclock): telemetry only - lands in RoundStats
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: hot-alloc-malloc
+// C heap allocation on a hot path.
+// CIP_HOT
+void PackRow(float* dst, const float* src, std::size_t n) {
+  float* staging = static_cast<float*>(malloc(n * sizeof(float)));
+  for (std::size_t i = 0; i < n; ++i) staging[i] = src[i];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = staging[i];
+  free(staging);
+}

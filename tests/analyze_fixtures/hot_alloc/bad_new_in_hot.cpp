@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: hot-alloc-new
+// Raw operator new on a hot path: steady state must reuse grow-once scratch.
+// CIP_HOT
+void AxpyScratch(float* y, const float* x, std::size_t n, float a) {
+  float* tmp = new float[n];
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = a * x[i];
+  for (std::size_t i = 0; i < n; ++i) y[i] += tmp[i];
+  delete[] tmp;
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: hot-alloc-container
+// A sized std::vector construction allocates on every call.
+// CIP_HOT
+void TransposeInto(float* dst, const float* src, std::size_t m, std::size_t n) {
+  std::vector<float> staging(m * n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) staging[j * m + i] = src[i * n + j];
+  for (std::size_t k = 0; k < m * n; ++k) dst[k] = staging[k];
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: hot-alloc-tensor
+// Constructing a Tensor allocates its element buffer; hot paths stage into
+// an EnsureShape'd member or a thread-local arena instead.
+// CIP_HOT
+void ForwardStep(Tensor& out, const Tensor& x, std::size_t m, std::size_t n) {
+  Tensor scratch({m, n});
+  ops::MatmulInto(x, x, scratch);
+  out = scratch;
+}

@@ -1,0 +1,16 @@
+// ANALYZE-EXPECT: hot-alloc-container
+// The hot root is clean but a helper it calls grows a vector: the audit is
+// transitive over calls that resolve unambiguously inside the repo.
+void StageRow(std::vector<float>& buf, const float* src, std::size_t n) {
+  buf.resize(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = src[i];
+}
+
+// CIP_HOT
+void SumRows(float* out, const float* src, std::size_t rows, std::size_t n) {
+  std::vector<float>& buf = Scratch();
+  for (std::size_t r = 0; r < rows; ++r) {
+    StageRow(buf, src + r * n, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] += buf[i];
+  }
+}

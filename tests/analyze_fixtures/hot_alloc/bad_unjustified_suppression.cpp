@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: hot-alloc-tensor, bad-suppression
+// A CIP_ANALYZE_OK without a written justification does not suppress — it is
+// itself a finding.
+// CIP_HOT
+void ForwardStep(Tensor& out, const Tensor& x) {
+  // CIP_ANALYZE_OK(hot-alloc-tensor)
+  Tensor scratch(x.shape());
+  ops::AddInPlace(scratch, x);
+  out = scratch;
+}

@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: hot-alloc-container
+// push_back on a hot path reallocates once capacity runs out.
+// CIP_HOT
+float CollectPositives(const float* p, std::size_t n) {
+  std::vector<float> hits;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] > 0.0f) hits.push_back(p[i]);
+  }
+  return hits.empty() ? 0.0f : hits.front();
+}

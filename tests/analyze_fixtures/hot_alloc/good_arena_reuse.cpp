@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: clean
+// Grow-once arena staging: the resize is guarded and justified, so after
+// warm-up the path stops allocating (the PackCount/TensorAllocCount tests
+// assert the same property dynamically).
+// CIP_HOT
+void PackInto(std::vector<float>& arena, const float* src, std::size_t need) {
+  // CIP_ANALYZE_OK(hot-alloc-container): grow-once arena, guarded resize
+  if (arena.size() < need) arena.resize(need);
+  for (std::size_t i = 0; i < need; ++i) arena[i] = src[i];
+}

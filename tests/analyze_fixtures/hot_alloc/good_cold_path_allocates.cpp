@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: clean
+// Unannotated functions may allocate freely: the audit covers only CIP_HOT
+// roots and their resolvable callees.
+Tensor MakeZeros(std::size_t m, std::size_t n) {
+  Tensor z({m, n});
+  std::vector<float> staging(m * n);
+  z = Tensor({m, n}, std::move(staging));
+  return z;
+}

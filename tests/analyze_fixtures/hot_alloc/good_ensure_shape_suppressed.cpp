@@ -1,0 +1,8 @@
+// ANALYZE-EXPECT: clean
+// EnsureShape-style scratch reuse with the justification written down.
+// CIP_HOT
+void Stage(Tensor& scratch, const Tensor& x) {
+  // CIP_ANALYZE_OK(hot-alloc-tensor): grow-once: reallocates only on shape change
+  if (!scratch.SameShape(x)) scratch = Tensor(x.shape());
+  ops::AddInPlace(scratch, x);
+}

@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: clean
+// The one sanctioned allocation of an eval forward is its returned output;
+// the suppression records that contract next to the site.
+// CIP_HOT
+Tensor Forward(const Tensor& x, std::size_t n, std::size_t out_dim) {
+  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned output is the one
+  Tensor y({n, out_dim});
+  ops::MatmulInto(x, x, y);
+  return y;
+}

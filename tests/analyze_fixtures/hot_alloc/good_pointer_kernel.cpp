@@ -1,0 +1,6 @@
+// ANALYZE-EXPECT: clean
+// Pure pointer arithmetic over caller-owned buffers: nothing to allocate.
+// CIP_HOT
+void Saxpy(float* y, const float* x, std::size_t n, float a) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}

@@ -1,0 +1,11 @@
+// ANALYZE-EXPECT: clean
+// Hot root calling an allocation-free helper: the transitive walk finds
+// nothing to flag.
+void ScaleRow(float* row, std::size_t n, float s) {
+  for (std::size_t i = 0; i < n; ++i) row[i] *= s;
+}
+
+// CIP_HOT
+void ScaleAll(float* p, std::size_t rows, std::size_t n, float s) {
+  for (std::size_t r = 0; r < rows; ++r) ScaleRow(p + r * n, n, s);
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: purity-capture-write
+// Incrementing a shared counter without an atomic.
+std::size_t CountPositive(const float* p, std::size_t n) {
+  std::size_t hits = 0;
+  ParallelFor(0, n, [&](std::size_t i) {
+    if (p[i] > 0.0f) ++hits;  // lost updates under contention
+  });
+  return hits;
+}

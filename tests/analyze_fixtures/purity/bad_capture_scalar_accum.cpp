@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: purity-capture-write
+// Accumulating into a plain by-reference-captured scalar: a classic lost
+// update. Use a per-chunk partial (indexed by i) and reduce after the join.
+float SumAll(const float* p, std::size_t n) {
+  float sum = 0.0f;
+  ParallelFor(0, n, [&](std::size_t i) {
+    sum += p[i];  // unsynchronized read-modify-write
+  });
+  return sum;
+}

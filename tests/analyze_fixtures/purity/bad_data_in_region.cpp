@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: purity-tensor-mut
+// Non-const Tensor::data() on a captured tensor inside a parallel region:
+// the version-counter bump is an unsynchronized concurrent write.
+void ScaleRows(Tensor& t, std::size_t n, std::size_t stride, float s) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    float* row = t.data() + i * stride;  // bumps t.version_ on every worker
+    for (std::size_t j = 0; j < stride; ++j) row[j] *= s;
+  });
+}

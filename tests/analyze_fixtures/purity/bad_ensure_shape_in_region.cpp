@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: purity-tensor-mut
+// EnsureShape may reallocate the shared scratch tensor while other workers
+// hold pointers into it; it must run before the region starts.
+void FillScratch(Tensor& scratch, std::size_t n, std::size_t cols) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    EnsureShape(scratch, {n, cols});
+    scratch[i * cols] = static_cast<float>(i);
+  });
+}

@@ -1,0 +1,8 @@
+// ANALYZE-EXPECT: purity-tensor-mut
+// Tensor::Fill bumps the version counter; calling it on a captured tensor
+// from every worker is the same race as non-const data().
+void ResetAll(Tensor& t, std::size_t n) {
+  ParallelFor(0, n, [&](std::size_t) {
+    t.Fill(0.0f);
+  });
+}

@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: purity-tensor-mut
+// Move-assigning into a by-reference capture from inside a region: both the
+// buffer swap and the version bump race across workers.
+void CollectLast(Tensor& result, std::size_t n) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    Tensor tmp({1});
+    tmp[0] = static_cast<float>(i);
+    result = std::move(tmp);  // racing writers to `result`
+  });
+}

@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: purity-thread-prim
+// A mutex inside a region serializes the very work the region parallelizes
+// and invites cross-region deadlock; restructure so chunks are independent.
+void LockedAccum(float* acc, const float* p, std::size_t n) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    static std::mutex m;
+    const std::lock_guard<std::mutex> lk(m);
+    *acc += p[i];
+  });
+}

@@ -1,0 +1,50 @@
+// ANALYZE-EXPECT: purity-tensor-mut
+//
+// FROZEN FIXTURE — the exact PR 5 data race, as shipped in commit 30fef45
+// (pre-fix Conv2d::ForwardGemm). `ops::Im2ColInto` took `Tensor& col` and
+// called non-const data() inside, so every ParallelFor worker bumped the
+// shared scratch tensor's unsynchronized version counter concurrently.
+// The fix (commit 6f96f62) hoisted raw pointers out of the region via
+// raw-pointer Im2ColInto/Col2ImInto overloads. This file must always be
+// flagged; if the purity rule ever stops firing here, the analyzer has
+// regressed on the very bug it was built to catch.
+//
+// Fixture corpus: analyzed by `cip_analyze.py --self-test`, never compiled.
+
+Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
+                           std::size_t ow) {
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const ops::Conv2dGeom geom = Geom(h, w);
+  const std::size_t rows = n * oh * ow;
+  const std::size_t patch = geom.PatchSize();
+  EnsureShape(col_, {rows, patch});
+  ParallelFor(0, n, [&](std::size_t i) {
+    ops::Im2ColInto(x, i, geom, col_, i * oh * ow);  // races on col_.version_
+  });
+  EnsureShape(gemm_y_, {rows, oc_});
+  if (ops::internal::UsesBlockedGemm(rows, patch, oc_)) {
+    if (packed_w_.empty() || packed_w_version_ != w_.value.version()) {
+      ops::PackBForMatmulTransBInto(w_.value, packed_w_);
+      packed_w_version_ = w_.value.version();
+    }
+    ops::MatmulPackedInto(col_, packed_w_, gemm_y_);  // [rows, oc]
+  } else {
+    ops::MatmulTransBInto(col_, w_.value, gemm_y_);  // [rows, oc]
+  }
+  // Scatter [N*OH*OW, OC] back to NCHW and add the bias.
+  Tensor y({n, oc_, oh, ow});
+  const float* pg = std::as_const(gemm_y_).data();
+  const float* pb = std::as_const(b_.value).data();
+  float* py_all = y.data();
+  ParallelFor(0, n, [&](std::size_t i) {
+    const float* grow = pg + i * oh * ow * oc_;
+    float* py = py_all + i * oc_ * oh * ow;
+    for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+      const float* orow = grow + pos * oc_;
+      for (std::size_t c = 0; c < oc_; ++c) {
+        py[c * oh * ow + pos] = orow[c] + pb[c];
+      }
+    }
+  });
+  return y;
+}

@@ -1,0 +1,9 @@
+// ANALYZE-EXPECT: purity-thread-prim
+// Spawning raw threads from inside a region oversubscribes the machine and
+// bypasses the pool's nesting rules (nested regions run serially inline).
+void NestedSpawn(float* out, std::size_t n) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    std::thread worker([&] { out[i] = 1.0f; });
+    worker.join();
+  });
+}

@@ -1,0 +1,11 @@
+// ANALYZE-EXPECT: clean
+// Reading through std::as_const inside the region selects the const data()
+// overload, which does not bump the version counter.
+float ReadSum(const Tensor& t, std::size_t n, float* partials) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    partials[i] = std::as_const(t).data()[i];
+  });
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) sum += partials[i];
+  return sum;
+}

@@ -1,0 +1,10 @@
+// ANALYZE-EXPECT: clean
+// Shared counters inside a region must be atomics; fetch_add is not a plain
+// captured write.
+std::size_t CountPositive(const float* p, std::size_t n) {
+  std::atomic<std::size_t> hits{0};
+  ParallelFor(0, n, [&](std::size_t i) {
+    if (p[i] > 0.0f) hits.fetch_add(1, std::memory_order_relaxed);
+  });
+  return hits.load();
+}

@@ -1,0 +1,14 @@
+// ANALYZE-EXPECT: clean
+// The sanctioned idiom (post-fix Conv2d): one non-const data() call before
+// the region, raw pointers shared with the workers, writes partitioned by i.
+Tensor Transpose(const Tensor& x, std::size_t n, std::size_t stride) {
+  Tensor y(x.shape());
+  const float* px_all = std::as_const(x).data();
+  float* py_all = y.data();
+  ParallelFor(0, n, [&](std::size_t i) {
+    const float* px = px_all + i * stride;
+    float* py = py_all + i * stride;
+    for (std::size_t j = 0; j < stride; ++j) py[j] = px[j];
+  });
+  return y;
+}

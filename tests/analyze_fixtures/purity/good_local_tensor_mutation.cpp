@@ -1,0 +1,12 @@
+// ANALYZE-EXPECT: clean
+// Mutating a tensor that is local to the region body is private to the
+// worker: no sharing, no race.
+void PerWorkerScratch(float* out, std::size_t n, std::size_t cols) {
+  ParallelFor(0, n, [&](std::size_t i) {
+    Tensor scratch({cols});
+    scratch.Fill(0.0f);
+    float* p = scratch.data();
+    for (std::size_t j = 0; j < cols; ++j) p[j] += 1.0f;
+    out[i] = p[0];
+  });
+}

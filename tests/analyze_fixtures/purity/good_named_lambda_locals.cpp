@@ -1,0 +1,12 @@
+// ANALYZE-EXPECT: clean
+// A named local lambda handed to ParallelForCoarse (the GemmPacked idiom):
+// all writes go through block-local pointers derived from a hoisted raw.
+void BlockedScale(float* c, std::size_t row_blocks, std::size_t block,
+                  std::size_t n, float s) {
+  const auto run_block = [&](std::size_t ib) {
+    const std::size_t i_lo = ib * block;
+    float* crow = c + i_lo * n;
+    for (std::size_t j = 0; j < block * n; ++j) crow[j] *= s;
+  };
+  ParallelForCoarse(0, row_blocks, run_block);
+}

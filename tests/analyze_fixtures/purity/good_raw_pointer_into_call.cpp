@@ -1,0 +1,12 @@
+// ANALYZE-EXPECT: clean
+// The post-fix im2col shape: member tensors appear only inside pointer
+// arithmetic on pre-hoisted raws, never passed by name into the callee.
+void Conv2d::Im2ColAll(const Tensor& x, std::size_t n, std::size_t h,
+                       std::size_t w, std::size_t patch_rows) {
+  const ops::Conv2dGeom geom = Geom(h, w);
+  const float* px_all = std::as_const(x).data();
+  float* pcol = col_.data();
+  ParallelFor(0, n, [&](std::size_t i) {
+    ops::Im2ColInto(px_all + i * ic_ * h * w, geom, pcol + i * patch_rows);
+  });
+}

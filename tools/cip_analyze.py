@@ -1,0 +1,1026 @@
+#!/usr/bin/env python3
+"""Concurrency & determinism static analyzer for the cipfl codebase.
+
+Complements tools/cip_lint.py (line-level style rules) with structural rules
+that need function extents, parallel-region extents, and a call graph. Three
+rule families (full catalog + rationale in docs/STATIC_ANALYSIS.md):
+
+  parallel-region purity  (family `purity`)
+    purity-tensor-mut     inside a lambda passed to ParallelFor /
+                          ParallelForCoarse: calls that mutate a Tensor or
+                          bump its version counter — non-const data()/flat(),
+                          Fill/Zero/At, EnsureShape, move-assignment. The
+                          version bump is unsynchronized by design (tensor.h),
+                          so these are data races even when element writes are
+                          disjoint. Hoist a raw pointer out of the region.
+    purity-capture-write  writes to a by-reference-captured variable that is
+                          neither region-local nor partitioned by an index
+                          subscript (plain `x = ...`, `x += ...`, `++x`).
+    purity-thread-prim    raw std::thread/std::jthread/std::mutex/lock
+                          construction inside a region; all parallelism goes
+                          through the worker pool.
+
+  hot-path allocation audit  (family `hot-alloc`)
+    Functions annotated with a preceding `// CIP_HOT` comment — and everything
+    they transitively call, where the callee resolves unambiguously inside the
+    repo — must not allocate:
+    hot-alloc-new         new / new[]
+    hot-alloc-malloc      malloc / calloc / realloc / strdup
+    hot-alloc-tensor      constructing a Tensor (element-buffer allocation)
+    hot-alloc-container   std::vector/std::string growth (push_back,
+                          emplace_back, resize, reserve, assign, insert,
+                          append) and sized container construction, plus
+                          std::stack/queue push/emplace.
+    This is the structural twin of tests/test_alloc_free.cpp: the test proves
+    the property dynamically for specific shapes; the rule enforces it for
+    every code path the annotated functions contain.
+
+  determinism discipline  (family `determinism`)
+    det-rand              std::rand / rand / srand (bit-identical rounds need
+                          cip::Rng streams, never global C state)
+    det-seed              seeding from the environment: time(nullptr/NULL/0),
+                          std::random_device
+    det-wallclock         wall-clock reads (steady_clock/system_clock/
+                          high_resolution_clock ::now, gettimeofday, clock())
+                          outside bench/ — telemetry call sites carry an
+                          inline suppression with a written justification
+    det-unordered-iter    range-for iteration over a std::unordered_map/set
+                          declared in the same file: iteration order is
+                          unspecified and must never feed serialized or
+                          aggregated output
+
+Suppressions: append `// CIP_ANALYZE_OK(<rule-or-family>): <justification>`
+to the offending line, or put it alone on the line directly above. The
+justification is mandatory; an empty one is itself an error
+(`bad-suppression`). `// CIP_HOT` on its own line annotates the next function
+definition as a hot root for the allocation audit.
+
+Engines: by default the analyzer runs a heuristic engine (comment/string
+stripping + function/region extent scanning). When the libclang Python
+bindings are importable, `--engine auto` (the default) upgrades the purity
+family's tensor-mutation and thread-primitive checks to AST-based detection,
+reading compile flags from compile_commands.json (`-p <builddir>`); any
+libclang failure falls back to the heuristic engine per file, so the gate
+never depends on clang being installed. `--engine heuristic` forces the
+fallback; `--engine libclang` errors out when the bindings are missing.
+
+Scope: the tree scan covers src/**/*.{h,cpp}. tests/, bench/ and examples/
+are exempt (benchmarks time things; tests construct threads to attack the
+pool). The fixture corpus under tests/analyze_fixtures/ is analyzed only by
+`--self-test`, which asserts every `// ANALYZE-EXPECT: <rule>` fixture is
+flagged with exactly those rules and every `// ANALYZE-EXPECT: clean`
+fixture produces no findings.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Rule registry
+# --------------------------------------------------------------------------
+
+FAMILIES = ("purity", "hot-alloc", "determinism")
+
+RULES = {
+    "purity-tensor-mut": "purity",
+    "purity-capture-write": "purity",
+    "purity-thread-prim": "purity",
+    "hot-alloc-new": "hot-alloc",
+    "hot-alloc-malloc": "hot-alloc",
+    "hot-alloc-tensor": "hot-alloc",
+    "hot-alloc-container": "hot-alloc",
+    "det-rand": "determinism",
+    "det-seed": "determinism",
+    "det-wallclock": "determinism",
+    "det-unordered-iter": "determinism",
+    # Meta-rule: a malformed or justification-free suppression comment.
+    "bad-suppression": "determinism",
+}
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    suppressed: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Source model: comment/string stripping, annotations, suppressions
+# --------------------------------------------------------------------------
+
+RE_SUPPRESS = re.compile(r"CIP_ANALYZE_OK\(([\w-]+)\)\s*(?::\s*(.*?))?\s*$")
+RE_HOT = re.compile(r"^\s*//\s*CIP_HOT\b")
+RE_EXPECT = re.compile(r"//\s*ANALYZE-EXPECT:\s*(.+?)\s*$")
+
+
+@dataclass
+class SourceFile:
+    """One parsed file: stripped text plus per-line annotation metadata."""
+
+    rel: str
+    raw: str
+    stripped: str = ""
+    line_starts: list[int] = field(default_factory=list)
+    # line -> (rule-or-family token, justification or None)
+    suppressions: dict[int, tuple[str, str | None]] = field(default_factory=dict)
+    hot_lines: list[int] = field(default_factory=list)
+    expects: list[str] = field(default_factory=list)
+
+    def line_of(self, offset: int) -> int:
+        return bisect.bisect_right(self.line_starts, offset)
+
+
+def parse_source(rel: str, text: str) -> SourceFile:
+    """Strip comments and string/char literals (preserving line structure) and
+    harvest // CIP_HOT, // CIP_ANALYZE_OK(...) and // ANALYZE-EXPECT markers
+    from the comment text."""
+    sf = SourceFile(rel=rel, raw=text)
+    out: list[str] = []
+    i, n = 0, len(text)
+    line = 1
+    comment_buf: dict[int, list[str]] = {}
+
+    def keep(ch: str) -> None:
+        out.append(ch)
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comment_buf.setdefault(line, []).append(text[i:j])
+            out.append(" " * (j - i))
+            i = j
+            continue
+        if ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            block = text[i : j + 2]
+            for k, part in enumerate(block.split("\n")):
+                comment_buf.setdefault(line + k, []).append(part)
+            for c in block:
+                out.append("\n" if c == "\n" else " ")
+            line += block.count("\n")
+            i = j + 2
+            continue
+        if ch in "\"'":
+            quote = ch
+            keep(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                out.append("\n" if text[i] == "\n" else " ")
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            if i < n:
+                keep(quote)
+                i += 1
+            continue
+        keep(ch)
+        if ch == "\n":
+            line += 1
+        i += 1
+
+    sf.stripped = "".join(out)
+    pos = 0
+    sf.line_starts = []
+    for ln in sf.stripped.split("\n"):
+        sf.line_starts.append(pos)
+        pos += len(ln) + 1
+    # line_of: bisect_right over starts gives 1-based line numbers directly.
+
+    raw_lines = text.split("\n")
+    for ln_no, parts in comment_buf.items():
+        for part in parts:
+            m = RE_SUPPRESS.search(part)
+            if m:
+                just = m.group(2)
+                sf.suppressions[ln_no] = (m.group(1), just if just else None)
+            if RE_EXPECT.search(part):
+                spec = RE_EXPECT.search(part).group(1)
+                sf.expects.extend(s.strip() for s in spec.split(",") if s.strip())
+    for ln_no, raw_line in enumerate(raw_lines, start=1):
+        if RE_HOT.match(raw_line):
+            sf.hot_lines.append(ln_no)
+    return sf
+
+
+# --------------------------------------------------------------------------
+# Function extent scanner
+# --------------------------------------------------------------------------
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else",
+    "sizeof", "alignof", "decltype", "static_assert", "defined", "assert",
+    "new", "delete", "throw", "case",
+}
+
+RE_FUNC_SIG = re.compile(
+    r"^(?:[\w:<>,*&~\[\]=\s.]|::)*?"
+    r"(?P<name>~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*"
+    r"\((?P<args>.*)\)\s*"
+    r"(?:const\b|noexcept\b|final\b|override\b|mutable\b|"
+    r"->\s*[\w:<>,*&\s]+|:\s*.*|\s)*$",
+    re.S,
+)
+
+
+def _args_look_like_params(args: str) -> bool:
+    """Reject call-expressions masquerading as definitions: every top-level
+    comma chunk of a parameter list names a type (two tokens, or *, &, <>,
+    ..., or is empty/void)."""
+    depth = 0
+    chunks, cur = [], []
+    for ch in args:
+        if ch in "(<[{":
+            depth += 1
+        elif ch in ")>]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            chunks.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    chunks.append("".join(cur))
+    for c in chunks:
+        c = c.strip()
+        if c in ("", "void"):
+            continue
+        if any(t in c for t in ("*", "&", "<", "...", "=")):
+            continue
+        if len(c.split()) >= 2:
+            continue
+        return False
+    return True
+
+
+@dataclass
+class Func:
+    name: str            # last qualifier component, e.g. "ForwardGemm"
+    qual: str            # as written, e.g. "Conv2d::ForwardGemm"
+    rel: str
+    sig_line: int
+    body_start: int      # offset of '{' in stripped text
+    body_end: int        # offset one past matching '}'
+    body: str
+    hot: bool = False
+
+
+def _match_brace(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def scan_functions(sf: SourceFile) -> list[Func]:
+    """Find function definitions by statement-chunk analysis: at every
+    block-opening '{', the text since the previous ; { or } must parse as a
+    signature. Detected bodies are skipped (C++ functions do not nest), so
+    lambdas and statements inside bodies are never misread as definitions."""
+    text = sf.stripped
+    funcs: list[Func] = []
+    i = 0
+    chunk_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in ";}":
+            chunk_start = i + 1
+            i += 1
+            continue
+        if ch != "{":
+            i += 1
+            continue
+        # Classify the brace: expression/init braces are skipped wholesale.
+        k = i - 1
+        while k >= 0 and text[k] in " \t\n":
+            k -= 1
+        prev = text[k] if k >= 0 else ""
+        if prev in "(,=":
+            i = _match_brace(text, i)
+            continue
+        chunk = text[chunk_start:i].strip()
+        m = RE_FUNC_SIG.fullmatch(chunk) if chunk and "(" in chunk else None
+        ok = False
+        if m:
+            name = re.sub(r"\s+", "", m.group("name"))
+            last = name.split("::")[-1]
+            if last not in KEYWORDS and "=" not in chunk.split(name)[0] \
+                    and _args_look_like_params(m.group("args")):
+                ok = True
+        if ok:
+            end = _match_brace(text, i)
+            sig_line = sf.line_of(chunk_start + (len(text[chunk_start:i]) -
+                                                 len(text[chunk_start:i].lstrip())))
+            funcs.append(Func(name=last, qual=name, rel=sf.rel,
+                              sig_line=sig_line, body_start=i, body_end=end,
+                              body=text[i:end]))
+            i = end
+            chunk_start = i
+            continue
+        chunk_start = i + 1
+        i += 1
+    # Attach CIP_HOT annotations: the nearest following function within 6 lines.
+    for hot_line in sf.hot_lines:
+        best = None
+        for f in funcs:
+            if hot_line < f.sig_line <= hot_line + 6:
+                if best is None or f.sig_line < best.sig_line:
+                    best = f
+        if best is not None:
+            best.hot = True
+    return funcs
+
+
+# --------------------------------------------------------------------------
+# Rule family 1: parallel-region purity
+# --------------------------------------------------------------------------
+
+RE_PARALLEL_CALL = re.compile(r"\bParallelFor(?:Coarse)?\s*\(")
+RE_LAMBDA_INTRO = re.compile(r"\[(?P<cap>[^\[\]]*)\]\s*(?:\((?P<params>[^)]*)\))?\s*(?:mutable\s*)?(?:->\s*[\w:<>&*\s]+)?\s*\{")
+RE_TENSOR_MUT = re.compile(
+    r"(?P<recv>\w+)?\s*\.\s*(?:data|flat)\s*\(\s*\)|"
+    r"\bEnsureShape\s*\(\s*(?P<earg>\w+)|"
+    r"(?P<frecv>\w+)?\s*\.\s*(?:Fill\s*\(|Zero\s*\(\s*\))")
+# Repo convention: `...Into(out)` functions mutate their out-params. Passing a
+# member tensor (trailing underscore) by name into one from inside a region is
+# exactly the shape of the PR 5 race — the version bump happens in the callee.
+RE_INTO_CALL = re.compile(r"\b((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*Into)\s*\(")
+RE_THREAD_PRIM = re.compile(
+    r"\bstd::(?:jthread\b|thread\b(?!\s*::)|mutex\b|recursive_mutex\b|"
+    r"lock_guard\b|unique_lock\b|scoped_lock\b|condition_variable\b)")
+RE_MOVE_ASSIGN = re.compile(r"(\w+)\s*=\s*std::move\s*\(")
+RE_LOCAL_DECL_TYPE = re.compile(
+    r"^\s*(?:const\s+|constexpr\s+|static\s+)*"
+    r"[A-Za-z_][\w:]*(?:\s*<[^<>;]*>)?(?:\s*[*&]+\s*|\s+)(?=[A-Za-z_])")
+DECL_LINE_KEYWORDS = {
+    "return", "throw", "delete", "new", "else", "case", "goto", "break",
+    "continue", "if", "for", "while", "switch", "do",
+}
+RE_WRITE = re.compile(
+    r"(?<![\w.\]\[>])(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?P<op>\+\+|--|(?:\+|-|\*|/|%|\||&|\^|<<|>>)?=(?!=))")
+RE_PRE_INCR = re.compile(r"(?:\+\+|--)\s*(?P<name>[A-Za-z_]\w*)")
+
+
+def _find_region_lambdas(body: str) -> list[tuple[int, str, str]]:
+    """Return (offset-in-body, capture-list, lambda-body) for each lambda that
+    is an argument of a ParallelFor/ParallelForCoarse call in `body`. A bare
+    identifier argument is resolved against `auto NAME = [..](..){..}`
+    definitions earlier in the same function body."""
+    out = []
+    for m in RE_PARALLEL_CALL.finditer(body):
+        open_paren = m.end() - 1
+        close = _match_paren(body, open_paren)
+        args = body[open_paren + 1 : close - 1]
+        lm = RE_LAMBDA_INTRO.search(args)
+        if lm:
+            lam_body_open = open_paren + 1 + lm.end() - 1
+            lam_end = _match_brace(body, lam_body_open)
+            out.append((lam_body_open, lm.group("cap"),
+                        body[lam_body_open:lam_end]))
+            continue
+        # Named-lambda argument: ParallelForCoarse(0, n, run_block).
+        for ident in re.findall(r"\b([A-Za-z_]\w*)\b", args):
+            dm = re.search(
+                r"\b" + re.escape(ident) + r"\s*=\s*\[(?P<cap>[^\[\]]*)\]"
+                r"\s*(?:\([^)]*\))?\s*(?:mutable\s*)?\s*\{",
+                body[: m.start()])
+            if dm:
+                lam_body_open = dm.end() - 1
+                lam_end = _match_brace(body, lam_body_open)
+                out.append((lam_body_open, dm.group("cap"),
+                            body[lam_body_open:lam_end]))
+                break
+    return out
+
+
+def _match_paren(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _local_names(region: str, params: str) -> set[str]:
+    names = set(re.findall(r"\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$",
+                           params.strip())) if params else set()
+    for p in params.split(","):
+        ids = re.findall(r"[A-Za-z_]\w*", p)
+        if ids:
+            names.add(ids[-1])
+    for line in region.split("\n"):
+        first = re.match(r"\s*([A-Za-z_]\w*)", line)
+        if first and first.group(1) in DECL_LINE_KEYWORDS:
+            continue
+        m = RE_LOCAL_DECL_TYPE.match(line)
+        if not m:
+            continue
+        for chunk in _split_top_commas(line[m.end():].rstrip().rstrip(";")):
+            ids = re.findall(r"[A-Za-z_]\w*", chunk)
+            if ids:
+                names.add(ids[0])
+    # for-loop induction variables: `for (type i = ...;`
+    for m in re.finditer(r"\bfor\s*\(\s*(?:const\s+)?[\w:]+(?:\s*[*&]+\s*|\s+)"
+                         r"(\w+)\s*[=:{]", region):
+        names.add(m.group(1))
+    return names
+
+
+def _split_top_commas(s: str) -> list[str]:
+    depth = 0
+    out, cur = [], []
+    for ch in s:
+        if ch in "(<[{":
+            depth += 1
+        elif ch in ")>]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    out.append("".join(cur))
+    return out
+
+
+def check_purity(sf: SourceFile, funcs: list[Func]) -> list[Finding]:
+    out: list[Finding] = []
+    for f in funcs:
+        for off, cap, region in _find_region_lambdas(f.body):
+            region_line = sf.line_of(f.body_start + off)
+            params_m = RE_LAMBDA_INTRO.match(
+                # Re-derive params from the intro preceding the body brace.
+                f.body[max(0, off - 200) : off + 1].split("[")[-1].join(["[", ""]))
+            # Simpler: pull params straight from the region context.
+            pm = re.search(r"\]\s*\(([^)]*)\)\s*(?:mutable\s*)?\s*\{\Z",
+                           f.body[max(0, off - 300) : off + 1], re.S)
+            params = pm.group(1) if pm else ""
+            locals_ = _local_names(region, params)
+            by_ref = "&" in cap
+
+            for m in RE_TENSOR_MUT.finditer(region):
+                ctx = region[max(0, m.start() - 60) : m.start()]
+                if "as_const" in ctx.rsplit(";", 1)[-1]:
+                    continue
+                recv = m.group("recv") or m.group("earg") or m.group("frecv")
+                if recv is not None and recv in locals_:
+                    continue  # mutating a region-local tensor is fine
+                line = sf.line_of(f.body_start + off + m.start())
+                out.append(Finding(sf.rel, line, "purity-tensor-mut",
+                                   "potential Tensor mutation inside a "
+                                   "parallel region (version-counter bump is "
+                                   "an unsynchronized write — tensor.h); "
+                                   "hoist a raw pointer out of the region"))
+            for m in RE_INTO_CALL.finditer(region):
+                close = _match_paren(region, m.end() - 1)
+                for arg in _split_top_commas(region[m.end() : close - 1]):
+                    a = arg.strip()
+                    if re.fullmatch(r"(?:this->)?[A-Za-z]\w*_", a) \
+                            and a not in locals_:
+                        line = sf.line_of(f.body_start + off + m.start())
+                        out.append(Finding(
+                            sf.rel, line, "purity-tensor-mut",
+                            f"member `{a}` passed by name into mutating "
+                            f"`{m.group(1)}` inside a parallel region — the "
+                            "callee's non-const access bumps the version "
+                            "counter concurrently (the PR 5 race); use the "
+                            "raw-pointer overload"))
+            for m in RE_THREAD_PRIM.finditer(region):
+                line = sf.line_of(f.body_start + off + m.start())
+                out.append(Finding(sf.rel, line, "purity-thread-prim",
+                                   "raw threading primitive constructed "
+                                   "inside a parallel region; parallelism "
+                                   "must go through the worker pool"))
+            for m in RE_MOVE_ASSIGN.finditer(region):
+                if m.group(1) not in locals_:
+                    line = sf.line_of(f.body_start + off + m.start())
+                    out.append(Finding(sf.rel, line, "purity-tensor-mut",
+                                       f"move-assignment into captured "
+                                       f"`{m.group(1)}` inside a parallel "
+                                       "region (bumps version / races)"))
+            if by_ref:
+                for m in RE_WRITE.finditer(region):
+                    name = m.group("name")
+                    if name in locals_ or name in KEYWORDS:
+                        continue
+                    # Subscripted or member/pointer targets are partitioned
+                    # per index by convention; plain scalars are not.
+                    after = region[m.end() : m.end() + 2]
+                    before = region[max(0, m.start() - 2) : m.start()]
+                    if before.endswith((".", ">", "*")):
+                        continue
+                    tail = region[m.start() + len(name) :]
+                    if tail.lstrip().startswith("["):
+                        continue
+                    if m.group("op") in ("++", "--") and not after:
+                        continue
+                    line = sf.line_of(f.body_start + off + m.start())
+                    out.append(Finding(
+                        sf.rel, line, "purity-capture-write",
+                        f"write to by-reference capture `{name}` without a "
+                        "per-index partition; use a per-chunk slot or an "
+                        "atomic"))
+                for m in RE_PRE_INCR.finditer(region):
+                    name = m.group("name")
+                    if name in locals_ or name in KEYWORDS:
+                        continue
+                    line = sf.line_of(f.body_start + off + m.start())
+                    out.append(Finding(
+                        sf.rel, line, "purity-capture-write",
+                        f"increment of by-reference capture `{name}` without "
+                        "a per-index partition"))
+            _ = region_line, params_m  # keep line computation obvious
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule family 2: hot-path allocation audit
+# --------------------------------------------------------------------------
+
+RE_ALLOC_NEW = re.compile(r"(?<![\w:])new\b(?!\s*\()")
+RE_ALLOC_NEW_PLACEMENT = re.compile(r"(?<![\w:])new\s*\(")
+RE_ALLOC_MALLOC = re.compile(r"(?<![\w:])(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\(")
+RE_ALLOC_TENSOR = re.compile(
+    r"(?:^|[^\w:])Tensor\s*(?:\(|\{(?!\s*\}))|"   # Tensor(...) / Tensor{...}
+    r"(?:^|[^\w:])Tensor\s+\w+\s*[({]")           # Tensor y(...)
+RE_ALLOC_GROWTH = re.compile(
+    r"\.\s*(?:push_back|emplace_back|emplace|resize|reserve|assign|insert|"
+    r"append|push)\s*\(")
+RE_SIZED_CONTAINER = re.compile(
+    r"\bstd::(?:vector|string|deque)\s*<[^;<>]*(?:<[^<>]*>)?[^;<>]*>\s+\w+\s*\(")
+RE_CALL = re.compile(r"(?<![\w.:>])([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(")
+RE_METHOD_CALL = re.compile(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+# Names never worth following (macros, checks, std-ish helpers).
+CALL_SKIP = KEYWORDS | {
+    "CIP_CHECK", "CIP_DCHECK", "EXPECT_EQ", "ASSERT_EQ",
+}
+# Follow a callee only when its name has at most this many definitions in the
+# repo index: overloaded/virtual names (Forward, Backward, ...) are skipped —
+# documented limitation; the per-layer CIP_HOT annotations cover the leaves.
+MAX_DEFS_TO_FOLLOW = 2
+
+
+def _body_calls(body: str) -> set[str]:
+    calls: set[str] = set()
+    for m in RE_CALL.finditer(body):
+        name = m.group(1).split("::")[-1]
+        if name in CALL_SKIP or name.isupper() or name.startswith("CIP_"):
+            continue
+        calls.add(name)
+    for m in RE_METHOD_CALL.finditer(body):
+        name = m.group(1)
+        if name not in CALL_SKIP:
+            calls.add(name)
+    return calls
+
+
+def check_hot_alloc(files: dict[str, SourceFile],
+                    index: dict[str, list[Func]]) -> list[Finding]:
+    by_name: dict[str, list[Func]] = {}
+    for funcs in index.values():
+        for f in funcs:
+            by_name.setdefault(f.name, []).append(f)
+
+    roots = [f for funcs in index.values() for f in funcs if f.hot]
+    out: list[Finding] = []
+    seen: set[tuple[str, str, int]] = set()
+    # BFS over the resolvable call graph, keeping the annotation chain.
+    work: list[tuple[Func, str]] = [(f, f.qual) for f in roots]
+    visited: set[tuple[str, int]] = set()
+    while work:
+        f, chain = work.pop()
+        key = (f.rel, f.body_start)
+        if key in visited:
+            continue
+        visited.add(key)
+        sf = files[f.rel]
+        checks = (
+            (RE_ALLOC_NEW, "hot-alloc-new", "operator new"),
+            (RE_ALLOC_NEW_PLACEMENT, "hot-alloc-new", "operator new"),
+            (RE_ALLOC_MALLOC, "hot-alloc-malloc", "C heap allocation"),
+            (RE_ALLOC_TENSOR, "hot-alloc-tensor", "Tensor construction"),
+            (RE_ALLOC_GROWTH, "hot-alloc-container", "container growth"),
+            (RE_SIZED_CONTAINER, "hot-alloc-container",
+             "sized container construction"),
+        )
+        for rx, rule, what in checks:
+            for m in rx.finditer(f.body):
+                line = sf.line_of(f.body_start + m.start())
+                fkey = (f.rel, rule, line)
+                if fkey in seen:
+                    continue
+                seen.add(fkey)
+                out.append(Finding(
+                    sf.rel, line, rule,
+                    f"{what} on a CIP_HOT path (via {chain}); hot steady "
+                    "state must reuse grow-once scratch"))
+        for callee in sorted(_body_calls(f.body)):
+            defs = by_name.get(callee, [])
+            if 0 < len(defs) <= MAX_DEFS_TO_FOLLOW:
+                for d in defs:
+                    work.append((d, f"{chain} -> {d.qual}"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule family 3: determinism discipline
+# --------------------------------------------------------------------------
+
+RE_DET_RAND = re.compile(r"(?<![\w:])s?rand\s*\(|\bstd::rand\b")
+RE_DET_SEED = re.compile(
+    r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)|\bstd::random_device\b")
+RE_DET_WALLCLOCK = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|"
+    r"\bgettimeofday\s*\(|(?<![\w:.])clock\s*\(\s*\)")
+RE_UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*[&*]?\s*(\w+)")
+
+
+def check_determinism(sf: SourceFile) -> list[Finding]:
+    out: list[Finding] = []
+    text = sf.stripped
+    for rx, rule, msg in (
+        (RE_DET_RAND, "det-rand",
+         "rand()/srand() is banned; use cip::Rng streams"),
+        (RE_DET_SEED, "det-seed",
+         "environment-derived seeding (time/random_device) breaks "
+         "reproducibility; derive from an explicit seed"),
+        (RE_DET_WALLCLOCK, "det-wallclock",
+         "wall-clock read outside bench/; if this is telemetry, add "
+         "CIP_ANALYZE_OK(det-wallclock) with a justification"),
+    ):
+        for m in rx.finditer(text):
+            out.append(Finding(sf.rel, sf.line_of(m.start()), rule, msg))
+    # Wall-clock reads through a type alias (`using Clock = std::chrono::
+    # steady_clock; ... Clock::now()`) must not dodge the rule.
+    aliases = re.findall(
+        r"\busing\s+(\w+)\s*=\s*std::chrono::"
+        r"(?:steady_clock|system_clock|high_resolution_clock)\s*;", text)
+    for alias in set(aliases):
+        for m in re.finditer(r"\b" + re.escape(alias) + r"\s*::\s*now\s*\(",
+                             text):
+            out.append(Finding(
+                sf.rel, sf.line_of(m.start()), "det-wallclock",
+                f"wall-clock read via alias `{alias}` outside bench/; if "
+                "this is telemetry, add CIP_ANALYZE_OK(det-wallclock) with "
+                "a justification"))
+    unordered = set(RE_UNORDERED_DECL.findall(text))
+    if unordered:
+        for m in re.finditer(r"\bfor\s*\([^;)]*:\s*(\w+)\s*\)", text):
+            if m.group(1) in unordered:
+                out.append(Finding(
+                    sf.rel, sf.line_of(m.start()), "det-unordered-iter",
+                    f"iteration over unordered container `{m.group(1)}`: "
+                    "order is unspecified and must not feed serialized or "
+                    "aggregated output; use an ordered container or sort "
+                    "keys first"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Optional libclang engine (purity refinement)
+# --------------------------------------------------------------------------
+
+
+class ClangEngine:
+    """Best-effort AST refinement of the purity family. Never required: any
+    failure (missing bindings, unparseable TU, missing compile flags) falls
+    back to the heuristic checks for that file."""
+
+    TENSOR_MUTATORS = {"data", "flat", "Fill", "Zero", "At", "operator[]",
+                       "operator="}
+    THREAD_TYPES = {"thread", "jthread", "mutex", "recursive_mutex",
+                    "lock_guard", "unique_lock", "scoped_lock",
+                    "condition_variable"}
+
+    def __init__(self, build_dir: pathlib.Path | None):
+        import clang.cindex as cindex  # may raise ImportError
+
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+        self.flags: dict[str, list[str]] = {}
+        if build_dir is not None:
+            cc = build_dir / "compile_commands.json"
+            if cc.is_file():
+                for entry in json.loads(cc.read_text(encoding="utf-8")):
+                    args = entry.get("command", "").split()[1:]
+                    args = [a for a in args if not a.endswith(".cpp")
+                            and a not in ("-c", "-o")]
+                    self.flags[str(pathlib.Path(entry["file"]).resolve())] = args
+
+    def check_purity(self, root: pathlib.Path,
+                     sf: SourceFile) -> list[Finding] | None:
+        ci = self.cindex
+        path = root / sf.rel
+        args = self.flags.get(str(path.resolve()),
+                              ["-std=c++20", f"-I{root / 'src'}"])
+        try:
+            tu = self.index.parse(str(path), args=args)
+        except Exception:
+            return None
+        if any(d.severity >= ci.Diagnostic.Fatal for d in tu.diagnostics):
+            return None
+        out: list[Finding] = []
+
+        def lambdas_of_parallel_calls(node):
+            if node.kind == ci.CursorKind.CALL_EXPR and node.spelling in (
+                    "ParallelFor", "ParallelForCoarse"):
+                for child in node.walk_preorder():
+                    if child.kind == ci.CursorKind.LAMBDA_EXPR:
+                        yield child
+            for c in node.get_children():
+                if c.location.file and c.location.file.name == str(path):
+                    yield from lambdas_of_parallel_calls(c)
+
+        for lam in lambdas_of_parallel_calls(tu.cursor):
+            for node in lam.walk_preorder():
+                if node.kind == ci.CursorKind.CALL_EXPR:
+                    ref = node.referenced
+                    if (ref is not None
+                            and ref.spelling in self.TENSOR_MUTATORS
+                            and ref.semantic_parent is not None
+                            and ref.semantic_parent.spelling == "Tensor"
+                            and not ref.is_const_method()):
+                        out.append(Finding(
+                            sf.rel, node.location.line, "purity-tensor-mut",
+                            f"non-const Tensor::{ref.spelling}() inside a "
+                            "parallel region (AST-verified); hoist a raw "
+                            "pointer out of the region"))
+                if node.kind == ci.CursorKind.VAR_DECL and node.type is not None:
+                    base = node.type.spelling.split("<")[0].split("::")[-1]
+                    if base.strip() in self.THREAD_TYPES:
+                        out.append(Finding(
+                            sf.rel, node.location.line, "purity-thread-prim",
+                            f"std::{base.strip()} constructed inside a "
+                            "parallel region (AST-verified)"))
+        return out
+
+
+def make_clang_engine(engine: str,
+                      build_dir: pathlib.Path | None) -> ClangEngine | None:
+    if engine == "heuristic":
+        return None
+    try:
+        return ClangEngine(build_dir)
+    except Exception as e:
+        if engine == "libclang":
+            print(f"cip_analyze: libclang engine unavailable: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        return None
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def analyze_file(root: pathlib.Path, sf: SourceFile,
+                 clang_engine: ClangEngine | None,
+                 families: set[str]) -> list[Finding]:
+    funcs = scan_functions(sf)
+    findings: list[Finding] = []
+    if "purity" in families:
+        ast = None
+        if clang_engine is not None:
+            ast = clang_engine.check_purity(root, sf)
+        if ast is not None:
+            findings += ast
+            # Capture-write analysis stays heuristic even under the AST
+            # engine (flow analysis is out of scope); run it alone.
+            findings += [f for f in check_purity(sf, funcs)
+                         if f.rule == "purity-capture-write"]
+        else:
+            findings += check_purity(sf, funcs)
+    if "determinism" in families:
+        findings += check_determinism(sf)
+    return findings
+
+
+def apply_suppressions(sf: SourceFile,
+                       findings: list[Finding]) -> list[Finding]:
+    """Drop findings covered by a CIP_ANALYZE_OK on the same or previous
+    line; emit bad-suppression for justification-free markers."""
+    out = []
+    for fnd in findings:
+        for ln in (fnd.line, fnd.line - 1):
+            sup = sf.suppressions.get(ln)
+            if sup is None:
+                continue
+            token, just = sup
+            if token == fnd.rule or token == RULES.get(fnd.rule):
+                if just:
+                    fnd.suppressed = True
+                break
+        out.append(fnd)
+    for ln, (token, just) in sf.suppressions.items():
+        if token not in RULES and token not in FAMILIES:
+            out.append(Finding(sf.rel, ln, "bad-suppression",
+                               f"unknown rule `{token}` in CIP_ANALYZE_OK"))
+        elif not just:
+            out.append(Finding(sf.rel, ln, "bad-suppression",
+                               "CIP_ANALYZE_OK without a justification — "
+                               "write why the finding is safe"))
+    return out
+
+
+def collect_sources(root: pathlib.Path,
+                    subdirs: tuple[str, ...]) -> dict[str, SourceFile]:
+    files: dict[str, SourceFile] = {}
+    for d in subdirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cpp") or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            files[rel] = parse_source(rel, path.read_text(encoding="utf-8"))
+    return files
+
+
+def run_scan(root: pathlib.Path, build_dir: pathlib.Path | None,
+             engine: str, subdirs: tuple[str, ...] = ("src",),
+             families: set[str] | None = None) -> list[Finding]:
+    families = families or set(FAMILIES)
+    files = collect_sources(root, subdirs)
+    clang_engine = make_clang_engine(engine, build_dir)
+    findings: list[Finding] = []
+    index = {rel: scan_functions(sf) for rel, sf in files.items()}
+    for rel, sf in files.items():
+        findings += apply_suppressions(
+            sf, analyze_file(root, sf, clang_engine, families))
+    if "hot-alloc" in families:
+        hot = check_hot_alloc(files, index)
+        grouped: dict[str, list[Finding]] = {}
+        for f in hot:
+            grouped.setdefault(f.path, []).append(f)
+        for rel, fs in grouped.items():
+            findings += [f for f in apply_suppressions(files[rel], fs)
+                         if f.rule != "bad-suppression"]  # already reported
+    # bad-suppression findings can be duplicated by the two passes; dedup.
+    uniq: dict[tuple[str, int, str], Finding] = {}
+    for f in findings:
+        uniq.setdefault((f.path, f.line, f.rule), f)
+    return sorted(uniq.values(), key=lambda f: (f.path, f.line, f.rule))
+
+
+def print_summary(findings: list[Finding]) -> None:
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    counts: dict[str, list[int]] = {}
+    for f in findings:
+        slot = counts.setdefault(f.rule, [0, 0])
+        slot[1 if f.suppressed else 0] += 1
+    print("cip_analyze: per-rule summary")
+    for rule in sorted(RULES):
+        hit, sup = counts.get(rule, [0, 0])
+        marker = "  " if hit == 0 else "!!"
+        print(f"  {marker} {rule:<24} findings={hit:<3} suppressed={sup}")
+    print(f"cip_analyze: {len(active)} finding(s), "
+          f"{len(suppressed)} suppressed")
+
+
+# --------------------------------------------------------------------------
+# Self-test over the fixture corpus
+# --------------------------------------------------------------------------
+
+
+def self_test(root: pathlib.Path, engine: str) -> int:
+    fixtures = root / "tests" / "analyze_fixtures"
+    if not fixtures.is_dir():
+        print(f"cip_analyze: fixture corpus missing at {fixtures}",
+              file=sys.stderr)
+        return 2
+    ok = True
+    n_files = 0
+    clang_engine = make_clang_engine(engine, None)
+    for path in sorted(fixtures.rglob("*.cpp")) + sorted(fixtures.rglob("*.h")):
+        rel = path.relative_to(root).as_posix()
+        sf = parse_source(rel, path.read_text(encoding="utf-8"))
+        if not sf.expects:
+            print(f"self-test FAIL: {rel} has no ANALYZE-EXPECT header")
+            ok = False
+            continue
+        n_files += 1
+        findings = apply_suppressions(
+            sf, analyze_file(root, sf, clang_engine, set(FAMILIES)))
+        funcs = scan_functions(sf)
+        hot = check_hot_alloc({rel: sf}, {rel: funcs})
+        findings += apply_suppressions(sf, hot)
+        active_rules = {f.rule for f in findings if not f.suppressed}
+        if sf.expects == ["clean"]:
+            if active_rules:
+                details = "; ".join(str(f) for f in findings if not f.suppressed)
+                print(f"self-test FAIL: {rel} expected clean, got: {details}")
+                ok = False
+            continue
+        for expected in sf.expects:
+            if expected not in RULES:
+                print(f"self-test FAIL: {rel} expects unknown rule "
+                      f"`{expected}`")
+                ok = False
+            elif expected not in active_rules:
+                print(f"self-test FAIL: {rel} expected rule `{expected}` "
+                      f"to fire; got {sorted(active_rules) or 'nothing'}")
+                ok = False
+    print(f"self-test {'OK' if ok else 'FAILED'} ({n_files} fixtures)")
+    return 0 if ok else 1
+
+
+# --------------------------------------------------------------------------
+# Header self-containment coverage audit (see CMakeLists.txt)
+# --------------------------------------------------------------------------
+
+
+def check_header_coverage(root: pathlib.Path, tu_dir: pathlib.Path) -> int:
+    """Every src/**/*.h must have a generated self-containment TU. The CMake
+    glob uses CONFIGURE_DEPENDS, which is best-effort per generator; this is
+    the tripwire that makes a stale configure fail loudly."""
+    missing = []
+    for path in sorted((root / "src").rglob("*.h")):
+        rel = path.relative_to(root / "src").as_posix()
+        mangled = rel.replace("/", "_")[: -len(".h")] + ".cpp"
+        if not (tu_dir / mangled).is_file():
+            missing.append(rel)
+    if missing:
+        for rel in missing:
+            print(f"header-coverage: src/{rel} has no self-containment TU "
+                  f"under {tu_dir} — re-run cmake configure")
+        return 1
+    print(f"header-coverage: all src headers tracked ({tu_dir})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("-p", "--build-dir", type=pathlib.Path, default=None,
+                        help="build dir holding compile_commands.json "
+                             "(libclang engine flag source)")
+    parser.add_argument("--engine", choices=("auto", "heuristic", "libclang"),
+                        default="auto")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every fixture under "
+                             "tests/analyze_fixtures matches its "
+                             "ANALYZE-EXPECT header")
+    parser.add_argument("--header-coverage", type=pathlib.Path, default=None,
+                        metavar="TU_DIR",
+                        help="audit that every src header has a generated "
+                             "self-containment TU in TU_DIR, then exit")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    if args.header_coverage is not None:
+        return check_header_coverage(root, args.header_coverage.resolve())
+    if args.self_test:
+        return self_test(root, args.engine)
+    if not (root / "src").is_dir():
+        print(f"cip_analyze: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    findings = run_scan(root, args.build_dir, args.engine)
+    for f in findings:
+        if not f.suppressed:
+            print(f)
+    print_summary(findings)
+    return 1 if any(not f.suppressed for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

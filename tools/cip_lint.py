@@ -22,6 +22,13 @@ Rules (see README "Correctness tooling"):
                   parallelism goes through ParallelFor's persistent worker
                   pool so thread creation stays centralized (reading
                   std::thread::hardware_concurrency is fine)
+  thread-include  `#include <thread>` / `<mutex>` / `<condition_variable>` /
+                  `<shared_mutex>` is banned outside the parallel.cpp
+                  allowlist (raw-thread confines construction; this confines
+                  the headers themselves, so threading primitives cannot
+                  creep in under any spelling). Benchmarks that drive
+                  concurrent top-level callers are allowlisted like the
+                  stress test.
   rng-ref-param   headers under src/fl and src/core must not declare new
                   `Rng&` parameters: shared mutable RNG streams are what made
                   concurrent client execution racy pre-RoundContext. Client
@@ -72,7 +79,22 @@ ALLOWLIST = {
     # external caller thread, which the library API cannot produce (anything
     # it launches is nested and runs inline).
     "raw-thread": {"src/common/parallel.cpp", "tests/test_parallel_stress.cpp"},
+    # Same confinement at the preprocessor level. The two FL benchmarks
+    # drive concurrent top-level callers (pool-busy fallback coverage), so
+    # they legitimately stand up their own threads like the stress test.
+    "thread-include": {
+        "src/common/parallel.cpp",
+        "tests/test_parallel_stress.cpp",
+        "bench/bench_fault_rounds.cpp",
+        "bench/bench_fl_rounds.cpp",
+    },
 }
+
+# Directories skipped by lint_tree entirely. The analyzer fixture corpus
+# (tools/cip_analyze.py --self-test) deliberately contains rand(), raw
+# threads, <mutex> includes and the like as known-bad inputs; linting it
+# would demand violations.
+EXCLUDE_DIRS = ("tests/analyze_fixtures",)
 
 RE_COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
 RE_BANNED_RAND = re.compile(r"(?<![\w:])s?rand\s*\(")
@@ -94,6 +116,8 @@ RE_PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 # `std::thread::hardware_concurrency` legal, and `std::this_thread::...`
 # never matches `std::thread` in the first place.
 RE_RAW_THREAD = re.compile(r"\bstd::(?:jthread\b|thread\b(?!\s*::))")
+RE_THREAD_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:thread|mutex|condition_variable|shared_mutex)>")
 
 
 # Rules reported as warnings: printed, self-tested, but never fatal.
@@ -156,6 +180,12 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
         if RE_PARENT_INCLUDE.search(line):
             out.append(Violation(rel, i, "include-style",
                                  'use project-root-relative includes, not "../"'))
+        if (rel not in ALLOWLIST["thread-include"]
+                and RE_THREAD_INCLUDE.search(line)):
+            out.append(Violation(rel, i, "thread-include",
+                                 "<thread>/<mutex> family headers only "
+                                 "allowed in src/common/parallel.cpp and "
+                                 "its stress/bench drivers; use ParallelFor"))
         if rel not in ALLOWLIST["raw-thread"] and RE_RAW_THREAD.search(line):
             out.append(Violation(rel, i, "raw-thread",
                                  "raw std::thread/std::jthread construction "
@@ -317,8 +347,12 @@ def lint_tree(root: pathlib.Path) -> list[Violation]:
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*")):
-            if path.suffix in SOURCE_SUFFIXES and path.is_file():
-                violations += lint_file(root, path)
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if any(rel.startswith(ex + "/") for ex in EXCLUDE_DIRS):
+                continue
+            violations += lint_file(root, path)
     violations += check_bench_json(root)
     violations += check_doc_links(root)
     return violations
@@ -336,6 +370,7 @@ SELF_TEST_CASES = {
     "bench-release": "BENCH_debug.json",
     "rng-ref-param": "src/fl/bad_rng_param.h",
     "raw-thread": "src/spawns_thread.cpp",
+    "thread-include": "src/includes_mutex.cpp",
     "doc-link": "docs/bad_links.md",
 }
 
@@ -373,12 +408,20 @@ SELF_TEST_SOURCES = {
     "BENCH_clean.json":
         '{"schema": "cip-bench-kernels/v1", '
         '"host": {"cip_build_type": "release"}}\n',
+    "src/includes_mutex.cpp":
+        "#include <mutex>\n"
+        "void Locked() {}\n",
     # Reading hardware_concurrency or using std::this_thread is not
-    # thread *construction* and stays legal everywhere.
+    # thread *construction* and stays legal everywhere (no <thread> include
+    # here: the declaration is reachable via the sanctioned parallel.h).
     "src/thread_query_clean.cpp":
-        "#include <thread>\n"
         "unsigned Hw() { return std::thread::hardware_concurrency(); }\n"
         "void Nap() { std::this_thread::yield(); }\n",
+    # The analyzer fixture corpus is excluded from linting wholesale: this
+    # file is full of violations but must produce zero hits.
+    "tests/analyze_fixtures/seeded_violations_clean.cpp":
+        "#include <thread>\n#include <mutex>\n"
+        "int noise() { return rand() % 7; }\n",
     # Rng& is fine outside src/fl and src/core headers (data/nn/attacks keep
     # explicit stream-passing), in .cpp files, and as a local binding.
     "src/data/rng_param_clean.h":
