@@ -8,7 +8,9 @@
 //
 // The JSON context carries a "cip_build_type" key ("release"/"debug") so
 // tools/bench_to_json.py can refuse to bless a baseline produced by a
-// non-Release build.
+// non-Release build, plus "cip_isa" (the GEMM kernel the run actually bound)
+// and "cip_isa_request" (what CIP_ISA asked for) so every committed number
+// names the microkernel that produced it.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -266,12 +268,34 @@ BENCHMARK(BM_SingleChannelTrainStep)->Arg(8)->Arg(12);
 // Hand-rolled BENCHMARK_MAIN so the JSON context records whether this binary
 // was compiled with optimizations: the committed baseline must come from a
 // Release build (tools/bench_to_json.py enforces it via this key).
+namespace {
+
+const char* IsaRequestName(cip::IsaRequest request) {
+  switch (request) {
+    case cip::IsaRequest::kPortable:
+      return "portable";
+    case cip::IsaRequest::kAvx2:
+      return "avx2";
+    case cip::IsaRequest::kAvx512:
+      return "avx512";
+    case cip::IsaRequest::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
 #ifdef NDEBUG
   benchmark::AddCustomContext("cip_build_type", "release");
 #else
   benchmark::AddCustomContext("cip_build_type", "debug");
 #endif
+  benchmark::AddCustomContext("cip_isa",
+                              cip::IsaName(cip::ops::ActiveGemmIsa()));
+  benchmark::AddCustomContext("cip_isa_request",
+                              IsaRequestName(cip::IsaRequested()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

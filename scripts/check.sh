@@ -63,6 +63,16 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset" -j "$jobs"
 
+  # The ctest pass above ran under CIP_ISA=auto (best SIMD kernel the host
+  # supports). Re-run the GEMM/conv parity and dispatcher suites with the
+  # portable kernel forced, so both sides of the runtime ISA dispatch stay
+  # covered on every preset — on a machine without AVX2 the two passes
+  # coincide, which is exactly the point (docs/KERNELS.md).
+  step "GEMM parity, portable kernel forced [$preset]"
+  CIP_ISA=portable ctest --preset "$preset" -j "$jobs" \
+    -R 'ConvParity|MatmulOracle|CpuFeatures|GemmIsa' \
+    --no-tests=error --output-on-failure
+
   if [[ "$preset" == release ]]; then
     if [[ "$run_analyze" == 1 ]]; then
       # Post-build pass with the Release compile_commands.json: identical

@@ -45,6 +45,7 @@ class CheckMessage {
     os_ << v;
     return *this;
   }
+  // The accumulated message text.
   std::string str() const { return os_.str(); }
 
  private:

@@ -1,0 +1,108 @@
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define CIP_X86 1
+#else
+#define CIP_X86 0
+#endif
+
+namespace cip {
+namespace {
+
+#if CIP_X86
+// Reads XCR0 (the OS-controlled extended-state enable mask) via xgetbv.
+// CPUID feature bits only say the silicon has the units; the OS must also
+// save/restore the corresponding register state across context switches, and
+// XCR0 is where it says so. Inline asm instead of _xgetbv() keeps
+// <immintrin.h> confined to the kernel TUs (see the intrinsic-include lint
+// rule in tools/cip_lint.py).
+unsigned long long ReadXcr0() {
+  unsigned int eax = 0;
+  unsigned int edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+  unsigned int eax = 0;
+  unsigned int ebx = 0;
+  unsigned int ecx = 0;
+  unsigned int edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return f;  // CPUID leaf 1 unavailable: report nothing beyond portable.
+  }
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx) {
+    return f;  // No OS-managed AVX state: every 256/512-bit path is off.
+  }
+  const unsigned long long xcr0 = ReadXcr0();
+  // Bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be enabled for YMM use.
+  const bool os_ymm = (xcr0 & 0x6) == 0x6;
+  // Bits 5-7 add the AVX-512 opmask/ZMM_Hi256/Hi16_ZMM state on top.
+  const bool os_zmm = (xcr0 & 0xE6) == 0xE6;
+  if (!os_ymm) {
+    return f;
+  }
+  unsigned int ebx7 = 0;
+  unsigned int ecx7 = 0;
+  unsigned int edx7 = 0;
+  unsigned int eax7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0) {
+    return f;
+  }
+  f.avx2 = (ebx7 & (1u << 5)) != 0;
+  f.fma = fma;
+  f.avx512f = os_zmm && (ebx7 & (1u << 16)) != 0;
+  return f;
+}
+#else
+CpuFeatures Probe() { return CpuFeatures{}; }
+#endif
+
+}  // namespace
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kAvx512:
+      return "avx512";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kPortable:
+      break;
+  }
+  return "portable";
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+bool IsaSupported(IsaLevel level, const CpuFeatures& f) {
+  switch (level) {
+    case IsaLevel::kAvx512:
+      return f.avx512f;
+    case IsaLevel::kAvx2:
+      return f.avx2 && f.fma;
+    case IsaLevel::kPortable:
+      break;
+  }
+  return true;
+}
+
+IsaLevel BestSupportedIsa() {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (IsaSupported(IsaLevel::kAvx512, f)) {
+    return IsaLevel::kAvx512;
+  }
+  if (IsaSupported(IsaLevel::kAvx2, f)) {
+    return IsaLevel::kAvx2;
+  }
+  return IsaLevel::kPortable;
+}
+
+}  // namespace cip

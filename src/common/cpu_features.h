@@ -1,0 +1,47 @@
+// Runtime CPU-feature detection for the SIMD kernel dispatch.
+//
+// The GEMM microkernels in src/tensor/gemm_*.cpp are compiled per ISA
+// (portable GNU-vector, AVX2/FMA, AVX-512F) and bound at runtime: the probe
+// below runs CPUID exactly once, the kernel registry
+// (src/tensor/gemm_kernels.h) picks the best microkernel the host actually
+// supports, and the CIP_ISA environment variable (src/common/env.h) can force
+// any lower level. docs/KERNELS.md describes the whole flow.
+#pragma once
+
+namespace cip {
+
+/// Instruction-set levels the GEMM kernel registry can bind. Ordered: a
+/// larger enum value strictly implies more ISA capability, so "clamp the
+/// request down to what the host supports" is a simple comparison.
+enum class IsaLevel {
+  kPortable = 0,  ///< GNU-vector-extension tile; compiles and runs anywhere.
+  kAvx2 = 1,      ///< AVX2 + FMA 256-bit microkernel.
+  kAvx512 = 2,    ///< AVX-512F 512-bit microkernel.
+};
+
+/// Lowercase display/JSON name of an IsaLevel ("portable", "avx2", "avx512").
+const char* IsaName(IsaLevel level);
+
+/// What the host CPU (and its OS, via XCR0) actually supports. All fields are
+/// false on non-x86 targets and on x86 CPUs/OSes that do not enable the
+/// relevant vector state.
+struct CpuFeatures {
+  bool avx2 = false;     ///< CPUID.7.0:EBX[5], requires OS YMM state support.
+  bool fma = false;      ///< CPUID.1:ECX[12], requires OS YMM state support.
+  bool avx512f = false;  ///< CPUID.7.0:EBX[16], requires OS ZMM state support.
+};
+
+/// CPUID-based probe, executed once per process and cached; every subsequent
+/// call returns the same object. Thread-safe (magic static).
+const CpuFeatures& GetCpuFeatures();
+
+/// True when the host can execute a kernel of the given level: kPortable is
+/// always supported, kAvx2 needs avx2+fma, kAvx512 needs avx512f.
+bool IsaSupported(IsaLevel level, const CpuFeatures& f);
+
+/// The highest IsaLevel the probed host supports (the `CIP_ISA=auto` answer
+/// before the registry intersects it with the kernels compiled into this
+/// binary).
+IsaLevel BestSupportedIsa();
+
+}  // namespace cip

@@ -33,11 +33,22 @@ std::optional<bool> ParseBoolFlag(const char* s) {
   return std::nullopt;
 }
 
+std::optional<IsaRequest> ParseIsaRequest(const char* s) {
+  if (s == nullptr) return std::nullopt;
+  if (std::strcmp(s, "auto") == 0) return IsaRequest::kAuto;
+  if (std::strcmp(s, "portable") == 0) return IsaRequest::kPortable;
+  if (std::strcmp(s, "avx2") == 0) return IsaRequest::kAvx2;
+  if (std::strcmp(s, "avx512") == 0) return IsaRequest::kAvx512;
+  return std::nullopt;
+}
+
 namespace {
 
 // -1: not yet read from the environment; 0/1: resolved.
 std::atomic<int> g_naive_conv{-1};
 std::atomic<int> g_spawn_per_call{-1};
+// -1: not yet read from the environment; otherwise an IsaRequest value.
+std::atomic<int> g_isa_request{-1};
 
 }  // namespace
 
@@ -47,6 +58,10 @@ void SetNaiveConvForTesting(bool enabled) {
 
 void SetSpawnPerCallForTesting(bool enabled) {
   g_spawn_per_call.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SetIsaRequestForTesting(IsaRequest request) {
+  g_isa_request.store(static_cast<int>(request), std::memory_order_relaxed);
 }
 
 }  // namespace internal
@@ -60,6 +75,16 @@ bool NaiveConvEnabled() {
     internal::g_naive_conv.store(v, std::memory_order_relaxed);
   }
   return v == 1;
+}
+
+IsaRequest IsaRequested() {
+  int v = internal::g_isa_request.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(internal::ParseIsaRequest(std::getenv("CIP_ISA"))
+                             .value_or(IsaRequest::kAuto));
+    internal::g_isa_request.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<IsaRequest>(v);
 }
 
 bool SpawnPerCallEnabled() {

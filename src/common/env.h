@@ -30,6 +30,25 @@ bool NaiveConvEnabled();
 /// two paths — only dispatch latency differs.
 bool SpawnPerCallEnabled();
 
+/// What CIP_ISA asked for. `kAuto` means "bind the best kernel the host
+/// supports"; the explicit levels force that kernel (clamped down to what the
+/// host supports — forcing avx512 on an AVX2-only box binds avx2's fallback
+/// chain, never an illegal instruction).
+enum class IsaRequest {
+  kAuto = 0,
+  kPortable = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// CIP_ISA (default auto): which GEMM microkernel ISA to bind. Strict
+/// parsing: only the exact strings "auto", "portable", "avx2", "avx512" are
+/// honored; anything else is ignored (auto). Read once at first use; the
+/// dispatcher tests flip the request at runtime via
+/// internal::SetIsaRequestForTesting. See docs/KERNELS.md for the full
+/// dispatch flow.
+IsaRequest IsaRequested();
+
 namespace internal {
 
 /// Strict parse of a 0/1 flag value. Returns nullopt unless `s` is exactly
@@ -44,6 +63,16 @@ void SetNaiveConvForTesting(bool enabled);
 /// environment. For the pool-vs-spawn dispatch benchmarks and stress tests
 /// only.
 void SetSpawnPerCallForTesting(bool enabled);
+
+/// Strict parse of a CIP_ISA value. Returns nullopt unless `s` is exactly
+/// one of "auto", "portable", "avx2", "avx512".
+std::optional<IsaRequest> ParseIsaRequest(const char* s);
+
+/// Override IsaRequested() for the rest of the process, bypassing the
+/// environment. Callers that already bound a kernel are not rebound; pair
+/// with ops::internal::ResetGemmBindingForTesting. For dispatcher tests and
+/// the per-ISA benches only.
+void SetIsaRequestForTesting(IsaRequest request);
 
 }  // namespace internal
 

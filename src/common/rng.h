@@ -25,36 +25,33 @@ class Rng {
     return Rng(engine_() ^ (salt * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull));
   }
 
+  /// Next raw 64-bit engine word.
   std::uint64_t NextU64() { return engine_(); }
 
   /// Uniform integer in [lo, hi] inclusive.
   int UniformInt(int lo, int hi) {
     CIP_CHECK_LE(lo, hi);
-    std::uniform_int_distribution<int> d(lo, hi);
-    return d(engine_);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
   }
 
   /// Uniform size_t in [0, n).
   std::size_t Index(std::size_t n) {
     CIP_CHECK_GT(n, 0u);
-    std::uniform_int_distribution<std::size_t> d(0, n - 1);
-    return d(engine_);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
   }
 
+  /// Uniform float in [lo, hi).
   float Uniform(float lo = 0.0f, float hi = 1.0f) {
-    std::uniform_real_distribution<float> d(lo, hi);
-    return d(engine_);
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
   }
 
+  /// Gaussian sample with the given mean and standard deviation.
   float Normal(float mean = 0.0f, float stddev = 1.0f) {
-    std::normal_distribution<float> d(mean, stddev);
-    return d(engine_);
+    return std::normal_distribution<float>(mean, stddev)(engine_);
   }
 
-  bool Bernoulli(float p) {
-    std::bernoulli_distribution d(p);
-    return d(engine_);
-  }
+  /// True with probability p.
+  bool Bernoulli(float p) { return std::bernoulli_distribution(p)(engine_); }
 
   /// Fisher–Yates shuffle.
   template <typename T>
@@ -66,7 +63,7 @@ class Rng {
 
   /// A random permutation of [0, n).
   std::vector<std::size_t> Permutation(std::size_t n) {
-    std::vector<std::size_t> p(n);
+    auto p = std::vector<std::size_t>(n);
     for (std::size_t i = 0; i < n; ++i) p[i] = i;
     Shuffle(p);
     return p;
@@ -81,6 +78,7 @@ class Rng {
     return p;
   }
 
+  /// Underlying engine, for std:: algorithms that want a URBG directly.
   std::mt19937_64& engine() { return engine_; }
 
  private:

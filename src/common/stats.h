@@ -7,16 +7,20 @@
 
 namespace cip {
 
+/// Arithmetic mean; 0 for empty input.
 double Mean(std::span<const float> v);
+/// Arithmetic mean; 0 for empty input.
 double Mean(std::span<const double> v);
 
 /// Population variance (divides by n).
 double Variance(std::span<const float> v);
+/// Population standard deviation, sqrt(Variance); 0 for empty input.
 double StdDev(std::span<const float> v);
 
 /// q in [0, 1]; linear interpolation between order statistics.
 double Quantile(std::vector<float> v, double q);
 
+/// Quantile(v, 0.5); CHECK-fails on empty input.
 double Median(std::vector<float> v);
 
 /// Pearson correlation; returns 0 when either side is constant.

@@ -13,11 +13,13 @@ class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
 
+  /// Appends one row; must have as many cells as the header has columns.
   void AddRow(std::vector<std::string> row);
 
   /// Convenience: format a double with fixed precision.
   static std::string Num(double v, int precision = 3);
 
+  /// Writes header + rows with columns padded to the widest cell.
   void Print(std::ostream& os) const;
 
  private:

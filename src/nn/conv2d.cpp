@@ -49,7 +49,8 @@ Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
     // Blocked regime: multiply against the cached pre-packed weight, repacking
     // only when the weight actually changed (optimizer steps bump version()).
     // Bit-identical to MatmulTransBInto, which packs the same panels per call.
-    if (packed_w_.empty() || packed_w_version_ != w_.value.version()) {
+    if (packed_w_.empty() || packed_w_version_ != w_.value.version() ||
+        packed_w_.isa() != ops::ActiveGemmIsa()) {
       ops::PackBForMatmulTransBInto(w_.value, packed_w_);
       packed_w_version_ = w_.value.version();
     }

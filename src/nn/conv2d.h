@@ -83,8 +83,10 @@ class Conv2d : public Module {
   Tensor col_, gemm_y_, gy_, dcol_, dw_;
 
   // Forward weight pre-packed for the blocked GEMM, rebuilt only when
-  // w_.value.version() moves (i.e. after an optimizer step). Keeps the
-  // steady-state eval forward free of the per-call packing pass.
+  // w_.value.version() moves (i.e. after an optimizer step) or when the
+  // bound GEMM ISA differs from the one it was packed for (panel layouts
+  // are per-ISA, docs/KERNELS.md). Keeps the steady-state eval forward
+  // free of the per-call packing pass.
   ops::PackedB packed_w_;
   std::uint64_t packed_w_version_ = 0;
 };

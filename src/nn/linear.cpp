@@ -30,7 +30,8 @@ Tensor Linear::Forward(const Tensor& x, bool train) {
     // Blocked regime: multiply against the cached pre-packed weight, repacking
     // only when the weight actually changed (optimizer steps bump version()).
     // Bit-identical to MatmulTransBInto, which packs the same panels per call.
-    if (packed_w_.empty() || packed_w_version_ != w_.value.version()) {
+    if (packed_w_.empty() || packed_w_version_ != w_.value.version() ||
+        packed_w_.isa() != ops::ActiveGemmIsa()) {
       ops::PackBForMatmulTransBInto(w_.value, packed_w_);
       packed_w_version_ = w_.value.version();
     }

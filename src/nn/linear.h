@@ -46,7 +46,9 @@ class Linear : public Module {
   Tensor dw_;
 
   // Forward weight pre-packed for the blocked GEMM, rebuilt only when
-  // w_.value.version() moves (i.e. after an optimizer step).
+  // w_.value.version() moves (i.e. after an optimizer step) or when the
+  // bound GEMM ISA differs from the one it was packed for (per-ISA panel
+  // layouts, docs/KERNELS.md).
   ops::PackedB packed_w_;
   std::uint64_t packed_w_version_ = 0;
 };

@@ -1,0 +1,150 @@
+// AVX2 + FMA GEMM microkernel: 6x16 register tile.
+//
+// Tile shape: 6 rows × 16 columns = twelve YMM accumulators, two YMM B loads,
+// and one broadcast register — 15 of the 16 architectural YMM registers, the
+// classic FMA-unit-saturating shape for 256-bit x86 (2 FMA ports × 5-cycle
+// latency needs ≥10 independent accumulator chains; 12 clears that with both
+// B vectors reused across all six rows). Panels are kNR = 16 floats wide, so
+// one packed panel row feeds exactly one (b0, b1) load pair.
+//
+// This TU is compiled with -mavx2 -mfma when the compiler supports them (see
+// src/tensor/CMakeLists.txt); the dispatcher only binds this kernel when the
+// runtime probe says the host can execute it. Without compiler support the
+// getter returns nullptr and the registry falls back.
+
+#include <cstddef>
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace cip::ops {
+namespace {
+
+constexpr std::size_t kMR = 6;    // register-tile rows
+constexpr std::size_t kNR = 16;   // register-tile columns (two YMM)
+constexpr std::size_t kKC = 256;  // k-block: panel slice stays in L1
+constexpr std::size_t kMC = 24;   // rows per parallel chunk (4 micro-tiles)
+
+// CIP_HOT  (AVX2 GEMM microkernel: row-range body under ParallelForCoarse)
+void Avx2GemmRows(const float* a, std::size_t k, std::size_t n,
+                  const float* packed, float* c, std::size_t i_lo,
+                  std::size_t i_hi) {
+  const std::size_t panels = (n + kNR - 1) / kNR;
+  for (std::size_t i = i_lo; i < i_hi; i += kMR) {
+    const std::size_t mr = std::min(kMR, i_hi - i);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const std::size_t j0 = jp * kNR;
+      const std::size_t jn = std::min(kNR, n - j0);
+      const float* panel = packed + jp * k * kNR;
+      if (mr == kMR) {
+        // Named accumulators, not __m256 arrays: GCC's allocator reliably
+        // keeps named values in registers, while an indexed array of vectors
+        // tends to live on the stack even after full unrolling, re-adding the
+        // store-forwarding chain the tile exists to avoid.
+        const float* a0 = a + (i + 0) * k;
+        const float* a1 = a + (i + 1) * k;
+        const float* a2 = a + (i + 2) * k;
+        const float* a3 = a + (i + 3) * k;
+        const float* a4 = a + (i + 4) * k;
+        const float* a5 = a + (i + 5) * k;
+        __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+        __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+        __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+        __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+        __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+        __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+        for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+          const std::size_t p1 = std::min(k, p0 + kKC);
+          const float* bp = panel + p0 * kNR;
+          for (std::size_t p = p0; p < p1; ++p, bp += kNR) {
+            const __m256 b0 = _mm256_loadu_ps(bp);
+            const __m256 b1 = _mm256_loadu_ps(bp + 8);
+            __m256 av = _mm256_broadcast_ss(a0 + p);
+            c00 = _mm256_fmadd_ps(av, b0, c00);
+            c01 = _mm256_fmadd_ps(av, b1, c01);
+            av = _mm256_broadcast_ss(a1 + p);
+            c10 = _mm256_fmadd_ps(av, b0, c10);
+            c11 = _mm256_fmadd_ps(av, b1, c11);
+            av = _mm256_broadcast_ss(a2 + p);
+            c20 = _mm256_fmadd_ps(av, b0, c20);
+            c21 = _mm256_fmadd_ps(av, b1, c21);
+            av = _mm256_broadcast_ss(a3 + p);
+            c30 = _mm256_fmadd_ps(av, b0, c30);
+            c31 = _mm256_fmadd_ps(av, b1, c31);
+            av = _mm256_broadcast_ss(a4 + p);
+            c40 = _mm256_fmadd_ps(av, b0, c40);
+            c41 = _mm256_fmadd_ps(av, b1, c41);
+            av = _mm256_broadcast_ss(a5 + p);
+            c50 = _mm256_fmadd_ps(av, b0, c50);
+            c51 = _mm256_fmadd_ps(av, b1, c51);
+          }
+        }
+        const __m256 lo[kMR] = {c00, c10, c20, c30, c40, c50};
+        const __m256 hi[kMR] = {c01, c11, c21, c31, c41, c51};
+        if (jn == kNR) {
+          for (std::size_t r = 0; r < kMR; ++r) {
+            float* crow = c + (i + r) * n + j0;
+            _mm256_storeu_ps(crow, lo[r]);
+            _mm256_storeu_ps(crow + 8, hi[r]);
+          }
+        } else {
+          for (std::size_t r = 0; r < kMR; ++r) {
+            float tmp[kNR];
+            _mm256_storeu_ps(tmp, lo[r]);
+            _mm256_storeu_ps(tmp + 8, hi[r]);
+            float* crow = c + (i + r) * n + j0;
+            for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = tmp[jj];
+          }
+        }
+        continue;
+      }
+      // Tail rows (m % kMR): same ascending-p accumulation order, one YMM
+      // pair per row, so tail rows stay bit-stable across row partitions too.
+      for (std::size_t r = 0; r < mr; ++r) {
+        __m256 tl = _mm256_setzero_ps();
+        __m256 th = _mm256_setzero_ps();
+        const float* arow = a + (i + r) * k;
+        const float* bp = panel;
+        for (std::size_t p = 0; p < k; ++p, bp += kNR) {
+          const __m256 av = _mm256_broadcast_ss(arow + p);
+          tl = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), tl);
+          th = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp + 8), th);
+        }
+        float tmp[kNR];
+        _mm256_storeu_ps(tmp, tl);
+        _mm256_storeu_ps(tmp + 8, th);
+        float* crow = c + (i + r) * n + j0;
+        for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = tmp[jj];
+      }
+    }
+  }
+}
+
+constexpr GemmKernel kAvx2Kernel = {
+    IsaLevel::kAvx2, "avx2", kMR, kNR, kMC, &Avx2GemmRows,
+};
+
+}  // namespace
+
+namespace internal {
+
+const GemmKernel* Avx2GemmKernel() { return &kAvx2Kernel; }
+
+}  // namespace internal
+
+}  // namespace cip::ops
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace cip::ops::internal {
+
+const GemmKernel* Avx2GemmKernel() { return nullptr; }
+
+}  // namespace cip::ops::internal
+
+#endif

@@ -1,0 +1,113 @@
+// AVX-512F GEMM microkernel: 16-lane × 8-row register tile.
+//
+// Tile shape: 8 rows × 16 columns = eight ZMM accumulators plus one ZMM B
+// load and one broadcast — 10 of the 32 architectural ZMM registers. Eight
+// independent accumulator chains cover the FMA latency×throughput product on
+// every AVX-512 part with 512-bit units; the narrow register footprint leaves
+// the compiler room to hoist A-row pointers. Panels are kNR = 16 floats wide
+// (one full ZMM), the same panel layout the AVX2 kernel uses, so the two SIMD
+// kernels share packed buffers at equal nr.
+//
+// This TU is compiled with -mavx512f when the compiler supports it (see
+// src/tensor/CMakeLists.txt); the dispatcher only binds this kernel when the
+// runtime probe reports OS-enabled ZMM state. Without compiler support the
+// getter returns nullptr and the registry falls back.
+
+#include <cstddef>
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace cip::ops {
+namespace {
+
+constexpr std::size_t kMR = 8;    // register-tile rows
+constexpr std::size_t kNR = 16;   // register-tile columns (one ZMM)
+constexpr std::size_t kKC = 256;  // k-block: panel slice stays in L1
+constexpr std::size_t kMC = 32;   // rows per parallel chunk (4 micro-tiles)
+
+// CIP_HOT  (AVX-512 GEMM microkernel: row-range body under ParallelForCoarse)
+void Avx512GemmRows(const float* a, std::size_t k, std::size_t n,
+                    const float* packed, float* c, std::size_t i_lo,
+                    std::size_t i_hi) {
+  const std::size_t panels = (n + kNR - 1) / kNR;
+  for (std::size_t i = i_lo; i < i_hi; i += kMR) {
+    const std::size_t mr = std::min(kMR, i_hi - i);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const std::size_t j0 = jp * kNR;
+      const std::size_t jn = std::min(kNR, n - j0);
+      const float* panel = packed + jp * k * kNR;
+      if (mr == kMR) {
+        __m512 acc[kMR];
+        for (std::size_t r = 0; r < kMR; ++r) acc[r] = _mm512_setzero_ps();
+        for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+          const std::size_t p1 = std::min(k, p0 + kKC);
+          const float* bp = panel + p0 * kNR;
+          for (std::size_t p = p0; p < p1; ++p, bp += kNR) {
+            const __m512 bv = _mm512_loadu_ps(bp);
+            for (std::size_t r = 0; r < kMR; ++r) {
+              const __m512 av = _mm512_set1_ps(a[(i + r) * k + p]);
+              acc[r] = _mm512_fmadd_ps(av, bv, acc[r]);
+            }
+          }
+        }
+        if (jn == kNR) {
+          for (std::size_t r = 0; r < kMR; ++r) {
+            _mm512_storeu_ps(c + (i + r) * n + j0, acc[r]);
+          }
+        } else {
+          const __mmask16 mask =
+              static_cast<__mmask16>((1u << jn) - 1u);
+          for (std::size_t r = 0; r < kMR; ++r) {
+            _mm512_mask_storeu_ps(c + (i + r) * n + j0, mask, acc[r]);
+          }
+        }
+        continue;
+      }
+      // Tail rows (m % kMR): same ascending-p accumulation order, one ZMM
+      // per row, so tail rows stay bit-stable across row partitions too.
+      const __mmask16 mask = jn == kNR
+                                 ? static_cast<__mmask16>(0xFFFF)
+                                 : static_cast<__mmask16>((1u << jn) - 1u);
+      for (std::size_t r = 0; r < mr; ++r) {
+        __m512 acc = _mm512_setzero_ps();
+        const float* arow = a + (i + r) * k;
+        const float* bp = panel;
+        for (std::size_t p = 0; p < k; ++p, bp += kNR) {
+          acc = _mm512_fmadd_ps(_mm512_set1_ps(arow[p]), _mm512_loadu_ps(bp),
+                                acc);
+        }
+        _mm512_mask_storeu_ps(c + (i + r) * n + j0, mask, acc);
+      }
+    }
+  }
+}
+
+constexpr GemmKernel kAvx512Kernel = {
+    IsaLevel::kAvx512, "avx512", kMR, kNR, kMC, &Avx512GemmRows,
+};
+
+}  // namespace
+
+namespace internal {
+
+const GemmKernel* Avx512GemmKernel() { return &kAvx512Kernel; }
+
+}  // namespace internal
+
+}  // namespace cip::ops
+
+#else  // !__AVX512F__
+
+namespace cip::ops::internal {
+
+const GemmKernel* Avx512GemmKernel() { return nullptr; }
+
+}  // namespace cip::ops::internal
+
+#endif

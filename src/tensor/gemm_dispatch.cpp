@@ -1,0 +1,85 @@
+// GEMM kernel registry: resolve CIP_ISA × CPU probe × compiled kernels once,
+// publish the winner through a lock-free atomic. See gemm_kernels.h for the
+// contract and docs/KERNELS.md for the full dispatch flow.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cpu_features.h"
+#include "common/env.h"
+#include "tensor/gemm_kernels.h"
+#include "tensor/ops.h"
+
+namespace cip::ops {
+namespace {
+
+// nullptr until the first ActiveGemmKernel() call; then a pointer to one of
+// the immortal per-TU kernel descriptors. Plain atomics instead of a mutex:
+// the thread-include lint confines <mutex> to parallel.cpp, and a CAS on an
+// immortal pointer is all the synchronization binding needs.
+std::atomic<const GemmKernel*> g_bound{nullptr};
+std::atomic<std::uint64_t> g_bind_count{0};
+
+// Highest kernel ≤ `want` that both the host supports and this binary
+// contains. Monotone fallback: avx512 → avx2 → portable.
+const GemmKernel* Resolve(IsaLevel want) {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (static_cast<int>(want) >= static_cast<int>(IsaLevel::kAvx512) &&
+      IsaSupported(IsaLevel::kAvx512, f)) {
+    if (const GemmKernel* k = internal::Avx512GemmKernel()) return k;
+  }
+  if (static_cast<int>(want) >= static_cast<int>(IsaLevel::kAvx2) &&
+      IsaSupported(IsaLevel::kAvx2, f)) {
+    if (const GemmKernel* k = internal::Avx2GemmKernel()) return k;
+  }
+  return &internal::PortableGemmKernel();
+}
+
+IsaLevel WantedLevel() {
+  switch (IsaRequested()) {
+    case IsaRequest::kPortable:
+      return IsaLevel::kPortable;
+    case IsaRequest::kAvx2:
+      return IsaLevel::kAvx2;
+    case IsaRequest::kAvx512:
+      return IsaLevel::kAvx512;
+    case IsaRequest::kAuto:
+      break;
+  }
+  return BestSupportedIsa();
+}
+
+}  // namespace
+
+const GemmKernel& ActiveGemmKernel() {
+  const GemmKernel* bound = g_bound.load(std::memory_order_acquire);
+  if (bound == nullptr) {
+    const GemmKernel* resolved = Resolve(WantedLevel());
+    const GemmKernel* expected = nullptr;
+    if (g_bound.compare_exchange_strong(expected, resolved,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      g_bind_count.fetch_add(1, std::memory_order_relaxed);
+      bound = resolved;
+    } else {
+      bound = expected;  // another thread won the race; use its binding
+    }
+  }
+  return *bound;
+}
+
+IsaLevel ActiveGemmIsa() { return ActiveGemmKernel().isa; }
+
+namespace internal {
+
+std::uint64_t GemmBindCount() {
+  return g_bind_count.load(std::memory_order_relaxed);
+}
+
+void ResetGemmBindingForTesting() {
+  g_bound.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace internal
+
+}  // namespace cip::ops

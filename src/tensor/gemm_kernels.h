@@ -1,0 +1,79 @@
+// GEMM microkernel registry: one descriptor per compiled ISA, bound once.
+//
+// Every blocked matmul in ops.cpp drives the same macro-structure — pack B
+// into nr-wide column panels, block rows into mc-row parallel chunks, run a
+// register microkernel over each chunk — but the microkernel itself is
+// ISA-specific and lives in its own translation unit compiled with the right
+// target flags (gemm_portable.cpp / gemm_avx2.cpp / gemm_avx512.cpp, the only
+// TUs allowed to include <immintrin.h>). ActiveGemmKernel() binds the best
+// kernel the host supports (or what CIP_ISA forces) on first use, atomically,
+// and never rebinds for the life of the process. docs/KERNELS.md documents
+// the tile shapes, packing layout, and how to add a new ISA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_features.h"
+
+namespace cip::ops {
+
+/// Computes rows [i_lo, i_hi) of C = A · B_packed. `a` is row-major [m, k]
+/// (only rows [i_lo, i_hi) are read), `packed` holds ceil(n / nr) zero-padded
+/// column panels of B laid out as packed[panel·k·nr + p·nr + jj], and `c` is
+/// row-major [m, n]. Must write each output element exactly once and
+/// accumulate strictly in ascending-p order per element, so results are
+/// bit-identical however the caller partitions rows (see docs/KERNELS.md,
+/// determinism policy).
+using GemmRowsFn = void (*)(const float* a, std::size_t k, std::size_t n,
+                            const float* packed, float* c, std::size_t i_lo,
+                            std::size_t i_hi);
+
+/// One ISA's microkernel plus the blocking geometry the shared driver and
+/// packing code must use with it. Descriptors are immortal statics defined in
+/// their kernel TU; the registry hands out pointers to them.
+struct GemmKernel {
+  IsaLevel isa = IsaLevel::kPortable;  ///< ISA this kernel requires.
+  const char* name = "";               ///< IsaName(isa), for logs and JSON.
+  std::size_t mr = 0;  ///< register-tile rows per microkernel invocation
+  std::size_t nr = 0;  ///< panel width = register-tile columns
+  std::size_t mc = 0;  ///< rows per parallel chunk; always a multiple of mr
+  GemmRowsFn gemm_rows = nullptr;  ///< the row-range kernel itself
+};
+
+/// The kernel this process runs GEMMs with. First call resolves CIP_ISA
+/// against the probed CpuFeatures and the kernels compiled into this binary
+/// (requests above what the host/binary supports clamp down; portable always
+/// exists), then binds via an atomic compare-exchange — exactly one winner,
+/// no rebinding. Thread-safe and lock-free.
+const GemmKernel& ActiveGemmKernel();
+
+namespace internal {
+
+/// The GNU-vector portable kernel (4x8 tile). Always available; the registry
+/// falls back to it when nothing better is compiled in or supported.
+const GemmKernel& PortableGemmKernel();
+
+/// The AVX2+FMA kernel (6x16 tile), or nullptr when this binary was compiled
+/// without AVX2 support.
+const GemmKernel* Avx2GemmKernel();
+
+/// The AVX-512F kernel (8x16 tile), or nullptr when this binary was compiled
+/// without AVX-512 support.
+const GemmKernel* Avx512GemmKernel();
+
+/// Number of successful registry bindings since process start. 1 after any
+/// GEMM has run; the bind-once stress test checks it stays 1 under
+/// ParallelFor pressure.
+std::uint64_t GemmBindCount();
+
+/// Unbind the registry so the next ActiveGemmKernel() call resolves afresh.
+/// Pair with env::internal::SetIsaRequestForTesting to flip ISAs in-process.
+/// Only safe when no GEMM is concurrently running; any PackedB built before
+/// the reset must be repacked (callers key their caches on ActiveGemmIsa()).
+/// For dispatcher tests and per-ISA benches only.
+void ResetGemmBindingForTesting();
+
+}  // namespace internal
+
+}  // namespace cip::ops

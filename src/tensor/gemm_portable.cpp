@@ -1,0 +1,130 @@
+// Portable GEMM microkernel: 4x8 register tile via GNU vector extensions.
+//
+// This is the original blocked kernel from the pre-dispatch ops.cpp, kept
+// verbatim as the guaranteed-available fallback (and as the `CIP_ISA=portable`
+// reference the parity reruns in scripts/check.sh pin the SIMD kernels
+// against). It assumes nothing beyond a C++20 compiler; the vector extension
+// lowers to SSE pairs or scalars as the baseline target allows.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/gemm_kernels.h"
+
+namespace cip::ops {
+namespace {
+
+constexpr std::size_t kMR = 4;    // register-tile rows
+constexpr std::size_t kNR = 8;    // register-tile columns (two SSE lanes)
+constexpr std::size_t kKC = 256;  // k-block: panel slice stays in L1
+// i-block: unit of parallel work. Small enough that a 64-row GEMM still
+// yields several chunks for the pool (panel reuse happens per kMR-row
+// micro-tile, so shrinking the i-block does not hurt cache behavior).
+constexpr std::size_t kMC = 16;
+
+// The register tile must actually live in registers: a plain float[4][8]
+// local tends to be left in memory by the compiler, turning every
+// accumulation into a load→add→store chain whose store-forwarding latency
+// caps the kernel near 1 MAC/cycle. GCC/Clang vector extensions give the
+// tile as eight named vector values (lowered to SSE pairs, or AVX when the
+// target allows) with a portable scalar fallback elsewhere.
+#if defined(__GNUC__) || defined(__clang__)
+#define CIP_GEMM_VECTOR_KERNEL 1
+// The helpers pass 32-byte vectors by value, which GCC flags with -Wpsabi on
+// non-AVX targets; every call is inlined inside this TU, so no cross-object
+// ABI boundary ever sees a vector argument (-Wno-psabi is set for cip_tensor
+// in src/tensor/CMakeLists.txt).
+// aligned(4): panel/C pointers are only float-aligned; loads must not assume
+// the natural 32-byte vector alignment.
+typedef float Vec8 __attribute__((vector_size(32), aligned(4)));
+static_assert(sizeof(Vec8) == kNR * sizeof(float));
+
+inline Vec8 Splat8(float v) { return Vec8{v, v, v, v, v, v, v, v}; }
+
+inline Vec8 Load8(const float* p) {
+  Vec8 out;
+  __builtin_memcpy(&out, p, sizeof out);
+  return out;
+}
+
+inline void Store8(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof v); }
+#endif
+
+// CIP_HOT  (portable GEMM microkernel: row-range body under ParallelForCoarse)
+void PortableGemmRows(const float* a, std::size_t k, std::size_t n,
+                      const float* packed, float* c, std::size_t i_lo,
+                      std::size_t i_hi) {
+  const std::size_t panels = (n + kNR - 1) / kNR;
+  for (std::size_t i = i_lo; i < i_hi; i += kMR) {
+    const std::size_t mr = std::min(kMR, i_hi - i);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const std::size_t j0 = jp * kNR;
+      const std::size_t jn = std::min(kNR, n - j0);
+      const float* panel = packed + jp * k * kNR;
+#if CIP_GEMM_VECTOR_KERNEL
+      if (mr == kMR) {
+        const float* a0 = a + (i + 0) * k;
+        const float* a1 = a + (i + 1) * k;
+        const float* a2 = a + (i + 2) * k;
+        const float* a3 = a + (i + 3) * k;
+        Vec8 acc0{}, acc1{}, acc2{}, acc3{};
+        for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+          const std::size_t p1 = std::min(k, p0 + kKC);
+          const float* bp = panel + p0 * kNR;
+          for (std::size_t p = p0; p < p1; ++p, bp += kNR) {
+            const Vec8 bv = Load8(bp);
+            acc0 += Splat8(a0[p]) * bv;
+            acc1 += Splat8(a1[p]) * bv;
+            acc2 += Splat8(a2[p]) * bv;
+            acc3 += Splat8(a3[p]) * bv;
+          }
+        }
+        if (jn == kNR) {
+          Store8(c + (i + 0) * n + j0, acc0);
+          Store8(c + (i + 1) * n + j0, acc1);
+          Store8(c + (i + 2) * n + j0, acc2);
+          Store8(c + (i + 3) * n + j0, acc3);
+        } else {
+          const Vec8 accs[kMR] = {acc0, acc1, acc2, acc3};
+          for (std::size_t r = 0; r < kMR; ++r) {
+            float tmp[kNR];
+            Store8(tmp, accs[r]);
+            float* crow = c + (i + r) * n + j0;
+            for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = tmp[jj];
+          }
+        }
+        continue;
+      }
+#endif
+      // Tail rows (m % kMR) and non-vector builds.
+      float acc[kMR][kNR] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* bp = panel + p * kNR;
+        for (std::size_t r = 0; r < mr; ++r) {
+          const float av = a[(i + r) * k + p];
+          for (std::size_t jj = 0; jj < kNR; ++jj) {
+            acc[r][jj] += av * bp[jj];
+          }
+        }
+      }
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* crow = c + (i + r) * n + j0;
+        for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = acc[r][jj];
+      }
+    }
+  }
+}
+
+constexpr GemmKernel kPortableKernel = {
+    IsaLevel::kPortable, "portable", kMR, kNR, kMC, &PortableGemmRows,
+};
+
+}  // namespace
+
+namespace internal {
+
+const GemmKernel& PortableGemmKernel() { return kPortableKernel; }
+
+}  // namespace internal
+
+}  // namespace cip::ops

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "tensor/gemm_kernels.h"
 
 namespace cip::ops {
 
@@ -147,23 +148,17 @@ namespace {
 
 // --- cache-blocked GEMM core -----------------------------------------------
 //
-// One kernel serves Matmul (B row-major [k,n]) and MatmulTransB (B row-major
-// [n,k]): B is first repacked into column panels of width kNR —
-// packed[panel][p][jj] = B(p, panel*kNR + jj) — so the micro-kernel streams
+// One macro-structure serves Matmul (B row-major [k,n]) and MatmulTransB (B
+// row-major [n,k]): B is first repacked into column panels of width nr —
+// packed[panel][p][jj] = B(p, panel*nr + jj) — so the micro-kernel streams
 // contiguous memory regardless of B's original layout. The driver then tiles
-// i into blocks of kMC rows (parallelized across threads: each thread owns
-// disjoint rows of C), k into blocks of kKC (so a panel slice of
-// kKC × kNR floats stays cache-hot while it is reused by every row block),
-// and j panel by panel. The innermost register tile is kMR rows × kNR
-// columns, accumulated in locals so the compiler keeps it in vector
-// registers.
-constexpr std::size_t kMR = 4;    // register-tile rows
-constexpr std::size_t kNR = 8;    // register-tile columns (two SSE lanes)
-constexpr std::size_t kKC = 256;  // k-block: panel slice stays in L1
-// i-block: unit of parallel work. Small enough that a 64-row GEMM still
-// yields several chunks for the pool (panel reuse happens per kMR-row
-// micro-tile, so shrinking the i-block does not hurt cache behavior).
-constexpr std::size_t kMC = 16;
+// i into blocks of mc rows (parallelized across threads: each thread owns
+// disjoint rows of C) and hands each row block to the ISA microkernel bound
+// by ActiveGemmKernel(), which tiles k (so a panel slice stays cache-hot) and
+// j panel by panel around an mr × nr register tile. Tile shapes (mr/nr/mc)
+// are per-ISA properties of the bound kernel — see gemm_kernels.h and
+// docs/KERNELS.md.
+//
 // Below this flop count the packing pass costs more than it saves; use the
 // plain row-streaming loops instead.
 constexpr std::size_t kBlockedMinFlops = 16 * 1024;
@@ -172,7 +167,9 @@ constexpr std::size_t kBlockedMinFlops = 16 * 1024;
 // size that dispatches.
 constexpr std::size_t kParallelMinFlops = 256 * 1024;
 
-std::size_t NumPanels(std::size_t n) { return (n + kNR - 1) / kNR; }
+std::size_t NumPanels(std::size_t n, std::size_t nr) {
+  return (n + nr - 1) / nr;
+}
 
 // Per-thread scratch for the packing and transpose passes: grow-once,
 // reuse-forever, so steady-state GEMMs perform no heap allocation. Pool
@@ -189,130 +186,48 @@ GemmArena& LocalArena() {
   return arena;
 }
 
-/// Pack B into zero-padded kNR-wide column panels. `trans == false`: B is
-/// [k, n] and B(p, j) = b[p*n + j]; `trans == true`: B is [n, k] and
-/// B(p, j) = b[j*k + p].
+/// Pack B into zero-padded nr-wide column panels (nr = the bound kernel's
+/// panel width). `trans == false`: B is [k, n] and B(p, j) = b[p*n + j];
+/// `trans == true`: B is [n, k] and B(p, j) = b[j*k + p].
 void PackPanels(const float* b, std::size_t k, std::size_t n, bool trans,
-                std::vector<float>& packed) {
+                std::size_t nr, std::vector<float>& packed) {
   ++LocalArena().packs;
-  const std::size_t panels = NumPanels(n);
+  const std::size_t panels = NumPanels(n, nr);
   // CIP_ANALYZE_OK(hot-alloc-container): thread-local arena: assign reuses capacity once grown (PackCount tests)
-  packed.assign(panels * k * kNR, 0.0f);
+  packed.assign(panels * k * nr, 0.0f);
   for (std::size_t jp = 0; jp < panels; ++jp) {
-    const std::size_t j0 = jp * kNR;
-    const std::size_t jn = std::min(kNR, n - j0);
-    float* dst = packed.data() + jp * k * kNR;
+    const std::size_t j0 = jp * nr;
+    const std::size_t jn = std::min(nr, n - j0);
+    float* dst = packed.data() + jp * k * nr;
     if (!trans) {
       for (std::size_t p = 0; p < k; ++p) {
         const float* src = b + p * n + j0;
-        for (std::size_t jj = 0; jj < jn; ++jj) dst[p * kNR + jj] = src[jj];
+        for (std::size_t jj = 0; jj < jn; ++jj) dst[p * nr + jj] = src[jj];
       }
     } else {
       for (std::size_t jj = 0; jj < jn; ++jj) {
         const float* src = b + (j0 + jj) * k;
-        for (std::size_t p = 0; p < k; ++p) dst[p * kNR + jj] = src[p];
+        for (std::size_t p = 0; p < k; ++p) dst[p * nr + jj] = src[p];
       }
     }
   }
 }
 
-// The register tile must actually live in registers: a plain float[4][8]
-// local tends to be left in memory by the compiler, turning every
-// accumulation into a load→add→store chain whose store-forwarding latency
-// caps the kernel near 1 MAC/cycle. GCC/Clang vector extensions give the
-// tile as eight named vector values (lowered to SSE pairs, or AVX when the
-// target allows) with a portable scalar fallback elsewhere.
-#if defined(__GNUC__) || defined(__clang__)
-#define CIP_GEMM_VECTOR_KERNEL 1
-// The helpers pass 32-byte vectors by value, which GCC flags with -Wpsabi on
-// non-AVX targets; every call is inlined inside this TU, so no cross-object
-// ABI boundary ever sees a vector argument (-Wno-psabi is set for cip_tensor
-// in src/tensor/CMakeLists.txt).
-// aligned(4): panel/C pointers are only float-aligned; loads must not assume
-// the natural 32-byte vector alignment.
-typedef float Vec8 __attribute__((vector_size(32), aligned(4)));
-static_assert(sizeof(Vec8) == kNR * sizeof(float));
-
-inline Vec8 Splat8(float v) { return Vec8{v, v, v, v, v, v, v, v}; }
-
-inline Vec8 Load8(const float* p) {
-  Vec8 out;
-  __builtin_memcpy(&out, p, sizeof out);
-  return out;
-}
-
-inline void Store8(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof v); }
-#endif
-
-/// C[m,n] = A[m,k] · B where B is pre-packed into panels. Overwrites C.
-/// Row blocks go through the worker pool when the product is large enough to
-/// amortize dispatch; the block partition (hence every output value) is
-/// independent of the thread budget either way.
-void GemmPacked(const float* a, std::size_t m, std::size_t k, std::size_t n,
-                const float* packed, float* c) {
-  const std::size_t panels = NumPanels(n);
-  const std::size_t row_blocks = (m + kMC - 1) / kMC;
+/// C[m,n] = A[m,k] · B where B is pre-packed into `kernel.nr`-wide panels.
+/// Overwrites C. Row blocks of kernel.mc rows go through the worker pool when
+/// the product is large enough to amortize dispatch; the block partition
+/// (hence every output value) is independent of the thread budget either way,
+/// and kernel.mc is a multiple of kernel.mr, so micro-tile boundaries land on
+/// the same rows no matter how blocks are distributed.
+void GemmPacked(const GemmKernel& kernel, const float* a, std::size_t m,
+                std::size_t k, std::size_t n, const float* packed, float* c) {
+  const std::size_t mc = kernel.mc;
+  const GemmRowsFn gemm_rows = kernel.gemm_rows;
+  const std::size_t row_blocks = (m + mc - 1) / mc;
   const auto run_block = [&](std::size_t ib) {
-    const std::size_t i_lo = ib * kMC;
-    const std::size_t i_hi = std::min(m, i_lo + kMC);
-    for (std::size_t i = i_lo; i < i_hi; i += kMR) {
-      const std::size_t mr = std::min(kMR, i_hi - i);
-      for (std::size_t jp = 0; jp < panels; ++jp) {
-        const std::size_t j0 = jp * kNR;
-        const std::size_t jn = std::min(kNR, n - j0);
-        const float* panel = packed + jp * k * kNR;
-#if CIP_GEMM_VECTOR_KERNEL
-        if (mr == kMR) {
-          const float* a0 = a + (i + 0) * k;
-          const float* a1 = a + (i + 1) * k;
-          const float* a2 = a + (i + 2) * k;
-          const float* a3 = a + (i + 3) * k;
-          Vec8 acc0{}, acc1{}, acc2{}, acc3{};
-          for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
-            const std::size_t p1 = std::min(k, p0 + kKC);
-            const float* bp = panel + p0 * kNR;
-            for (std::size_t p = p0; p < p1; ++p, bp += kNR) {
-              const Vec8 bv = Load8(bp);
-              acc0 += Splat8(a0[p]) * bv;
-              acc1 += Splat8(a1[p]) * bv;
-              acc2 += Splat8(a2[p]) * bv;
-              acc3 += Splat8(a3[p]) * bv;
-            }
-          }
-          if (jn == kNR) {
-            Store8(c + (i + 0) * n + j0, acc0);
-            Store8(c + (i + 1) * n + j0, acc1);
-            Store8(c + (i + 2) * n + j0, acc2);
-            Store8(c + (i + 3) * n + j0, acc3);
-          } else {
-            const Vec8 accs[kMR] = {acc0, acc1, acc2, acc3};
-            for (std::size_t r = 0; r < kMR; ++r) {
-              float tmp[kNR];
-              Store8(tmp, accs[r]);
-              float* crow = c + (i + r) * n + j0;
-              for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = tmp[jj];
-            }
-          }
-          continue;
-        }
-#endif
-        // Tail rows (m % kMR) and non-vector builds.
-        float acc[kMR][kNR] = {};
-        for (std::size_t p = 0; p < k; ++p) {
-          const float* bp = panel + p * kNR;
-          for (std::size_t r = 0; r < mr; ++r) {
-            const float av = a[(i + r) * k + p];
-            for (std::size_t jj = 0; jj < kNR; ++jj) {
-              acc[r][jj] += av * bp[jj];
-            }
-          }
-        }
-        for (std::size_t r = 0; r < mr; ++r) {
-          float* crow = c + (i + r) * n + j0;
-          for (std::size_t jj = 0; jj < jn; ++jj) crow[jj] = acc[r][jj];
-        }
-      }
-    }
+    const std::size_t i_lo = ib * mc;
+    const std::size_t i_hi = std::min(m, i_lo + mc);
+    gemm_rows(a, k, n, packed, c, i_lo, i_hi);
   };
   if (m * n * k >= kParallelMinFlops && row_blocks > 1) {
     ParallelForCoarse(0, row_blocks, run_block);
@@ -387,9 +302,10 @@ void MatmulInto(const Tensor& a, const Tensor& b, Tensor& c) {
     SimpleMatmulInto(a.data(), m, k, n, b.data(), c.data());
     return;
   }
+  const GemmKernel& kernel = ActiveGemmKernel();
   std::vector<float>& packed = LocalArena().packed;
-  PackPanels(b.data(), k, n, /*trans=*/false, packed);
-  GemmPacked(a.data(), m, k, n, packed.data(), c.data());
+  PackPanels(b.data(), k, n, /*trans=*/false, kernel.nr, packed);
+  GemmPacked(kernel, a.data(), m, k, n, packed.data(), c.data());
 }
 
 // CIP_HOT  (GEMM entry: d(in) = d(out) * W)
@@ -403,23 +319,32 @@ void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor& c) {
     SimpleMatmulTransBInto(a.data(), m, k, n, b.data(), c.data());
     return;
   }
+  const GemmKernel& kernel = ActiveGemmKernel();
   std::vector<float>& packed = LocalArena().packed;
-  PackPanels(b.data(), k, n, /*trans=*/true, packed);
-  GemmPacked(a.data(), m, k, n, packed.data(), c.data());
+  PackPanels(b.data(), k, n, /*trans=*/true, kernel.nr, packed);
+  GemmPacked(kernel, a.data(), m, k, n, packed.data(), c.data());
 }
 
 void PackBForMatmulInto(const Tensor& b, PackedB& out) {
   CIP_CHECK_EQ(b.rank(), 2u);
+  const GemmKernel& kernel = ActiveGemmKernel();
   out.k_ = b.dim(0);
   out.n_ = b.dim(1);
-  PackPanels(b.data(), out.k_, out.n_, /*trans=*/false, out.panels_);
+  out.nr_ = kernel.nr;
+  out.isa_ = kernel.isa;
+  PackPanels(b.data(), out.k_, out.n_, /*trans=*/false, kernel.nr,
+             out.panels_);
 }
 
 void PackBForMatmulTransBInto(const Tensor& b, PackedB& out) {
   CIP_CHECK_EQ(b.rank(), 2u);
+  const GemmKernel& kernel = ActiveGemmKernel();
   out.k_ = b.dim(1);
   out.n_ = b.dim(0);
-  PackPanels(b.data(), out.k_, out.n_, /*trans=*/true, out.panels_);
+  out.nr_ = kernel.nr;
+  out.isa_ = kernel.isa;
+  PackPanels(b.data(), out.k_, out.n_, /*trans=*/true, kernel.nr,
+             out.panels_);
 }
 
 // CIP_HOT  (GEMM entry over pre-packed weights: eval forward)
@@ -429,7 +354,14 @@ void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c) {
   const std::size_t m = a.dim(0);
   CIP_CHECK_EQ(a.dim(1), b.k());
   CheckMatmulOut(c, m, b.n());
-  GemmPacked(a.data(), m, b.k(), b.n(), b.panels_.data(), c.data());
+  const GemmKernel& kernel = ActiveGemmKernel();
+  CIP_CHECK_MSG(b.nr_ == kernel.nr,
+                "PackedB layout (nr=" << b.nr_ << ", isa=" << IsaName(b.isa())
+                                      << ") does not match the bound GEMM "
+                                         "kernel (nr="
+                                      << kernel.nr << ", isa=" << kernel.name
+                                      << "); repack after an ISA change");
+  GemmPacked(kernel, a.data(), m, b.k(), b.n(), b.panels_.data(), c.data());
 }
 
 // CIP_HOT  (GEMM entry: dW = x^T * d(out))
@@ -468,8 +400,9 @@ void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c) {
     const float* arow = pa + p * m;
     for (std::size_t i = 0; i < m; ++i) at[i * k + p] = arow[i];
   }
-  PackPanels(pb, k, n, /*trans=*/false, arena.packed);
-  GemmPacked(at.data(), m, k, n, arena.packed.data(), pc);
+  const GemmKernel& kernel = ActiveGemmKernel();
+  PackPanels(pb, k, n, /*trans=*/false, kernel.nr, arena.packed);
+  GemmPacked(kernel, at.data(), m, k, n, arena.packed.data(), pc);
 }
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {

@@ -7,6 +7,7 @@
 
 #include <span>
 
+#include "common/cpu_features.h"
 #include "tensor/tensor.h"
 
 namespace cip::ops {
@@ -62,11 +63,19 @@ void SumRowsAccumInto(const Tensor& a, Tensor& out);
 // All matmuls run a cache-blocked kernel: B is packed into contiguous
 // column panels once, then the i (rows of C), k (depth), and j (columns of C)
 // loops are tiled so each panel stays L1/L2-resident while a small register
-// tile of C accumulates. Work is split across ParallelFor by row blocks, so
-// every output element is written by exactly one thread. Accumulation is in
-// float; results may differ from a sequential double-accumulated reference by
-// normal rounding (bounded by k · ulp), not by thread count — the blocking is
-// deterministic and independent of CIP_THREADS.
+// tile of C accumulates. The register microkernel is chosen per process by a
+// runtime ISA dispatch (portable GNU-vector 4x8, AVX2/FMA 6x16, AVX-512F
+// 8x16 — see gemm_kernels.h, docs/KERNELS.md, and the CIP_ISA override in
+// common/env.h). Work is split across ParallelFor by row blocks, so every
+// output element is written by exactly one thread.
+//
+// Determinism is per-ISA: within one bound ISA, results are bit-identical
+// across thread counts and dispatch backends (row partitions never move a
+// micro-tile boundary, and every element accumulates in ascending-k order).
+// Across ISAs, results differ by normal float rounding (FMA contracts the
+// multiply-add, wider tiles round the same sums through the same order but
+// different contraction) — bounded against a sequential double-accumulated
+// reference by k · ulp, which the parity tests pin per ISA.
 //
 // `Into` variants write to a caller-owned output (callers reuse scratch
 // across training steps to avoid per-call allocation). The output must
@@ -88,15 +97,24 @@ void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor& c);
 
 // ---- weight prepacking -----------------------------------------------------
 //
-// Every blocked matmul first repacks B into kNR-wide column panels. When the
+// Every blocked matmul first repacks B into nr-wide column panels, where nr
+// is the panel width of the ISA microkernel bound for this process. When the
 // same B is multiplied repeatedly without changing (a frozen weight matrix
 // across an eval sweep, the whole batch of an im2col GEMM), the packing pass
 // can be hoisted out and paid once. Layers cache a PackedB next to the
-// weight and invalidate it via Tensor::version().
+// weight and invalidate it via Tensor::version() *and* via isa() against
+// ActiveGemmIsa(), since the panel layout is an ISA property.
+
+/// IsaLevel of the GEMM microkernel bound for this process (binds on first
+/// use; see gemm_kernels.h). PackedB caches key on this: a packing built
+/// under one ISA must not be fed to another ISA's kernel.
+IsaLevel ActiveGemmIsa();
 
 /// Pre-packed right-hand side of a GEMM. Opaque storage produced by the
 /// PackBFor* functions below; reusable (and reused, capacity kept) across
-/// repacks. A default-constructed PackedB is empty().
+/// repacks. A default-constructed PackedB is empty(). The panel layout is
+/// specific to the ISA that was bound when packing ran — MatmulPackedInto
+/// rejects a stale layout, and callers invalidate via isa().
 class PackedB {
  public:
   /// True until one of the PackBFor*Into functions has filled this object.
@@ -105,6 +123,8 @@ class PackedB {
   std::size_t k() const { return k_; }
   /// Columns of the logical B (columns of the product).
   std::size_t n() const { return n_; }
+  /// ISA whose panel layout this packing uses. Meaningless while empty().
+  IsaLevel isa() const { return isa_; }
 
  private:
   friend void PackBForMatmulInto(const Tensor& b, PackedB& out);
@@ -114,6 +134,8 @@ class PackedB {
   std::vector<float> panels_;
   std::size_t k_ = 0;
   std::size_t n_ = 0;
+  std::size_t nr_ = 0;  // panel width the panels_ layout was built with
+  IsaLevel isa_ = IsaLevel::kPortable;
 };
 
 /// Pack B ([k, n], Matmul orientation) into `out`, reusing its storage.
@@ -124,8 +146,10 @@ void PackBForMatmulTransBInto(const Tensor& b, PackedB& out);
 /// C = A · B against a pre-packed B. A: [m, b.k()], C: [m, b.n()]
 /// (preallocated, overwritten, no aliasing). Always runs the cache-blocked
 /// kernel and is bit-identical to the blocked path of MatmulInto /
-/// MatmulTransBInto; callers use internal::UsesBlockedGemm to keep small
-/// products on the cheaper streaming loops.
+/// MatmulTransBInto under the same bound ISA; callers use
+/// internal::UsesBlockedGemm to keep small products on the cheaper streaming
+/// loops. CIP_CHECK-fails if b was packed under a different panel layout
+/// than the bound kernel's (repack when isa() != ActiveGemmIsa()).
 void MatmulPackedInto(const Tensor& a, const PackedB& b, Tensor& c);
 
 namespace internal {

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "common/cpu_features.h"
 #include "common/env.h"
 #include "common/rng.h"
 #include "nn/conv2d.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 
 namespace cip {
@@ -230,6 +233,97 @@ TEST(MatmulOracle, ShapeMismatchThrows) {
   Tensor wrong({3, 3});
   const Tensor b_ok = RandomTensor({5, 7}, 3);
   EXPECT_THROW(ops::MatmulInto(a, b_ok, wrong), CheckError);
+}
+
+// ---- per-ISA parity --------------------------------------------------------
+
+/// Forces one CIP_ISA request and rebinds the registry; restores auto on
+/// scope exit (see tests/test_cpu_features.cpp for the dispatcher's own
+/// tests — this file only pins naive-vs-kernel parity per ISA).
+class IsaGuard {
+ public:
+  explicit IsaGuard(IsaRequest request) {
+    internal::SetIsaRequestForTesting(request);
+    ops::internal::ResetGemmBindingForTesting();
+  }
+  ~IsaGuard() {
+    internal::SetIsaRequestForTesting(IsaRequest::kAuto);
+    ops::internal::ResetGemmBindingForTesting();
+  }
+};
+
+std::vector<IsaRequest> UsableRequests() {
+  std::vector<IsaRequest> reqs{IsaRequest::kPortable};
+  const CpuFeatures& f = GetCpuFeatures();
+  if (IsaSupported(IsaLevel::kAvx2, f) &&
+      ops::internal::Avx2GemmKernel() != nullptr) {
+    reqs.push_back(IsaRequest::kAvx2);
+  }
+  if (IsaSupported(IsaLevel::kAvx512, f) &&
+      ops::internal::Avx512GemmKernel() != nullptr) {
+    reqs.push_back(IsaRequest::kAvx512);
+  }
+  return reqs;
+}
+
+/// Pinned naive-vs-kernel tolerance per ISA. One bound for all current
+/// kernels (FMA contraction only tightens rounding), pinned per ISA so a
+/// future kernel cannot silently widen the shared bound.
+double PinnedConvTolerance(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kAvx512:
+      return 1e-5;
+    case IsaLevel::kAvx2:
+      return 1e-5;
+    case IsaLevel::kPortable:
+      break;
+  }
+  return 1e-5;
+}
+
+TEST(ConvParity, ForwardBackwardAgreeAcrossIsas) {
+  // Backbone-sized case (the GEMM is big enough to take the blocked kernel)
+  // plus a tail-heavy case, naive-vs-kernel per usable ISA.
+  const ConvCase kIsaCases[] = {
+      {4, 3, 32, 3, 1, 1, 12, 12},
+      {2, 3, 2, 3, 2, 0, 9, 7},
+  };
+  for (const IsaRequest req : UsableRequests()) {
+    IsaGuard isa_guard(req);
+    const double tol = PinnedConvTolerance(ops::ActiveGemmIsa());
+    SCOPED_TRACE(::testing::Message()
+                 << "isa=" << IsaName(ops::ActiveGemmIsa()));
+    for (const ConvCase& c : kIsaCases) {
+      SCOPED_TRACE(::testing::Message()
+                   << "n=" << c.n << " ic=" << c.ic << " oc=" << c.oc
+                   << " k=" << c.k << " s=" << c.stride << " p=" << c.pad
+                   << " h=" << c.h << " w=" << c.w);
+      Rng rng_a(42), rng_b(42);
+      nn::Conv2d fast(c.ic, c.oc, c.k, c.stride, c.pad, rng_a, "fast");
+      nn::Conv2d naive(c.ic, c.oc, c.k, c.stride, c.pad, rng_b, "naive");
+      const Tensor x = RandomTensor({c.n, c.ic, c.h, c.w}, 7);
+      const std::size_t oh = fast.OutExtent(c.h), ow = fast.OutExtent(c.w);
+      const Tensor grad_out = RandomTensor({c.n, c.oc, oh, ow}, 8);
+
+      Tensor y_fast, dx_fast, y_naive, dx_naive;
+      {
+        NaiveConvGuard guard(false);
+        y_fast = fast.Forward(x, /*train=*/true);
+        dx_fast = fast.Backward(grad_out);
+      }
+      {
+        NaiveConvGuard guard(true);
+        y_naive = naive.Forward(x, /*train=*/true);
+        dx_naive = naive.Backward(grad_out);
+      }
+      ExpectTensorsNear(y_fast, y_naive, tol, "forward");
+      ExpectTensorsNear(dx_fast, dx_naive, tol, "dX");
+      ExpectTensorsNear(fast.Parameters()[0]->grad,
+                        naive.Parameters()[0]->grad, tol, "dW");
+      ExpectTensorsNear(fast.Parameters()[1]->grad,
+                        naive.Parameters()[1]->grad, tol, "db");
+    }
+  }
 }
 
 TEST(NaiveConvEnv, StrictBoolParsing) {

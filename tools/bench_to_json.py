@@ -25,7 +25,7 @@ import platform
 import subprocess
 import sys
 
-SCHEMA = "cip-bench-kernels/v1"
+SCHEMA = "cip-bench-kernels/v2"
 
 # (fast benchmark, reference benchmark) pairs whose time ratio is recorded
 # under "speedups". BM_Conv2dForward (vs the naive convolution) and
@@ -46,6 +46,15 @@ SPEEDUP_GATES = [
     ("BM_Conv2dForwardNaive/BM_Conv2dForward", "threads=4", 3.0),
     ("BM_Conv2dForwardNaive/BM_Conv2dForward", "threads=1", 1.5),
     ("BM_MatmulSpawn/64/BM_Matmul/64", "threads=4", 1.3),
+]
+
+# Absolute throughput floors in GMAC/s, enforced only when the run bound a
+# SIMD kernel (host.isa != "portable"): 21.1 is 3x the last portable-kernel
+# BM_Matmul/256 single-thread baseline (7.039 GMAC/s), the acceptance floor
+# for the ISA-dispatched microkernels. Portable-forced runs skip these —
+# the portable kernel is the 1x reference, not the thing being gated.
+SIMD_GMACS_GATES = [
+    ("BM_Matmul/256", "threads=1", 21.1),
 ]
 
 
@@ -163,6 +172,12 @@ def main() -> int:
                         f"expected benchmark {name} missing from {key} run "
                         "(filter too narrow?)")
 
+    # One authoritative build-type field: cip_build_type, stamped by our own
+    # binary from NDEBUG. google-benchmark's context also carries a
+    # library_build_type describing how the *benchmark library* was built —
+    # irrelevant to our kernels and confusing next to cip_build_type, so it
+    # is deliberately not recorded. The bound GEMM ISA (and what CIP_ISA
+    # requested) is recorded so every number names its microkernel.
     doc = {
         "schema": SCHEMA,
         "binary": str(args.binary),
@@ -170,8 +185,9 @@ def main() -> int:
             "cpu": platform.processor() or platform.machine(),
             "num_cpus": (context or {}).get("num_cpus"),
             "mhz_per_cpu": (context or {}).get("mhz_per_cpu"),
-            "library_build_type": (context or {}).get("library_build_type"),
             "cip_build_type": build_type,
+            "isa": (context or {}).get("cip_isa", "unknown"),
+            "isa_request": (context or {}).get("cip_isa_request", "unknown"),
         },
         "runs": per_run,
         "speedups": compute_speedups(per_run),
@@ -188,6 +204,13 @@ def main() -> int:
             got = doc["speedups"].get(pair, {}).get(key)
             if got is not None and got < floor:
                 failures.append(f"{pair} at {key}: {got} < required {floor}")
+        if doc["host"]["isa"] != "portable":
+            for name, key, floor in SIMD_GMACS_GATES:
+                got = per_run.get(key, {}).get(name, {}).get("gmacs_per_s")
+                if got is not None and got < floor:
+                    failures.append(
+                        f"{name} at {key} (isa={doc['host']['isa']}): "
+                        f"{got} GMAC/s < required {floor}")
         if failures:
             raise SystemExit("speedup gate FAILED:\n  " +
                              "\n  ".join(failures))

@@ -29,6 +29,14 @@ Rules (see README "Correctness tooling"):
                   creep in under any spelling). Benchmarks that drive
                   concurrent top-level callers are allowlisted like the
                   stress test.
+  intrinsic-include
+                  x86 SIMD intrinsic headers (<immintrin.h> and friends)
+                  are banned outside the per-ISA GEMM kernel TUs
+                  (src/tensor/gemm_avx2.cpp, src/tensor/gemm_avx512.cpp) so
+                  raw intrinsics cannot leak past the dispatch boundary —
+                  portable code uses GNU vector extensions or scalars, and
+                  ISA-specific code stays behind the kernel registry
+                  (docs/KERNELS.md)
   rng-ref-param   headers under src/fl and src/core must not declare new
                   `Rng&` parameters: shared mutable RNG streams are what made
                   concurrent client execution racy pre-RoundContext. Client
@@ -36,8 +44,8 @@ Rules (see README "Correctness tooling"):
                   client) value stream); private helpers that thread a local
                   stream live on the allowlist.
   doc-comment     WARNING (does not fail the run): public functions declared
-                  in src/tensor, src/nn, src/fl and src/core headers should
-                  carry a doc comment on the preceding line
+                  in src/tensor, src/nn, src/fl, src/core and src/common
+                  headers should carry a doc comment on the preceding line
   doc-link        relative markdown links in README.md and docs/*.md must
                   resolve to files that exist (stale links rot silently;
                   anchors/URLs are not checked)
@@ -88,6 +96,15 @@ ALLOWLIST = {
         "bench/bench_fault_rounds.cpp",
         "bench/bench_fl_rounds.cpp",
     },
+    # The only TUs allowed to see raw x86 intrinsics: the per-ISA GEMM
+    # microkernels, compiled with their own -m flags and reached exclusively
+    # through the kernel registry (src/tensor/gemm_kernels.h). Even
+    # cpu_features.cpp stays off this list — it probes via <cpuid.h> and
+    # inline asm precisely so it never needs the intrinsic headers.
+    "intrinsic-include": {
+        "src/tensor/gemm_avx2.cpp",
+        "src/tensor/gemm_avx512.cpp",
+    },
 }
 
 # Directories skipped by lint_tree entirely. The analyzer fixture corpus
@@ -118,6 +135,12 @@ RE_PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 RE_RAW_THREAD = re.compile(r"\bstd::(?:jthread\b|thread\b(?!\s*::))")
 RE_THREAD_INCLUDE = re.compile(
     r"#\s*include\s*<(?:thread|mutex|condition_variable|shared_mutex)>")
+# The umbrella x86 intrinsic headers plus the per-extension ones they pull
+# in; any spelling of "give me _mm*_ intrinsics" should hit this.
+RE_INTRINSIC_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|x86gprintrin|xmmintrin|emmintrin|"
+    r"pmmintrin|tmmintrin|smmintrin|nmmintrin|wmmintrin|ammintrin|"
+    r"avxintrin|avx2intrin|avx512fintrin|fmaintrin)\.h>")
 
 
 # Rules reported as warnings: printed, self-tested, but never fatal.
@@ -186,6 +209,13 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
                                  "<thread>/<mutex> family headers only "
                                  "allowed in src/common/parallel.cpp and "
                                  "its stress/bench drivers; use ParallelFor"))
+        if (rel not in ALLOWLIST["intrinsic-include"]
+                and RE_INTRINSIC_INCLUDE.search(line)):
+            out.append(Violation(rel, i, "intrinsic-include",
+                                 "x86 intrinsic headers only allowed in the "
+                                 "per-ISA GEMM kernel TUs (src/tensor/"
+                                 "gemm_avx2.cpp, gemm_avx512.cpp); go through "
+                                 "the kernel registry (docs/KERNELS.md)"))
         if rel not in ALLOWLIST["raw-thread"] and RE_RAW_THREAD.search(line):
             out.append(Violation(rel, i, "raw-thread",
                                  "raw std::thread/std::jthread construction "
@@ -204,7 +234,8 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
 # Headers whose public functions must carry doc comments (the numeric core
 # plus the federated surface: shape contracts, layout, threading and
 # determinism guarantees live in these comments).
-DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/", "src/fl/", "src/core/")
+DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/", "src/fl/", "src/core/",
+                    "src/common/")
 
 # A function declaration/definition opener: optional specifiers, a return
 # type containing at least one type-ish token, a name, an open paren. Control
@@ -216,8 +247,8 @@ RE_FUNC_OPEN = re.compile(
     r"~?[A-Za-z_]\w*\s*\("                               # name(
 )
 RE_NOT_FUNC = re.compile(
-    r"^\s*(?:if|for|while|switch|return|else|do|case|using|typedef|namespace|"
-    r"CIP_\w+|EXPECT_\w+|ASSERT_\w+|TEST)\b"
+    r"^\s*(?:if|for|while|switch|return|throw|else|do|case|using|typedef|"
+    r"namespace|CIP_\w+|EXPECT_\w+|ASSERT_\w+|TEST)\b"
 )
 RE_DOC_LINE = re.compile(r"^\s*(///|//|\*|/\*|\*/)")
 RE_ACCESS_SPEC = re.compile(r"^\s*(public|private|protected)\s*:")
@@ -235,28 +266,31 @@ def check_doc_comments(rel: str, lines: list[str]) -> list[Violation]:
         return []
     out: list[Violation] = []
     visible = True  # inside a public/namespace-scope region
-    prev = ""
+    prev = prev2 = ""
     for i, raw in enumerate(lines, start=1):
         if not raw.strip():
             continue  # blank lines do not reset the doc-comment association
         line = strip_line_comment(raw).rstrip()
         if RE_ACCESS_SPEC.match(raw):
             visible = RE_ACCESS_SPEC.match(raw).group(1) == "public"
-            prev = raw
+            prev2, prev = prev, raw
             continue
+        # A standalone `template <...>` line sits between a doc comment and
+        # the declaration it documents; look through it to the line above.
+        doc_anchor = prev2 if re.match(r"^\s*template\s*<", prev) else prev
         if (visible and RE_FUNC_OPEN.match(line)
                 and not RE_NOT_FUNC.match(line)
                 and "=" not in line.split("(")[0]
                 # `override` members inherit the base declaration's contract.
                 and not re.search(r"\boverride\b", line)
-                and not RE_DOC_LINE.match(prev)
-                and not RE_ACCESS_SPEC.match(prev)):
+                and not RE_DOC_LINE.match(doc_anchor)
+                and not RE_ACCESS_SPEC.match(doc_anchor)):
             name = line.split("(")[0].strip().split()[-1]
             out.append(Violation(
                 rel, i, "doc-comment",
                 f"public function `{name}` has no doc comment on the "
                 "preceding line (document shape/layout/threading contracts)"))
-        prev = raw
+        prev2, prev = prev, raw
     return out
 
 
@@ -371,7 +405,15 @@ SELF_TEST_CASES = {
     "rng-ref-param": "src/fl/bad_rng_param.h",
     "raw-thread": "src/spawns_thread.cpp",
     "thread-include": "src/includes_mutex.cpp",
+    "intrinsic-include": "src/nn/includes_immintrin.cpp",
     "doc-link": "docs/bad_links.md",
+}
+
+# Allowlisted paths seeded into the self-test tree that must produce zero
+# violations despite containing otherwise-banned constructs (the "clean"
+# filename convention can't apply: allowlists match these exact paths).
+SELF_TEST_ALLOWLISTED = {
+    "src/tensor/gemm_avx2.cpp",
 }
 
 SELF_TEST_SOURCES = {
@@ -405,12 +447,30 @@ SELF_TEST_SOURCES = {
         " private:\n"
         "  void NoDocNeededHere();\n"
         "};\n",
+    # A doc comment above a standalone `template <...>` line documents the
+    # declaration below it.
+    "src/tensor/template_doc_clean.h":
+        "#pragma once\n"
+        "/// Doc: applies f to each element.\n"
+        "template <typename F>\n"
+        "void ForEach(F f);\n",
     "BENCH_clean.json":
         '{"schema": "cip-bench-kernels/v1", '
         '"host": {"cip_build_type": "release"}}\n',
     "src/includes_mutex.cpp":
         "#include <mutex>\n"
         "void Locked() {}\n",
+    # Intrinsic headers outside the kernel TUs must be flagged under any of
+    # the umbrella/per-extension spellings...
+    "src/nn/includes_immintrin.cpp":
+        "#include <immintrin.h>\n"
+        "#include <x86intrin.h>\n"
+        "#include <avx512fintrin.h>\n"
+        "void Fast() {}\n",
+    # ...while the allowlisted kernel TU itself stays clean.
+    "src/tensor/gemm_avx2.cpp":
+        "#include <immintrin.h>\n"
+        "void Kernel() {}\n",
     # Reading hardware_concurrency or using std::this_thread is not
     # thread *construction* and stays legal everywhere (no <thread> include
     # here: the declaration is reachable via the sanctioned parallel.h).
@@ -459,7 +519,8 @@ def self_test() -> int:
                 print(f"self-test FAIL: rule {rule} missed seeded violation in {rel}")
                 ok = False
         clean_hits = [str(v) for v in violations
-                      if "clean" in pathlib.Path(v.path).name]
+                      if "clean" in pathlib.Path(v.path).name
+                      or v.path in SELF_TEST_ALLOWLISTED]
         if clean_hits:
             print(f"self-test FAIL: false positives on clean file: {clean_hits}")
             ok = False
