@@ -54,10 +54,11 @@ int main() {
           std::make_unique<core::CipClient>(spec, shards[k], cfg, 120 + k));
       ptrs.push_back(clients.back().get());
     }
+    fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
     fl::FlOptions opts;
     opts.rounds = Scaled(30);
     fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-    server.Run(ptrs, rng.NextU64());
+    server.Run(store, rng.NextU64());
 
     double acc = 0.0, loss = 0.0;
     for (auto& c : clients) {

@@ -40,34 +40,34 @@ double SecondsSince(Clock::time_point t0) {
 }
 
 struct Federation {
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
   fl::ModelState init;
 };
 
-/// Fresh legacy federation (clients are stateful; every run needs its own).
+/// Fresh legacy federation as a cold store (clients are stateful; every run
+/// needs its own store).
 Federation MakeFederation(std::size_t num_clients,
                           std::size_t samples_per_client) {
-  Federation fed;
   data::SyntheticPurchase gen(data::Purchase50Like());
   Rng data_rng(7);
-  fl::ClientSpec spec;
-  spec.kind = fl::ClientKind::kLegacy;
-  spec.model.arch = nn::Arch::kMLP;
-  spec.model.input_shape = gen.SampleShape();
-  spec.model.num_classes = gen.config().num_classes;
-  spec.model.width = 16;
-  spec.model.seed = 11;
-  spec.train.lr = 0.05f;
-  spec.train.momentum = 0.9f;
+  fl::ClientSpec proto;
+  proto.kind = fl::ClientKind::kLegacy;
+  proto.model.arch = nn::Arch::kMLP;
+  proto.model.input_shape = gen.SampleShape();
+  proto.model.num_classes = gen.config().num_classes;
+  proto.model.width = 16;
+  proto.model.seed = 11;
+  proto.train.lr = 0.05f;
+  proto.train.momentum = 0.9f;
+  std::vector<fl::ClientSpec> specs;
   for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec = proto;
     spec.data = gen.Sample(samples_per_client, data_rng);
     spec.seed = 13 + k;
-    fed.clients.push_back(fl::MakeClient(spec));
-    fed.ptrs.push_back(fed.clients.back().get());
+    specs.push_back(std::move(spec));
   }
-  fed.init = fl::InitialStateFor(spec);
-  return fed;
+  return Federation{fl::MakeClientStore(std::move(specs)),
+                    fl::InitialStateFor(proto)};
 }
 
 fl::FaultPlan DropoutPlan() {
@@ -135,9 +135,9 @@ int main(int argc, char** argv) {
   fl::FlOptions o4 = faulty;
   o4.max_parallel_clients = 4;
   const fl::FlLog log1 =
-      fl::FederatedAveraging(fed1.init, o1).Run(fed1.ptrs, 21);
+      fl::FederatedAveraging(fed1.init, o1).Run(fed1.store, 21);
   const fl::FlLog log4 =
-      fl::FederatedAveraging(fed4.init, o4).Run(fed4.ptrs, 21);
+      fl::FederatedAveraging(fed4.init, o4).Run(fed4.store, 21);
   const bool identical = BitIdentical(log1, log4);
   std::cout << "determinism under faults (budget 1 vs 4): "
             << (identical ? "bit-identical" : "MISMATCH") << "\n";
@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
   Federation fedd = MakeFederation(kClients, samples);
   const auto degrade_t0 = Clock::now();
   const fl::FlLog dlog =
-      fl::FederatedAveraging(fedd.init, degrade).Run(fedd.ptrs, 22);
+      fl::FederatedAveraging(fedd.init, degrade).Run(fedd.store, 22);
   const double faulty_seconds = SecondsSince(degrade_t0);
 
   std::size_t total_faults = 0, skipped_rounds = 0, survivor_sum = 0;
@@ -185,7 +185,7 @@ int main(int argc, char** argv) {
   fl::FlOptions healthy;
   healthy.rounds = kRounds;
   const auto healthy_t0 = Clock::now();
-  fl::FederatedAveraging(fedh.init, healthy).Run(fedh.ptrs, 22);
+  fl::FederatedAveraging(fedh.init, healthy).Run(fedh.store, 22);
   const double healthy_seconds = SecondsSince(healthy_t0);
 
   // ---- crash-at-k + resume gate ---------------------------------------------
@@ -193,7 +193,7 @@ int main(int argc, char** argv) {
   const std::size_t kCrashRound = 2;
   Federation straight = MakeFederation(kClients, samples);
   const fl::FlLog full =
-      fl::FederatedAveraging(straight.init, faulty).Run(straight.ptrs, 23);
+      fl::FederatedAveraging(straight.init, faulty).Run(straight.store, 23);
 
   Federation crashed = MakeFederation(kClients, samples);
   fl::FlOptions crash_opts = faulty;
@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
   crash_opts.checkpoint_path = ckpt_path;
   crash_opts.stop_after_round = kCrashRound;
   const auto save_t0 = Clock::now();
-  fl::FederatedAveraging(crashed.init, crash_opts).Run(crashed.ptrs, 23);
+  fl::FederatedAveraging(crashed.init, crash_opts).Run(crashed.store, 23);
   const double crash_run_seconds = SecondsSince(save_t0);
 
   std::ifstream size_probe(ckpt_path, std::ios::binary | std::ios::ate);
@@ -213,7 +213,7 @@ int main(int argc, char** argv) {
   const double load_seconds = SecondsSince(load_t0);
   Federation resumed = MakeFederation(kClients, samples);
   const fl::FlLog tail =
-      fl::FederatedAveraging(resumed.init, faulty).Resume(resumed.ptrs, ckpt);
+      fl::FederatedAveraging(resumed.init, faulty).Resume(resumed.store, ckpt);
   const bool resume_identical =
       SameFloats(full.final_global.values(), tail.final_global.values());
   std::remove(ckpt_path.c_str());

@@ -77,10 +77,11 @@ int main() {
             std::make_unique<fl::LegacyClient>(spec, shards[k], train, 100 + k));
         ptrs.push_back(cs.back().get());
       }
+      fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(fl::InitialState(spec), opts);
-      const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+      const fl::FlLog log = server.Run(store, rng.NextU64());
       emd_nodef = MeanPairwiseEmd(log.client_losses);
     }
     double emd_cip = 0.0;
@@ -96,10 +97,11 @@ int main() {
             std::make_unique<core::CipClient>(spec, shards[k], cfg, 110 + k));
         ptrs.push_back(cs.back().get());
       }
+      fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-      const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+      const fl::FlLog log = server.Run(store, rng.NextU64());
       emd_cip = MeanPairwiseEmd(log.client_losses);
     }
     table.AddRow({std::to_string(cpc), TextTable::Num(emd_nodef),

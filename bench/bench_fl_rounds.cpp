@@ -63,35 +63,34 @@ class SleepClient : public fl::ClientBase {
 };
 
 struct Federation {
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
   fl::ModelState init;
 };
 
-/// Fresh 4-client legacy federation (clients are stateful; every Run needs
-/// its own copy).
+/// Fresh 4-client legacy federation as a cold store (clients are stateful;
+/// every Run needs its own store).
 Federation MakeComputeFederation(std::size_t num_clients,
                                  std::size_t samples_per_client) {
-  Federation fed;
   data::SyntheticPurchase gen(data::Purchase50Like());
   Rng data_rng(7);
-  fl::ClientSpec spec;
-  spec.kind = fl::ClientKind::kLegacy;
-  spec.model.arch = nn::Arch::kMLP;
-  spec.model.input_shape = gen.SampleShape();
-  spec.model.num_classes = gen.config().num_classes;
-  spec.model.width = 16;
-  spec.model.seed = 11;
-  spec.train.lr = 0.05f;
-  spec.train.momentum = 0.9f;
+  fl::ClientSpec proto;
+  proto.kind = fl::ClientKind::kLegacy;
+  proto.model.arch = nn::Arch::kMLP;
+  proto.model.input_shape = gen.SampleShape();
+  proto.model.num_classes = gen.config().num_classes;
+  proto.model.width = 16;
+  proto.model.seed = 11;
+  proto.train.lr = 0.05f;
+  proto.train.momentum = 0.9f;
+  std::vector<fl::ClientSpec> specs;
   for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec = proto;
     spec.data = gen.Sample(samples_per_client, data_rng);
     spec.seed = 13 + k;
-    fed.clients.push_back(fl::MakeClient(spec));
-    fed.ptrs.push_back(fed.clients.back().get());
+    specs.push_back(std::move(spec));
   }
-  fed.init = fl::InitialStateFor(spec);
-  return fed;
+  return Federation{fl::MakeClientStore(std::move(specs)),
+                    fl::InitialStateFor(proto)};
 }
 
 fl::FlLog RunFederation(Federation& fed, std::size_t rounds,
@@ -100,7 +99,7 @@ fl::FlLog RunFederation(Federation& fed, std::size_t rounds,
   options.rounds = rounds;
   options.max_parallel_clients = budget;
   fl::FederatedAveraging server(fed.init, options);
-  return server.Run(fed.ptrs, run_seed);
+  return server.Run(fed.store, run_seed);
 }
 
 bool BitIdentical(const fl::FlLog& a, const fl::FlLog& b) {
@@ -183,10 +182,9 @@ int main(int argc, char** argv) {
   double sleep_s1 = 1e300, sleep_s4 = 1e300;
   for (int rep = 0; rep < kReps; ++rep) {
     for (const std::size_t budget : {std::size_t{1}, std::size_t{4}}) {
-      Federation fed;
+      Federation fed;  // default store is live; sleep clients persist in it
       for (std::size_t k = 0; k < kClients; ++k) {
-        fed.clients.push_back(std::make_unique<SleepClient>(kDelay, tiny));
-        fed.ptrs.push_back(fed.clients.back().get());
+        fed.store.Add(std::make_unique<SleepClient>(kDelay, tiny));
       }
       fed.init = fl::ModelState(std::vector<float>(64, 0.5f));
       const auto t0 = Clock::now();

@@ -82,10 +82,11 @@ int main() {
     core::CipClient victim(spec, shards[0], cfg, 97);
     core::CipClient malicious(spec, shards[1], cfg, 98);
     std::vector<fl::ClientBase*> ptrs = {&victim, &malicious};
+    fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
     fl::FlOptions opts2;
     opts2.rounds = Scaled(30);
     fl::FederatedAveraging server(core::InitialDualState(spec), opts2);
-    server.Run(ptrs, rng.NextU64());
+    server.Run(store, rng.NextU64());
 
     // The malicious client queries the victim's data with ITS OWN t'.
     core::CipQuery with_substitute(victim.model(), cfg.blend,

@@ -120,19 +120,17 @@ int main() {
       gen.Sample(Scaled(50) * num_clients, shard_rng);
   const std::vector<data::Dataset> shards =
       data::PartitionIid(fed_data, num_clients, shard_rng);
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;  // live store owns the telemetry federation
   for (std::size_t k = 0; k < num_clients; ++k) {
     fl::ClientSpec fs = cs;  // CIP kind + knobs from above
     fs.data = shards[k];
     fs.seed = 108 + k;
-    clients.push_back(fl::MakeClient(fs));
-    ptrs.push_back(clients.back().get());
+    store.Add(fl::MakeClient(fs));
   }
   fl::FlOptions options;
   options.rounds = 3;
   fl::FederatedAveraging server(fl::InitialStateFor(cs), options);
-  const fl::FlLog log = server.Run(ptrs, /*run_seed=*/109);
+  const fl::FlLog log = server.Run(store, /*run_seed=*/109);
 
   TextTable rounds_table(
       {"Round", "broadcast s", "train wall s", "aggregate s", "mean step1 s",

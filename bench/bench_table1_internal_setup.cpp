@@ -72,10 +72,11 @@ int main() {
           std::make_unique<fl::LegacyClient>(spec, shards[k], cfg, 100 + k));
       ptrs.push_back(clients.back().get());
     }
+    fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
     fl::FlOptions opts;
     opts.rounds = row.rounds;
     fl::FederatedAveraging server(fl::InitialState(spec), opts);
-    server.Run(ptrs, rng.NextU64());
+    server.Run(store, rng.NextU64());
 
     double train_acc = 0.0, test_acc = 0.0;
     for (std::size_t k = 0; k < ptrs.size(); ++k) {

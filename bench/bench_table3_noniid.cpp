@@ -82,10 +82,11 @@ int main() {
             std::make_unique<core::CipClient>(spec, shards[k], cfg, 70 + k));
         ptrs.push_back(clients.back().get());
       }
+      fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-      server.Run(ptrs, rng.NextU64());
+      server.Run(store, rng.NextU64());
       for (fl::ClientBase* c : ptrs) cip_acc += c->EvalAccuracy(test);
       cip_acc /= kClients;
     }
@@ -100,10 +101,11 @@ int main() {
             std::make_unique<fl::LegacyClient>(spec, shards[k], train, 80 + k));
         ptrs.push_back(clients.back().get());
       }
+      fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
       fl::FlOptions opts;
       opts.rounds = rounds;
       fl::FederatedAveraging server(fl::InitialState(spec), opts);
-      server.Run(ptrs, rng.NextU64());
+      server.Run(store, rng.NextU64());
       for (fl::ClientBase* c : ptrs) nodef_acc += c->EvalAccuracy(test);
       nodef_acc /= kClients;
     }

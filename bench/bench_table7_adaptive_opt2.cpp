@@ -63,7 +63,8 @@ int main() {
         server,
         attacks::MakeDualAscent(spec, cfg.blend, /*lr=*/-0.02f, /*steps=*/3),
         targets, /*start_round=*/rounds > 5 ? rounds - 4 : 1);
-    const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+    fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
+    const fl::FlLog log = server.Run(store, rng.NextU64());
 
     // Classify larger final raw loss as member.
     auto model = nn::MakeDualChannelClassifier(spec);

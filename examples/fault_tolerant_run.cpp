@@ -98,12 +98,12 @@ int main(int argc, char** argv) {
   cfg.train.momentum = 0.9f;
   cfg.perturb_steps = 4;
 
-  std::vector<std::unique_ptr<core::CipClient>> fleet;
-  std::vector<fl::ClientBase*> ptrs;
+  // A live store owns the fleet; resumed invocations rebuild it identically
+  // and the checkpoint repopulates each client's private state.
+  fl::ClientStore store;
   for (std::size_t k = 0; k < args.clients; ++k) {
-    fleet.push_back(
+    store.Add(
         std::make_unique<core::CipClient>(spec, shards[k], cfg, 100 + k));
-    ptrs.push_back(fleet.back().get());
   }
 
   fl::FlOptions opts;
@@ -124,13 +124,13 @@ int main(int argc, char** argv) {
   if (args.resume) {
     CIP_CHECK_MSG(!args.checkpoint.empty(), "--resume needs --checkpoint");
     std::cout << "resuming from " << args.checkpoint << "\n";
-    log = eval::ResumeFederated(ptrs, init, args.checkpoint, opts);
+    log = eval::ResumeFederated(store, init, args.checkpoint, opts);
   } else {
     opts.rounds = args.rounds;
     fl::FederatedAveraging server(init, opts);
     // Root the run directly in --seed so a crashed run and a fresh run of
     // the same seed share all RNG streams.
-    log = server.Run(ptrs, args.seed);
+    log = server.Run(store, args.seed);
   }
 
   for (const fl::RoundStats& r : log.telemetry.rounds) {

@@ -63,18 +63,17 @@ int main() {
 
   // ---- no defense ------------------------------------------------------------
   {
-    std::vector<std::unique_ptr<fl::LegacyClient>> hospitals;
+    fl::ClientStore store;  // live store: hospitals are queried after the run
     std::vector<fl::ClientBase*> ptrs;
     for (std::size_t k = 0; k < kHospitals; ++k) {
-      hospitals.push_back(
-          std::make_unique<fl::LegacyClient>(spec, shards[k], train, 10 + k));
-      ptrs.push_back(hospitals.back().get());
+      ptrs.push_back(store.Add(
+          std::make_unique<fl::LegacyClient>(spec, shards[k], train, 10 + k)));
     }
     fl::FlOptions opts;
     opts.rounds = kRounds;
     opts.record_client_updates = true;  // the malicious server watches
     fl::FederatedAveraging server(fl::InitialState(spec), opts);
-    const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+    const fl::FlLog log = server.Run(store, rng.NextU64());
 
     std::vector<fl::ModelState> victim_snaps;
     for (auto it = log.client_updates.end() - 3;
@@ -112,18 +111,17 @@ int main() {
     cfg.blend.alpha = 0.7f;
     cfg.train = train;
     cfg.perturb_steps = 6;
-    std::vector<std::unique_ptr<core::CipClient>> hospitals;
+    fl::ClientStore store;
     std::vector<fl::ClientBase*> ptrs;
     for (std::size_t k = 0; k < kHospitals; ++k) {
-      hospitals.push_back(
-          std::make_unique<core::CipClient>(spec, shards[k], cfg, 20 + k));
-      ptrs.push_back(hospitals.back().get());
+      ptrs.push_back(store.Add(
+          std::make_unique<core::CipClient>(spec, shards[k], cfg, 20 + k)));
     }
     fl::FlOptions opts;
     opts.rounds = kRounds;
     opts.record_client_updates = true;
     fl::FederatedAveraging server(core::InitialDualState(spec), opts);
-    const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+    const fl::FlLog log = server.Run(store, rng.NextU64());
 
     std::vector<fl::ModelState> victim_snaps;
     for (auto it = log.client_updates.end() - 3;

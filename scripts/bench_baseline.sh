@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Regenerate the committed performance baselines (BENCH_kernels.json,
-# BENCH_fl_rounds.json and BENCH_fault_rounds.json).
+# BENCH_fl_rounds.json, BENCH_fault_rounds.json and BENCH_scale.json).
 #
 # Builds bench_micro_ops in the tier-1 Release tree (./build), runs the
 # kernel benchmarks at CIP_THREADS=1 and CIP_THREADS=4 and merges the results
@@ -20,7 +20,7 @@ jobs="${CIP_CHECK_JOBS:-$(nproc)}"
 min_time="${CIP_BENCH_MIN_TIME:-0.5}"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds
+cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds bench_scale
 
 # bench_to_json.py refuses to write a baseline unless the binary reports
 # cip_build_type=release, and tools/cip_lint.py rejects committed baselines
@@ -39,3 +39,9 @@ python3 tools/bench_to_json.py \
 # across worker budgets, 20% dropout skips rounds above quorum or breaks
 # renormalized aggregation, or crash+resume diverges from a straight run.
 ./build/bench/bench_fault_rounds --output BENCH_fault_rounds.json
+
+# Million-client scale baseline: 1M registered clients, 1k-client cohorts,
+# pinned peak-RSS ceiling and the budget/residency bit-identity sweep. The
+# committed JSON is regated in CI by bench_to_json.py --check-scale.
+./build/bench/bench_scale --output BENCH_scale.json
+python3 tools/bench_to_json.py --check-scale BENCH_scale.json

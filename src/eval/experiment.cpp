@@ -82,18 +82,16 @@ core::CipConfig DefaultCipConfig(const DataBundle& bundle, float alpha) {
   return cfg;
 }
 
-fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
-                       const fl::ModelState& init, std::size_t rounds,
-                       Rng& rng, fl::FlOptions options) {
+fl::FlLog RunFederated(fl::ClientStore& store, const fl::ModelState& init,
+                       std::size_t rounds, Rng& rng, fl::FlOptions options) {
   options.rounds = rounds;
   fl::FederatedAveraging server(init, options);
   // One draw off the caller's rng roots every stream in the run; the server
   // derives per-(round, client) streams from it (see fl/round_context.h).
-  return server.Run(clients, rng.NextU64());
+  return server.Run(store, rng.NextU64());
 }
 
-fl::FlLog ResumeFederated(std::span<fl::ClientBase* const> clients,
-                          const fl::ModelState& init,
+fl::FlLog ResumeFederated(fl::ClientStore& store, const fl::ModelState& init,
                           const std::string& checkpoint_path,
                           fl::FlOptions options) {
   const fl::Checkpoint ckpt = fl::LoadCheckpointFile(checkpoint_path);
@@ -102,13 +100,14 @@ fl::FlLog ResumeFederated(std::span<fl::ClientBase* const> clients,
   // pass the original run's options for the tail to be bit-identical.
   options.rounds = ckpt.total_rounds;
   fl::FederatedAveraging server(init, std::move(options));
-  return server.Resume(clients, ckpt);
+  return server.Resume(store, ckpt);
 }
 
 fl::FlLog RunSingle(fl::ClientBase& client, const fl::ModelState& init,
                     std::size_t rounds, Rng& rng, fl::FlOptions options) {
   fl::ClientBase* ptr = &client;
-  return RunFederated(std::span(&ptr, 1), init, rounds, rng, options);
+  fl::ClientStore store(std::span<fl::ClientBase* const>(&ptr, 1));
+  return RunFederated(store, init, rounds, rng, std::move(options));
 }
 
 std::unique_ptr<nn::Classifier> TrainPlain(const DataBundle& bundle,

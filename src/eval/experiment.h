@@ -59,19 +59,20 @@ core::CipConfig DefaultCipConfig(const DataBundle& bundle, float alpha);
 
 // ---- training drivers -------------------------------------------------------
 
-/// Run `rounds` of FedAvg over the given clients starting from `init`.
-fl::FlLog RunFederated(std::span<fl::ClientBase* const> clients,
-                       const fl::ModelState& init, std::size_t rounds,
-                       Rng& rng, fl::FlOptions options = {});
+/// Run `rounds` of FedAvg over the store's fleet starting from `init`. The
+/// store may be live (small fixed fleets registered via Add) or cold
+/// (sampled clients materialized on demand; see fl/client_store.h).
+fl::FlLog RunFederated(fl::ClientStore& store, const fl::ModelState& init,
+                       std::size_t rounds, Rng& rng,
+                       fl::FlOptions options = {});
 
 /// Continue an interrupted federated run from a checkpoint file written by a
-/// previous run with FlOptions::checkpoint_every set. The clients span must
-/// be constructed exactly as in the original run; options.rounds is taken
-/// from the checkpoint, and no fresh seed is drawn — the resumed tail
-/// replays the original run's RNG streams bit-identically (see
-/// docs/ROBUSTNESS.md).
-fl::FlLog ResumeFederated(std::span<fl::ClientBase* const> clients,
-                          const fl::ModelState& init,
+/// previous run with FlOptions::checkpoint_every set. The store must
+/// describe the same fleet (same size, same per-id construction) as the
+/// original run; options.rounds is taken from the checkpoint, and no fresh
+/// seed is drawn — the resumed tail replays the original run's RNG streams
+/// bit-identically (see docs/ROBUSTNESS.md).
+fl::FlLog ResumeFederated(fl::ClientStore& store, const fl::ModelState& init,
                           const std::string& checkpoint_path,
                           fl::FlOptions options = {});
 

@@ -118,24 +118,25 @@ InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
                              static_cast<float>(cfg.samples_per_client));
       break;
   }
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
+  // Live store: this experiment evaluates the very client objects after the
+  // run (accuracy on local data, active-attack rerun on the same fleet), so
+  // they must persist across rounds rather than live as cold records.
+  fl::ClientStore store;
+  std::vector<fl::ClientBase*> ptrs;
   for (std::size_t k = 0; k < cfg.num_clients; ++k) {
     fl::ClientSpec cs = proto;
     cs.data = shards[k];
     cs.seed = cfg.seed * 31 + k;
-    clients.push_back(fl::MakeClient(cs));
+    ptrs.push_back(store.Add(fl::MakeClient(cs)));
   }
   const fl::ModelState init = fl::InitialStateFor(proto);
-
-  std::vector<fl::ClientBase*> ptrs;
-  for (auto& c : clients) ptrs.push_back(c.get());
 
   // ---- honest training, recording the victim's updates ---------------------
   fl::FlOptions options;
   options.rounds = cfg.rounds;
   options.record_client_updates = true;
   fl::FederatedAveraging server(init, options);
-  const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+  const fl::FlLog log = server.Run(store, rng.NextU64());
 
   InternalExpResult result;
   result.train_acc = ptrs[0]->EvalAccuracy(ptrs[0]->LocalData());
@@ -222,8 +223,8 @@ InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
       };
     }
 
-    // Fresh clients for the tampered rerun (same seeds => same local data
-    // behaviour as the honest run).
+    // Tampered rerun over the same fleet (fresh server, fresh seed; the
+    // clients continue from their post-honest-run models, as before).
     fl::FlOptions active_opts;
     active_opts.rounds = cfg.rounds;
     fl::FederatedAveraging active_server(init, active_opts);
@@ -231,7 +232,8 @@ InternalExpResult RunInternalExperiment(const InternalExpConfig& cfg,
         active_server, std::move(ascent), targets,
         /*start_round=*/cfg.rounds > 5 ? cfg.rounds - 4 : 1);
     Rng active_rng(cfg.seed * 131 + 7);
-    const fl::FlLog active_log = active_server.Run(ptrs, active_rng.NextU64());
+    const fl::FlLog active_log =
+        active_server.Run(store, active_rng.NextU64());
 
     const std::unique_ptr<fl::QueryModel> final_q =
         factory(active_log.final_global);

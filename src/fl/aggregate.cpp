@@ -1,0 +1,46 @@
+#include "fl/aggregate.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cip::fl {
+
+void TreeAccumulator::Add(ModelState update) {
+  CIP_CHECK_MSG(!update.empty(), "cannot aggregate an empty ModelState");
+  ++count_;
+  // Binary carry-propagate: an incoming update is a 1 added to the counter.
+  // Each occupied slot merges (earlier-inputs slot on the left, so sums keep
+  // arrival order) and carries upward to the first free slot.
+  ModelState carry = std::move(update);
+  for (std::size_t i = 0;; ++i) {
+    if (i == levels_.size()) levels_.emplace_back();
+    if (levels_[i].empty()) {
+      levels_[i] = std::move(carry);
+      return;
+    }
+    levels_[i].Axpy(1.0f, carry);
+    carry = std::move(levels_[i]);
+    levels_[i] = ModelState();
+  }
+}
+
+ModelState TreeAccumulator::FinishMean() {
+  CIP_CHECK_MSG(count_ > 0, "FinishMean on an empty TreeAccumulator");
+  // Fixed final merge, low level to high. Low slots hold the latest inputs,
+  // so at every step the occupied slot (earlier inputs) is the left operand
+  // and the running tail (later inputs) the right — the overall sum is the
+  // unique tree-shaped grouping of the arrival order this class defines.
+  ModelState tail;
+  for (ModelState& level : levels_) {
+    if (level.empty()) continue;
+    if (!tail.empty()) level.Axpy(1.0f, tail);
+    tail = std::move(level);
+  }
+  tail.Scale(1.0f / static_cast<float>(count_));
+  levels_.clear();
+  count_ = 0;
+  return tail;
+}
+
+}  // namespace cip::fl

@@ -10,7 +10,8 @@ namespace cip::fl {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4349504B;  // "CIPK"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersionV1 = 1;  // dense client list
+constexpr std::uint32_t kCheckpointVersionV2 = 2;  // sparse (id, state) list
 
 // Count ceilings for untrusted input: a hostile or corrupt prefix must fail
 // here, before any buffer is sized from it. Far above anything this library
@@ -33,20 +34,32 @@ std::size_t ReadCount(std::istream& is, std::uint64_t ceiling,
   return static_cast<std::size_t>(n);
 }
 
+ClientState ReadClientState(std::istream& is) {
+  ClientState state;
+  const std::size_t num_tensors =
+      ReadCount(is, kMaxTensorsPerClient, "client-tensor");
+  state.tensors.reserve(num_tensors);
+  for (std::size_t i = 0; i < num_tensors; ++i) {
+    state.tensors.push_back(LoadTensor(is));
+  }
+  return state;
+}
+
 }  // namespace
 
 void SaveCheckpoint(const Checkpoint& ckpt, std::ostream& os) {
   WriteU32(os, kCheckpointMagic);
-  WriteU32(os, kCheckpointVersion);
+  WriteU32(os, kCheckpointVersionV2);
   WriteU64(os, ckpt.run_seed);
   WriteU64(os, ckpt.total_rounds);
   WriteU64(os, ckpt.next_round);
   WriteU64(os, ckpt.telemetry_rounds);
   SaveModelState(ckpt.global, os);
-  WriteU64(os, ckpt.clients.size());
-  for (const ClientState& client : ckpt.clients) {
-    WriteU64(os, client.tensors.size());
-    for (const Tensor& t : client.tensors) SaveTensor(t, os);
+  WriteU64(os, ckpt.client_states.size());
+  for (const auto& [id, state] : ckpt.client_states) {
+    WriteU64(os, id);
+    WriteU64(os, state.tensors.size());
+    for (const Tensor& t : state.tensors) SaveTensor(t, os);
   }
   WriteU64(os, ckpt.retries.size());
   for (const RetryState& r : ckpt.retries) {
@@ -61,9 +74,11 @@ Checkpoint LoadCheckpoint(std::istream& is) {
   CIP_CHECK_MSG(ReadU32(is) == kCheckpointMagic,
                 "not a CIP checkpoint stream");
   const std::uint32_t version = ReadU32(is);
-  CIP_CHECK_MSG(version == kCheckpointVersion,
+  CIP_CHECK_MSG(version == kCheckpointVersionV1 ||
+                    version == kCheckpointVersionV2,
                 "unsupported checkpoint version " << version << " (this "
-                "build reads v" << kCheckpointVersion << ")");
+                "build reads v" << kCheckpointVersionV1 << " and v"
+                << kCheckpointVersionV2 << ")");
   Checkpoint ckpt;
   ckpt.run_seed = ReadU64(is);
   ckpt.total_rounds = ReadCount(is, kMaxRounds, "total_rounds");
@@ -75,13 +90,26 @@ Checkpoint LoadCheckpoint(std::istream& is) {
                     << " outside [1, total_rounds + 1]");
   ckpt.global = LoadModelState(is);
   const std::size_t num_clients = ReadCount(is, kMaxClients, "client");
-  ckpt.clients.resize(num_clients);
-  for (ClientState& client : ckpt.clients) {
-    const std::size_t num_tensors =
-        ReadCount(is, kMaxTensorsPerClient, "client-tensor");
-    client.tensors.reserve(num_tensors);
-    for (std::size_t i = 0; i < num_tensors; ++i) {
-      client.tensors.push_back(LoadTensor(is));
+  ckpt.client_states.reserve(num_clients);
+  if (version == kCheckpointVersionV1) {
+    // v1 is dense: entry i belongs to client id i, and stateless clients
+    // carry an empty entry. Convert to the sparse form by dropping empties —
+    // ClientStore::RestoreStates hands absent ids an empty state anyway.
+    for (std::size_t id = 0; id < num_clients; ++id) {
+      ClientState state = ReadClientState(is);
+      if (state.tensors.empty()) continue;
+      ckpt.client_states.emplace_back(id, std::move(state));
+    }
+  } else {
+    std::uint64_t prev_id = 0;
+    for (std::size_t i = 0; i < num_clients; ++i) {
+      const std::uint64_t id = ReadU64(is);
+      CIP_CHECK_MSG(id < kMaxClients,
+                    "checkpoint client id implausibly large: " << id);
+      CIP_CHECK_MSG(i == 0 || id > prev_id,
+                    "checkpoint client ids not strictly ascending at " << id);
+      prev_id = id;
+      ckpt.client_states.emplace_back(id, ReadClientState(is));
     }
   }
   const std::size_t num_retries = ReadCount(is, kMaxRetries, "retry");

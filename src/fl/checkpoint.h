@@ -2,27 +2,32 @@
 // bit-identical to an uninterrupted run.
 //
 // A checkpoint captures everything the round engine cannot re-derive from
-// (clients, options, run seed) alone: the aggregated global model, each
-// client's private cross-round state (optimizer momentum, the CIP secret
-// perturbation t), the retry/backoff queue for faulted clients, and the
-// round + telemetry cursors. Because every RNG stream in a run is a pure
+// (client store, options, run seed) alone: the aggregated global model, each
+// stateful client's private cross-round state (optimizer momentum, the CIP
+// secret perturbation t), the retry/backoff queue for faulted clients, and
+// the round + telemetry cursors. Because every RNG stream in a run is a pure
 // function of (run_seed, round, client) — never of history — replaying
 // rounds k+1..R from a checkpoint taken after round k consumes exactly the
 // streams the uninterrupted run would have (the determinism argument is
 // spelled out in docs/ROBUSTNESS.md, the format spec too).
 //
-// Wire format v1 (little-endian, built on fl/serialize's audited
+// Wire format v2 (little-endian, built on fl/serialize's audited
 // primitives): magic "CIPK", version, run_seed, total_rounds, next_round,
-// telemetry_rounds, global ModelState, client-state list (count, then
-// per-client tensor count + tensors), retry list (count, then
-// client/attempts/next_round triples). Loaders throw cip::CheckError on bad
-// magic, unknown versions, truncation and implausible counts — before
-// sizing any buffer from untrusted input.
+// telemetry_rounds, global ModelState, sparse client-state list (entry
+// count, then per entry client id + tensor count + tensors, ids strictly
+// ascending), retry list (count, then client/attempts/next_round triples).
+// The sparse list is what lets a million-client fleet checkpoint in
+// O(stateful participants): clients that never trained have no entry. v1
+// checkpoints (dense client list, implicitly ids 0..n-1) are still loaded;
+// writers always emit v2. Loaders throw cip::CheckError on bad magic,
+// unknown versions, truncation, unsorted ids and implausible counts —
+// before sizing any buffer from untrusted input.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fl/client.h"
@@ -36,7 +41,7 @@ namespace cip::fl {
 /// no further retries but stays queued so fresh faults cannot restart the
 /// cycle; any successful delivery clears the entry.
 struct RetryState {
-  std::size_t client = 0;      ///< index into the Run() clients span
+  std::size_t client = 0;      ///< client id in the run's ClientStore
   std::size_t attempts = 0;    ///< faulted participations so far
   std::size_t next_round = 0;  ///< earliest 1-based round eligible for retry
 };
@@ -53,14 +58,18 @@ struct Checkpoint {
   /// re-emitting the first `telemetry_rounds` rounds.
   std::size_t telemetry_rounds = 0;
   ModelState global;                 ///< aggregate after round next_round - 1
-  std::vector<ClientState> clients;  ///< private state, indexed like Run()
+  /// Sparse private client state: (client id, exported state) sorted by id,
+  /// one entry per *stateful* client (the ClientStore::ExportStates shape).
+  /// Clients without an entry resume from their factory-fresh state.
+  std::vector<std::pair<std::uint64_t, ClientState>> client_states;
   std::vector<RetryState> retries;   ///< pending retry queue
 };
 
-/// Write a checkpoint (format v1 above); throws CheckError on I/O failure.
+/// Write a checkpoint (format v2 above); throws CheckError on I/O failure.
 void SaveCheckpoint(const Checkpoint& ckpt, std::ostream& os);
-/// Read a checkpoint written by SaveCheckpoint; throws CheckError on bad
-/// magic/version, truncation, or implausible counts.
+/// Read a checkpoint written by SaveCheckpoint (v2) or by a pre-sparse
+/// build (v1, converted to the sparse form); throws CheckError on bad
+/// magic/version, truncation, unsorted ids, or implausible counts.
 Checkpoint LoadCheckpoint(std::istream& is);
 
 /// SaveCheckpoint to a file; throws CheckError if the file cannot be opened.

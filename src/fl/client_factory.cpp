@@ -47,6 +47,30 @@ std::unique_ptr<ClientBase> MakeClient(const ClientSpec& spec) {
   return nullptr;
 }
 
+ClientStore MakeClientStore(std::vector<ClientSpec> specs, StoreOptions opts) {
+  CIP_CHECK_MSG(!specs.empty(), "MakeClientStore needs at least one spec");
+  const std::size_t n = specs.size();
+  // The factory owns the specs via a shared_ptr so the returned store stays
+  // movable (std::function requires a copyable callable).
+  auto shared = std::make_shared<std::vector<ClientSpec>>(std::move(specs));
+  return ClientStore(
+      n,
+      [shared](std::size_t id) { return MakeClient((*shared)[id]); },
+      std::move(opts));
+}
+
+ClientStore MakeClientStore(std::size_t num_clients,
+                            std::function<ClientSpec(std::size_t)> spec_for,
+                            StoreOptions opts) {
+  CIP_CHECK_MSG(spec_for != nullptr, "MakeClientStore needs a spec function");
+  return ClientStore(
+      num_clients,
+      [spec_for = std::move(spec_for)](std::size_t id) {
+        return MakeClient(spec_for(id));
+      },
+      std::move(opts));
+}
+
 ModelState InitialStateFor(const ClientSpec& spec) {
   switch (spec.kind) {
     case ClientKind::kCip:

@@ -11,7 +11,9 @@
 // while the fl layer itself stays below them.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/cip_client.h"
 #include "defenses/adv_reg.h"
@@ -20,6 +22,7 @@
 #include "defenses/mixup_mmd.h"
 #include "defenses/relaxloss.h"
 #include "fl/client.h"
+#include "fl/client_store.h"
 
 namespace cip::fl {
 
@@ -64,5 +67,21 @@ std::unique_ptr<core::CipClient> MakeCipClient(const ClientSpec& spec);
 /// The initial broadcast state matching spec.kind's model architecture
 /// (dual-channel for kCip, random-feature net for kHdp, plain otherwise).
 ModelState InitialStateFor(const ClientSpec& spec);
+
+/// Cold ClientStore over explicit per-client specs: client id k is
+/// MakeClient(specs[k]), rebuilt on demand each time k is sampled. Use for
+/// small-to-medium fleets whose local datasets are cheap to keep around.
+ClientStore MakeClientStore(std::vector<ClientSpec> specs,
+                            StoreOptions opts = {});
+
+/// Cold ClientStore over a spec function: client id k is
+/// MakeClient(spec_for(k)), so a million-client fleet never holds a million
+/// specs (or datasets) at once — spec_for typically derives the client's
+/// data partition from an id-seeded generator. spec_for must be pure: the
+/// same id must always yield the same spec, and it must be safe to call
+/// from the coordinator at any round.
+ClientStore MakeClientStore(std::size_t num_clients,
+                            std::function<ClientSpec(std::size_t)> spec_for,
+                            StoreOptions opts = {});
 
 }  // namespace cip::fl

@@ -1,0 +1,25 @@
+// Deprecated span-based FederatedAveraging entry points, isolated in their
+// own TU (and allowlisted by the `client-vector` lint rule) so the rest of
+// the library never touches a raw client span again. Each overload wraps the
+// caller's span in a borrowed ClientStore — identical semantics to the
+// pre-store API, including the final SetGlobal broadcast — and forwards to
+// the store overload. Scheduled for removal one release after the
+// ClientStore API landed.
+#include "fl/client_store.h"
+#include "fl/server.h"
+
+namespace cip::fl {
+
+FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
+                              std::uint64_t run_seed) {
+  ClientStore store(clients);
+  return Run(store, run_seed);
+}
+
+FlLog FederatedAveraging::Resume(std::span<ClientBase* const> clients,
+                                 const Checkpoint& ckpt) {
+  ClientStore store(clients);
+  return Resume(store, ckpt);
+}
+
+}  // namespace cip::fl

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fl/aggregate.h"
 
 namespace cip::fl {
 
@@ -56,10 +57,12 @@ float ModelState::L2Norm() const {
 
 ModelState ModelState::Average(std::span<const ModelState> states) {
   CIP_CHECK(!states.empty());
-  ModelState out = states[0];
-  for (std::size_t i = 1; i < states.size(); ++i) out.Axpy(1.0f, states[i]);
-  out.Scale(1.0f / static_cast<float>(states.size()));
-  return out;
+  // Delegate to the same streaming tree reduction the round engine uses for
+  // its per-round aggregate, so recomputing a mean from recorded updates
+  // reproduces the server's global bit-identically (fl/aggregate.h).
+  TreeAccumulator acc;
+  for (const ModelState& s : states) acc.Add(s);
+  return acc.FinishMean();
 }
 
 }  // namespace cip::fl

@@ -1,0 +1,59 @@
+#include "fl/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cip::fl {
+
+std::size_t CohortSize(float participation, std::size_t num_clients) {
+  CIP_CHECK_MSG(participation > 0.0f && participation <= 1.0f,
+                "participation must be in (0, 1], got " << participation);
+  CIP_CHECK_MSG(num_clients >= 1, "need at least one registered client");
+  if (participation >= 1.0f) return num_clients;
+  // Floor in double: float products like 0.1f * 5 land unpredictably on
+  // either side of the exact value; double holds every (float fraction x
+  // 2^53-bounded count) product exactly enough for a stable floor.
+  const double exact = static_cast<double>(participation) *
+                       static_cast<double>(num_clients);
+  const auto k = static_cast<std::size_t>(std::floor(exact));
+  return std::clamp<std::size_t>(k, 1, num_clients);
+}
+
+std::vector<std::size_t> SampleCohort(std::uint64_t run_seed,
+                                      std::size_t round,
+                                      std::size_t num_clients,
+                                      float participation) {
+  const std::size_t k = CohortSize(participation, num_clients);
+  std::vector<std::size_t> cohort;
+  cohort.reserve(k);
+  if (k == num_clients) {
+    for (std::size_t id = 0; id < num_clients; ++id) cohort.push_back(id);
+    return cohort;
+  }
+  // Floyd's without-replacement sampler: k draws, each uniform over a prefix
+  // that grows to the fleet, with collisions redirected to the prefix end.
+  // Uniform over all k-subsets, O(k) memory — the whole point of a cold
+  // fleet is that no per-round structure is ever O(num_clients).
+  Rng rng = DeriveStream(run_seed, round, kSamplingStream);
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = num_clients - k; j < num_clients; ++j) {
+    const std::size_t t = rng.Index(j + 1);
+    if (chosen.insert(t).second) {
+      cohort.push_back(t);
+    } else {
+      chosen.insert(j);
+      cohort.push_back(j);
+    }
+  }
+  // Sorted ascending: the round engine's fixed aggregation order, and the
+  // only ordering ever derived from the unordered membership set above.
+  std::sort(cohort.begin(), cohort.end());
+  return cohort;
+}
+
+}  // namespace cip::fl

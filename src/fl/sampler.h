@@ -1,0 +1,48 @@
+// Deterministic per-round cohort sampling for sparse client participation.
+//
+// Cross-device FL runs fleets far larger than any round's cohort: of a
+// million registered clients only a sampled fraction trains each round. The
+// sampler here is the single authority on who that is. It follows the
+// DeriveStream discipline (common/rng.h): the cohort for a round is a pure
+// function of (run_seed, round, fleet size, participation) — independent of
+// thread budget, hot-set size, spill state and call order — so sampled runs
+// stay bit-identical across every execution configuration, which is the
+// invariant the round engine's tests pin.
+//
+// Rounding contract (the floor-with-minimum-one rule): a round samples
+//   k = clamp(floor(participation * num_clients), 1, num_clients)
+// clients, computed in double precision. Flooring in float used to truncate
+// unpredictably (0.1f * 5 is not exactly 0.5) and a fraction rounding to
+// zero clients was treated as a configuration error; the documented rule is
+// now: any valid participation in (0, 1] trains at least one client.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cip::fl {
+
+/// Stream label reserved for participant sampling. Client training streams
+/// use the client id as the label, so sampling draws from a stream no client
+/// id (bounded far below 2^64 - 1) can collide with.
+inline constexpr std::uint64_t kSamplingStream = ~std::uint64_t{0};
+
+/// How many clients a round samples from a fleet of num_clients under the
+/// floor-with-minimum-one rule above. CHECK-fails (throws cip::CheckError)
+/// unless participation is in (0, 1] and num_clients >= 1.
+std::size_t CohortSize(float participation, std::size_t num_clients);
+
+/// The round's cohort: CohortSize distinct client ids in [0, num_clients),
+/// sampled without replacement from DeriveStream(run_seed, round,
+/// kSamplingStream) and returned sorted ascending. Cost is O(k) expected
+/// time and memory (Floyd's algorithm), never O(num_clients), so sampling
+/// 1k of 1M clients does not touch the fleet. Pure function of its
+/// arguments: any party that knows the run seed reconstructs any round's
+/// cohort in any order, on any thread.
+std::vector<std::size_t> SampleCohort(std::uint64_t run_seed,
+                                      std::size_t round,
+                                      std::size_t num_clients,
+                                      float participation);
+
+}  // namespace cip::fl

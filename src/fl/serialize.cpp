@@ -129,6 +129,9 @@ Tensor LoadTensor(std::istream& is) {
     shape[i] = static_cast<std::size_t>(d);
   }
   CheckedNumElements(shape);
+  // Deserialization target — when reached from a hot path (cold-client
+  // materialization) this tensor IS the state being produced.
+  // CIP_ANALYZE_OK(hot-alloc): dims and element count validated before sizing
   Tensor t(shape);
   ReadFloats(is, t.flat());
   return t;

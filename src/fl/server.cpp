@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "fl/aggregate.h"
+#include "fl/sampler.h"
 
 namespace cip::fl {
 
@@ -19,21 +21,9 @@ double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-// Stream label for participant sampling; clients use their index as the
-// label, so sampling gets one no client index can collide with.
-constexpr std::uint64_t kSamplingStream = ~std::uint64_t{0};
-
-// How many clients a round samples from a fleet of n. The no-silent-clamp
-// rule lives in FlOptions::Validate(n): a fraction that truncates to zero is
-// a configuration error, not something to round up behind the caller's back.
-std::size_t SampledCount(float participation, std::size_t n) {
-  if (participation >= 1.0f) return n;
-  return static_cast<std::size_t>(participation * static_cast<float>(n));
-}
-
 }  // namespace
 
-void FlOptions::Validate() const {
+void FlOptions::Validate(std::size_t num_clients) const {
   CIP_CHECK_MSG(rounds > 0, "FlOptions.rounds must be >= 1");
   CIP_CHECK_MSG(participation > 0.0f && participation <= 1.0f,
                 "FlOptions.participation must be in (0, 1]");
@@ -59,15 +49,10 @@ void FlOptions::Validate() const {
                 "FlOptions.checkpoint_every needs a checkpoint_path");
   CIP_CHECK_MSG(stop_after_round == 0 || stop_after_round <= rounds,
                 "FlOptions.stop_after_round must be within [1, rounds]");
-}
-
-void FlOptions::Validate(std::size_t num_clients) const {
-  Validate();
-  CIP_CHECK_MSG(num_clients > 0, "need at least one client");
-  CIP_CHECK_MSG(SampledCount(participation, num_clients) >= 1,
-                "FlOptions.participation = "
-                    << participation << " samples zero of " << num_clients
-                    << " clients per round; raise it (or add clients)");
+  // Fleet-dependent checks, skipped for the fleet-independent construction
+  // pass (num_clients == 0). Note there is no zero-cohort rejection any
+  // more: CohortSize clamps to at least one sampled client.
+  if (num_clients == 0) return;
   CIP_CHECK_MSG(min_quorum <= num_clients,
                 "FlOptions.min_quorum = " << min_quorum
                                           << " can never be met by "
@@ -80,38 +65,31 @@ FederatedAveraging::FederatedAveraging(ModelState initial, FlOptions options)
   CIP_CHECK(!global_.empty());
 }
 
-FlLog FederatedAveraging::Run(std::span<ClientBase* const> clients,
-                              std::uint64_t run_seed) {
-  return RunRounds(clients, run_seed, /*start_round=*/1,
+FlLog FederatedAveraging::Run(ClientStore& store, std::uint64_t run_seed) {
+  return RunRounds(store, run_seed, /*start_round=*/1,
                    /*telemetry_offset=*/0, /*retries=*/{});
 }
 
-FlLog FederatedAveraging::Resume(std::span<ClientBase* const> clients,
-                                 const Checkpoint& ckpt) {
-  options_.Validate(clients.size());
+FlLog FederatedAveraging::Resume(ClientStore& store, const Checkpoint& ckpt) {
+  options_.Validate(store.num_clients());
   CIP_CHECK_MSG(ckpt.total_rounds == options_.rounds,
                 "checkpoint is from a " << ckpt.total_rounds
                                         << "-round run; FlOptions.rounds is "
                                         << options_.rounds);
-  CIP_CHECK_MSG(ckpt.clients.size() == clients.size(),
-                "checkpoint holds " << ckpt.clients.size()
-                                    << " client states for a fleet of "
-                                    << clients.size());
   CIP_CHECK(!ckpt.global.empty());
   global_ = ckpt.global;
-  for (std::size_t k = 0; k < clients.size(); ++k) {
-    clients[k]->RestoreState(ckpt.clients[k]);
-  }
-  return RunRounds(clients, ckpt.run_seed, ckpt.next_round,
+  // The store rejects checkpoint ids outside its fleet — the sparse v2
+  // analogue of the old dense size-mismatch check.
+  store.RestoreStates(ckpt.client_states);
+  return RunRounds(store, ckpt.run_seed, ckpt.next_round,
                    ckpt.telemetry_rounds, ckpt.retries);
 }
 
-FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
-                                    std::uint64_t run_seed,
+FlLog FederatedAveraging::RunRounds(ClientStore& store, std::uint64_t run_seed,
                                     std::size_t start_round,
                                     std::size_t telemetry_offset,
                                     std::vector<RetryState> retries) {
-  options_.Validate(clients.size());
+  options_.Validate(store.num_clients());
   const bool faults_on = options_.faults.enabled();
   const std::size_t last_round =
       options_.stop_after_round > 0 ? options_.stop_after_round
@@ -120,24 +98,16 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
   for (std::size_t round = start_round; round <= last_round; ++round) {
     RoundStats stats;
     stats.round = round;
+    const StoreStats store_before = store.stats();
     // --- Coordinator: broadcast (possibly tampered) global and sample this
-    // round's participants (FedAvg partial participation), then merge in
-    // faulted clients whose retry backoff has elapsed.
+    // round's cohort (fl/sampler.h), then merge in faulted clients whose
+    // retry backoff has elapsed.
     // CIP_ANALYZE_OK(det-wallclock): telemetry: broadcast duration recorded in RoundStats
     const auto broadcast_t0 = Clock::now();
     const ModelState broadcast =
         tamper_ ? tamper_(round, global_) : global_;
-    std::vector<std::size_t> participants;
-    if (options_.participation >= 1.0f) {
-      for (std::size_t k = 0; k < clients.size(); ++k) participants.push_back(k);
-    } else {
-      const std::size_t count =
-          SampledCount(options_.participation, clients.size());
-      Rng sample_rng = DeriveStream(run_seed, round, kSamplingStream);
-      participants =
-          sample_rng.SampleWithoutReplacement(clients.size(), count);
-      std::sort(participants.begin(), participants.end());
-    }
+    std::vector<std::size_t> participants = SampleCohort(
+        run_seed, round, store.num_clients(), options_.participation);
     // An entry is "due" while the client still has retry budget left;
     // exhausted entries stay in the queue (so fresh faults cannot restart
     // the cycle) until a successful delivery clears them.
@@ -162,53 +132,64 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
       }
       if (merged) std::sort(participants.begin(), participants.end());
     }
+
+    // --- Coordinator: fault decisions and cohort materialization, serial
+    // (the store is coordinator-only). A dropout went offline before it
+    // could download the global, so it is never materialized; everyone else
+    // becomes a live client for the duration of the round.
+    const std::size_t m = participants.size();
+    std::vector<ClientStore::Handle> cohort(m);
+    stats.clients.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t k = participants[i];
+      ClientRoundStats& cs = stats.clients[i];
+      cs.round = round;
+      cs.client = k;
+      cs.retried = retry_due(k);
+      cs.fault = faults_on ? options_.faults.Decide(run_seed, round, k)
+                           : FaultKind::kNone;
+      if (cs.fault == FaultKind::kDropout) {
+        // Device went offline before training started: no local work, no
+        // update, no loss report.
+        cs.dropped = true;
+        continue;
+      }
+      cohort[i] = store.Materialize(k);
+    }
     stats.broadcast_seconds = SecondsSince(broadcast_t0);
 
     // --- Parallel client phase, dispatched onto the persistent worker pool.
-    // Each worker touches only its own client, its own updates/stats slot,
-    // and its own losses element; the RNG stream in each context is derived
-    // from (run_seed, round, client index), fault decisions from the same
-    // triple through a salted stream, so the result is independent of how —
-    // or on which dispatch backend — workers are scheduled.
+    // Each worker touches only its own materialized client, its own
+    // updates/stats slot, and its own losses element; the RNG stream in
+    // each context is derived from (run_seed, round, client id), so the
+    // result is independent of how — or on which dispatch backend — workers
+    // are scheduled.
     float lr_scale = 1.0f;
     if (options_.lr_decay_every != 0) {
       const auto steps =
           static_cast<float>((round - 1) / options_.lr_decay_every);
       lr_scale = std::pow(options_.lr_decay, steps);
     }
-    const std::size_t m = participants.size();
     std::vector<ModelState> updates(m);
-    std::vector<float> losses(clients.size(), 0.0f);
-    stats.clients.resize(m);
+    std::vector<float> losses(m, 0.0f);
     // CIP_ANALYZE_OK(det-wallclock): telemetry: per-round train duration recorded in RoundStats
     const auto train_t0 = Clock::now();
     ParallelForCoarse(
         0, m,
         [&](std::size_t i) {
+          ClientBase* client = cohort[i].get();
+          if (client == nullptr) return;  // dropout: never materialized
           const std::size_t k = participants[i];
           ClientRoundStats& cs = stats.clients[i];
-          cs.round = round;
-          cs.client = k;
-          cs.retried = retry_due(k);
-          const FaultKind fault =
-              faults_on ? options_.faults.Decide(run_seed, round, k)
-                        : FaultKind::kNone;
-          cs.fault = fault;
-          if (fault == FaultKind::kDropout) {
-            // Device went offline before training started: no local work,
-            // no update, no loss report.
-            cs.dropped = true;
-            return;
-          }
           RoundContext ctx = MakeRoundContext(run_seed, round, k, lr_scale);
           ctx.telemetry = &cs;
           // CIP_ANALYZE_OK(det-wallclock): telemetry: per-client train duration recorded in RoundStats
           const auto client_t0 = Clock::now();
-          clients[k]->SetGlobal(broadcast);
-          updates[i] = clients[k]->TrainLocal(std::move(ctx));
+          client->SetGlobal(broadcast);
+          updates[i] = client->TrainLocal(std::move(ctx));
           cs.train_seconds = SecondsSince(client_t0);
-          if (fault == FaultKind::kMidRoundFailure ||
-              (fault == FaultKind::kStraggler &&
+          if (cs.fault == FaultKind::kMidRoundFailure ||
+              (cs.fault == FaultKind::kStraggler &&
                options_.round_timeout_seconds > 0.0 &&
                options_.faults.straggler_delay_seconds >
                    options_.round_timeout_seconds)) {
@@ -219,33 +200,65 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
             cs.dropped = true;
             return;
           }
-          cs.loss = clients[k]->LastTrainLoss();
-          losses[k] = cs.loss;
+          cs.loss = client->LastTrainLoss();
+          losses[i] = cs.loss;
         },
         options_.max_parallel_clients);
     stats.train_wall_seconds = SecondsSince(train_t0);
 
-    // --- Coordinator: deterministic fixed-order reduction over survivors.
-    // The plain mean over survivors *is* the renormalized FedAvg aggregate:
-    // each survivor's weight grows from 1/m to 1/survivors.
+    // --- Coordinator: evict the cohort back into the store in ascending id
+    // order (participants are sorted, so index order is id order). A
+    // mid-round failure is evicted too: its update was lost but its private
+    // state advanced — exactly what a real device that crashed after
+    // training would carry into its next participation.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (cohort[i]) {
+        store.Evict(participants[i], *cohort[i]);
+        cohort[i] = ClientStore::Handle();
+      }
+    }
+
+    // --- Coordinator: deterministic fixed-order tree reduction over
+    // survivors (fl/aggregate.h), streaming so at most O(log survivors)
+    // partial sums are alive. The plain mean over survivors *is* the
+    // renormalized FedAvg aggregate: each survivor's weight grows from 1/m
+    // to 1/survivors.
     // CIP_ANALYZE_OK(det-wallclock): telemetry: aggregation duration recorded in RoundStats
     const auto aggregate_t0 = Clock::now();
-    std::vector<ModelState> survivors;
-    survivors.reserve(m);
+    std::size_t survived = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      if (!stats.clients[i].dropped) survivors.push_back(std::move(updates[i]));
+      if (!stats.clients[i].dropped) ++survived;
     }
-    stats.survivors = survivors.size();
-    if (survivors.size() < options_.min_quorum) {
+    stats.survivors = survived;
+    std::vector<ModelState> survivors;
+    if (options_.record_client_updates) survivors.reserve(survived);
+    if (survived < options_.min_quorum) {
       CIP_CHECK_MSG(options_.quorum_policy != QuorumPolicy::kAbort,
-                    "round " << round << " lost quorum: " << survivors.size()
+                    "round " << round << " lost quorum: " << survived
                              << " survivors < min_quorum "
                              << options_.min_quorum);
       // Below quorum with kSkipRound: the global model is carried over
       // unchanged and the round is recorded as skipped.
       stats.skipped = true;
+      if (options_.record_client_updates) {
+        for (std::size_t i = 0; i < m; ++i) {
+          if (!stats.clients[i].dropped) {
+            survivors.push_back(std::move(updates[i]));
+          }
+        }
+      }
     } else {
-      global_ = ModelState::Average(survivors);
+      TreeAccumulator acc;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (stats.clients[i].dropped) continue;
+        if (options_.record_client_updates) {
+          acc.Add(updates[i]);
+          survivors.push_back(std::move(updates[i]));
+        } else {
+          acc.Add(std::move(updates[i]));
+        }
+      }
+      global_ = acc.FinishMean();
     }
     stats.aggregate_seconds = SecondsSince(aggregate_t0);
 
@@ -277,6 +290,12 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
       }
     }
 
+    const StoreStats store_after = store.stats();
+    stats.store_hot_hits = store_after.hot_hits - store_before.hot_hits;
+    stats.store_cold_loads = store_after.cold_loads - store_before.cold_loads;
+    stats.store_evictions = store_after.evictions - store_before.evictions;
+    stats.store_spills = store_after.spills - store_before.spills;
+
     log.client_losses.push_back(std::move(losses));
     if (options_.record_client_updates) {
       log.client_updates.push_back(std::move(survivors));
@@ -296,16 +315,17 @@ FlLog FederatedAveraging::RunRounds(std::span<ClientBase* const> clients,
       ckpt.next_round = round + 1;
       ckpt.telemetry_rounds = telemetry_offset + log.telemetry.rounds.size();
       ckpt.global = global_;
-      ckpt.clients.reserve(clients.size());
-      for (const ClientBase* client : clients) {
-        ckpt.clients.push_back(client->ExportState());
-      }
+      // Sparse export: O(stateful participants), reading spilled records
+      // straight from their shards — a crash while clients sit on disk
+      // resumes from exactly the bytes that were spilled.
+      ckpt.client_states = store.ExportStates();
       ckpt.retries = retries;
       SaveCheckpointFile(ckpt, options_.checkpoint_path);
     }
   }
-  // Clients see the final aggregate (inference uses the global model).
-  for (ClientBase* client : clients) client->SetGlobal(global_);
+  // Persistent clients see the final aggregate (inference uses the global
+  // model); a cold store keeps it in the log/checkpoint instead.
+  store.BroadcastFinal(global_);
   log.final_global = global_;
   return log;
 }

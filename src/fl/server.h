@@ -6,34 +6,46 @@
 // optional hooks so honest training and attacks share one code path.
 //
 // Round engine: each round the coordinator thread broadcasts (and possibly
-// tampers) the global, samples participants, and builds one RoundContext per
-// participant; the participants then train concurrently on ParallelForCoarse
-// workers drawn from the persistent pool (common/parallel.h). A client
-// running on a pool worker is inside a parallel region, so the GEMM kernels
-// it calls run serially inline on that worker — client-level parallelism is
-// the outermost (and only) fan-out. Because every context's RNG stream is a
-// pure function of (run seed, round, client index) and aggregation is a
-// fixed-order serial reduction, results are bit-identical for any
-// CIP_THREADS value and for either dispatch backend (pool or
-// CIP_SPAWN_THREADS=1 spawn-per-call).
+// tampers) the global, samples the cohort (fl/sampler.h: deterministic
+// without-replacement sampling from a (run_seed, round)-derived stream),
+// merges due retries, and materializes each sampled client from the
+// ClientStore (fl/client_store.h); the cohort then trains concurrently on
+// ParallelForCoarse workers drawn from the persistent pool
+// (common/parallel.h). A client running on a pool worker is inside a
+// parallel region, so the GEMM kernels it calls run serially inline on that
+// worker — client-level parallelism is the outermost (and only) fan-out.
+// Trained clients are evicted back to the store in ascending id order, and
+// surviving updates stream through a fixed-order tree reduction
+// (fl/aggregate.h). Because every context's RNG stream is a pure function
+// of (run seed, round, client id) and every fold order is fixed, results
+// are bit-identical for any CIP_THREADS value, either dispatch backend
+// (pool or CIP_SPAWN_THREADS=1 spawn-per-call), any hot-set byte budget,
+// and spilled-vs-resident client records. Server memory is O(hot budget +
+// sampled cohort), never O(registered fleet).
 //
 // Fault tolerance: an FlOptions::faults plan injects deterministic client
 // dropouts, mid-round failures and stragglers (fl/fault.h); the engine
 // degrades gracefully by averaging the surviving updates (FedAvg weight
 // renormalization falls out of the plain mean over survivors), skipping or
 // aborting rounds that fall below min_quorum, and retrying faulted clients
-// with bounded exponential backoff. Periodic checkpoints (fl/checkpoint.h)
-// plus Resume() make crash-at-round-k + resume bit-identical to an
-// uninterrupted run; docs/ROBUSTNESS.md spells out the semantics.
+// with bounded exponential backoff. A dropped-out client is never
+// materialized (the device went offline before downloading the global); a
+// mid-round failure trains and is evicted — its private state advanced even
+// though the update was lost. Periodic checkpoints (fl/checkpoint.h) plus
+// Resume() make crash-at-round-k + resume bit-identical to an uninterrupted
+// run, including crashes while client records sit in shard files;
+// docs/ROBUSTNESS.md and docs/SCALE.md spell out the semantics.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/client_store.h"
 #include "fl/fault.h"
 #include "fl/model_state.h"
 #include "fl/telemetry.h"
@@ -53,8 +65,9 @@ enum class QuorumPolicy {
 struct FlOptions {
   std::size_t rounds = 10;
   /// Fraction of clients sampled per round (FedAvg partial participation).
-  /// Validate(num_clients) rejects fractions that round to zero sampled
-  /// clients for the fleet actually passed to Run().
+  /// The cohort size is floor(participation * num_clients) clamped to at
+  /// least one client (fl/sampler.h) — a small fleet with a small fraction
+  /// still trains someone every round.
   float participation = 1.0f;
   /// Record every client's returned state each round (malicious-server
   /// passive observation; memory-heavy, off by default). Only delivered
@@ -103,13 +116,12 @@ struct FlOptions {
   /// simulate a crash at round k.
   std::size_t stop_after_round = 0;
 
-  /// CHECK-fails (throws cip::CheckError) on out-of-domain settings; called
-  /// by FederatedAveraging at construction.
-  void Validate() const;
-  /// Validate() plus fleet-dependent checks: rejects a participation
-  /// fraction that rounds to zero sampled clients for num_clients. Called
-  /// at the top of Run()/Resume() with the actual fleet size.
-  void Validate(std::size_t num_clients) const;
+  /// CHECK-fails (throws cip::CheckError) on out-of-domain settings.
+  /// Called by FederatedAveraging at construction with the default
+  /// num_clients = 0 (fleet-independent checks only), and again at the top
+  /// of Run()/Resume() with the store's actual fleet size, which adds the
+  /// fleet-dependent checks (min_quorum must be satisfiable).
+  void Validate(std::size_t num_clients = 0) const;
 };
 
 struct FlLog {
@@ -120,11 +132,13 @@ struct FlLog {
   /// [round][survivor] client states, if record_client_updates (equal to
   /// [round][client] under full participation with no faults).
   std::vector<std::vector<ModelState>> client_updates;
-  /// [round][client] mean local training loss (0 for clients that did not
-  /// deliver an update that round).
+  /// [round][participant] mean local training loss, aligned with the
+  /// round's sorted cohort (RoundStats::clients order; 0 for participants
+  /// that did not deliver an update that round). O(cohort) per round — a
+  /// million-client fleet does not appear here, only its sampled cohorts.
   std::vector<std::vector<float>> client_losses;
-  /// Per-round wall-clock, loss and fault telemetry (always recorded;
-  /// cheap). On Resume, covers only the resumed rounds.
+  /// Per-round wall-clock, loss, fault and store-lifecycle telemetry
+  /// (always recorded; cheap). On Resume, covers only the resumed rounds.
   RoundTelemetry telemetry;
 };
 
@@ -140,25 +154,35 @@ class FederatedAveraging {
   /// Install a malicious-server hook applied to every round's aggregate.
   void set_tamper(GlobalTamper tamper) { tamper_ = std::move(tamper); }
 
-  /// Run the configured number of rounds over the given clients. run_seed is
-  /// the root of every RNG stream in the run (participant sampling, each
-  /// client's per-round stream, and fault decisions); two runs with the same
-  /// seed, clients, and options produce bit-identical logs regardless of
-  /// thread count.
-  FlLog Run(std::span<ClientBase* const> clients, std::uint64_t run_seed);
+  /// Run the configured number of rounds over the store's fleet. run_seed
+  /// is the root of every RNG stream in the run (cohort sampling, each
+  /// client's per-round stream, and fault decisions); two runs with the
+  /// same seed, store contents, and options produce bit-identical logs
+  /// regardless of thread count, hot-set budget, or spill configuration.
+  FlLog Run(ClientStore& store, std::uint64_t run_seed);
 
   /// Continue an interrupted run from a checkpoint: restores the global
-  /// model, each client's private state and the retry queue, then executes
-  /// rounds [ckpt.next_round, rounds]. The clients span must describe the
-  /// same fleet (same order, same construction) as the run that wrote the
-  /// checkpoint, and options.rounds must equal ckpt.total_rounds; the
+  /// model, the stateful clients' private state and the retry queue, then
+  /// executes rounds [ckpt.next_round, rounds]. The store must describe the
+  /// same fleet (same size, same per-id construction) as the run that wrote
+  /// the checkpoint, and options.rounds must equal ckpt.total_rounds; the
   /// resumed tail is then bit-identical to the uninterrupted run's.
+  FlLog Resume(ClientStore& store, const Checkpoint& ckpt);
+
+  /// Deprecated span-based Run, kept for one release: wraps the span in a
+  /// borrowed ClientStore and calls the store overload.
+  [[deprecated("construct a ClientStore (fl/client_store.h) and pass it to "
+               "Run")]]
+  FlLog Run(std::span<ClientBase* const> clients, std::uint64_t run_seed);
+  /// Deprecated span-based Resume, kept for one release: wraps the span in
+  /// a borrowed ClientStore and calls the store overload.
+  [[deprecated("construct a ClientStore (fl/client_store.h) and pass it to "
+               "Resume")]]
   FlLog Resume(std::span<ClientBase* const> clients, const Checkpoint& ckpt);
 
  private:
-  FlLog RunRounds(std::span<ClientBase* const> clients,
-                  std::uint64_t run_seed, std::size_t start_round,
-                  std::size_t telemetry_offset,
+  FlLog RunRounds(ClientStore& store, std::uint64_t run_seed,
+                  std::size_t start_round, std::size_t telemetry_offset,
                   std::vector<RetryState> retries);
 
   ModelState global_;

@@ -27,6 +27,10 @@ void RoundTelemetry::WriteJsonl(std::ostream& os) const {
     PutNumber(os, r.aggregate_seconds);
     os << ",\"survivors\":" << r.survivors
        << ",\"skipped\":" << (r.skipped ? "true" : "false");
+    os << ",\"store\":{\"hot_hits\":" << r.store_hot_hits
+       << ",\"cold_loads\":" << r.store_cold_loads
+       << ",\"evictions\":" << r.store_evictions
+       << ",\"spills\":" << r.store_spills << '}';
     os << ",\"clients\":[";
     for (std::size_t i = 0; i < r.clients.size(); ++i) {
       const ClientRoundStats& c = r.clients[i];

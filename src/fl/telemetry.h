@@ -47,6 +47,15 @@ struct RoundStats {
   /// True when survivors fell below FlOptions::min_quorum and the round was
   /// skipped (global model unchanged).
   bool skipped = false;
+  /// ClientStore lifecycle counters for this round (all zero for live
+  /// fleets, whose clients are never materialized or evicted): cohort
+  /// materializations served from the hot set vs read back from shard
+  /// files, trained clients re-serialized into the store, and records
+  /// pushed out to shards by the hot-set byte budget.
+  std::size_t store_hot_hits = 0;
+  std::size_t store_cold_loads = 0;
+  std::size_t store_evictions = 0;
+  std::size_t store_spills = 0;
   std::vector<ClientRoundStats> clients;  ///< one entry per participant
 };
 

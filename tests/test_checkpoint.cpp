@@ -46,8 +46,10 @@ fl::Checkpoint SampleCheckpoint() {
   t[3] = -7.0f;
   c0.tensors.push_back(t);
   c0.tensors.push_back(Tensor({3}));
-  ckpt.clients.push_back(std::move(c0));
-  ckpt.clients.push_back(fl::ClientState{});  // stateless client
+  ckpt.client_states.emplace_back(0, std::move(c0));
+  fl::ClientState c3;  // sparse: ids need not be contiguous
+  c3.tensors.push_back(Tensor({2}, 1.5f));
+  ckpt.client_states.emplace_back(3, std::move(c3));
   ckpt.retries.push_back(fl::RetryState{1, 2, 7});
   return ckpt;
 }
@@ -67,12 +69,15 @@ void ExpectSameCheckpoint(const fl::Checkpoint& a, const fl::Checkpoint& b) {
   for (std::size_t i = 0; i < a.global.size(); ++i) {
     EXPECT_EQ(a.global.values()[i], b.global.values()[i]);
   }
-  ASSERT_EQ(a.clients.size(), b.clients.size());
-  for (std::size_t k = 0; k < a.clients.size(); ++k) {
-    ASSERT_EQ(a.clients[k].tensors.size(), b.clients[k].tensors.size());
-    for (std::size_t j = 0; j < a.clients[k].tensors.size(); ++j) {
-      const Tensor& ta = a.clients[k].tensors[j];
-      const Tensor& tb = b.clients[k].tensors[j];
+  ASSERT_EQ(a.client_states.size(), b.client_states.size());
+  for (std::size_t k = 0; k < a.client_states.size(); ++k) {
+    EXPECT_EQ(a.client_states[k].first, b.client_states[k].first);
+    const fl::ClientState& ca = a.client_states[k].second;
+    const fl::ClientState& cb = b.client_states[k].second;
+    ASSERT_EQ(ca.tensors.size(), cb.tensors.size());
+    for (std::size_t j = 0; j < ca.tensors.size(); ++j) {
+      const Tensor& ta = ca.tensors[j];
+      const Tensor& tb = cb.tensors[j];
       ASSERT_TRUE(ta.SameShape(tb));
       for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
     }
@@ -147,6 +152,44 @@ TEST(Checkpoint, RejectsHostileClientCount) {
   fl::wire::WriteU64(ss, 0);           // telemetry_rounds
   fl::SaveModelState(fl::ModelState(std::vector<float>{1.0f}), ss);
   fl::wire::WriteU64(ss, std::uint64_t{1} << 60);  // hostile client count
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+TEST(Checkpoint, LoadsV1DenseFormatAsSparse) {
+  // A v1 stream is dense: entry i belongs to client i, and stateless clients
+  // carry empty entries. The loader accepts it and drops the empties.
+  std::stringstream ss;
+  fl::wire::WriteU32(ss, 0x4349504B);
+  fl::wire::WriteU32(ss, 1);   // v1
+  fl::wire::WriteU64(ss, 9);   // run_seed
+  fl::wire::WriteU64(ss, 10);  // total_rounds
+  fl::wire::WriteU64(ss, 3);   // next_round
+  fl::wire::WriteU64(ss, 2);   // telemetry_rounds
+  fl::SaveModelState(fl::ModelState(std::vector<float>{4.0f}), ss);
+  fl::wire::WriteU64(ss, 3);  // dense fleet of three
+  fl::wire::WriteU64(ss, 0);  // client 0: stateless
+  fl::wire::WriteU64(ss, 1);  // client 1: one tensor
+  fl::SaveTensor(Tensor({2}, 2.5f), ss);
+  fl::wire::WriteU64(ss, 0);  // client 2: stateless
+  fl::wire::WriteU64(ss, 0);  // no retries
+  const fl::Checkpoint ckpt = fl::LoadCheckpoint(ss);
+  ASSERT_EQ(ckpt.client_states.size(), 1u);
+  EXPECT_EQ(ckpt.client_states[0].first, 1u);
+  ASSERT_EQ(ckpt.client_states[0].second.tensors.size(), 1u);
+  EXPECT_EQ(ckpt.client_states[0].second.tensors[0][1], 2.5f);
+}
+
+TEST(Checkpoint, RejectsUnsortedV2ClientIds) {
+  fl::Checkpoint ckpt = SampleCheckpoint();
+  std::swap(ckpt.client_states[0], ckpt.client_states[1]);  // id 3 before 0
+  std::stringstream ss(Serialize(ckpt));
+  EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
+}
+
+TEST(Checkpoint, RejectsHostileV2ClientId) {
+  fl::Checkpoint ckpt = SampleCheckpoint();
+  ckpt.client_states[1].first = std::uint64_t{1} << 40;  // >= the id ceiling
+  std::stringstream ss(Serialize(ckpt));
   EXPECT_THROW(fl::LoadCheckpoint(ss), CheckError);
 }
 
@@ -346,58 +389,62 @@ TEST(ClientState, CipClientSnapshotCarriesPerturbationFirst) {
 
 // ---- crash-at-k + resume bit-identity --------------------------------------
 
+// Cold store-backed federations: every round round-trips the sampled
+// clients through serialized records, and the spill variants force those
+// records out to shard files before the crash.
 struct Federation {
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
   fl::ModelState init;
 };
 
-Federation MakeLegacyFederation(std::size_t num_clients) {
-  Federation fed;
+Federation MakeLegacyFederation(std::size_t num_clients,
+                                fl::StoreOptions sopts = {}) {
   data::Dataset full = ClampedBlobs(40 * num_clients, 31);
   Rng part_rng(32);
   const auto shards = data::PartitionIid(full, num_clients, part_rng);
-  fl::ClientSpec spec;
-  spec.kind = fl::ClientKind::kLegacy;
-  spec.model = MlpSpec();
-  spec.train.lr = 0.1f;
-  spec.train.momentum = 0.9f;
+  fl::ClientSpec proto;
+  proto.kind = fl::ClientKind::kLegacy;
+  proto.model = MlpSpec();
+  proto.train.lr = 0.1f;
+  proto.train.momentum = 0.9f;
+  std::vector<fl::ClientSpec> specs;
   for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec = proto;
     spec.data = shards[k];
     spec.seed = 50 + k;
-    fed.clients.push_back(fl::MakeClient(spec));
-    fed.ptrs.push_back(fed.clients.back().get());
+    specs.push_back(std::move(spec));
   }
-  fed.init = fl::InitialStateFor(spec);
-  return fed;
+  return Federation{fl::MakeClientStore(std::move(specs), std::move(sopts)),
+                    fl::InitialStateFor(proto)};
 }
 
-Federation MakeCipFederation(std::size_t num_clients) {
-  Federation fed;
+Federation MakeCipFederation(std::size_t num_clients,
+                             fl::StoreOptions sopts = {}) {
   data::SyntheticVision gen(data::ChMnistLike());
   Rng rng(41);
   const data::Dataset full = gen.Sample(24 * num_clients, rng);
   Rng part_rng(42);
   const auto shards = data::PartitionIid(full, num_clients, part_rng);
-  fl::ClientSpec spec;
-  spec.kind = fl::ClientKind::kCip;
-  spec.model.arch = nn::Arch::kResNet;
-  spec.model.input_shape = gen.SampleShape();
-  spec.model.num_classes = 8;
-  spec.model.width = 4;
-  spec.model.seed = 43;
-  spec.train.lr = 0.02f;
-  spec.train.momentum = 0.9f;
-  spec.cip.blend.alpha = 0.7f;
-  spec.cip.perturb_steps = 2;
+  fl::ClientSpec proto;
+  proto.kind = fl::ClientKind::kCip;
+  proto.model.arch = nn::Arch::kResNet;
+  proto.model.input_shape = gen.SampleShape();
+  proto.model.num_classes = 8;
+  proto.model.width = 4;
+  proto.model.seed = 43;
+  proto.train.lr = 0.02f;
+  proto.train.momentum = 0.9f;
+  proto.cip.blend.alpha = 0.7f;
+  proto.cip.perturb_steps = 2;
+  std::vector<fl::ClientSpec> specs;
   for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec = proto;
     spec.data = shards[k];
     spec.seed = 60 + k;
-    fed.clients.push_back(fl::MakeClient(spec));
-    fed.ptrs.push_back(fed.clients.back().get());
+    specs.push_back(std::move(spec));
   }
-  fed.init = fl::InitialStateFor(spec);
-  return fed;
+  return Federation{fl::MakeClientStore(std::move(specs), std::move(sopts)),
+                    fl::InitialStateFor(proto)};
 }
 
 fl::FlOptions FaultyOptions(std::size_t rounds) {
@@ -418,16 +465,28 @@ void ExpectSameModelState(const fl::ModelState& a, const fl::ModelState& b) {
 
 // Runs the full federation straight through, then re-runs it crashing after
 // round k (checkpointing as it goes) and resumes from the file; the resumed
-// tail must be bit-identical to the straight run.
-void CheckCrashResumeBitIdentity(bool cip, std::size_t k,
-                                 std::size_t budget) {
+// tail must be bit-identical to the straight run. With spill=true every
+// store runs under a one-byte hot budget, so all client records sit in
+// shard files at crash time and the checkpoint/resume path reads them back
+// through the shard loader.
+void CheckCrashResumeBitIdentity(bool cip, std::size_t k, std::size_t budget,
+                                 bool spill = false) {
   const std::size_t kRounds = cip ? 4 : 6;
   const std::uint64_t run_seed = 91;
-  const std::string path = TempPath(
-      "resume_" + std::to_string(cip) + "_" + std::to_string(k) + "_" +
-      std::to_string(budget) + ".ckpt");
+  const std::string tag = std::to_string(cip) + "_" + std::to_string(k) +
+                          "_" + std::to_string(budget);
+  const std::string path = TempPath("resume_" + tag + ".ckpt");
+  int fed_count = 0;
   auto make = [&] {
-    return cip ? MakeCipFederation(3) : MakeLegacyFederation(4);
+    fl::StoreOptions sopts;
+    if (spill) {
+      sopts.hot_bytes = 1;  // evict every record straight to disk
+      sopts.shard_clients = 2;
+      sopts.spill_dir =
+          TempPath("spill_" + tag + "_" + std::to_string(fed_count++));
+    }
+    return cip ? MakeCipFederation(3, std::move(sopts))
+               : MakeLegacyFederation(4, std::move(sopts));
   };
 
   fl::FlOptions opts = FaultyOptions(kRounds);
@@ -435,7 +494,7 @@ void CheckCrashResumeBitIdentity(bool cip, std::size_t k,
 
   Federation straight = make();
   fl::FederatedAveraging straight_server(straight.init, opts);
-  const fl::FlLog full = straight_server.Run(straight.ptrs, run_seed);
+  const fl::FlLog full = straight_server.Run(straight.store, run_seed);
 
   // Crash: same configuration, but stop (and checkpoint) at round k.
   Federation crashed = make();
@@ -444,7 +503,7 @@ void CheckCrashResumeBitIdentity(bool cip, std::size_t k,
   crash_opts.checkpoint_path = path;
   crash_opts.stop_after_round = k;
   fl::FederatedAveraging crash_server(crashed.init, crash_opts);
-  crash_server.Run(crashed.ptrs, run_seed);
+  crash_server.Run(crashed.store, run_seed);
 
   const fl::Checkpoint ckpt = fl::LoadCheckpointFile(path);
   EXPECT_EQ(ckpt.run_seed, run_seed);
@@ -455,7 +514,7 @@ void CheckCrashResumeBitIdentity(bool cip, std::size_t k,
   // Resume on a *fresh* federation, as a restarted process would.
   Federation resumed = make();
   fl::FederatedAveraging resume_server(resumed.init, opts);
-  const fl::FlLog tail = resume_server.Resume(resumed.ptrs, ckpt);
+  const fl::FlLog tail = resume_server.Resume(resumed.store, ckpt);
 
   ExpectSameModelState(full.final_global, tail.final_global);
   ASSERT_EQ(tail.client_losses.size(), kRounds - k);
@@ -490,6 +549,16 @@ TEST(Resume, BitIdenticalForCipFleet) {
   CheckCrashResumeBitIdentity(/*cip=*/true, /*k=*/2, /*budget=*/4);
 }
 
+TEST(Resume, BitIdenticalWhenCrashFindsClientsSpilledToShards) {
+  CheckCrashResumeBitIdentity(/*cip=*/false, /*k=*/2, /*budget=*/4,
+                              /*spill=*/true);
+}
+
+TEST(Resume, BitIdenticalForCipFleetSpilledToShards) {
+  CheckCrashResumeBitIdentity(/*cip=*/true, /*k=*/2, /*budget=*/1,
+                              /*spill=*/true);
+}
+
 TEST(Resume, HarnessResumeFederatedMatchesServerResume) {
   const std::string path = TempPath("harness_resume.ckpt");
   const std::uint64_t run_seed = 93;
@@ -497,7 +566,7 @@ TEST(Resume, HarnessResumeFederatedMatchesServerResume) {
 
   Federation straight = MakeLegacyFederation(4);
   fl::FederatedAveraging straight_server(straight.init, opts);
-  const fl::FlLog full = straight_server.Run(straight.ptrs, run_seed);
+  const fl::FlLog full = straight_server.Run(straight.store, run_seed);
 
   Federation crashed = MakeLegacyFederation(4);
   fl::FlOptions crash_opts = opts;
@@ -505,11 +574,11 @@ TEST(Resume, HarnessResumeFederatedMatchesServerResume) {
   crash_opts.checkpoint_path = path;
   crash_opts.stop_after_round = 2;
   fl::FederatedAveraging crash_server(crashed.init, crash_opts);
-  crash_server.Run(crashed.ptrs, run_seed);
+  crash_server.Run(crashed.store, run_seed);
 
   Federation resumed = MakeLegacyFederation(4);
   const fl::FlLog tail =
-      eval::ResumeFederated(resumed.ptrs, resumed.init, path, opts);
+      eval::ResumeFederated(resumed.store, resumed.init, path, opts);
   ExpectSameModelState(full.final_global, tail.final_global);
   std::remove(path.c_str());
 }
@@ -524,12 +593,13 @@ TEST(Resume, RejectsMismatchedRunShape) {
   ckpt.total_rounds = 5;  // run was configured for 4
   ckpt.next_round = 2;
   ckpt.global = fed.init;
-  ckpt.clients.resize(4);
-  EXPECT_THROW(server.Resume(fed.ptrs, ckpt), CheckError);
+  EXPECT_THROW(server.Resume(fed.store, ckpt), CheckError);
 
   ckpt.total_rounds = 4;
-  ckpt.clients.resize(3);  // fleet size mismatch
-  EXPECT_THROW(server.Resume(fed.ptrs, ckpt), CheckError);
+  fl::ClientState state;
+  state.tensors.push_back(Tensor({1}, 1.0f));
+  ckpt.client_states.emplace_back(7, std::move(state));  // fleet is only 4
+  EXPECT_THROW(server.Resume(fed.store, ckpt), CheckError);
 }
 
 TEST(Resume, CompletedCheckpointRunsNoFurtherRounds) {
@@ -543,8 +613,7 @@ TEST(Resume, CompletedCheckpointRunsNoFurtherRounds) {
   ckpt.total_rounds = 3;
   ckpt.next_round = 4;  // the run already finished
   ckpt.global = fed.init;
-  ckpt.clients.resize(4);
-  const fl::FlLog log = server.Resume(fed.ptrs, ckpt);
+  const fl::FlLog log = server.Resume(fed.store, ckpt);
   EXPECT_TRUE(log.telemetry.rounds.empty());
   ExpectSameModelState(log.final_global, fed.init);
 }

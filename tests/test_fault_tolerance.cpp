@@ -140,17 +140,19 @@ class ProbeClient : public fl::ClientBase {
   data::Dataset data_;
 };
 
+// A live store owns the probes; the test keeps raw pointers so it can
+// inspect train counts and broadcast histories after the run.
 struct ProbeFleet {
-  std::vector<std::unique_ptr<ProbeClient>> probes;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
+  std::vector<ProbeClient*> probes;
 };
 
 ProbeFleet MakeProbes(std::size_t n) {
   ProbeFleet fleet;
   for (std::size_t k = 0; k < n; ++k) {
-    fleet.probes.push_back(
-        std::make_unique<ProbeClient>(static_cast<float>(k + 1)));
-    fleet.ptrs.push_back(fleet.probes.back().get());
+    auto probe = std::make_unique<ProbeClient>(static_cast<float>(k + 1));
+    fleet.probes.push_back(probe.get());
+    fleet.store.Add(std::move(probe));
   }
   return fleet;
 }
@@ -165,7 +167,7 @@ TEST(FaultRounds, DropoutClientIsExcludedAndMeanRenormalized) {
   opts.rounds = 1;
   opts.faults.forced.push_back({1, 2, fl::FaultKind::kDropout});
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 11);
+  const fl::FlLog log = server.Run(fleet.store, 11);
   // Survivors deliver 1, 2, 4; the plain mean over survivors is the
   // renormalized aggregate: each weight grows from 1/4 to 1/3.
   EXPECT_FLOAT_EQ(log.final_global.values()[0], (1.0f + 2.0f + 4.0f) / 3.0f);
@@ -187,7 +189,7 @@ TEST(FaultRounds, MidRoundFailureTrainsButLosesTheUpdate) {
   opts.rounds = 1;
   opts.faults.forced.push_back({1, 0, fl::FaultKind::kMidRoundFailure});
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 12);
+  const fl::FlLog log = server.Run(fleet.store, 12);
   EXPECT_EQ(fleet.probes[0]->train_calls(), 1);  // it did train...
   EXPECT_FLOAT_EQ(log.final_global.values()[0], (2.0f + 3.0f) / 2.0f);
   EXPECT_TRUE(log.telemetry.rounds.at(0).clients.at(0).dropped);
@@ -203,7 +205,7 @@ TEST(FaultRounds, StragglerDroppedOnlyPastTheSimulatedDeadline) {
     ProbeFleet fleet = MakeProbes(3);
     opts.round_timeout_seconds = 0.0;
     fl::FederatedAveraging server(OneWeight(), opts);
-    const fl::FlLog log = server.Run(fleet.ptrs, 13);
+    const fl::FlLog log = server.Run(fleet.store, 13);
     EXPECT_FLOAT_EQ(log.final_global.values()[0], 2.0f);  // mean(1,2,3)
     EXPECT_FALSE(log.telemetry.rounds.at(0).clients.at(1).dropped);
   }
@@ -211,14 +213,14 @@ TEST(FaultRounds, StragglerDroppedOnlyPastTheSimulatedDeadline) {
     ProbeFleet fleet = MakeProbes(3);
     opts.round_timeout_seconds = 10.0;
     fl::FederatedAveraging server(OneWeight(), opts);
-    const fl::FlLog log = server.Run(fleet.ptrs, 13);
+    const fl::FlLog log = server.Run(fleet.store, 13);
     EXPECT_FLOAT_EQ(log.final_global.values()[0], 2.0f);
   }
   {  // delay exceeds the deadline: trained, but dropped
     ProbeFleet fleet = MakeProbes(3);
     opts.round_timeout_seconds = 2.0;
     fl::FederatedAveraging server(OneWeight(), opts);
-    const fl::FlLog log = server.Run(fleet.ptrs, 13);
+    const fl::FlLog log = server.Run(fleet.store, 13);
     EXPECT_EQ(fleet.probes[1]->train_calls(), 1);
     EXPECT_FLOAT_EQ(log.final_global.values()[0], (1.0f + 3.0f) / 2.0f);
     EXPECT_TRUE(log.telemetry.rounds.at(0).clients.at(1).dropped);
@@ -235,7 +237,7 @@ TEST(FaultRounds, QuorumLossSkipsRoundAndCarriesGlobalOver) {
   opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
   fl::FederatedAveraging server(
       fl::ModelState(std::vector<float>{42.0f}), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 14);
+  const fl::FlLog log = server.Run(fleet.store, 14);
   const fl::RoundStats& r1 = log.telemetry.rounds.at(0);
   EXPECT_TRUE(r1.skipped);
   EXPECT_EQ(r1.survivors, 1u);
@@ -256,7 +258,7 @@ TEST(FaultRounds, SkippedFirstRoundBroadcastsUnchangedGlobal) {
   opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
   fl::FederatedAveraging server(
       fl::ModelState(std::vector<float>{42.0f}), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 15);
+  const fl::FlLog log = server.Run(fleet.store, 15);
   EXPECT_TRUE(log.telemetry.rounds.at(0).skipped);
   EXPECT_EQ(log.telemetry.rounds.at(0).survivors, 0u);
   // The dropout skipped round 1's broadcast entirely, so the client's first
@@ -275,7 +277,7 @@ TEST(FaultRounds, QuorumAbortPolicyThrows) {
   opts.quorum_policy = fl::QuorumPolicy::kAbort;
   opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
   fl::FederatedAveraging server(OneWeight(), opts);
-  EXPECT_THROW(server.Run(fleet.ptrs, 16), CheckError);
+  EXPECT_THROW(server.Run(fleet.store, 16), CheckError);
 }
 
 TEST(FaultRounds, RetryReinvitesFaultedClientWithBackoff) {
@@ -286,7 +288,7 @@ TEST(FaultRounds, RetryReinvitesFaultedClientWithBackoff) {
   opts.retry_backoff_rounds = 1;
   opts.faults.forced.push_back({1, 0, fl::FaultKind::kDropout});
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 17);
+  const fl::FlLog log = server.Run(fleet.store, 17);
   // Full participation: client 0 is sampled in round 2 anyway, but the
   // engine must label that participation as the scheduled retry...
   EXPECT_TRUE(log.telemetry.rounds.at(1).clients.at(0).retried);
@@ -306,7 +308,7 @@ TEST(FaultRounds, RetryMergesUnsampledClientIntoParticipants) {
 
   ProbeFleet dry = MakeProbes(4);
   fl::FederatedAveraging dry_server(OneWeight(), opts);
-  const fl::FlLog dry_log = dry_server.Run(dry.ptrs, run_seed);
+  const fl::FlLog dry_log = dry_server.Run(dry.store, run_seed);
   ASSERT_EQ(dry_log.telemetry.rounds.at(0).clients.size(), 1u);
   const std::size_t victim =
       dry_log.telemetry.rounds.at(0).clients.at(0).client;
@@ -315,7 +317,7 @@ TEST(FaultRounds, RetryMergesUnsampledClientIntoParticipants) {
   opts.faults.forced.push_back({1, victim, fl::FaultKind::kDropout});
   ProbeFleet fleet = MakeProbes(4);
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, run_seed);
+  const fl::FlLog log = server.Run(fleet.store, run_seed);
   const fl::RoundStats& r2 = log.telemetry.rounds.at(1);
   bool found = false;
   for (const fl::ClientRoundStats& c : r2.clients) {
@@ -339,7 +341,7 @@ TEST(FaultRounds, RetryGivesUpAfterAttemptBudget) {
     opts.faults.forced.push_back({r, 0, fl::FaultKind::kDropout});
   }
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 19);
+  const fl::FlLog log = server.Run(fleet.store, 19);
   EXPECT_TRUE(log.telemetry.rounds.at(1).clients.at(0).retried);
   EXPECT_FALSE(log.telemetry.rounds.at(2).clients.at(0).retried);
   EXPECT_FALSE(log.telemetry.rounds.at(3).clients.at(0).retried);
@@ -353,7 +355,7 @@ TEST(FaultRounds, TwentyPercentDropoutDegradesGracefully) {
   opts.rounds = 6;
   opts.faults.dropout_rate = 0.2f;
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 20);
+  const fl::FlLog log = server.Run(fleet.store, 20);
   std::size_t total_faults = 0;
   for (const fl::RoundStats& r : log.telemetry.rounds) {
     EXPECT_FALSE(r.skipped);
@@ -383,13 +385,15 @@ TEST(FaultRounds, TwentyPercentDropoutDegradesGracefully) {
                   sum / static_cast<float>(last.survivors));
 }
 
-// ---- fleet-dependent validation (no silent participant clamp) --------------
+// ---- fleet-dependent validation ---------------------------------------------
 
-TEST(FlOptionsValidateFleet, RejectsParticipationRoundingToZeroClients) {
+TEST(FlOptionsValidateFleet, LowParticipationClampsToOneClientNotRejected) {
+  // floor(0.1 * 5) == 0, but the cohort rule clamps to at least one sampled
+  // client (see fl/sampler.h), so any participation in (0, 1] validates.
   fl::FlOptions opts;
   opts.participation = 0.1f;
-  EXPECT_THROW(opts.Validate(5), CheckError);   // 0.5 -> 0 sampled
-  EXPECT_NO_THROW(opts.Validate(20));           // 2 sampled
+  EXPECT_NO_THROW(opts.Validate(5));   // floor gives 0 -> clamped to 1
+  EXPECT_NO_THROW(opts.Validate(20));  // 2 sampled
   opts.participation = 1.0f;
   EXPECT_NO_THROW(opts.Validate(1));
 }
@@ -401,12 +405,17 @@ TEST(FlOptionsValidateFleet, RejectsUnmeetableQuorum) {
   EXPECT_NO_THROW(opts.Validate(5));
 }
 
-TEST(FlOptionsValidateFleet, RunRejectsZeroSampleConfiguration) {
+TEST(FlOptionsValidateFleet, RunSamplesAtLeastOneClientPerRound) {
   ProbeFleet fleet = MakeProbes(5);
   fl::FlOptions opts;
-  opts.participation = 0.1f;
-  fl::FederatedAveraging server(OneWeight(), opts);  // fleet-free ctor passes
-  EXPECT_THROW(server.Run(fleet.ptrs, 21), CheckError);
+  opts.rounds = 3;
+  opts.participation = 0.1f;  // floor(0.5) == 0 -> clamped to a cohort of 1
+  fl::FederatedAveraging server(OneWeight(), opts);
+  const fl::FlLog log = server.Run(fleet.store, 21);
+  for (const fl::RoundStats& r : log.telemetry.rounds) {
+    EXPECT_EQ(r.clients.size(), 1u);
+    EXPECT_EQ(r.survivors, 1u);
+  }
 }
 
 TEST(FlOptionsValidate, RejectsBadFaultToleranceKnobs) {
@@ -439,7 +448,7 @@ TEST(FaultTelemetry, JsonlCarriesFaultFields) {
   opts.rounds = 1;
   opts.faults.forced.push_back({1, 1, fl::FaultKind::kDropout});
   fl::FederatedAveraging server(OneWeight(), opts);
-  const fl::FlLog log = server.Run(fleet.ptrs, 22);
+  const fl::FlLog log = server.Run(fleet.store, 22);
   std::ostringstream os;
   log.telemetry.WriteJsonl(os);
   const std::string line = os.str();
@@ -471,14 +480,15 @@ nn::ModelSpec MlpSpec() {
   return spec;
 }
 
+// Cold store-backed fleet: the fault paths (dropout never materialized,
+// mid-round failure trained-then-evicted) run against serialized records
+// exactly as they would at scale.
 struct Federation {
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
   fl::ModelState init;
 };
 
 Federation MakeFederation(std::size_t num_clients) {
-  Federation fed;
   Rng data_rng(31);
   data::Dataset full = testing::TwoBlobs(40 * num_clients, 4, data_rng);
   for (float& v : full.inputs.flat()) {
@@ -486,19 +496,20 @@ Federation MakeFederation(std::size_t num_clients) {
   }
   Rng part_rng(32);
   const auto shards = data::PartitionIid(full, num_clients, part_rng);
-  fl::ClientSpec spec;
-  spec.kind = fl::ClientKind::kLegacy;
-  spec.model = MlpSpec();
-  spec.train.lr = 0.1f;
-  spec.train.momentum = 0.9f;
+  fl::ClientSpec proto;
+  proto.kind = fl::ClientKind::kLegacy;
+  proto.model = MlpSpec();
+  proto.train.lr = 0.1f;
+  proto.train.momentum = 0.9f;
+  std::vector<fl::ClientSpec> specs;
   for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec = proto;
     spec.data = shards[k];
     spec.seed = 50 + k;
-    fed.clients.push_back(fl::MakeClient(spec));
-    fed.ptrs.push_back(fed.clients.back().get());
+    specs.push_back(std::move(spec));
   }
-  fed.init = fl::InitialStateFor(spec);
-  return fed;
+  return Federation{fl::MakeClientStore(std::move(specs)),
+                    fl::InitialStateFor(proto)};
 }
 
 fl::FlOptions FaultyOptions() {
@@ -521,7 +532,7 @@ TEST(FaultRounds, BitIdenticalAcrossWorkerBudgetsWithFaults) {
     fl::FlOptions opts = FaultyOptions();
     opts.max_parallel_clients = budgets[b];
     fl::FederatedAveraging server(fed.init, opts);
-    logs[b] = server.Run(fed.ptrs, 91);
+    logs[b] = server.Run(fed.store, 91);
   }
   ASSERT_EQ(logs[0].final_global.size(), logs[1].final_global.size());
   for (std::size_t i = 0; i < logs[0].final_global.size(); ++i) {
@@ -552,12 +563,12 @@ TEST(FaultRounds, FaultStreamIsDisjointFromTrainingStreams) {
   opts.rounds = 2;
   {
     fl::FederatedAveraging server(clean.init, opts);
-    const fl::FlLog base = server.Run(clean.ptrs, 92);
+    const fl::FlLog base = server.Run(clean.store, 92);
     Federation faulty = MakeFederation(3);
     opts.faults.straggler_rate = 1.0f;  // everyone is late...
     opts.round_timeout_seconds = 0.0;   // ...but no deadline drops them
     fl::FederatedAveraging server2(faulty.init, opts);
-    const fl::FlLog with_faults = server2.Run(faulty.ptrs, 92);
+    const fl::FlLog with_faults = server2.Run(faulty.store, 92);
     ASSERT_EQ(base.final_global.size(), with_faults.final_global.size());
     for (std::size_t i = 0; i < base.final_global.size(); ++i) {
       EXPECT_EQ(base.final_global.values()[i],

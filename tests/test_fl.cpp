@@ -82,7 +82,8 @@ TEST(FedAvg, ConvergesOnBlobs) {
   fl::FlOptions opts;
   opts.rounds = 15;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  server.Run(ptrs, rng.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
+  server.Run(store, rng.NextU64());
 
   data::Dataset test = testing::TwoBlobs(100, 6, rng);
   for (float& v : test.inputs.flat()) v = std::clamp(0.5f + 0.25f * v, 0.0f, 1.0f);
@@ -103,7 +104,8 @@ TEST(FedAvg, SnapshotsRecordedAtRequestedRounds) {
   opts.snapshot_rounds = {2, 4, 5};
   opts.record_client_updates = true;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  const fl::FlLog log = server.Run(std::span(&ptr, 1), rng.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(&ptr, 1)};
+  const fl::FlLog log = server.Run(store, rng.NextU64());
 
   EXPECT_EQ(log.global_snapshots.size(), 3u);
   EXPECT_EQ(log.client_updates.size(), 5u);
@@ -129,7 +131,8 @@ TEST(FedAvg, TamperHookSeesEveryRound) {
     seen.push_back(round);
     return honest;
   });
-  server.Run(std::span(&ptr, 1), rng.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(&ptr, 1)};
+  server.Run(store, rng.NextU64());
   EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3, 4}));
 }
 
@@ -148,7 +151,8 @@ TEST(FedAvg, AggregateEqualsClientAverageOneRound) {
   opts.rounds = 1;
   opts.record_client_updates = true;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
+  const fl::FlLog log = server.Run(store, rng.NextU64());
 
   const fl::ModelState manual =
       fl::ModelState::Average(log.client_updates[0]);
@@ -170,7 +174,8 @@ TEST(Query, LossesMatchAccuracySignals) {
   opts.rounds = 10;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
   Rng rng2(6);
-  server.Run(std::span(&ptr, 1), rng2.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(&ptr, 1)};
+  server.Run(store, rng2.NextU64());
 
   fl::ClassifierQuery q(client.model());
   EXPECT_NEAR(q.Accuracy(full), client.EvalAccuracy(full), 1e-9);

@@ -175,9 +175,14 @@ TEST(Participation, SubsetOfClientsTrainsEachRound) {
   opts.participation = 0.5f;
   opts.record_client_updates = true;
   fl::FederatedAveraging server(fl::InitialState(spec), opts);
-  const fl::FlLog log = server.Run(ptrs, rng.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
+  const fl::FlLog log = server.Run(store, rng.NextU64());
   for (const auto& round : log.client_updates) {
-    EXPECT_EQ(round.size(), 2u);  // half of four clients per round
+    EXPECT_EQ(round.size(), 2u);  // floor(0.5 * 4) clients per round
+  }
+  // Cohort losses are O(cohort), aligned with the sampled participants.
+  for (const auto& round : log.client_losses) {
+    EXPECT_EQ(round.size(), 2u);
   }
 }
 

@@ -121,7 +121,8 @@ TEST(Integration, CipClientsKeepDistinctPerturbationsAfterTraining) {
   fl::FlOptions fl_opts;
   fl_opts.rounds = 8;
   fl::FederatedAveraging server(core::InitialDualState(bundle.spec), fl_opts);
-  server.Run(ptrs, rng.NextU64());
+  fl::ClientStore store{std::span<fl::ClientBase* const>(ptrs)};
+  server.Run(store, rng.NextU64());
 
   float diff = 0.0f;
   for (std::size_t i = 0; i < a.perturbation().size(); ++i) {

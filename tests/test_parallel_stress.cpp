@@ -389,20 +389,18 @@ TEST(RoundEngineStress, ParallelFederationIsRaceFree) {
   spec.model.width = 4;
   spec.model.seed = 3;
   spec.train.lr = 0.1f;
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
   for (std::size_t k = 0; k < kClients; ++k) {
     spec.data = shards[k];
     spec.seed = 60 + k;
-    clients.push_back(fl::MakeClient(spec));
-    ptrs.push_back(clients.back().get());
+    store.Add(fl::MakeClient(spec));
   }
 
   fl::FlOptions opts;
   opts.rounds = 2;
   opts.max_parallel_clients = kClients;
   fl::FederatedAveraging server(fl::InitialStateFor(spec), opts);
-  const fl::FlLog log = server.Run(ptrs, 61);
+  const fl::FlLog log = server.Run(store, 61);
   EXPECT_EQ(log.telemetry.rounds.size(), 2u);
   EXPECT_EQ(log.client_losses.at(0).size(), kClients);
 }

@@ -127,30 +127,32 @@ TEST(FlOptionsValidate, ConstructorAndRunValidate) {
 
 // ---- bit-identity across worker budgets ------------------------------------
 
+// A cold store-backed fleet: every round materializes the cohort from
+// serialized records and evicts it afterwards, so these bit-identity tests
+// also cover the ExportState/RestoreState round-trip on the hot path.
 struct Federation {
-  std::vector<std::unique_ptr<fl::ClientBase>> clients;
-  std::vector<fl::ClientBase*> ptrs;
+  fl::ClientStore store;
   fl::ModelState init;
 };
 
 Federation MakeFederation(std::size_t num_clients) {
-  Federation fed;
   data::Dataset full = BlobData(40 * num_clients, 4, 31);
   Rng part_rng(32);
   const auto shards = data::PartitionIid(full, num_clients, part_rng);
-  fl::ClientSpec spec;
-  spec.kind = fl::ClientKind::kLegacy;
-  spec.model = MlpSpec(4, 2);
-  spec.train.lr = 0.1f;
-  spec.train.momentum = 0.9f;
+  fl::ClientSpec proto;
+  proto.kind = fl::ClientKind::kLegacy;
+  proto.model = MlpSpec(4, 2);
+  proto.train.lr = 0.1f;
+  proto.train.momentum = 0.9f;
+  std::vector<fl::ClientSpec> specs;
   for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec = proto;
     spec.data = shards[k];
     spec.seed = 50 + k;
-    fed.clients.push_back(fl::MakeClient(spec));
-    fed.ptrs.push_back(fed.clients.back().get());
+    specs.push_back(std::move(spec));
   }
-  fed.init = fl::InitialStateFor(spec);
-  return fed;
+  return Federation{fl::MakeClientStore(std::move(specs)),
+                    fl::InitialStateFor(proto)};
 }
 
 fl::FlLog RunWithBudget(std::size_t budget, fl::FlOptions opts,
@@ -158,7 +160,7 @@ fl::FlLog RunWithBudget(std::size_t budget, fl::FlOptions opts,
   Federation fed = MakeFederation(4);
   opts.max_parallel_clients = budget;
   fl::FederatedAveraging server(fed.init, opts);
-  return server.Run(fed.ptrs, run_seed);
+  return server.Run(fed.store, run_seed);
 }
 
 void ExpectBitIdentical(const fl::FlLog& a, const fl::FlLog& b) {
@@ -322,7 +324,8 @@ TEST(RoundEngine, LrDecayScheduleScalesClientLr) {
   opts.lr_decay_every = 2;
   fl::FederatedAveraging server(fl::ModelState(std::vector<float>{0.0f}),
                                 opts);
-  server.Run(std::span(&ptr, 1), 95);
+  fl::ClientStore store{std::span<fl::ClientBase* const>(&ptr, 1)};
+  server.Run(store, 95);
   // Rounds 1-2 at scale 1, 3-4 at 0.5, 5 at 0.25.
   ASSERT_EQ(probe.lrs.size(), 5u);
   EXPECT_FLOAT_EQ(probe.lrs[0], 0.8f);

@@ -57,6 +57,63 @@ SIMD_GMACS_GATES = [
     ("BM_Matmul/256", "threads=1", 21.1),
 ]
 
+# Acceptance gates for the committed BENCH_scale.json baseline
+# (bench_scale: million-client ClientStore simulation). The RSS ceiling pins
+# the O(hot budget + cohort) memory claim; the rounds/sec floor keeps the
+# sampled round path from regressing into something unusably slow.
+SCALE_SCHEMA = "cip-bench-scale/v1"
+SCALE_MIN_REGISTERED = 1_000_000
+SCALE_MIN_COHORT = 1000
+SCALE_MIN_ROUNDS = 5
+SCALE_MAX_PEAK_RSS_BYTES = 512 << 20
+SCALE_MIN_ROUNDS_PER_SECOND = 0.05
+
+
+def check_scale(path: pathlib.Path) -> int:
+    """Validate a committed BENCH_scale.json against the scale gates."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read scale baseline {path}: {exc}")
+
+    failures = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    need(doc.get("schema") == SCALE_SCHEMA,
+         f"schema {doc.get('schema')!r} != {SCALE_SCHEMA!r}")
+    build = doc.get("host", {}).get("cip_build_type")
+    need(build == "release",
+         f"cip_build_type {build!r} != 'release' — regenerate via "
+         "scripts/bench_baseline.sh")
+    setup = doc.get("setup", {})
+    need(setup.get("registered_clients", 0) >= SCALE_MIN_REGISTERED,
+         f"registered_clients {setup.get('registered_clients')} < "
+         f"{SCALE_MIN_REGISTERED}")
+    need(setup.get("cohort", 0) >= SCALE_MIN_COHORT,
+         f"cohort {setup.get('cohort')} < {SCALE_MIN_COHORT}")
+    need(setup.get("rounds", 0) >= SCALE_MIN_ROUNDS,
+         f"rounds {setup.get('rounds')} < {SCALE_MIN_ROUNDS}")
+    need(doc.get("determinism", {}).get("bit_identical") is True,
+         "determinism.bit_identical is not true")
+    scale = doc.get("scale", {})
+    need(0 < scale.get("peak_rss_bytes", 0) <= SCALE_MAX_PEAK_RSS_BYTES,
+         f"peak_rss_bytes {scale.get('peak_rss_bytes')} outside "
+         f"(0, {SCALE_MAX_PEAK_RSS_BYTES}]")
+    need(scale.get("rounds_per_second", 0.0) >= SCALE_MIN_ROUNDS_PER_SECOND,
+         f"rounds_per_second {scale.get('rounds_per_second')} < "
+         f"{SCALE_MIN_ROUNDS_PER_SECOND}")
+    need(scale.get("store", {}).get("spills", 0) > 0,
+         "store.spills == 0 — the hot-byte budget was never exercised")
+
+    if failures:
+        raise SystemExit(f"scale gate FAILED for {path}:\n  " +
+                         "\n  ".join(failures))
+    print(f"[bench_to_json] scale gates passed for {path}", file=sys.stderr)
+    return 0
+
 
 def run_benchmarks(binary: pathlib.Path, threads: int, bench_filter: str,
                    min_time: float) -> dict:
@@ -137,7 +194,14 @@ def main() -> int:
     ap.add_argument("--allow-debug", action="store_true",
                     help="emit a baseline even from a non-Release binary "
                          "(exploratory only; never commit such a baseline)")
+    ap.add_argument("--check-scale", type=pathlib.Path, metavar="JSON",
+                    help="validate a committed BENCH_scale.json (bench_scale "
+                         "output) against the million-client scale gates and "
+                         "exit; no benchmarks are run")
     args = ap.parse_args()
+
+    if args.check_scale is not None:
+        return check_scale(args.check_scale)
 
     if not args.binary.exists():
         raise SystemExit(

@@ -43,6 +43,14 @@ Rules (see README "Correctness tooling"):
                   randomness flows through RoundContext::rng (a per-(round,
                   client) value stream); private helpers that thread a local
                   stream live on the allowlist.
+  client-vector   owning vectors of FL clients
+                  (std::vector<std::unique_ptr<...ClientBase>>) are banned
+                  outside ClientStore: the store is the one sanctioned owner
+                  of a fleet (fl/client_store.h), so lifecycle, checkpointing
+                  and spill policy stay in one place. Non-owning
+                  std::vector<ClientBase*> views and vectors of concrete
+                  client types remain legal. Allowlist: the store itself,
+                  the deprecated span-adapter TU, and the adapter's test.
   doc-comment     WARNING (does not fail the run): public functions declared
                   in src/tensor, src/nn, src/fl, src/core and src/common
                   headers should carry a doc comment on the preceding line
@@ -73,6 +81,15 @@ SOURCE_SUFFIXES = {".h", ".cpp"}
 ALLOWLIST = {
     "unseeded-rng": {"src/common/rng.h"},
     "reinterpret": {"src/fl/serialize.cpp"},
+    # ClientStore is the one sanctioned owner of a ClientBase fleet; the
+    # deprecated span-adapter TU and its compatibility test are the only
+    # other places that may hold owning client vectors, for one release.
+    "client-vector": {
+        "src/fl/client_store.h",
+        "src/fl/client_store.cpp",
+        "src/fl/legacy_fleet.cpp",
+        "tests/test_client_store.cpp",
+    },
     # Private helpers that receive the RoundContext's stream by reference
     # (cip_client, perturbation) and the epoch-level training primitive that
     # callers drive with a local stream (trainer). No public round-time API.
@@ -122,6 +139,11 @@ RE_UNSEEDED_RNG = re.compile(
     r"\s+\w+\s*(;|\{\s*\}|\(\s*\))"
 )
 RE_REINTERPRET = re.compile(r"\breinterpret_cast\b")
+# An owning vector of FL clients: the base-class unique_ptr element type is
+# what marks fleet ownership. Views (ClientBase*) and concrete-type vectors
+# (e.g. vector<unique_ptr<ProbeClient>>) deliberately do not match.
+RE_CLIENT_VECTOR = re.compile(
+    r"std::vector<\s*std::unique_ptr<\s*[\w:]*ClientBase\s*>")
 # An `Rng&` function parameter: `Rng& rng,`, `Rng& rng)`, unnamed `Rng&)`.
 # Local `Rng&` bindings (`Rng& r = ...`) don't hit a separator and stay legal.
 RE_RNG_REF_PARAM = re.compile(r"\bRng\s*&\s*\w*\s*[,)]")
@@ -221,6 +243,13 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
                                  "raw std::thread/std::jthread construction "
                                  "only allowed in src/common/parallel.cpp; "
                                  "use ParallelFor / ParallelForCoarse"))
+        if (rel not in ALLOWLIST["client-vector"]
+                and RE_CLIENT_VECTOR.search(line)):
+            out.append(Violation(rel, i, "client-vector",
+                                 "owning std::vector<std::unique_ptr<"
+                                 "ClientBase>> outside ClientStore; register "
+                                 "clients with a live store's Add() or build "
+                                 "a cold store (fl/client_store.h)"))
         if (rel.endswith(".h") and rel.startswith(RNG_REF_DIRS)
                 and rel not in ALLOWLIST["rng-ref-param"]
                 and RE_RNG_REF_PARAM.search(line)):
@@ -266,18 +295,29 @@ def check_doc_comments(rel: str, lines: list[str]) -> list[Violation]:
         return []
     out: list[Violation] = []
     visible = True  # inside a public/namespace-scope region
-    prev = prev2 = ""
+    history: list[str] = []  # prior non-blank lines, most recent last
+
+    def doc_anchor_for() -> str:
+        # A standalone `template <...>` line or an `[[attribute]]` (possibly
+        # wrapped, e.g. a two-line [[deprecated("...")]]) sits between a doc
+        # comment and the declaration it documents; look through them.
+        for past in reversed(history):
+            if (re.match(r"^\s*template\s*<", past)
+                    or re.match(r"^\s*\[\[", past)
+                    or past.rstrip().endswith(")]]")):
+                continue
+            return past
+        return ""
+
     for i, raw in enumerate(lines, start=1):
         if not raw.strip():
             continue  # blank lines do not reset the doc-comment association
         line = strip_line_comment(raw).rstrip()
         if RE_ACCESS_SPEC.match(raw):
             visible = RE_ACCESS_SPEC.match(raw).group(1) == "public"
-            prev2, prev = prev, raw
+            history.append(raw)
             continue
-        # A standalone `template <...>` line sits between a doc comment and
-        # the declaration it documents; look through it to the line above.
-        doc_anchor = prev2 if re.match(r"^\s*template\s*<", prev) else prev
+        doc_anchor = doc_anchor_for()
         if (visible and RE_FUNC_OPEN.match(line)
                 and not RE_NOT_FUNC.match(line)
                 and "=" not in line.split("(")[0]
@@ -290,7 +330,7 @@ def check_doc_comments(rel: str, lines: list[str]) -> list[Violation]:
                 rel, i, "doc-comment",
                 f"public function `{name}` has no doc comment on the "
                 "preceding line (document shape/layout/threading contracts)"))
-        prev2, prev = prev, raw
+        history.append(raw)
     return out
 
 
@@ -403,6 +443,7 @@ SELF_TEST_CASES = {
     "bench-json": "BENCH_broken.json",
     "bench-release": "BENCH_debug.json",
     "rng-ref-param": "src/fl/bad_rng_param.h",
+    "client-vector": "src/eval/owns_clients.cpp",
     "raw-thread": "src/spawns_thread.cpp",
     "thread-include": "src/includes_mutex.cpp",
     "intrinsic-include": "src/nn/includes_immintrin.cpp",
@@ -414,6 +455,7 @@ SELF_TEST_CASES = {
 # filename convention can't apply: allowlists match these exact paths).
 SELF_TEST_ALLOWLISTED = {
     "src/tensor/gemm_avx2.cpp",
+    "src/fl/client_store.cpp",
 }
 
 SELF_TEST_SOURCES = {
@@ -430,6 +472,22 @@ SELF_TEST_SOURCES = {
         '"host": {"cip_build_type": "debug"}}\n',
     "src/fl/bad_rng_param.h":
         "#pragma once\nvoid TrainThing(int epochs, Rng& rng);\n",
+    # Owning client vectors outside ClientStore must be flagged, in any
+    # namespace qualification of the element type...
+    "src/eval/owns_clients.cpp":
+        "void Fleet() {\n"
+        "  std::vector<std::unique_ptr<fl::ClientBase>> clients;\n"
+        "  std::vector<std::unique_ptr<cip::fl::ClientBase>> more;\n"
+        "}\n",
+    # ...while the store itself (allowlisted owner), non-owning pointer
+    # views, and concrete-type vectors all stay clean.
+    "src/fl/client_store.cpp":
+        "std::vector<std::unique_ptr<ClientBase>> owned_;\n",
+    "src/fl/client_views_clean.cpp":
+        "void Views() {\n"
+        "  std::vector<fl::ClientBase*> ptrs;\n"
+        "  std::vector<std::unique_ptr<ProbeClient>> probes;\n"
+        "}\n",
     "src/spawns_thread.cpp":
         "#include <thread>\n"
         "void Race() { std::jthread w([] {}); std::thread t([] {}); "
