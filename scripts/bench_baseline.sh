@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate the committed performance baselines (BENCH_kernels.json,
-# BENCH_fl_rounds.json, BENCH_fault_rounds.json and BENCH_scale.json).
+# BENCH_fl_rounds.json, BENCH_fault_rounds.json, BENCH_scale.json and
+# BENCH_server.json).
 #
 # Builds bench_micro_ops in the tier-1 Release tree (./build), runs the
 # kernel benchmarks at CIP_THREADS=1 and CIP_THREADS=4 and merges the results
@@ -20,7 +21,7 @@ jobs="${CIP_CHECK_JOBS:-$(nproc)}"
 min_time="${CIP_BENCH_MIN_TIME:-0.5}"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds bench_scale
+cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds bench_scale bench_server
 
 # bench_to_json.py refuses to write a baseline unless the binary reports
 # cip_build_type=release, and tools/cip_lint.py rejects committed baselines
@@ -45,3 +46,10 @@ python3 tools/bench_to_json.py \
 # committed JSON is regated in CI by bench_to_json.py --check-scale.
 ./build/bench/bench_scale --output BENCH_scale.json
 python3 tools/bench_to_json.py --check-scale BENCH_scale.json
+
+# Standalone-server load baseline: 1k concurrent loopback connections, async
+# first-900-of-1000 rounds, admission overflow answered with kBusy, and the
+# wire-vs-direct bit-identity check. The committed JSON is regated in CI by
+# bench_to_json.py --check-server.
+./build/bench/bench_server --output BENCH_server.json
+python3 tools/bench_to_json.py --check-server BENCH_server.json

@@ -73,6 +73,17 @@ for preset in "${presets[@]}"; do
     -R 'ConvParity|MatmulOracle|CpuFeatures|GemmIsa' \
     --no-tests=error --output-on-failure
 
+  if [[ "$preset" != release ]]; then
+    # Server loopback smoke under the sanitizers: real sockets, spawned
+    # client processes, a mid-round kill. The full suite above already ran
+    # these; re-running the NetLoopback filter explicitly means a renamed or
+    # filtered-out e2e suite fails this gate loudly instead of silently
+    # shrinking sanitizer coverage of the wire stack (docs/PROTOCOL.md).
+    step "server loopback smoke [$preset]"
+    ctest --preset "$preset" -R 'NetLoopback' \
+      --no-tests=error --output-on-failure
+  fi
+
   if [[ "$preset" == release ]]; then
     if [[ "$run_analyze" == 1 ]]; then
       # Post-build pass with the Release compile_commands.json: identical

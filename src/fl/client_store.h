@@ -24,7 +24,7 @@
 // Two compatibility modes keep small fixed fleets simple: a *live* store
 // owns heap clients registered via Add() (objects persist across rounds,
 // exactly the pre-store semantics), and a *borrowed* store wraps clients
-// owned elsewhere (the deprecated span-based server API sits on this).
+// owned elsewhere (tests and benches that need to inspect live objects).
 #pragma once
 
 #include <cstddef>
@@ -117,7 +117,7 @@ class ClientStore {
   ClientStore();
 
   /// Borrowed store: wraps clients owned by the caller, who must keep them
-  /// alive for the store's lifetime. Backs the deprecated span-based API.
+  /// alive for the store's lifetime.
   explicit ClientStore(std::span<ClientBase* const> clients);
 
   ClientStore(ClientStore&&) = default;

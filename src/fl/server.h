@@ -39,7 +39,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -168,17 +167,6 @@ class FederatedAveraging {
   /// the checkpoint, and options.rounds must equal ckpt.total_rounds; the
   /// resumed tail is then bit-identical to the uninterrupted run's.
   FlLog Resume(ClientStore& store, const Checkpoint& ckpt);
-
-  /// Deprecated span-based Run, kept for one release: wraps the span in a
-  /// borrowed ClientStore and calls the store overload.
-  [[deprecated("construct a ClientStore (fl/client_store.h) and pass it to "
-               "Run")]]
-  FlLog Run(std::span<ClientBase* const> clients, std::uint64_t run_seed);
-  /// Deprecated span-based Resume, kept for one release: wraps the span in
-  /// a borrowed ClientStore and calls the store overload.
-  [[deprecated("construct a ClientStore (fl/client_store.h) and pass it to "
-               "Resume")]]
-  FlLog Resume(std::span<ClientBase* const> clients, const Checkpoint& ckpt);
 
  private:
   FlLog RunRounds(ClientStore& store, std::uint64_t run_seed,

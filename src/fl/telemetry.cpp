@@ -26,7 +26,8 @@ void RoundTelemetry::WriteJsonl(std::ostream& os) const {
     os << ",\"aggregate_seconds\":";
     PutNumber(os, r.aggregate_seconds);
     os << ",\"survivors\":" << r.survivors
-       << ",\"skipped\":" << (r.skipped ? "true" : "false");
+       << ",\"skipped\":" << (r.skipped ? "true" : "false")
+       << ",\"folded_stragglers\":" << r.folded_stragglers;
     os << ",\"store\":{\"hot_hits\":" << r.store_hot_hits
        << ",\"cold_loads\":" << r.store_cold_loads
        << ",\"evictions\":" << r.store_evictions

@@ -47,6 +47,11 @@ struct RoundStats {
   /// True when survivors fell below FlOptions::min_quorum and the round was
   /// skipped (global model unchanged).
   bool skipped = false;
+  /// Updates that were trained against an older round's global and folded
+  /// into this round's aggregate — the asynchronous-aggregation path of the
+  /// socket server (net/round_engine.h). Always 0 for the in-process
+  /// engine, whose rounds are synchronous barriers.
+  std::size_t folded_stragglers = 0;
   /// ClientStore lifecycle counters for this round (all zero for live
   /// fleets, whose clients are never materialized or evicted): cohort
   /// materializations served from the hot set vs read back from shard

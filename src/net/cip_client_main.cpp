@@ -1,0 +1,75 @@
+// cip_client: one FL client process speaking docs/PROTOCOL.md.
+//
+// Builds demo-fleet client --id (net/demo_fleet.h) and drives it against a
+// cip_server with the shared RunClient loop. Usage:
+//
+//   cip_client --port P [--host 127.0.0.1] [--id K] [--crash-in-round R]
+//
+// Exit codes: 0 = received kFinal; 3 = crash-in-round fired (the kill-test
+// hook — the process vanishes mid-round on purpose); 4 = gave up on kBusy;
+// 1 = protocol/connection failure.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "net/client_runner.h"
+#include "net/demo_fleet.h"
+
+namespace {
+
+const char* ArgValue(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::cerr << "missing value for " << argv[i] << "\n";
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cip::net::ClientRunnerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      opts.host = ArgValue(argc, argv, i);
+    } else if (a == "--port") {
+      opts.port =
+          static_cast<std::uint16_t>(std::atoi(ArgValue(argc, argv, i)));
+    } else if (a == "--id") {
+      opts.client_id =
+          static_cast<std::uint64_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else if (a == "--crash-in-round") {
+      opts.crash_in_round =
+          static_cast<std::size_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      return 2;
+    }
+  }
+  if (opts.port == 0) {
+    std::cerr << "usage: cip_client --port P [--host H] [--id K] "
+                 "[--crash-in-round R]\n";
+    return 2;
+  }
+
+  try {
+    std::unique_ptr<cip::fl::ClientBase> client =
+        cip::net::MakeDemoClient(static_cast<std::size_t>(opts.client_id));
+    const cip::net::ClientRunResult result =
+        cip::net::RunClient(*client, opts);
+    if (result.crashed) return 3;
+    if (result.busy_gave_up) return 4;
+    if (!result.finished) return 1;
+    std::cout << "client " << opts.client_id << " trained "
+              << result.rounds_trained << " rounds, final_l2="
+              << result.final_global.L2Norm() << std::endl;
+  } catch (const cip::CheckError& e) {
+    std::cerr << "cip_client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// cip_server: the standalone FL server binary (docs/PROTOCOL.md).
+//
+// Serves the demo fleet (net/demo_fleet.h) so that any mix of cip_client
+// processes — local or remote — can train against it and the result can be
+// checked against the in-process simulator. Usage:
+//
+//   cip_server [--host 127.0.0.1] [--port 0] [--clients N] [--rounds R]
+//              [--quorum K] [--min-quorum Q] [--seed S]
+//              [--max-connections C] [--telemetry out.jsonl]
+//
+// Prints "listening on <port>" (flushed) once the socket is accepting, so a
+// launcher can scrape the ephemeral port before starting clients, then runs
+// to completion and prints the final global's L2 norm.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/check.h"
+#include "net/demo_fleet.h"
+#include "net/server.h"
+
+namespace {
+
+/// "--key value" argv scraper; exits with usage on a malformed pair.
+const char* ArgValue(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::cerr << "missing value for " << argv[i] << "\n";
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string telemetry_path;
+  cip::net::AsyncRoundEngine::Options eng;
+  eng.total_rounds = 3;
+  eng.fleet_size = 3;
+  eng.quorum = 3;
+  eng.min_quorum = 1;
+  eng.run_seed = 41;
+  cip::net::ServerOptions sopts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      host = ArgValue(argc, argv, i);
+    } else if (a == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(ArgValue(argc, argv, i)));
+    } else if (a == "--clients") {
+      eng.fleet_size = static_cast<std::size_t>(
+          std::atoll(ArgValue(argc, argv, i)));
+      eng.quorum = eng.fleet_size;
+    } else if (a == "--rounds") {
+      eng.total_rounds =
+          static_cast<std::size_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else if (a == "--quorum") {
+      eng.quorum =
+          static_cast<std::size_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else if (a == "--min-quorum") {
+      eng.min_quorum =
+          static_cast<std::size_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else if (a == "--seed") {
+      eng.run_seed =
+          static_cast<std::uint64_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else if (a == "--max-connections") {
+      sopts.max_connections =
+          static_cast<std::size_t>(std::atoll(ArgValue(argc, argv, i)));
+    } else if (a == "--telemetry") {
+      telemetry_path = ArgValue(argc, argv, i);
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    sopts.host = host;
+    sopts.port = port;
+    cip::net::CipServer server(cip::net::DemoInitialState(), eng, sopts);
+    server.Listen();
+    std::cout << "listening on " << server.port() << std::endl;
+    server.Serve();
+    if (!telemetry_path.empty()) {
+      std::ofstream os(telemetry_path);
+      server.engine().telemetry().WriteJsonl(os);
+    }
+    const cip::net::EngineStats& st = server.engine().stats();
+    std::cout << "rounds=" << st.rounds_completed
+              << " skipped=" << st.rounds_skipped
+              << " updates=" << st.updates_accepted
+              << " folded_stragglers=" << st.folded_stragglers
+              << " final_l2=" << server.engine().global().L2Norm()
+              << std::endl;
+  } catch (const cip::CheckError& e) {
+    std::cerr << "cip_server: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Client-side protocol loop: drive one ClientBase over a TCP connection.
+//
+// This is the whole client half of docs/PROTOCOL.md — connect, kHello,
+// honor kBusy retry hints, then train on every kRound until kFinal. It runs
+// on blocking sockets (a client has exactly one connection and nothing else
+// to multiplex) and derives each round's RNG stream with MakeRoundContext
+// from the kWelcome run seed, so a wire client's training is bit-identical
+// to the same client driven by the in-process FederatedAveraging engine.
+// Used by the cip_client binary and, in-process, by tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fl/client.h"
+#include "fl/model_state.h"
+
+namespace cip::net {
+
+/// Connection target plus test/fault knobs for RunClient.
+struct ClientRunnerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t client_id = 0;  ///< id claimed in kHello; also the
+                                ///< RoundContext client_index
+  /// Reconnect attempts when the server answers kBusy (each waits the
+  /// server's retry_after_ms hint before redialing).
+  std::size_t max_busy_retries = 100;
+  /// Fault injection for kill tests: when non-zero, the runner returns with
+  /// crashed=true upon *receiving* kRound(round >= crash_in_round), without
+  /// replying — the process then exits and the server observes a mid-round
+  /// connection drop, the wire twin of a FaultPlan forced kDropout.
+  std::size_t crash_in_round = 0;
+};
+
+/// What a client run produced.
+struct ClientRunResult {
+  bool finished = false;   ///< received kFinal (final_global is valid)
+  bool crashed = false;    ///< left via crash_in_round
+  bool busy_gave_up = false;  ///< kBusy persisted past max_busy_retries
+  std::size_t rounds_trained = 0;  ///< kUpdate frames sent
+  fl::ModelState final_global;     ///< the server's final aggregate
+};
+
+/// Run `client` against a CipServer at opts.host:opts.port until kFinal (or
+/// a crash/give-up per opts). Throws cip::CheckError on connection failure
+/// or a server that violates the protocol.
+ClientRunResult RunClient(fl::ClientBase& client,
+                          const ClientRunnerOptions& opts);
+
+}  // namespace cip::net

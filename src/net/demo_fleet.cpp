@@ -1,0 +1,48 @@
+#include "net/demo_fleet.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cip::net {
+
+fl::ClientSpec DemoSpecFor(std::size_t id) {
+  fl::ClientSpec spec;
+  spec.kind = fl::ClientKind::kLegacy;
+  spec.model.arch = nn::Arch::kMLP;
+  spec.model.input_shape = {4};
+  spec.model.num_classes = 2;
+  spec.model.width = 4;
+  spec.model.seed = 23;
+  spec.train.lr = 0.05f;
+  spec.train.momentum = 0.9f;
+  spec.train.batch_size = 8;
+  spec.seed = 7000 + id;
+
+  // Two well-separated Gaussian blobs, shard derived purely from the id:
+  // every process that asks for client `id` regenerates the same 8 rows.
+  const std::size_t n = 8, d = 4;
+  Rng rng(0xD3A1F1EE7ull + id);
+  Tensor inputs({n, d});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = static_cast<int>(i % 2);
+    labels[i] = y;
+    for (std::size_t j = 0; j < d; ++j) {
+      inputs[i * d + j] = (y == 0 ? -1.0f : 1.0f) + rng.Normal(0.0f, 0.5f);
+    }
+  }
+  spec.data = {std::move(inputs), std::move(labels)};
+  return spec;
+}
+
+fl::ModelState DemoInitialState() {
+  return fl::InitialStateFor(DemoSpecFor(0));
+}
+
+std::unique_ptr<fl::ClientBase> MakeDemoClient(std::size_t id) {
+  return fl::MakeClient(DemoSpecFor(id));
+}
+
+}  // namespace cip::net

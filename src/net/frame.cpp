@@ -1,0 +1,258 @@
+#include "net/frame.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/check.h"
+#include "fl/serialize.h"
+
+namespace cip::net {
+
+namespace {
+
+/// Bounds-checked read cursor over a payload string. Every Take* CHECK-fails
+/// on truncation, so a short or trailing-garbage payload can never yield a
+/// silently wrong value — the wire twin of fl/serialize's stream readers.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint32_t TakeU32() {
+    Need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(bytes_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t TakeU64() {
+    Need(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(bytes_[pos_ + i]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  float TakeF32() { return std::bit_cast<float>(TakeU32()); }
+
+  /// The unread remainder of the payload (an embedded CIPS stream).
+  std::string Rest() { return bytes_.substr(pos_); }
+
+  void ExpectDone() const {
+    CIP_CHECK_MSG(pos_ == bytes_.size(),
+                  "trailing bytes after message payload: " << pos_ << " of "
+                                                           << bytes_.size()
+                                                           << " consumed");
+  }
+
+ private:
+  void Need(std::size_t n) const {
+    CIP_CHECK_MSG(pos_ + n <= bytes_.size(),
+                  "truncated message payload: need " << n << " bytes at offset "
+                                                     << pos_ << " of "
+                                                     << bytes_.size());
+  }
+
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string SerializeState(const fl::ModelState& state) {
+  std::ostringstream os(std::ios::binary);
+  fl::SaveModelState(state, os);
+  return os.str();
+}
+
+fl::ModelState ParseState(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  fl::ModelState state = fl::LoadModelState(is);
+  is.peek();
+  CIP_CHECK_MSG(is.eof(), "trailing bytes after embedded model state");
+  return state;
+}
+
+}  // namespace
+
+bool KnownMsgType(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint32_t>(MsgType::kBye);
+}
+
+// CIP_HOT  (wire encode: every outbound byte passes through these)
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    // CIP_ANALYZE_OK(hot-alloc): appends into the caller's one frame buffer
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// CIP_HOT  (wire encode: every outbound byte passes through these)
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    // CIP_ANALYZE_OK(hot-alloc): appends into the caller's one frame buffer
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutF32(std::string& out, float v) {
+  PutU32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+// CIP_HOT  (frame encode: header + payload splice for every outbound frame)
+std::string EncodeFrame(MsgType type, std::string payload) {
+  CIP_CHECK_MSG(payload.size() <= kDefaultMaxPayloadBytes,
+                "frame payload too large to encode: " << payload.size());
+  std::string out;
+  // CIP_ANALYZE_OK(hot-alloc): sized once from the already-built payload
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(out, kFrameMagic);
+  PutU32(out, kProtocolVersion);
+  PutU32(out, static_cast<std::uint32_t>(type));
+  PutU64(out, payload.size());
+  // CIP_ANALYZE_OK(hot-alloc): reserved above; single splice of the payload
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeHello(const HelloMsg& m) {
+  std::string p;
+  PutU64(p, m.client_id);
+  return EncodeFrame(MsgType::kHello, std::move(p));
+}
+
+std::string EncodeWelcome(const WelcomeMsg& m) {
+  std::string p;
+  PutU64(p, m.client_id);
+  PutU64(p, m.run_seed);
+  PutU64(p, m.total_rounds);
+  PutU64(p, m.fleet_size);
+  return EncodeFrame(MsgType::kWelcome, std::move(p));
+}
+
+std::string EncodeRound(const RoundMsg& m) {
+  std::string p;
+  PutU64(p, m.round);
+  PutF32(p, m.lr_scale);
+  p.append(SerializeState(m.global));
+  return EncodeFrame(MsgType::kRound, std::move(p));
+}
+
+std::string EncodeUpdate(const UpdateMsg& m) {
+  std::string p;
+  PutU64(p, m.round);
+  PutU64(p, m.client_id);
+  PutF32(p, m.loss);
+  p.append(SerializeState(m.update));
+  return EncodeFrame(MsgType::kUpdate, std::move(p));
+}
+
+std::string EncodeFinal(const FinalMsg& m) {
+  return EncodeFrame(MsgType::kFinal, SerializeState(m.global));
+}
+
+std::string EncodeBusy(const BusyMsg& m) {
+  std::string p;
+  PutU32(p, m.retry_after_ms);
+  return EncodeFrame(MsgType::kBusy, std::move(p));
+}
+
+std::string EncodeBye() { return EncodeFrame(MsgType::kBye, std::string()); }
+
+HelloMsg DecodeHello(const std::string& payload) {
+  Cursor c(payload);
+  HelloMsg m;
+  m.client_id = c.TakeU64();
+  c.ExpectDone();
+  return m;
+}
+
+WelcomeMsg DecodeWelcome(const std::string& payload) {
+  Cursor c(payload);
+  WelcomeMsg m;
+  m.client_id = c.TakeU64();
+  m.run_seed = c.TakeU64();
+  m.total_rounds = c.TakeU64();
+  m.fleet_size = c.TakeU64();
+  c.ExpectDone();
+  return m;
+}
+
+RoundMsg DecodeRound(const std::string& payload) {
+  Cursor c(payload);
+  RoundMsg m;
+  m.round = c.TakeU64();
+  m.lr_scale = c.TakeF32();
+  m.global = ParseState(c.Rest());
+  return m;
+}
+
+UpdateMsg DecodeUpdate(const std::string& payload) {
+  Cursor c(payload);
+  UpdateMsg m;
+  m.round = c.TakeU64();
+  m.client_id = c.TakeU64();
+  m.loss = c.TakeF32();
+  m.update = ParseState(c.Rest());
+  return m;
+}
+
+FinalMsg DecodeFinal(const std::string& payload) {
+  FinalMsg m;
+  m.global = ParseState(payload);
+  return m;
+}
+
+BusyMsg DecodeBusy(const std::string& payload) {
+  Cursor c(payload);
+  BusyMsg m;
+  m.retry_after_ms = c.TakeU32();
+  c.ExpectDone();
+  return m;
+}
+
+// CIP_HOT  (frame decode: every inbound byte is buffered through Feed)
+void FrameReader::Feed(std::string_view bytes) {
+  // CIP_ANALYZE_OK(hot-alloc): buffer growth is bounded by header + max_payload (Next() drains)
+  buf_.append(bytes);
+  // Validate the header eagerly: corrupt input fails at the first bad
+  // header, before its claimed payload occupies the buffer.
+  if (buf_.size() >= kFrameHeaderBytes) {
+    Cursor c(buf_);
+    const std::uint32_t magic = c.TakeU32();
+    CIP_CHECK_MSG(magic == kFrameMagic,
+                  "bad frame magic 0x" << std::hex << magic);
+    const std::uint32_t version = c.TakeU32();
+    CIP_CHECK_MSG(version == kProtocolVersion,
+                  "unsupported protocol version " << version);
+    const std::uint32_t type = c.TakeU32();
+    CIP_CHECK_MSG(KnownMsgType(type), "unknown message type " << type);
+    const std::uint64_t len = c.TakeU64();
+    CIP_CHECK_MSG(len <= max_payload_,
+                  "frame payload length " << len << " exceeds the "
+                                          << max_payload_ << "-byte bound");
+  }
+}
+
+// CIP_HOT  (frame decode: yields one parsed frame per complete wire frame)
+std::optional<Frame> FrameReader::Next() {
+  if (buf_.size() < kFrameHeaderBytes) return std::nullopt;
+  Cursor c(buf_);
+  c.TakeU32();  // magic — validated in Feed
+  c.TakeU32();  // version — validated in Feed
+  const std::uint32_t type = c.TakeU32();
+  const std::uint64_t len = c.TakeU64();  // bounded in Feed
+  if (buf_.size() < kFrameHeaderBytes + len) return std::nullopt;
+  Frame f;
+  f.type = static_cast<MsgType>(type);
+  // CIP_ANALYZE_OK(hot-alloc): length validated against max_payload in Feed
+  f.payload = buf_.substr(kFrameHeaderBytes, static_cast<std::size_t>(len));
+  // CIP_ANALYZE_OK(hot-alloc): drains the consumed frame from the buffer
+  buf_.erase(0, kFrameHeaderBytes + static_cast<std::size_t>(len));
+  return f;
+}
+
+}  // namespace cip::net

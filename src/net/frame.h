@@ -1,0 +1,186 @@
+// Length-prefixed wire framing for the standalone FL server.
+//
+// Every byte that crosses a socket is part of exactly one frame:
+//
+//   magic "CIPN" (u32 LE) | version (u32) | type (u32) | payload_len (u64)
+//   | payload_len bytes of payload
+//
+// and every count/offset is validated before anything is sized from it —
+// the same hostile-input discipline as the "CIPS"/"CIPT"/"CIPH"/"CIPR"
+// loaders in fl/serialize and fl/checkpoint. Model payloads ARE the
+// fl/serialize ModelState stream ("CIPS" magic and all), so the wire format
+// inherits that loader's validation instead of re-implementing it. The full
+// spec — message payloads, the round state machine, versioning rules, and
+// the hostile-peer threat model — lives in docs/PROTOCOL.md.
+//
+// The byte-level primitives here use shift arithmetic, not casts: the
+// `reinterpret` lint rule keeps reinterpret_cast out of this layer entirely.
+// Incremental parsing goes through FrameReader, whose internal buffer is
+// bounded by the configured maximum frame size — a hostile peer cannot make
+// a connection buffer grow without limit (backpressure is enforced one layer
+// up, in net/server.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fl/model_state.h"
+
+namespace cip::net {
+
+/// Protocol magic ("CIPN" little-endian) and the one supported version.
+/// Version bumps are breaking by definition; see docs/PROTOCOL.md §Versioning.
+inline constexpr std::uint32_t kFrameMagic = 0x4E504943;  // "CIPN"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Fixed frame header size in bytes: magic + version + type + payload_len.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
+
+/// Default ceiling on a single frame's payload. Large enough for any model
+/// this library trains (fl/serialize caps states at 2^31 floats, but a wire
+/// peer is less trusted than a local checkpoint file), small enough that one
+/// connection cannot claim unbounded memory with one header.
+inline constexpr std::uint64_t kDefaultMaxPayloadBytes =
+    std::uint64_t{256} << 20;  // 256 MiB
+
+/// Every message type in protocol v1. Values are wire-stable: new types
+/// append, existing values never change meaning (docs/PROTOCOL.md).
+enum class MsgType : std::uint32_t {
+  kHello = 1,    ///< client -> server: join with a claimed client id
+  kWelcome = 2,  ///< server -> client: admission + run parameters
+  kRound = 3,    ///< server -> client: round begin, global model inside
+  kUpdate = 4,   ///< client -> server: trained update for a round
+  kFinal = 5,    ///< server -> client: final aggregate; connection done
+  kBusy = 6,     ///< server -> client: admission refused, retry later
+  kBye = 7,      ///< client -> server: orderly leave
+};
+
+/// True when `t` is a defined protocol-v1 message type.
+bool KnownMsgType(std::uint32_t t);
+
+/// One parsed frame: its type plus the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kBye;
+  std::string payload;
+};
+
+// --- typed message payloads -------------------------------------------------
+
+/// kHello payload: the id the client claims within the expected fleet.
+struct HelloMsg {
+  std::uint64_t client_id = 0;
+};
+
+/// kWelcome payload: everything a client needs to train deterministically —
+/// the seed its per-round RNG streams derive from, the run shape, and its
+/// admitted id echoed back.
+struct WelcomeMsg {
+  std::uint64_t client_id = 0;
+  std::uint64_t run_seed = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t fleet_size = 0;
+};
+
+/// kRound payload header fields; the global model follows as a CIPS stream.
+struct RoundMsg {
+  std::uint64_t round = 0;  ///< 1-based round index
+  float lr_scale = 1.0f;    ///< server-side learning-rate multiplier
+  fl::ModelState global;    ///< the broadcast global model
+};
+
+/// kUpdate payload header fields; the update follows as a CIPS stream.
+struct UpdateMsg {
+  std::uint64_t round = 0;      ///< round the client trained on
+  std::uint64_t client_id = 0;  ///< sender (must match the admitted id)
+  float loss = 0.0f;            ///< mean local training loss
+  fl::ModelState update;        ///< the trained local state
+};
+
+/// kFinal payload: the last aggregate, delivered before orderly close.
+struct FinalMsg {
+  fl::ModelState global;
+};
+
+/// kBusy payload: admission control's reject-with-retry-after hint.
+struct BusyMsg {
+  std::uint32_t retry_after_ms = 0;
+};
+
+// --- encoding ---------------------------------------------------------------
+
+/// Append a little-endian u32 to `out` (shift arithmetic, no casts).
+void PutU32(std::string& out, std::uint32_t v);
+/// Append a little-endian u64 to `out`.
+void PutU64(std::string& out, std::uint64_t v);
+/// Append a float as the little-endian bytes of its IEEE-754 bit pattern.
+void PutF32(std::string& out, float v);
+
+/// Wrap a payload in a v1 frame header. CHECK-fails if the payload exceeds
+/// kDefaultMaxPayloadBytes (an encoder producing an unparseable frame is a
+/// programming error, not a peer fault).
+std::string EncodeFrame(MsgType type, std::string payload);
+
+/// Encode each typed message as a complete frame, ready to send.
+std::string EncodeHello(const HelloMsg& m);
+/// Encode a kWelcome frame.
+std::string EncodeWelcome(const WelcomeMsg& m);
+/// Encode a kRound frame (model serialized via fl/serialize).
+std::string EncodeRound(const RoundMsg& m);
+/// Encode a kUpdate frame (model serialized via fl/serialize).
+std::string EncodeUpdate(const UpdateMsg& m);
+/// Encode a kFinal frame.
+std::string EncodeFinal(const FinalMsg& m);
+/// Encode a kBusy frame.
+std::string EncodeBusy(const BusyMsg& m);
+/// Encode a payload-less kBye frame.
+std::string EncodeBye();
+
+// --- decoding ---------------------------------------------------------------
+
+/// Decode each typed message from a frame payload. Throws cip::CheckError on
+/// truncation at any byte, trailing bytes, or a hostile embedded stream —
+/// the caller treats any throw as a protocol violation by the peer.
+HelloMsg DecodeHello(const std::string& payload);
+/// Decode a kWelcome payload.
+WelcomeMsg DecodeWelcome(const std::string& payload);
+/// Decode a kRound payload, validating the embedded CIPS stream.
+RoundMsg DecodeRound(const std::string& payload);
+/// Decode a kUpdate payload, validating the embedded CIPS stream.
+UpdateMsg DecodeUpdate(const std::string& payload);
+/// Decode a kFinal payload, validating the embedded CIPS stream.
+FinalMsg DecodeFinal(const std::string& payload);
+/// Decode a kBusy payload.
+BusyMsg DecodeBusy(const std::string& payload);
+
+/// Incremental frame parser over a byte stream. Feed arbitrary chunks in
+/// arrival order; Next() yields complete frames. The header is validated
+/// (magic, version, known type, payload bound) before any payload buffer is
+/// sized, and the internal buffer never holds more than one maximal frame —
+/// a hostile peer's options are a clean parse or a thrown CheckError, never
+/// unbounded growth.
+class FrameReader {
+ public:
+  /// `max_payload` bounds every accepted frame's payload length.
+  explicit FrameReader(std::uint64_t max_payload = kDefaultMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Append received bytes. Throws cip::CheckError as soon as the buffered
+  /// prefix is provably not a valid frame (bad magic/version/type, payload
+  /// length past the bound) — corrupt input fails at the first bad header,
+  /// before any payload is buffered.
+  void Feed(std::string_view bytes);
+
+  /// The next complete frame, or nullopt until more bytes arrive.
+  std::optional<Frame> Next();
+
+  /// Bytes currently buffered (bounded by header + max_payload).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::uint64_t max_payload_;
+  std::string buf_;
+};
+
+}  // namespace cip::net

@@ -1,0 +1,241 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace cip::net {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CIP_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed: " << std::strerror(errno));
+  CIP_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "fcntl(F_SETFL, O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  // Round frames are small and latency-bound; Nagle would serialize the
+  // request/response ping-pong at one frame per RTT timer tick. Best-effort:
+  // a socket that refuses the option still works, just slower.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in MakeAddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  CIP_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "not a dotted IPv4 address: " << host);
+  return addr;
+}
+
+IoResult IoFromErrno() {
+  IoResult r;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    r.would_block = true;
+  } else {
+    r.error = true;
+  }
+  return r;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Socket ListenTcp(const std::string& host, std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  CIP_CHECK_MSG(s.valid(), "socket() failed: " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = MakeAddr(host, port);
+  CIP_CHECK_MSG(::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "bind(" << host << ":" << port
+                        << ") failed: " << std::strerror(errno));
+  CIP_CHECK_MSG(::listen(s.fd(), backlog) == 0,
+                "listen() failed: " << std::strerror(errno));
+  SetNonBlocking(s.fd());
+  return s;
+}
+
+std::uint16_t LocalPort(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  CIP_CHECK_MSG(::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr),
+                              &len) == 0,
+                "getsockname() failed: " << std::strerror(errno));
+  return ntohs(addr.sin_port);
+}
+
+Socket ConnectTcp(const std::string& host, std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  CIP_CHECK_MSG(s.valid(), "socket() failed: " << std::strerror(errno));
+  sockaddr_in addr = MakeAddr(host, port);
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  CIP_CHECK_MSG(rc == 0, "connect(" << host << ":" << port
+                                    << ") failed: " << std::strerror(errno));
+  SetNoDelay(s.fd());
+  return s;
+}
+
+Socket ConnectTcpNonBlocking(const std::string& host, std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  CIP_CHECK_MSG(s.valid(), "socket() failed: " << std::strerror(errno));
+  SetNonBlocking(s.fd());
+  SetNoDelay(s.fd());
+  sockaddr_in addr = MakeAddr(host, port);
+  const int rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  CIP_CHECK_MSG(rc == 0 || errno == EINPROGRESS || errno == EINTR,
+                "connect(" << host << ":" << port
+                           << ") failed: " << std::strerror(errno));
+  return s;
+}
+
+Socket AcceptNonBlocking(Socket& listener) {
+  // SOCK_CLOEXEC everywhere (here and in the socket() calls above): a host
+  // process that spawns helpers — the e2e test posix_spawns cip_client
+  // processes — must not leak its listener or connections into the children,
+  // or a closed socket lives on in the child and peers waiting on it hang
+  // instead of seeing EOF/ECONNREFUSED.
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return Socket();
+  Socket s(fd);
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  return s;
+}
+
+IoResult SendSome(Socket& s, std::span<const char> data) {
+  // MSG_NOSIGNAL: a vanished peer must surface as EPIPE on this call, not
+  // kill the whole server process with SIGPIPE.
+  const ssize_t n =
+      ::send(s.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+  if (n < 0) return IoFromErrno();
+  IoResult r;
+  r.bytes = static_cast<std::size_t>(n);
+  return r;
+}
+
+IoResult RecvSome(Socket& s, std::span<char> buf) {
+  const ssize_t n = ::recv(s.fd(), buf.data(), buf.size(), 0);
+  if (n < 0) return IoFromErrno();
+  IoResult r;
+  if (n == 0) {
+    r.closed = true;
+  } else {
+    r.bytes = static_cast<std::size_t>(n);
+  }
+  return r;
+}
+
+bool SendAll(Socket& s, std::span<const char> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const IoResult r = SendSome(s, data.subspan(sent));
+    if (r.error || r.closed) return false;
+    sent += r.bytes;
+  }
+  return true;
+}
+
+bool RecvAll(Socket& s, std::span<char> buf) {
+  std::size_t got = 0;
+  while (got < buf.size()) {
+    const IoResult r = RecvSome(s, buf.subspan(got));
+    if (r.error || r.closed) return false;
+    if (r.would_block) continue;  // blocking socket: only EINTR lands here
+    got += r.bytes;
+  }
+  return true;
+}
+
+int Poll(std::span<PollItem> items, int timeout_ms) {
+  // CIP_ANALYZE_OK(hot-alloc): event-loop edge, sized once per poll cycle
+  std::vector<pollfd> fds;
+  fds.reserve(items.size());
+  std::vector<std::size_t> index;
+  index.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].readable = items[i].writable = items[i].broken = false;
+    if (items[i].fd < 0) continue;
+    pollfd p{};
+    p.fd = items[i].fd;
+    if (items[i].want_read) p.events |= POLLIN;
+    if (items[i].want_write) p.events |= POLLOUT;
+    fds.push_back(p);
+    index.push_back(i);
+  }
+  const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc <= 0) return 0;  // timeout or EINTR: nothing ready this cycle
+  int ready = 0;
+  for (std::size_t j = 0; j < fds.size(); ++j) {
+    PollItem& item = items[index[j]];
+    const short re = fds[j].revents;
+    if (re == 0) continue;
+    ++ready;
+    if (re & (POLLIN | POLLHUP)) item.readable = true;
+    if (re & POLLOUT) item.writable = true;
+    if (re & (POLLERR | POLLNVAL)) item.broken = true;
+  }
+  return ready;
+}
+
+std::size_t EnsureFdLimit(std::size_t want) {
+  rlimit lim{};
+  CIP_CHECK_MSG(::getrlimit(RLIMIT_NOFILE, &lim) == 0,
+                "getrlimit(RLIMIT_NOFILE) failed: " << std::strerror(errno));
+  if (lim.rlim_cur != RLIM_INFINITY &&
+      static_cast<std::size_t>(lim.rlim_cur) < want) {
+    rlimit raised = lim;
+    raised.rlim_cur =
+        (lim.rlim_max == RLIM_INFINITY ||
+         static_cast<std::size_t>(lim.rlim_max) >= want)
+            ? static_cast<rlim_t>(want)
+            : lim.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur == RLIM_INFINITY
+             ? static_cast<std::size_t>(-1)
+             : static_cast<std::size_t>(lim.rlim_cur);
+}
+
+}  // namespace cip::net

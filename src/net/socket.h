@@ -1,0 +1,124 @@
+// Thin RAII layer over POSIX TCP sockets — the library's only window onto
+// the network.
+//
+// Everything above this header (framing, the round server, the client
+// runner, the load-generator bench) speaks in terms of Socket values and the
+// Poll() readiness API; the raw <sys/socket.h>/<netinet/*> headers are
+// confined to src/net by the `socket-include` lint rule, exactly like
+// reinterpret_cast is confined to fl/serialize.cpp. All sockets are IPv4
+// loopback-or-LAN TCP: the protocol (docs/PROTOCOL.md) carries no peer
+// authentication, so binding beyond localhost is an explicit caller
+// decision, not a default.
+//
+// Error discipline: construction-time failures (bind, listen, connect)
+// throw cip::CheckError with errno context — a server that cannot open its
+// port has nothing to degrade to. Steady-state I/O (send/recv/accept) never
+// throws; it reports would-block and peer-gone conditions as values so the
+// event loop can treat a failing connection as a client fault
+// (docs/ROBUSTNESS.md "Faults on a real boundary") instead of unwinding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cip::net {
+
+/// Move-only owner of one socket file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopt an already-open descriptor (ownership transfers to the Socket).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// The raw descriptor, or -1 for an empty socket.
+  int fd() const { return fd_; }
+  /// True when the socket holds an open descriptor.
+  bool valid() const { return fd_ >= 0; }
+  /// Close the descriptor now (idempotent; EINTR is not retried — POSIX
+  /// leaves the fd state unspecified and retrying risks closing a reused fd).
+  void Close();
+  /// Release ownership of the descriptor without closing it.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of one non-blocking send or receive attempt.
+struct IoResult {
+  /// Bytes actually transferred (0 is valid for would-block sends).
+  std::size_t bytes = 0;
+  /// The peer closed its end (orderly EOF on recv).
+  bool closed = false;
+  /// A hard socket error (ECONNRESET, EPIPE, ...); treat the peer as gone.
+  bool error = false;
+  /// The operation would block; retry after the next readiness poll.
+  bool would_block = false;
+};
+
+/// Open a TCP listener bound to `host` (dotted IPv4, e.g. "127.0.0.1") on
+/// `port` (0 picks an ephemeral port). Non-blocking, SO_REUSEADDR set.
+/// Throws cip::CheckError on any setup failure.
+Socket ListenTcp(const std::string& host, std::uint16_t port, int backlog);
+
+/// The port a listener (or connected socket) is actually bound to — the way
+/// to discover an ephemeral port after ListenTcp(host, 0, ...).
+std::uint16_t LocalPort(const Socket& s);
+
+/// Blocking TCP connect to host:port; returns a blocking socket with
+/// TCP_NODELAY set. Throws cip::CheckError when the connection is refused.
+Socket ConnectTcp(const std::string& host, std::uint16_t port);
+
+/// Non-blocking TCP connect for event-loop callers (the load generator): the
+/// returned socket may still be mid-handshake; poll it for writability.
+/// Throws cip::CheckError only on immediate local failures.
+Socket ConnectTcpNonBlocking(const std::string& host, std::uint16_t port);
+
+/// Accept one pending connection on a non-blocking listener. Returns an
+/// invalid Socket when no connection is pending (or on a transient accept
+/// error); the accepted socket is non-blocking with TCP_NODELAY set.
+Socket AcceptNonBlocking(Socket& listener);
+
+/// Attempt to send up to data.size() bytes without blocking.
+IoResult SendSome(Socket& s, std::span<const char> data);
+
+/// Attempt to receive up to buf.size() bytes without blocking.
+IoResult RecvSome(Socket& s, std::span<char> buf);
+
+/// Send the whole buffer on a *blocking* socket (client side); returns false
+/// if the peer vanished mid-send.
+bool SendAll(Socket& s, std::span<const char> data);
+
+/// Receive exactly buf.size() bytes on a *blocking* socket; returns false on
+/// EOF or error before the buffer fills.
+bool RecvAll(Socket& s, std::span<char> buf);
+
+/// One socket's readiness interest and result for Poll().
+struct PollItem {
+  int fd = -1;            ///< descriptor to watch (-1 entries are skipped)
+  bool want_read = false;   ///< wake when readable / accept-ready
+  bool want_write = false;  ///< wake when writable / connect finished
+  bool readable = false;    ///< out: readable (or EOF pending)
+  bool writable = false;    ///< out: writable
+  bool broken = false;      ///< out: error/hangup condition on the fd
+};
+
+/// poll(2) over `items`, waiting at most timeout_ms (0 = return immediately,
+/// negative = wait indefinitely). Fills the out fields; returns the number
+/// of items with any condition set. EINTR reads as "nothing ready".
+int Poll(std::span<PollItem> items, int timeout_ms);
+
+/// Raise the process's soft RLIMIT_NOFILE toward `want` descriptors (capped
+/// at the hard limit); returns the resulting soft limit. The ~1k-connection
+/// load bench needs ~2x the connection count in descriptors.
+std::size_t EnsureFdLimit(std::size_t want);
+
+}  // namespace cip::net

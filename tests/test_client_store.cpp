@@ -254,28 +254,24 @@ TEST(ClientStore, StatsCountTheSpillLifecycle) {
   EXPECT_EQ(stats.spilled_records, 3u);  // the whole fleet lives on disk
 }
 
-TEST(ClientStore, DeprecatedSpanAdapterMatchesBorrowedStore) {
+TEST(ClientStore, BorrowedStoreMatchesColdFactoryStore) {
+  // Live (borrowed) fleets and cold factory fleets are interchangeable
+  // entry points: same specs, same seed, bit-identical logs.
   auto specs = MakeSpecs(3);
   const fl::ModelState init = fl::InitialStateFor(specs[0]);
-  std::vector<std::unique_ptr<fl::ClientBase>> owned_a;
-  std::vector<std::unique_ptr<fl::ClientBase>> owned_b;
-  std::vector<fl::ClientBase*> ptrs_a;
-  std::vector<fl::ClientBase*> ptrs_b;
+  std::vector<std::unique_ptr<fl::ClientBase>> owned;
+  std::vector<fl::ClientBase*> ptrs;
   for (const fl::ClientSpec& spec : specs) {
-    owned_a.push_back(fl::MakeClient(spec));
-    ptrs_a.push_back(owned_a.back().get());
-    owned_b.push_back(fl::MakeClient(spec));
-    ptrs_b.push_back(owned_b.back().get());
+    owned.push_back(fl::MakeClient(spec));
+    ptrs.push_back(owned.back().get());
   }
-  fl::ClientStore borrowed{std::span<fl::ClientBase* const>(ptrs_a)};
-  const fl::FlLog via_store =
+  fl::ClientStore borrowed{std::span<fl::ClientBase* const>(ptrs)};
+  const fl::FlLog via_borrowed =
       fl::FederatedAveraging(init, SmallRun(2)).Run(borrowed, 33);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const fl::FlLog via_span =
-      fl::FederatedAveraging(init, SmallRun(2)).Run(ptrs_b, 33);
-#pragma GCC diagnostic pop
-  ExpectSameLog(via_store, via_span);
+  fl::ClientStore cold = fl::MakeClientStore(std::move(specs));
+  const fl::FlLog via_cold =
+      fl::FederatedAveraging(init, SmallRun(2)).Run(cold, 33);
+  ExpectSameLog(via_borrowed, via_cold);
 }
 
 // ---- adversarial shard files -----------------------------------------------

@@ -1,0 +1,201 @@
+// Loopback end-to-end: CipServer in-process, real cip_client processes.
+//
+// These are the acceptance tests for the wire layer's headline claim: a
+// multi-process run over TCP produces a final global bit-identical to the
+// in-process FederatedAveraging simulator given an equivalent fleet, seed,
+// and fault plan. The clients are separate processes (posix_spawn of the
+// cip_client binary at CIP_CLIENT_BIN) rather than threads, both to honor
+// the repo's thread-confinement rule and because fork-style concurrency in
+// a process that owns a worker pool is a deadlock. The test names carry the
+// NetLoopback prefix on purpose: scripts/check.sh re-runs exactly this
+// suite under asan and tsan as the socket smoke.
+#include <gtest/gtest.h>
+
+#include <spawn.h>
+#include <sys/wait.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fl/client_store.h"
+#include "fl/fault.h"
+#include "fl/model_state.h"
+#include "fl/server.h"
+#include "net/demo_fleet.h"
+#include "net/round_engine.h"
+#include "net/server.h"
+
+extern char** environ;
+
+using namespace cip;
+
+namespace {
+
+bool SameBits(const fl::ModelState& a, const fl::ModelState& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+/// Spawn one cip_client against 127.0.0.1:port claiming `id`; crash_in_round
+/// 0 means an honest client. Returns the pid (gtest-fails and returns -1 if
+/// the spawn itself failed).
+pid_t SpawnClient(std::uint16_t port, std::size_t id,
+                  std::size_t crash_in_round = 0) {
+  std::vector<std::string> args = {
+      CIP_CLIENT_BIN,     "--host", "127.0.0.1",
+      "--port",           std::to_string(port),
+      "--id",             std::to_string(id)};
+  if (crash_in_round != 0) {
+    args.push_back("--crash-in-round");
+    args.push_back(std::to_string(crash_in_round));
+  }
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc =
+      posix_spawn(&pid, CIP_CLIENT_BIN, nullptr, nullptr, argv.data(), environ);
+  EXPECT_EQ(rc, 0) << "posix_spawn(" << CIP_CLIENT_BIN
+                   << "): " << std::strerror(rc);
+  return rc == 0 ? pid : -1;
+}
+
+/// Wait for `pid` and return its exit code (-1 on abnormal termination).
+int WaitExit(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+net::AsyncRoundEngine::Options EngineOpts(std::size_t rounds,
+                                          std::size_t fleet,
+                                          std::size_t quorum,
+                                          std::uint64_t seed) {
+  net::AsyncRoundEngine::Options o;
+  o.total_rounds = rounds;
+  o.fleet_size = fleet;
+  o.quorum = quorum;
+  o.min_quorum = 1;
+  o.run_seed = seed;
+  return o;
+}
+
+/// The in-process twin: same demo fleet, same seed, optional fault plan.
+fl::FlLog InProcessRun(std::size_t rounds, std::size_t fleet,
+                       std::uint64_t seed, fl::FaultPlan faults = {}) {
+  fl::ClientStore store;  // live store: tiny fleet, plain ownership
+  for (std::size_t id = 0; id < fleet; ++id) {
+    store.Add(net::MakeDemoClient(id));
+  }
+  fl::FlOptions opts;
+  opts.rounds = rounds;
+  opts.faults = std::move(faults);
+  fl::FederatedAveraging engine(net::DemoInitialState(), opts);
+  return engine.Run(store, seed);
+}
+
+}  // namespace
+
+TEST(NetLoopback, ThreeClientsThreeAsyncRounds) {
+  // Fully synchronous configuration (quorum == fleet): three real client
+  // processes, three buffered rounds, and the final aggregate must be
+  // bit-identical to the in-process simulator on the same fleet and seed.
+  constexpr std::size_t kRounds = 3, kFleet = 3;
+  constexpr std::uint64_t kSeed = 41;
+  net::CipServer server(net::DemoInitialState(),
+                        EngineOpts(kRounds, kFleet, /*quorum=*/kFleet, kSeed),
+                        net::ServerOptions{});
+  server.Listen();
+
+  std::vector<pid_t> pids;
+  for (std::size_t id = 0; id < kFleet; ++id) {
+    pids.push_back(SpawnClient(server.port(), id));
+  }
+  server.Serve();
+  for (std::size_t id = 0; id < kFleet; ++id) {
+    EXPECT_EQ(WaitExit(pids[id]), 0) << "client " << id;
+  }
+
+  const auto& eng = server.engine();
+  EXPECT_TRUE(eng.done());
+  EXPECT_EQ(eng.stats().rounds_completed, kRounds);
+  EXPECT_EQ(eng.stats().rounds_skipped, 0u);
+  EXPECT_EQ(eng.stats().folded_stragglers, 0u);
+  EXPECT_EQ(eng.stats().protocol_errors, 0u);
+  EXPECT_EQ(server.stats().accepted_connections, kFleet);
+
+  const fl::FlLog reference = InProcessRun(kRounds, kFleet, kSeed);
+  EXPECT_TRUE(SameBits(eng.global(), reference.final_global))
+      << "wire aggregate diverged from the in-process run";
+}
+
+TEST(NetLoopback, MidRoundKillBitIdenticalToFaultPlan) {
+  // Client 2 is killed mid-run: it receives kRound(2) and exits without
+  // replying, so the server observes a connection drop while round 2 waits
+  // on it. The surviving fleet must finish all four rounds, and the result
+  // must equal the in-process run under the equivalent FaultPlan — forced
+  // kDropout for client 2 in every round from the kill on.
+  constexpr std::size_t kRounds = 4, kFleet = 3, kKillRound = 2;
+  constexpr std::uint64_t kSeed = 41;
+  net::CipServer server(net::DemoInitialState(),
+                        EngineOpts(kRounds, kFleet, /*quorum=*/kFleet, kSeed),
+                        net::ServerOptions{});
+  server.Listen();
+
+  std::vector<pid_t> pids;
+  for (std::size_t id = 0; id + 1 < kFleet; ++id) {
+    pids.push_back(SpawnClient(server.port(), id));
+  }
+  pids.push_back(SpawnClient(server.port(), kFleet - 1, kKillRound));
+  server.Serve();
+  EXPECT_EQ(WaitExit(pids[0]), 0);
+  EXPECT_EQ(WaitExit(pids[1]), 0);
+  EXPECT_EQ(WaitExit(pids[2]), 3);  // cip_client's "crashed on purpose" code
+
+  const auto& eng = server.engine();
+  EXPECT_TRUE(eng.done());
+  EXPECT_EQ(eng.stats().rounds_completed, kRounds);
+  EXPECT_EQ(server.stats().dropped_connections, 1u);
+
+  fl::FaultPlan faults;
+  for (std::size_t r = kKillRound; r <= kRounds; ++r) {
+    faults.forced.push_back({r, kFleet - 1, fl::FaultKind::kDropout});
+  }
+  const fl::FlLog reference = InProcessRun(kRounds, kFleet, kSeed, faults);
+  EXPECT_TRUE(SameBits(eng.global(), reference.final_global))
+      << "degradation on the wire diverged from the FaultPlan run";
+}
+
+TEST(NetLoopback, QuorumTwoOfThreeFoldsStragglersAndFinishesEveryone) {
+  // Genuinely asynchronous configuration: rounds close at the first 2 of 3
+  // updates and the third client's update folds into the next round as a
+  // straggler. Everything about *which* client is slow is scheduler noise,
+  // so this test asserts protocol outcomes, not aggregate bits: all three
+  // clients must still receive kFinal and exit cleanly (the in-flight
+  // straggler at run end gets kFinal in reply to its late update), and
+  // every round must have aggregated.
+  constexpr std::size_t kRounds = 3, kFleet = 3;
+  net::CipServer server(net::DemoInitialState(),
+                        EngineOpts(kRounds, kFleet, /*quorum=*/2, 77),
+                        net::ServerOptions{});
+  server.Listen();
+
+  std::vector<pid_t> pids;
+  for (std::size_t id = 0; id < kFleet; ++id) {
+    pids.push_back(SpawnClient(server.port(), id));
+  }
+  server.Serve();
+  for (std::size_t id = 0; id < kFleet; ++id) {
+    EXPECT_EQ(WaitExit(pids[id]), 0) << "client " << id;
+  }
+
+  const auto& eng = server.engine();
+  EXPECT_TRUE(eng.done());
+  EXPECT_EQ(eng.stats().rounds_completed, kRounds);
+  EXPECT_EQ(eng.stats().protocol_errors, 0u);
+  // Every update the clients sent was either folded or answered with
+  // kFinal; none may have tripped the duplicate/future checks.
+  EXPECT_GE(eng.stats().updates_accepted, kRounds * 2u);
+}

@@ -68,6 +68,76 @@ SCALE_MIN_ROUNDS = 5
 SCALE_MAX_PEAK_RSS_BYTES = 512 << 20
 SCALE_MIN_ROUNDS_PER_SECOND = 0.05
 
+# Acceptance gates for the committed BENCH_server.json baseline
+# (bench_server: 1k concurrent loopback connections through the socket
+# server). The shape gates pin what the run must have exercised — a quorum
+# strictly below the fleet (the asynchronous close path), stragglers folded
+# across round boundaries, and admission overflow answered with kBusy — and
+# the wire run must stay bit-identical to the direct engine feed.
+SERVER_SCHEMA = "cip-bench-server/v1"
+SERVER_MIN_CLIENTS = 1000
+SERVER_MIN_ROUNDS = 20
+SERVER_MAX_PEAK_RSS_BYTES = 256 << 20
+SERVER_MIN_ROUNDS_PER_SECOND = 1.0
+
+
+def check_server(path: pathlib.Path) -> int:
+    """Validate a committed BENCH_server.json against the load-bench gates."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read server baseline {path}: {exc}")
+
+    failures = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    need(doc.get("schema") == SERVER_SCHEMA,
+         f"schema {doc.get('schema')!r} != {SERVER_SCHEMA!r}")
+    build = doc.get("host", {}).get("cip_build_type")
+    need(build == "release",
+         f"cip_build_type {build!r} != 'release' — regenerate via "
+         "scripts/bench_baseline.sh")
+    setup = doc.get("setup", {})
+    need(setup.get("clients", 0) >= SERVER_MIN_CLIENTS,
+         f"clients {setup.get('clients')} < {SERVER_MIN_CLIENTS}")
+    need(0 < setup.get("quorum", 0) < setup.get("clients", 0),
+         f"quorum {setup.get('quorum')} not in (0, clients) — the async "
+         "close path was never exercised")
+    need(setup.get("rounds", 0) >= SERVER_MIN_ROUNDS,
+         f"rounds {setup.get('rounds')} < {SERVER_MIN_ROUNDS}")
+    need(doc.get("determinism", {}).get("bit_identical") is True,
+         "determinism.bit_identical is not true")
+    server = doc.get("server", {})
+    stats = server.get("stats", {})
+    need(stats.get("rounds_completed") == setup.get("rounds"),
+         f"rounds_completed {stats.get('rounds_completed')} != configured "
+         f"rounds {setup.get('rounds')}")
+    need(stats.get("protocol_errors", 1) == 0,
+         f"protocol_errors {stats.get('protocol_errors')} != 0 on a clean run")
+    need(stats.get("busy_rejections", 0) > 0,
+         "busy_rejections == 0 — admission control was never exercised")
+    need(stats.get("folded_stragglers", 0) > 0,
+         "folded_stragglers == 0 — no update ever crossed a round boundary")
+    need(server.get("rounds_per_second", 0.0) >= SERVER_MIN_ROUNDS_PER_SECOND,
+         f"rounds_per_second {server.get('rounds_per_second')} < "
+         f"{SERVER_MIN_ROUNDS_PER_SECOND}")
+    p50 = server.get("round_latency_p50_ms", 0.0)
+    p99 = server.get("round_latency_p99_ms", 0.0)
+    need(0 < p50 <= p99,
+         f"round latency p50 {p50} / p99 {p99} not 0 < p50 <= p99")
+    need(0 < server.get("peak_rss_bytes", 0) <= SERVER_MAX_PEAK_RSS_BYTES,
+         f"peak_rss_bytes {server.get('peak_rss_bytes')} outside "
+         f"(0, {SERVER_MAX_PEAK_RSS_BYTES}]")
+
+    if failures:
+        raise SystemExit(f"server gate FAILED for {path}:\n  " +
+                         "\n  ".join(failures))
+    print(f"[bench_to_json] server gates passed for {path}", file=sys.stderr)
+    return 0
+
 
 def check_scale(path: pathlib.Path) -> int:
     """Validate a committed BENCH_scale.json against the scale gates."""
@@ -198,10 +268,16 @@ def main() -> int:
                     help="validate a committed BENCH_scale.json (bench_scale "
                          "output) against the million-client scale gates and "
                          "exit; no benchmarks are run")
+    ap.add_argument("--check-server", type=pathlib.Path, metavar="JSON",
+                    help="validate a committed BENCH_server.json "
+                         "(bench_server output) against the 1k-connection "
+                         "load gates and exit; no benchmarks are run")
     args = ap.parse_args()
 
     if args.check_scale is not None:
         return check_scale(args.check_scale)
+    if args.check_server is not None:
+        return check_server(args.check_server)
 
     if not args.binary.exists():
         raise SystemExit(

@@ -8,7 +8,9 @@ Rules (see README "Correctness tooling"):
   unseeded-rng    constructing a std:: engine without an explicit seed is
                   banned outside src/common/rng.h (the sanctioned wrapper)
   reinterpret     `reinterpret_cast` is banned outside src/fl/serialize.cpp
-                  (the audited byte-level (de)serialization boundary)
+                  (the audited byte-level (de)serialization boundary) and
+                  src/net/socket.cpp (the sockaddr casts the BSD socket ABI
+                  requires)
   include-style   no `#include <bits/...>`, no parent-relative includes
   bench-json      committed BENCH_*.json perf baselines at the repo root
                   must parse as JSON (a broken baseline silently disables
@@ -37,6 +39,12 @@ Rules (see README "Correctness tooling"):
                   portable code uses GNU vector extensions or scalars, and
                   ISA-specific code stays behind the kernel registry
                   (docs/KERNELS.md)
+  socket-include  raw socket headers (<sys/socket.h>, <netinet/*>,
+                  <arpa/inet.h>, <poll.h>, <netdb.h>, <sys/un.h>) are banned
+                  outside src/net/ — every byte that crosses the network
+                  goes through the net/socket.h RAII layer and the framed
+                  protocol (docs/PROTOCOL.md), the same confinement idea as
+                  reinterpret/intrinsic-include
   rng-ref-param   headers under src/fl and src/core must not declare new
                   `Rng&` parameters: shared mutable RNG streams are what made
                   concurrent client execution racy pre-RoundContext. Client
@@ -49,11 +57,12 @@ Rules (see README "Correctness tooling"):
                   of a fleet (fl/client_store.h), so lifecycle, checkpointing
                   and spill policy stay in one place. Non-owning
                   std::vector<ClientBase*> views and vectors of concrete
-                  client types remain legal. Allowlist: the store itself,
-                  the deprecated span-adapter TU, and the adapter's test.
+                  client types remain legal. Allowlist: the store itself
+                  and its test.
   doc-comment     WARNING (does not fail the run): public functions declared
-                  in src/tensor, src/nn, src/fl, src/core and src/common
-                  headers should carry a doc comment on the preceding line
+                  in src/tensor, src/nn, src/fl, src/core, src/common and
+                  src/net headers should carry a doc comment on the
+                  preceding line
   doc-link        relative markdown links in README.md and docs/*.md must
                   resolve to files that exist (stale links rot silently;
                   anchors/URLs are not checked)
@@ -80,14 +89,15 @@ SOURCE_SUFFIXES = {".h", ".cpp"}
 # Files allowed to break a specific rule, relative to the repo root.
 ALLOWLIST = {
     "unseeded-rng": {"src/common/rng.h"},
-    "reinterpret": {"src/fl/serialize.cpp"},
-    # ClientStore is the one sanctioned owner of a ClientBase fleet; the
-    # deprecated span-adapter TU and its compatibility test are the only
-    # other places that may hold owning client vectors, for one release.
+    # serialize.cpp is the audited byte-level boundary; socket.cpp needs
+    # reinterpret_cast for the sockaddr/sockaddr_in puns the BSD socket ABI
+    # is defined in terms of (bind/connect/getsockname).
+    "reinterpret": {"src/fl/serialize.cpp", "src/net/socket.cpp"},
+    # ClientStore is the one sanctioned owner of a ClientBase fleet; its
+    # test is the only other place that may hold owning client vectors.
     "client-vector": {
         "src/fl/client_store.h",
         "src/fl/client_store.cpp",
-        "src/fl/legacy_fleet.cpp",
         "tests/test_client_store.cpp",
     },
     # Private helpers that receive the RoundContext's stream by reference
@@ -163,6 +173,14 @@ RE_INTRINSIC_INCLUDE = re.compile(
     r"#\s*include\s*<(?:immintrin|x86intrin|x86gprintrin|xmmintrin|emmintrin|"
     r"pmmintrin|tmmintrin|smmintrin|nmmintrin|wmmintrin|ammintrin|"
     r"avxintrin|avx2intrin|avx512fintrin|fmaintrin)\.h>")
+# Raw network headers: the socket(2)/poll(2) surface plus address utilities.
+# <sys/resource.h>, <unistd.h> etc. stay legal everywhere — only the
+# networking headers are confined.
+RE_SOCKET_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/un\.h|sys/poll\.h|poll\.h|"
+    r"netdb\.h|arpa/inet\.h|netinet/[\w.]+)>")
+# The one directory allowed to touch raw sockets (see net/socket.h).
+SOCKET_INCLUDE_DIR = "src/net/"
 
 
 # Rules reported as warnings: printed, self-tested, but never fatal.
@@ -218,7 +236,8 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
         if rel not in ALLOWLIST["reinterpret"] and RE_REINTERPRET.search(line):
             out.append(Violation(rel, i, "reinterpret",
                                  "reinterpret_cast only allowed in "
-                                 "src/fl/serialize.cpp"))
+                                 "src/fl/serialize.cpp and "
+                                 "src/net/socket.cpp"))
         if RE_BITS_INCLUDE.search(line):
             out.append(Violation(rel, i, "include-style",
                                  "never include <bits/...> internals"))
@@ -231,6 +250,13 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
                                  "<thread>/<mutex> family headers only "
                                  "allowed in src/common/parallel.cpp and "
                                  "its stress/bench drivers; use ParallelFor"))
+        if (not rel.startswith(SOCKET_INCLUDE_DIR)
+                and RE_SOCKET_INCLUDE.search(line)):
+            out.append(Violation(rel, i, "socket-include",
+                                 "raw socket/poll headers only allowed under "
+                                 "src/net/; speak the framed protocol through "
+                                 "net/socket.h and net/frame.h "
+                                 "(docs/PROTOCOL.md)"))
         if (rel not in ALLOWLIST["intrinsic-include"]
                 and RE_INTRINSIC_INCLUDE.search(line)):
             out.append(Violation(rel, i, "intrinsic-include",
@@ -264,7 +290,7 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
 # plus the federated surface: shape contracts, layout, threading and
 # determinism guarantees live in these comments).
 DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/", "src/fl/", "src/core/",
-                    "src/common/")
+                    "src/common/", "src/net/")
 
 # A function declaration/definition opener: optional specifiers, a return
 # type containing at least one type-ish token, a name, an open paren. Control
@@ -447,6 +473,7 @@ SELF_TEST_CASES = {
     "raw-thread": "src/spawns_thread.cpp",
     "thread-include": "src/includes_mutex.cpp",
     "intrinsic-include": "src/nn/includes_immintrin.cpp",
+    "socket-include": "src/fl/includes_socket.cpp",
     "doc-link": "docs/bad_links.md",
 }
 
@@ -529,6 +556,26 @@ SELF_TEST_SOURCES = {
     "src/tensor/gemm_avx2.cpp":
         "#include <immintrin.h>\n"
         "void Kernel() {}\n",
+    # Raw socket/poll headers outside src/net must be flagged under every
+    # confined spelling...
+    "src/fl/includes_socket.cpp":
+        "#include <sys/socket.h>\n"
+        "#include <netinet/tcp.h>\n"
+        "#include <arpa/inet.h>\n"
+        "#include <poll.h>\n"
+        "void Dial() {}\n",
+    # ...while src/net itself, and the *unconfined* POSIX headers anywhere
+    # (<sys/resource.h> is how benches read peak RSS), stay clean.
+    "src/net/sockets_allowed_clean.cpp":
+        "#include <sys/socket.h>\n"
+        "#include <netinet/in.h>\n"
+        "#include <poll.h>\n"
+        "void Listen() {}\n",
+    "src/fl/resource_header_clean.cpp":
+        "#include <sys/resource.h>\n"
+        "void Rss() {}\n",
+    # The src/net doc-comment extension must flag undocumented net headers.
+    "src/net/undocumented.h": "#pragma once\nfloat NetUndocumented(int x);\n",
     # Reading hardware_concurrency or using std::this_thread is not
     # thread *construction* and stays legal everywhere (no <thread> include
     # here: the declaration is reachable via the sanctioned parallel.h).
