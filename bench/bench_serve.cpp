@@ -1,0 +1,396 @@
+// Batched CIP serving benchmark and baseline (BENCH_serve.json).
+//
+// Measures the ServeEngine (src/serve) end to end — the acceptance gate for
+// the fused blend+forward serving path:
+//   1. t-cache — queries/sec with a cold cache (every lookup materializes a
+//      client through the store factory) vs a warm cache (pure map hits);
+//      the warm pass must be all hits.
+//   2. fused throughput — B single-row queries from B distinct clients fused
+//      into one Flush, for B in {1, 16, 128}: queries/sec, rows/sec and
+//      p50/p99 per-flush latency. The gate: batch-128 fused throughput must
+//      be >= 4x the batch-1 per-query throughput — the whole point of
+//      packing many clients' blended channels into one [sum N, ...] forward.
+//   3. allocation discipline — the measured loops run with ZERO tensor
+//      element-buffer allocations (the grow-once arena contract that
+//      tests/test_alloc_free.cpp pins at unit scale).
+//   4. wire front door — a kQuery round-trip through a real loopback
+//      CipServer must answer bit-identically to an in-process Serve of the
+//      same (client_id, inputs).
+// tools/bench_to_json.py --check-serve regates the committed JSON in CI.
+//
+// Run via scripts/bench_baseline.sh (which pins CIP_THREADS=4, the thread
+// budget the gate numbers are defined at).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "fl/client_factory.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "serve/serve_engine.h"
+#include "tensor/tensor.h"
+
+using namespace cip;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void PutNum(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+/// Serving workload shape. The fleet is far larger than any fused batch so
+/// every flush mixes distinct clients' secrets. The model is deliberately
+/// light per row (the serving regime: single-row queries against a modest
+/// MLP): per-query cost is then dominated by the per-flush work — t lookup,
+/// staging, kernel dispatch — which is exactly what fusing many clients
+/// into one [sum N, ...] forward amortizes. A compute-bound model would
+/// cap the fused speedup at the thread count instead of showing the
+/// dispatch amortization the engine exists for.
+struct BenchConfig {
+  std::size_t clients = 256;
+  std::size_t input_dim = 32;
+  std::size_t width = 16;
+  std::size_t classes = 10;
+  std::size_t max_batch_rows = 128;
+  std::vector<std::size_t> batch_sizes = {1, 16, 128};
+  std::vector<std::size_t> batch_iters = {20000, 2000, 500};
+};
+
+std::vector<fl::ClientSpec> MakeSpecs(const BenchConfig& cfg) {
+  Rng rng(41);
+  data::Dataset full =
+      [&] {
+        Tensor inputs({8 * cfg.clients, cfg.input_dim});
+        std::vector<int> labels(8 * cfg.clients);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          labels[i] = static_cast<int>(i % cfg.classes);
+          for (std::size_t j = 0; j < cfg.input_dim; ++j) {
+            inputs[i * cfg.input_dim + j] = rng.Normal();
+          }
+        }
+        return data::Dataset{std::move(inputs), std::move(labels)};
+      }();
+  const auto shards = data::PartitionIid(full, cfg.clients, rng);
+  std::vector<fl::ClientSpec> specs;
+  specs.reserve(cfg.clients);
+  for (std::size_t k = 0; k < cfg.clients; ++k) {
+    fl::ClientSpec spec;
+    spec.kind = fl::ClientKind::kCip;
+    spec.model.arch = nn::Arch::kMLP;
+    spec.model.input_shape = {cfg.input_dim};
+    spec.model.num_classes = cfg.classes;
+    spec.model.width = cfg.width;
+    spec.model.seed = 2026;
+    spec.data = shards[k];
+    spec.seed = 1000 + k;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Percentile over `v` (copied and sorted), p in [0, 1], in milliseconds.
+double PercentileMs(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(std::ceil(p * static_cast<double>(v.size()))) -
+          (p > 0.0 ? 1 : 0));
+  return v[idx] * 1000.0;
+}
+
+/// One measured serving run: `iters` flushes of `batch` single-row queries
+/// from `batch` distinct clients (round-robin over the fleet).
+struct BatchResult {
+  std::size_t batch = 0;
+  double seconds = 0.0;
+  double queries_per_second = 0.0;
+  double rows_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+BatchResult RunBatch(serve::ServeEngine& engine, const Tensor& row,
+                     std::size_t fleet, std::size_t batch,
+                     std::size_t iters) {
+  BatchResult res;
+  res.batch = batch;
+  std::vector<double> lat;
+  lat.reserve(iters);
+  std::size_t next_client = 0;
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const Clock::time_point it0 = Clock::now();
+    for (std::size_t j = 0; j < batch; ++j) {
+      engine.Enqueue(next_client, row);
+      next_client = (next_client + 1) % fleet;
+    }
+    (void)engine.Flush();
+    lat.push_back(SecondsSince(it0));
+  }
+  res.seconds = SecondsSince(t0);
+  res.queries_per_second =
+      static_cast<double>(iters * batch) / res.seconds;
+  res.rows_per_second = res.queries_per_second;  // one row per query here
+  res.p50_ms = PercentileMs(lat, 0.50);
+  res.p99_ms = PercentileMs(lat, 0.99);
+  return res;
+}
+
+/// Loopback kQuery round-trip against a serving CipServer, single-threaded:
+/// block-send the query, pump Step(0), block-read the kLogits reply.
+std::optional<Tensor> WireQuery(net::CipServer& server, std::uint64_t cid,
+                                const Tensor& inputs) {
+  net::Socket sock = net::ConnectTcp("127.0.0.1", server.port());
+  net::QueryMsg q;
+  q.client_id = cid;
+  q.inputs = inputs;
+  const std::string frame = net::EncodeQuery(q);
+  if (!net::SendAll(sock,
+                    std::span<const char>(frame.data(), frame.size()))) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < 4; ++i) server.Step(0);
+  std::string header(net::kFrameHeaderBytes, '\0');
+  if (!net::RecvAll(sock, std::span<char>(header.data(), header.size()))) {
+    return std::nullopt;
+  }
+  std::uint64_t len = 0;  // payload_len: the header's trailing LE u64
+  for (std::size_t b = 0; b < 8; ++b) {
+    len |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(header[12 + b]))
+           << (8 * b);
+  }
+  std::string payload(len, '\0');
+  if (len > 0 &&
+      !net::RecvAll(sock, std::span<char>(payload.data(), payload.size()))) {
+    return std::nullopt;
+  }
+  net::FrameReader reader;
+  reader.Feed(header);
+  reader.Feed(payload);
+  const std::optional<net::Frame> f = reader.Next();
+  if (!f || f->type != net::MsgType::kLogits) return std::nullopt;
+  return net::DecodeLogits(f->payload).logits;
+}
+
+bool SameBits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* output_path = "BENCH_serve.json";
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      cfg.clients = std::stoul(argv[++i]);  // exploratory runs only
+    }
+  }
+
+  bench::PrintHeader(
+      "Batched CIP serving — per-client t-cache + fused blend+forward",
+      "n/a (infrastructure bench; deployed CIP must serve every client's "
+      "blended queries through one shared model)",
+      "fused batch-128 >= 4x batch-1 per-query throughput; warm t-cache all "
+      "hits; steady state allocation-free; wire == in-process bits");
+  bench::BenchTimer timer;
+
+  const auto specs = MakeSpecs(cfg);
+  std::unique_ptr<core::CipClient> global = fl::MakeCipClient(specs[0]);
+  fl::ClientStore store = fl::MakeClientStore(specs);
+  serve::ServeOptions opts;
+  opts.blend = global->config().blend;
+  opts.max_batch_rows = cfg.max_batch_rows;
+  serve::ServeEngine engine(global->model(), store, opts);
+
+  Rng rng(7);
+  Tensor row({std::size_t{1}, cfg.input_dim});
+  for (float& v : row.flat()) v = rng.Normal();
+
+  // ---- cold vs warm t-cache --------------------------------------------------
+  // Cold: every query materializes its client through the store factory to
+  // read t. Warm: the same sweep is pure map hits.
+  const Clock::time_point cold0 = Clock::now();
+  for (std::size_t k = 0; k < cfg.clients; ++k) (void)engine.Serve(k, row);
+  const double cold_seconds = SecondsSince(cold0);
+  const std::size_t cold_misses = engine.stats().t_misses;
+
+  const Clock::time_point warm0 = Clock::now();
+  for (std::size_t k = 0; k < cfg.clients; ++k) (void)engine.Serve(k, row);
+  const double warm_seconds = SecondsSince(warm0);
+  const std::size_t warm_hits = engine.stats().t_hits;
+  const double warm_hit_rate =
+      static_cast<double>(warm_hits) / static_cast<double>(cfg.clients);
+  const double cold_qps = static_cast<double>(cfg.clients) / cold_seconds;
+  const double warm_qps = static_cast<double>(cfg.clients) / warm_seconds;
+
+  // ---- fused throughput at batch 1 / 16 / 128 --------------------------------
+  // Warm up every staging arena at the largest batch, then require the
+  // measured loops to be allocation-free.
+  for (std::size_t j = 0; j < cfg.max_batch_rows; ++j) {
+    engine.Enqueue(j % cfg.clients, row);
+  }
+  (void)engine.Flush();
+  const std::uint64_t allocs_before = internal::TensorAllocCount();
+  std::vector<BatchResult> batches;
+  for (std::size_t b = 0; b < cfg.batch_sizes.size(); ++b) {
+    batches.push_back(RunBatch(engine, row, cfg.clients, cfg.batch_sizes[b],
+                               cfg.batch_iters[b]));
+  }
+  const bool alloc_free = internal::TensorAllocCount() == allocs_before;
+  const double fused_speedup =
+      batches.front().queries_per_second > 0.0
+          ? batches.back().queries_per_second /
+                batches.front().queries_per_second
+          : 0.0;
+
+  // ---- wire front door bit-identity ------------------------------------------
+  // A kQuery through a real loopback server must answer with exactly the
+  // bits an in-process Serve produces for the same (client_id, inputs).
+  net::AsyncRoundEngine::Options eng_opts;
+  eng_opts.fleet_size = cfg.clients;
+  eng_opts.quorum = cfg.clients;
+  net::ServerOptions server_opts;
+  server_opts.drain_fleet = false;
+  net::CipServer server(fl::ModelState(std::vector<float>{0.0f}), eng_opts,
+                        server_opts);
+  serve::ServeEngine wire_engine(global->model(), store, opts);
+  server.EnableServing(&wire_engine);
+  server.Listen();
+  Tensor probe({std::size_t{4}, cfg.input_dim});
+  for (float& v : probe.flat()) v = rng.Normal();
+  bool wire_identical = true;
+  for (std::uint64_t cid : {std::uint64_t{0}, std::uint64_t{17},
+                            std::uint64_t{cfg.clients - 1}}) {
+    const Tensor expected = engine.Serve(cid, probe);  // copy
+    const std::optional<Tensor> got = WireQuery(server, cid, probe);
+    if (!got.has_value() || !SameBits(*got, expected)) {
+      wire_identical = false;
+    }
+  }
+
+  // ---- report ----------------------------------------------------------------
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"fleet (model dim/width/classes)",
+                std::to_string(cfg.clients) + " (" +
+                    std::to_string(cfg.input_dim) + "/" +
+                    std::to_string(cfg.width) + "/" +
+                    std::to_string(cfg.classes) + ")"});
+  table.AddRow({"threads", std::to_string(ParallelThreads())});
+  table.AddRow({"cold t-cache queries/sec", TextTable::Num(cold_qps, 0)});
+  table.AddRow({"warm t-cache queries/sec", TextTable::Num(warm_qps, 0)});
+  table.AddRow({"warm hit rate", TextTable::Num(warm_hit_rate, 3)});
+  for (const BatchResult& b : batches) {
+    const std::string tag = "batch " + std::to_string(b.batch);
+    table.AddRow({tag + " queries/sec", TextTable::Num(b.queries_per_second, 0)});
+    table.AddRow({tag + " p50 / p99 ms",
+                  TextTable::Num(b.p50_ms, 3) + " / " +
+                      TextTable::Num(b.p99_ms, 3)});
+  }
+  table.AddRow({"fused speedup (128 vs 1)", TextTable::Num(fused_speedup, 2)});
+  table.AddRow({"alloc-free steady state", alloc_free ? "yes" : "NO"});
+  table.AddRow({"wire bit-identical", wire_identical ? "yes" : "NO"});
+  table.Print(std::cout);
+
+  // ---- JSON baseline ---------------------------------------------------------
+  std::ofstream js(output_path);
+  js << "{\n  \"schema\": \"cip-bench-serve/v1\",\n"
+     << "  \"host\": {\"num_threads\": " << ParallelThreads()
+     << ", \"cip_build_type\": \""
+#ifdef NDEBUG
+     << "release"
+#else
+     << "debug"
+#endif
+     << "\"},\n"
+     << "  \"setup\": {\"clients\": " << cfg.clients
+     << ", \"input_dim\": " << cfg.input_dim << ", \"width\": " << cfg.width
+     << ", \"classes\": " << cfg.classes
+     << ", \"max_batch_rows\": " << cfg.max_batch_rows << "},\n"
+     << "  \"tcache\": {\"cold_queries_per_second\": ";
+  PutNum(js, cold_qps);
+  js << ", \"warm_queries_per_second\": ";
+  PutNum(js, warm_qps);
+  js << ", \"warm_hit_rate\": ";
+  PutNum(js, warm_hit_rate);
+  js << ",\n    \"stats\": {\"hits\": " << engine.stats().t_hits
+     << ", \"misses\": " << engine.stats().t_misses
+     << ", \"stale\": " << engine.stats().t_stale
+     << ", \"evictions\": " << engine.stats().t_evictions << "}},\n"
+     << "  \"serve\": {\"alloc_free_steady_state\": "
+     << (alloc_free ? "true" : "false")
+     << ", \"wire_bit_identical\": " << (wire_identical ? "true" : "false")
+     << ",\n    \"fused_speedup_128_vs_1\": ";
+  PutNum(js, fused_speedup);
+  js << ",\n    \"batches\": [";
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const BatchResult& b = batches[i];
+    js << (i == 0 ? "" : ",") << "\n      {\"batch\": " << b.batch
+       << ", \"queries_per_second\": ";
+    PutNum(js, b.queries_per_second);
+    js << ", \"rows_per_second\": ";
+    PutNum(js, b.rows_per_second);
+    js << ", \"p50_ms\": ";
+    PutNum(js, b.p50_ms);
+    js << ", \"p99_ms\": ";
+    PutNum(js, b.p99_ms);
+    js << "}";
+  }
+  js << "\n    ]}\n}\n";
+  js.close();
+  std::cout << "baseline written to " << output_path << "\n";
+
+  // ---- gates -----------------------------------------------------------------
+  bool ok = true;
+  if (cold_misses != cfg.clients || warm_hits != cfg.clients) {
+    std::cerr << "FAIL: t-cache passes were not cleanly cold-then-warm ("
+              << cold_misses << " misses, " << warm_hits << " hits)\n";
+    ok = false;
+  }
+  if (fused_speedup < 4.0) {
+    std::cerr << "FAIL: fused batch-128 throughput is only " << fused_speedup
+              << "x batch-1 (need >= 4x)\n";
+    ok = false;
+  }
+  if (!alloc_free) {
+    std::cerr << "FAIL: measured serving loops performed tensor "
+                 "allocations\n";
+    ok = false;
+  }
+  if (!wire_identical) {
+    std::cerr << "FAIL: wire kQuery answer differs from the in-process "
+                 "ServeEngine bits\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate the committed performance baselines (BENCH_kernels.json,
-# BENCH_fl_rounds.json, BENCH_fault_rounds.json, BENCH_scale.json and
-# BENCH_server.json).
+# BENCH_fl_rounds.json, BENCH_fault_rounds.json, BENCH_scale.json,
+# BENCH_server.json and BENCH_serve.json).
 #
 # Builds bench_micro_ops in the tier-1 Release tree (./build), runs the
 # kernel benchmarks at CIP_THREADS=1 and CIP_THREADS=4 and merges the results
@@ -21,7 +21,7 @@ jobs="${CIP_CHECK_JOBS:-$(nproc)}"
 min_time="${CIP_BENCH_MIN_TIME:-0.5}"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds bench_scale bench_server
+cmake --build build -j "$jobs" --target bench_micro_ops bench_fl_rounds bench_fault_rounds bench_scale bench_server bench_serve
 
 # bench_to_json.py refuses to write a baseline unless the binary reports
 # cip_build_type=release, and tools/cip_lint.py rejects committed baselines
@@ -53,3 +53,11 @@ python3 tools/bench_to_json.py --check-scale BENCH_scale.json
 # bench_to_json.py --check-server.
 ./build/bench/bench_server --output BENCH_server.json
 python3 tools/bench_to_json.py --check-server BENCH_server.json
+
+# Serving-engine baseline: t-cache cold/warm split, fused batch-1/16/128
+# throughput and latency, allocation-free steady state and the loopback
+# kQuery bit-identity check. CIP_THREADS=4 pins the thread budget the
+# fused-speedup gate is defined at. The committed JSON is regated in CI by
+# bench_to_json.py --check-serve.
+CIP_THREADS=4 ./build/bench/bench_serve --output BENCH_serve.json
+python3 tools/bench_to_json.py --check-serve BENCH_serve.json

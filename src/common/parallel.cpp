@@ -231,6 +231,13 @@ void RunSpawnPerCall(Job& job, std::size_t threads) {
   }  // jthreads join here; job state is stable afterwards.
 }
 
+// When the pool is busy, each extra spawned runner must be amortized by this
+// multiple of the region's min_parallel threshold; smaller busy-pool regions
+// get a smaller runner budget (never below two — see the fallback below).
+// Derived from min_parallel so coarse regions (few indices, heavy bodies)
+// keep a low bar while fine elementwise regions need real volume per spawn.
+constexpr std::size_t kBusySpawnAmortizeFactor = 64;
+
 // Shared chunk-per-runner core. min_parallel is the smallest range worth
 // dispatching for; below it (or at a budget of 1, or nested inside another
 // parallel region, or after pool teardown) the loop runs serially inline.
@@ -253,12 +260,45 @@ void RunChunked(std::size_t begin, std::size_t end,
   job.chunk = (n + threads - 1) / threads;
   job.num_chunks = (n + job.chunk - 1) / job.chunk;
   // The pool runs one region at a time; a second concurrent top-level
-  // caller finds it busy and dispatches via spawn-per-call instead. The
-  // chunk partition above is fixed before dispatch, so both paths produce
+  // caller finds it busy and falls back. Chunk execution order (and the
+  // partition itself) never affects results — the FL bit-identity suites
+  // pin that across worker budgets — so every fallback path below produces
   // bit-identical results.
-  if (SpawnPerCallEnabled() ||
-      !WorkerPool::Instance().TryRun(job, threads - 1)) {
+  if (SpawnPerCallEnabled()) {
     RunSpawnPerCall(job, threads);
+  } else if (!WorkerPool::Instance().TryRun(job, threads - 1)) {
+    // Busy-pool fallback. Spawning a jthread costs tens of microseconds of
+    // thread start-up — worth it for a large region, pure thrash for the
+    // many-small-top-level-regions regime (e.g. concurrent serving steps
+    // dispatching small forwards while a training run owns the pool). Scale
+    // the runner budget to what the region's volume amortizes, but never
+    // below two: the region must NOT serialize, because a concurrent
+    // top-level sibling may own the pool and rendezvous with our bodies
+    // (ParallelStress.ConcurrentTopLevelRegionsMakeProgress is the
+    // regression). The caller is one of the runners, so the cheapest
+    // fallback costs a single spawn, and runners == chunks keeps the
+    // progress guarantee: every chunk has a dedicated runner even if every
+    // other body blocks.
+    const std::size_t budget = std::clamp<std::size_t>(
+        1 + n / (min_parallel * kBusySpawnAmortizeFactor), 2, threads);
+    job.chunk = (n + budget - 1) / budget;
+    job.num_chunks = (n + job.chunk - 1) / job.chunk;
+    {
+      std::vector<std::jthread> helpers;
+      // CIP_ANALYZE_OK(hot-alloc-container): busy-pool fallback path, explicitly not the steady-state pool
+      helpers.reserve(job.num_chunks - 1);
+      for (std::size_t w = 1; w < job.num_chunks; ++w) {
+        // CIP_ANALYZE_OK(hot-alloc-container): busy-pool fallback: helper jthreads are constructed fresh by design
+        helpers.emplace_back([&job] {
+          ++t_parallel_depth;
+          job.RunChunks();
+          --t_parallel_depth;
+        });
+      }
+      ++t_parallel_depth;
+      job.RunChunks();
+      --t_parallel_depth;
+    }  // helpers join here; job state is stable afterwards.
   }
   if (job.first_error != nullptr) std::rethrow_exception(job.first_error);
 }

@@ -38,6 +38,25 @@ Blended Blend(const Tensor& x, const Tensor& t, const BlendConfig& cfg) {
   return out;
 }
 
+// CIP_HOT  (serve-path blend: straight into the batch arenas, no masks)
+void BlendRowsInto(const float* x, const float* t, std::size_t rows,
+                   std::size_t stride, const BlendConfig& cfg, float* c1,
+                   float* c2) {
+  const float a = cfg.alpha;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* px = x + i * stride;
+    float* p1 = c1 + i * stride;
+    float* p2 = c2 + i * stride;
+    for (std::size_t j = 0; j < stride; ++j) {
+      const float tv = t != nullptr ? t[j] : 0.0f;
+      const float v1 = (1.0f - a) * px[j] + a * tv;
+      const float v2 = (1.0f + a) * px[j] - a * tv;
+      p1[j] = std::clamp(v1, cfg.clip_lo, cfg.clip_hi);
+      p2[j] = std::clamp(v2, cfg.clip_lo, cfg.clip_hi);
+    }
+  }
+}
+
 Tensor BlendGradT(const Blended& blended, const Tensor& g1, const Tensor& g2,
                   float alpha) {
   CIP_CHECK(g1.SameShape(blended.c1));

@@ -36,6 +36,17 @@ struct Blended {
 /// raw-query convention B(x, 0).
 Blended Blend(const Tensor& x, const Tensor& t, const BlendConfig& cfg);
 
+/// Mask-free inference blend of `rows` samples into caller-owned channel
+/// buffers: c1/c2 receive the clipped components of B(x, t) for each of the
+/// `rows` consecutive samples of `stride` floats at `x`. `t` points at one
+/// sample's perturbation (broadcast across the rows) or is null for B(x, 0);
+/// arithmetic and clipping are bit-identical to Blend. Raw pointers so the
+/// serving engine can pack many clients' rows into one shared batch arena
+/// without per-request tensor staging (tensor.h version-counter rules).
+void BlendRowsInto(const float* x, const float* t, std::size_t rows,
+                   std::size_t stride, const BlendConfig& cfg, float* c1,
+                   float* c2);
+
 /// Reduce upstream channel gradients into dL/dt (per-sample shape).
 Tensor BlendGradT(const Blended& blended, const Tensor& g1, const Tensor& g2,
                   float alpha);

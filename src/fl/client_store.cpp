@@ -128,16 +128,11 @@ ClientStore::Handle ClientStore::Materialize(std::size_t id) {
   if (auto hot_it = hot_.find(id); hot_it != hot_.end()) {
     h.ptr_->RestoreState(DecodeClientRecord(hot_it->second, id));
     ++stats_.hot_hits;
-    stats_.hot_bytes -= hot_it->second.size();
-    --stats_.hot_records;
-    lru_.erase(lru_pos_.at(id));
-    lru_pos_.erase(id);
-    hot_.erase(hot_it);
-  } else if (auto sp_it = spilled_.find(id); sp_it != spilled_.end()) {
+    EraseRecord(id);  // state ownership moves to the handle (bumps version)
+  } else if (spilled_.contains(id)) {
     h.ptr_->RestoreState(DecodeClientRecord(ReadShardRecord(id), id));
     ++stats_.cold_loads;
-    spilled_.erase(sp_it);
-    --stats_.spilled_records;
+    EraseRecord(id);
   }
   // No record: a client that never participated materializes fresh from the
   // factory alone.
@@ -195,6 +190,10 @@ std::vector<std::pair<std::uint64_t, ClientState>> ClientStore::ExportStates()
 void ClientStore::RestoreStates(
     const std::vector<std::pair<std::uint64_t, ClientState>>& states) {
   if (mode_ == Mode::kCold) {
+    // Every previously recorded id may now hold different bytes (or none):
+    // move its version so PeekState-derived caches drop their entries.
+    for (const auto& [id, blob] : hot_) ++state_versions_[id];
+    for (const std::size_t id : spilled_) ++state_versions_[id];
     hot_.clear();
     lru_.clear();
     lru_pos_.clear();
@@ -234,8 +233,33 @@ void ClientStore::BroadcastFinal(const ModelState& global) {
   for (ClientBase* c : clients_) c->SetGlobal(global);
 }
 
+bool ClientStore::PeekState(std::size_t id, ClientState& out) const {
+  CIP_CHECK_MSG(id < num_clients_, "client id " << id
+                                       << " out of range for fleet of "
+                                       << num_clients_);
+  if (mode_ != Mode::kCold) {
+    out = clients_[id]->ExportState();
+    return !out.tensors.empty();
+  }
+  if (const auto hot_it = hot_.find(id); hot_it != hot_.end()) {
+    out = DecodeClientRecord(hot_it->second, id);
+    return true;
+  }
+  if (spilled_.contains(id)) {
+    out = DecodeClientRecord(ReadShardRecord(id), id);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ClientStore::state_version(std::size_t id) const {
+  const auto it = state_versions_.find(id);
+  return it == state_versions_.end() ? 0 : it->second;
+}
+
 void ClientStore::InsertRecord(std::size_t id, std::string blob) {
   EraseRecord(id);
+  ++state_versions_[id];
   stats_.hot_bytes += blob.size();
   ++stats_.hot_records;
   lru_.push_front(id);
@@ -248,14 +272,20 @@ void ClientStore::InsertRecord(std::size_t id, std::string blob) {
 }
 
 void ClientStore::EraseRecord(std::size_t id) {
+  bool erased = false;
   if (auto it = hot_.find(id); it != hot_.end()) {
     stats_.hot_bytes -= it->second.size();
     --stats_.hot_records;
     lru_.erase(lru_pos_.at(id));
     lru_pos_.erase(id);
     hot_.erase(it);
+    erased = true;
   }
-  if (spilled_.erase(id) > 0) --stats_.spilled_records;
+  if (spilled_.erase(id) > 0) {
+    --stats_.spilled_records;
+    erased = true;
+  }
+  if (erased) ++state_versions_[id];
 }
 
 void ClientStore::SpillOverBudget() {

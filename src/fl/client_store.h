@@ -153,6 +153,24 @@ class ClientStore {
   /// the live objects.
   std::vector<std::pair<std::uint64_t, ClientState>> ExportStates() const;
 
+  /// Non-destructive single-client state read: decode `id`'s state into
+  /// `out` without materializing, erasing the record, or touching LRU
+  /// recency (an observer, like ExportStates). Cold mode reads the hot blob
+  /// or shard slot; live/borrowed modes export from the live object.
+  /// Returns false when the client has no state (never participated, or its
+  /// last ExportState was empty). This is the serving t-cache's read path —
+  /// Materialize would move the record's ownership into the handle and
+  /// destroy it with the handle.
+  bool PeekState(std::size_t id, ClientState& out) const;
+
+  /// Monotonic per-id counter that moves every time `id`'s stored record
+  /// changes (Evict re-serialization, Materialize's ownership transfer out
+  /// of the store, checkpoint restore). Cache keys derived from PeekState
+  /// stay valid exactly while this value is unchanged. Cold mode only:
+  /// live/borrowed stores mutate their objects in place, so their consumers
+  /// must invalidate explicitly. Starts at 0 for an untouched id.
+  std::uint64_t state_version(std::size_t id) const;
+
   /// Install a checkpoint's sparse states. Cold mode re-encodes them as
   /// records; live/borrowed modes RestoreState every client (absent ids get
   /// an empty state, which stateless clients accept).
@@ -196,6 +214,9 @@ class ClientStore {
   std::set<std::size_t> spilled_;
   std::list<std::size_t> lru_;
   std::map<std::size_t, std::list<std::size_t>::iterator> lru_pos_;
+
+  // Per-id record-change counters backing state_version(); absent = 0.
+  std::map<std::size_t, std::uint64_t> state_versions_;
 };
 
 }  // namespace cip::fl

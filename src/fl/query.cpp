@@ -1,6 +1,9 @@
 #include "fl/query.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "fl/trainer.h"
 #include "metrics/metrics.h"
@@ -8,16 +11,51 @@
 
 namespace cip::fl {
 
+namespace internal {
+
+std::optional<std::size_t> ParseQueryBatch(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno == ERANGE) return std::nullopt;           // overflowed long
+  if (end == s || *end != '\0') return std::nullopt;  // empty or trailing junk
+  if (v < 1 || static_cast<unsigned long>(v) > kMaxQueryBatchRows) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace internal
+
+std::size_t DefaultQueryBatch() {
+  static const std::size_t kBatch =
+      internal::ParseQueryBatch(std::getenv("CIP_QUERY_BATCH")).value_or(64);
+  return kBatch;
+}
+
+QueryOptions::QueryOptions() : batch_size(DefaultQueryBatch()) {}
+
+void QueryOptions::Validate() const {
+  CIP_CHECK_MSG(batch_size >= 1, "QueryOptions.batch_size must be >= 1");
+  CIP_CHECK_MSG(batch_size <= kMaxQueryBatchRows,
+                "QueryOptions.batch_size " << batch_size << " exceeds "
+                                           << kMaxQueryBatchRows);
+}
+
 Tensor QueryModel::Probs(const Tensor& inputs) {
-  return ops::SoftmaxRows(Logits(inputs));
+  LogitsInto(inputs, logits_scratch_);
+  return ops::SoftmaxRows(logits_scratch_);
 }
 
 std::vector<int> QueryModel::Predict(const Tensor& inputs) {
-  return ops::ArgmaxRows(Logits(inputs));
+  LogitsInto(inputs, logits_scratch_);
+  return ops::ArgmaxRows(logits_scratch_);
 }
 
 std::vector<float> QueryModel::Losses(const data::Dataset& ds) {
-  return ops::PerSampleCrossEntropy(Logits(ds.inputs), ds.labels);
+  LogitsInto(ds.inputs, logits_scratch_);
+  return ops::PerSampleCrossEntropy(logits_scratch_, ds.labels);
 }
 
 double QueryModel::Accuracy(const data::Dataset& ds) {
@@ -25,7 +63,32 @@ double QueryModel::Accuracy(const data::Dataset& ds) {
 }
 
 Tensor ClassifierQuery::Logits(const Tensor& inputs) {
-  return LogitsFor(*model_, inputs, batch_size_);
+  Tensor out;
+  LogitsInto(inputs, out);
+  return out;
+}
+
+void ClassifierQuery::LogitsInto(const Tensor& inputs, Tensor& out) {
+  CIP_CHECK_GE(inputs.rank(), 2u);
+  const std::size_t n = inputs.dim(0);
+  const std::size_t classes = model_->num_classes();
+  const std::size_t stride = n > 0 ? inputs.size() / n : 0;
+  out.Resize({n, classes});
+  float* pout = out.data();
+  for (std::size_t start = 0; start < n; start += opts_.batch_size) {
+    const std::size_t end = std::min(start + opts_.batch_size, n);
+    batch_shape_.assign(1, end - start);
+    batch_shape_.insert(batch_shape_.end(), inputs.shape().begin() + 1,
+                        inputs.shape().end());
+    batch_scratch_.Resize(batch_shape_);
+    std::copy(inputs.data() + start * stride, inputs.data() + end * stride,
+              batch_scratch_.data());
+    // EvalForward is bit-identical to Forward(x, false) but computes into
+    // each layer's persistent scratch, so re-querying reuses capacity.
+    const Tensor& logits = model_->EvalForward(batch_scratch_);
+    std::copy(logits.data(), logits.data() + (end - start) * classes,
+              pout + start * classes);
+  }
 }
 
 std::vector<float> ClassifierQuery::GradNorms(const data::Dataset& ds) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,31 @@
 
 namespace cip::fl {
 
+/// Upper bound on a query handle's eval minibatch: far above any useful
+/// setting, low enough that rows * classes cannot overflow a size_t shape
+/// product on any model this library builds.
+inline constexpr std::size_t kMaxQueryBatchRows = std::size_t{1} << 20;
+
+/// Query-handle tuning, FlOptions-style: plain fields plus a CHECK-failing
+/// Validate() called where the options are consumed.
+struct QueryOptions {
+  /// Rows per eval forward when a handle batches a large input (default:
+  /// DefaultQueryBatch(), i.e. CIP_QUERY_BATCH or 64). Purely a
+  /// throughput/memory knob — eval results are independent of it.
+  std::size_t batch_size;
+
+  QueryOptions();
+
+  /// CHECK-fails (throws cip::CheckError) unless batch_size is in
+  /// [1, kMaxQueryBatchRows] — zero and overflow-scale values are
+  /// programming errors, not clamp-and-continue inputs.
+  void Validate() const;
+};
+
+/// The default eval minibatch: CIP_QUERY_BATCH when it strict-parses to a
+/// valid count (internal::ParseQueryBatch), else 64. Read once at first use.
+std::size_t DefaultQueryBatch();
+
 class QueryModel {
  public:
   virtual ~QueryModel() = default;
@@ -25,10 +51,19 @@ class QueryModel {
   /// Logits for a batch of raw inputs (eval mode).
   virtual Tensor Logits(const Tensor& inputs) = 0;
 
+  /// Logits computed into caller-owned scratch (EnsureShape'd to
+  /// [n, NumClasses()]): the allocation-light path the convenience helpers
+  /// route through. The default forwards to Logits(); handles with a
+  /// persistent-scratch eval path (ClassifierQuery) override it.
+  virtual void LogitsInto(const Tensor& inputs, Tensor& out) {
+    out = Logits(inputs);
+  }
+
   /// Width of the logit vector this model produces.
   virtual std::size_t NumClasses() const = 0;
 
-  // ---- convenience on top of Logits ----
+  // ---- convenience on top of LogitsInto (logits staged in reused scratch,
+  // not a fresh per-call temporary) ----
   Tensor Probs(const Tensor& inputs);
   /// Argmax class per input row.
   std::vector<int> Predict(const Tensor& inputs);
@@ -36,6 +71,10 @@ class QueryModel {
   std::vector<float> Losses(const data::Dataset& ds);
   /// Top-1 accuracy over `ds`.
   double Accuracy(const data::Dataset& ds);
+
+ protected:
+  /// Logits staging reused across Probs/Predict/Losses/Accuracy calls.
+  Tensor logits_scratch_;
 };
 
 /// White-box extension: the adversary also holds the parameters and can
@@ -49,16 +88,39 @@ class WhiteBoxQuery : public QueryModel {
 /// Handle over a plain classifier (non-owning).
 class ClassifierQuery : public WhiteBoxQuery {
  public:
-  explicit ClassifierQuery(nn::Classifier& model, std::size_t batch_size = 64)
-      : model_(&model), batch_size_(batch_size) {}
+  /// Wrap `model` (borrowed). Validates `opts` here, so a zero or
+  /// overflow-scale batch size fails at construction, not mid-attack.
+  explicit ClassifierQuery(nn::Classifier& model, QueryOptions opts = {})
+      : model_(&model), opts_(opts) {
+    opts_.Validate();
+  }
 
   Tensor Logits(const Tensor& inputs) override;
+  /// Batched eval through the model's persistent-scratch EvalForward path:
+  /// `out` and the minibatch staging are reused across calls, bit-identical
+  /// to Logits().
+  void LogitsInto(const Tensor& inputs, Tensor& out) override;
   std::vector<float> GradNorms(const data::Dataset& ds) override;
   std::size_t NumClasses() const override { return model_->num_classes(); }
 
+  /// The validated options this handle runs with.
+  const QueryOptions& options() const { return opts_; }
+
  private:
   nn::Classifier* model_;
-  std::size_t batch_size_;
+  QueryOptions opts_;
+  Tensor batch_scratch_;  // reused [<=batch_size, ...sample] minibatch
+  Shape batch_shape_;     // reusable shape scratch for batch_scratch_
 };
+
+namespace internal {
+
+/// Strict parse of a CIP_QUERY_BATCH value: nullopt unless `s` is a plain
+/// decimal count in [1, kMaxQueryBatchRows] — empty strings, trailing junk,
+/// zero, negatives, and overflow are all rejected (caller falls back to the
+/// built-in default rather than guessing).
+std::optional<std::size_t> ParseQueryBatch(const char* s);
+
+}  // namespace internal
 
 }  // namespace cip::fl

@@ -42,6 +42,16 @@ class Cursor {
   /// The unread remainder of the payload (an embedded CIPS stream).
   std::string Rest() { return bytes_.substr(pos_); }
 
+  /// CHECK that exactly `n` unread bytes remain — an embedded array's
+  /// claimed count must account for the rest of the payload precisely,
+  /// BEFORE anything is sized from it.
+  void NeedExact(std::uint64_t n) const {
+    CIP_CHECK_MSG(bytes_.size() - pos_ == n,
+                  "embedded array claims " << n << " bytes but "
+                                           << bytes_.size() - pos_
+                                           << " remain in the payload");
+  }
+
   void ExpectDone() const {
     CIP_CHECK_MSG(pos_ == bytes_.size(),
                   "trailing bytes after message payload: " << pos_ << " of "
@@ -75,11 +85,48 @@ fl::ModelState ParseState(const std::string& bytes) {
   return state;
 }
 
+// Bounds for wire tensors (kQuery/kLogits), matching fl/serialize: rank in
+// [1, 8], overflow-checked element product below 2^31. A 256 MiB frame can
+// only carry ~2^26 floats anyway, but the count is rejected on its own
+// merits before the payload length is even consulted.
+constexpr std::uint64_t kMaxWireElements = std::uint64_t{1} << 31;
+
+// Read rank + dims + f32 data from `c`, validating rank, every dim, the
+// overflow-checked element count, and the exact byte length BEFORE the
+// tensor is sized — the count-before-sizing rule of docs/PROTOCOL.md §8.
+Tensor TakeTensor(Cursor& c, std::uint64_t min_rank) {
+  const std::uint64_t rank = c.TakeU64();
+  CIP_CHECK_MSG(rank >= min_rank && rank <= 8,
+                "implausible wire tensor rank " << rank);
+  Shape shape(rank);
+  std::uint64_t n = 1;
+  for (std::uint64_t i = 0; i < rank; ++i) {
+    const std::uint64_t d = c.TakeU64();
+    CIP_CHECK_MSG(d >= 1 && d <= kMaxWireElements,
+                  "implausible wire tensor dim " << d);
+    CIP_CHECK_MSG(n <= kMaxWireElements / d,
+                  "wire tensor element count overflows: dim " << d);
+    n *= d;
+    shape[i] = d;
+  }
+  c.NeedExact(4 * n);  // the claimed count must match the bytes on the wire
+  // CIP_ANALYZE_OK(hot-alloc-tensor): rank/dims/count/length all validated above
+  Tensor t(shape);
+  for (std::uint64_t i = 0; i < n; ++i) t[i] = c.TakeF32();
+  return t;
+}
+
+void PutTensor(std::string& out, const Tensor& t) {
+  PutU64(out, t.rank());
+  for (std::size_t i = 0; i < t.rank(); ++i) PutU64(out, t.dim(i));
+  for (std::size_t i = 0; i < t.size(); ++i) PutF32(out, t[i]);
+}
+
 }  // namespace
 
 bool KnownMsgType(std::uint32_t t) {
   return t >= static_cast<std::uint32_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint32_t>(MsgType::kBye);
+         t <= static_cast<std::uint32_t>(MsgType::kLogits);
 }
 
 // CIP_HOT  (wire encode: every outbound byte passes through these)
@@ -162,6 +209,25 @@ std::string EncodeBusy(const BusyMsg& m) {
 
 std::string EncodeBye() { return EncodeFrame(MsgType::kBye, std::string()); }
 
+// CIP_HOT  (serve wire encode: one frame per query on the serving fast path)
+std::string EncodeQuery(const QueryMsg& m) {
+  std::string p;
+  // CIP_ANALYZE_OK(hot-alloc): sized once per frame from the known tensor size
+  p.reserve(8 + 8 + 8 * m.inputs.rank() + 4 * m.inputs.size());
+  PutU64(p, m.client_id);
+  PutTensor(p, m.inputs);
+  return EncodeFrame(MsgType::kQuery, std::move(p));
+}
+
+// CIP_HOT  (serve wire encode: one frame per answered query)
+std::string EncodeLogits(const LogitsMsg& m) {
+  std::string p;
+  // CIP_ANALYZE_OK(hot-alloc): sized once per frame from the known tensor size
+  p.reserve(8 + 8 * m.logits.rank() + 4 * m.logits.size());
+  PutTensor(p, m.logits);
+  return EncodeFrame(MsgType::kLogits, std::move(p));
+}
+
 HelloMsg DecodeHello(const std::string& payload) {
   Cursor c(payload);
   HelloMsg m;
@@ -210,6 +276,27 @@ BusyMsg DecodeBusy(const std::string& payload) {
   Cursor c(payload);
   BusyMsg m;
   m.retry_after_ms = c.TakeU32();
+  c.ExpectDone();
+  return m;
+}
+
+// CIP_HOT  (serve wire decode: validates every count before sizing anything)
+QueryMsg DecodeQuery(const std::string& payload) {
+  Cursor c(payload);
+  QueryMsg m;
+  m.client_id = c.TakeU64();
+  m.inputs = TakeTensor(c, /*min_rank=*/2);  // [N, ...sample dims]
+  c.ExpectDone();
+  return m;
+}
+
+// CIP_HOT  (serve wire decode: validates every count before sizing anything)
+LogitsMsg DecodeLogits(const std::string& payload) {
+  Cursor c(payload);
+  LogitsMsg m;
+  m.logits = TakeTensor(c, /*min_rank=*/2);  // [rows, classes]
+  CIP_CHECK_MSG(m.logits.rank() == 2,
+                "kLogits tensor rank " << m.logits.rank() << " != 2");
   c.ExpectDone();
   return m;
 }

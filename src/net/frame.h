@@ -27,6 +27,7 @@
 #include <string>
 
 #include "fl/model_state.h"
+#include "tensor/tensor.h"
 
 namespace cip::net {
 
@@ -55,6 +56,8 @@ enum class MsgType : std::uint32_t {
   kFinal = 5,    ///< server -> client: final aggregate; connection done
   kBusy = 6,     ///< server -> client: admission refused, retry later
   kBye = 7,      ///< client -> server: orderly leave
+  kQuery = 8,    ///< client -> server: inference batch for the served model
+  kLogits = 9,   ///< server -> client: logits answering one kQuery
 };
 
 /// True when `t` is a defined protocol-v1 message type.
@@ -108,6 +111,23 @@ struct BusyMsg {
   std::uint32_t retry_after_ms = 0;
 };
 
+/// kQuery payload: one client's inference batch for the serving engine —
+/// the sender's id, then its raw (UNblended) inputs [N, ...sample dims] as
+/// rank, dims, and IEEE-754 f32 rows. The server blends with the client's
+/// stored perturbation t; the wire never carries t (it is the secret the
+/// defense is built on, docs/PROTOCOL.md §Serving).
+struct QueryMsg {
+  std::uint64_t client_id = 0;
+  Tensor inputs;  ///< [N, ...], N >= 1
+};
+
+/// kLogits payload: the logits [rows, classes] answering one kQuery, rows
+/// in the query's sample order, bit-identical to an in-process
+/// serve::ServeEngine answer for the same (client_id, inputs).
+struct LogitsMsg {
+  Tensor logits;  ///< [rows, classes]
+};
+
 // --- encoding ---------------------------------------------------------------
 
 /// Append a little-endian u32 to `out` (shift arithmetic, no casts).
@@ -136,6 +156,10 @@ std::string EncodeFinal(const FinalMsg& m);
 std::string EncodeBusy(const BusyMsg& m);
 /// Encode a payload-less kBye frame.
 std::string EncodeBye();
+/// Encode a kQuery frame (id + rank + dims + f32 rows).
+std::string EncodeQuery(const QueryMsg& m);
+/// Encode a kLogits frame (rows + classes + f32 data).
+std::string EncodeLogits(const LogitsMsg& m);
 
 // --- decoding ---------------------------------------------------------------
 
@@ -153,6 +177,12 @@ UpdateMsg DecodeUpdate(const std::string& payload);
 FinalMsg DecodeFinal(const std::string& payload);
 /// Decode a kBusy payload.
 BusyMsg DecodeBusy(const std::string& payload);
+/// Decode a kQuery payload. Rank, every dim, the overflow-checked element
+/// count, and the exact remaining byte length are all validated BEFORE the
+/// input tensor is sized — a hostile batch count cannot drive an allocation.
+QueryMsg DecodeQuery(const std::string& payload);
+/// Decode a kLogits payload with the same count-before-sizing discipline.
+LogitsMsg DecodeLogits(const std::string& payload);
 
 /// Incremental frame parser over a byte stream. Feed arbitrary chunks in
 /// arrival order; Next() yields complete frames. The header is validated

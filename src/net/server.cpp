@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "serve/serve_engine.h"
 
 namespace cip::net {
 
@@ -73,6 +74,8 @@ bool CipServer::Step(int timeout_ms) {
     if (item.readable) HandleReadable(c);
     if (!c.dead && item.writable) FlushWrites(c);
   }
+  // All kQuery frames read this cycle fuse into one batched forward.
+  FlushQueries();
   Reap();
   return !finished();
 }
@@ -168,6 +171,20 @@ void CipServer::HandleFrame(Connection& c, const Frame& f) {
       ApplySends(engine_->OnUpdate(c.client_id, update));
       return;
     }
+    case MsgType::kQuery: {
+      if (serve_ == nullptr) {
+        // Not a serving deployment: inference traffic is undefined here.
+        Drop(c, /*count_protocol_error=*/true);
+        return;
+      }
+      const QueryMsg q = DecodeQuery(f.payload);
+      // Enqueue validates client id and sample geometry before touching the
+      // batch arena; a CheckError surfaces in HandleReadable as a protocol
+      // error, so a hostile query never poisons the fused batch.
+      const std::size_t row_begin = serve_->Enqueue(q.client_id, q.inputs);
+      pending_queries_.push_back({&c, row_begin, q.inputs.dim(0)});
+      return;
+    }
     case MsgType::kBye: {
       if (c.admitted) {
         c.admitted = false;
@@ -205,6 +222,28 @@ void CipServer::ApplySends(const std::vector<EngineSend>& sends) {
     }
     FlushWrites(c);
   }
+}
+
+void CipServer::FlushQueries() {
+  if (serve_ == nullptr || pending_queries_.empty()) return;
+  const Tensor& logits = serve_->Flush();
+  for (const PendingQuery& q : pending_queries_) {
+    Connection& c = *q.conn;
+    if (c.dead) continue;  // dropped after enqueueing; rows computed, unsent
+    LogitsMsg m;
+    m.logits = logits.Slice(q.row_begin, q.row_begin + q.rows);
+    const std::string frame = EncodeLogits(m);
+    const std::size_t queued = c.outbox.size() - c.out_off;
+    if (queued + frame.size() > options_.max_send_buffer) {
+      // Same slow-consumer rule as round broadcasts (ApplySends).
+      Drop(c, /*count_protocol_error=*/false);
+      continue;
+    }
+    c.outbox.append(frame);
+    ++stats_.queries_answered;
+    FlushWrites(c);
+  }
+  pending_queries_.clear();
 }
 
 void CipServer::FlushWrites(Connection& c) {

@@ -28,6 +28,10 @@
 #include "net/round_engine.h"
 #include "net/socket.h"
 
+namespace cip::serve {
+class ServeEngine;
+}  // namespace cip::serve
+
 namespace cip::net {
 
 /// Listener + admission + backpressure knobs for CipServer.
@@ -64,6 +68,7 @@ struct ServerStats {
   std::size_t protocol_errors = 0;       ///< peers dropped for bad bytes/frames
   std::uint64_t bytes_received = 0;      ///< total inbound payload traffic
   std::uint64_t bytes_sent = 0;          ///< total outbound traffic
+  std::size_t queries_answered = 0;      ///< kQuery frames answered with kLogits
 };
 
 /// The standalone FL server: owns the listener, the per-connection buffers,
@@ -99,6 +104,19 @@ class CipServer {
   /// and (with ServerOptions::drain_fleet) every fleet id is settled.
   bool finished() const;
 
+  /// Attach a serving engine: kQuery frames become batched inference against
+  /// it, answered with kLogits (docs/PROTOCOL.md §Serving). All kQuery
+  /// frames read in one poll cycle coalesce into ONE ServeEngine::Flush —
+  /// the wire front door inherits the engine's fused blend+forward batching
+  /// across connections. The engine is borrowed and must outlive the server;
+  /// pass nullptr to detach (kQuery reverts to a protocol error). Queries
+  /// obey the same admission (kBusy + retry) and send-buffer backpressure
+  /// rules as round traffic.
+  void EnableServing(serve::ServeEngine* engine) { serve_ = engine; }
+
+  /// The attached serving engine, or nullptr when not serving.
+  serve::ServeEngine* serving() const { return serve_; }
+
   /// The round state machine (globals, round counters, EngineStats).
   const AsyncRoundEngine& engine() const { return *engine_; }
 
@@ -108,6 +126,14 @@ class CipServer {
  private:
   struct Connection;
 
+  /// One kQuery awaiting this step's coalesced Flush: the connection to
+  /// answer and its row span within the fused batch.
+  struct PendingQuery {
+    Connection* conn;
+    std::size_t row_begin;
+    std::size_t rows;
+  };
+
   void AcceptPending();
   /// Read whatever is available, feed the frame parser, dispatch frames.
   void HandleReadable(Connection& c);
@@ -115,6 +141,9 @@ class CipServer {
   void HandleFrame(Connection& c, const Frame& f);
   /// Queue engine-produced sends onto the addressed connections' outboxes.
   void ApplySends(const std::vector<EngineSend>& sends);
+  /// Run the step's coalesced ServeEngine::Flush and answer every pending
+  /// kQuery with its logits slice.
+  void FlushQueries();
   void FlushWrites(Connection& c);
   /// Drop a connection now, informing the engine when it was admitted.
   void Drop(Connection& c, bool count_protocol_error);
@@ -128,6 +157,8 @@ class CipServer {
   /// Admitted client id -> connection, for round-close broadcasts.
   std::unordered_map<std::uint64_t, Connection*> by_id_;
   ServerStats stats_;
+  serve::ServeEngine* serve_ = nullptr;       ///< borrowed; null = not serving
+  std::vector<PendingQuery> pending_queries_; ///< cleared every FlushQueries
 };
 
 }  // namespace cip::net

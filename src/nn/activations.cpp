@@ -16,6 +16,17 @@ Tensor ReLU::Forward(const Tensor& x, bool train) {
   return y;
 }
 
+// CIP_HOT  (serve-path activation: scratch-buffer reuse, no mask)
+const Tensor& ReLU::EvalForward(const Tensor& x) {
+  EnsureShape(eval_out_, x.shape());
+  const float* px = x.data();
+  float* py = eval_out_.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  }
+  return eval_out_;
+}
+
 Tensor ReLU::Backward(const Tensor& grad_out) {
   CIP_CHECK_MSG(!cached_masks_.empty(), name_ << ": backward without forward");
   Tensor mask = std::move(cached_masks_.top());

@@ -14,6 +14,7 @@ class ReLU : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
 
@@ -29,6 +30,7 @@ class Dropout : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override { return x; }
   std::string Name() const override { return name_; }
   void ClearCache() override;
 

@@ -19,6 +19,13 @@ Tensor Classifier::Forward(const Tensor& x, bool train) {
   return head_.Forward(h, train);
 }
 
+// CIP_HOT  (serve-path single-channel forward: zero steady-state allocs)
+const Tensor& Classifier::EvalForward(const Tensor& x) {
+  const Tensor& h = gap_.EvalForward(backbone_->EvalForward(x));
+  CIP_CHECK_EQ(h.dim(1), feature_dim_);
+  return head_.EvalForward(h);
+}
+
 Tensor Classifier::Backward(const Tensor& dlogits) {
   Tensor g = head_.Backward(dlogits);
   g = gap_.Backward(g);

@@ -21,6 +21,12 @@ class Classifier {
   /// Logits for a batch. `train` caches activations for Backward.
   Tensor Forward(const Tensor& x, bool train);
 
+  /// Inference-only logits, bit-identical to Forward(x, false) but
+  /// allocation-free at steady state (every layer computes into persistent
+  /// scratch, Module::EvalForward). The returned reference is valid until
+  /// the next forward through this model.
+  const Tensor& EvalForward(const Tensor& x);
+
   /// Backprop from dL/dlogits; accumulates parameter grads, returns dL/dx.
   Tensor Backward(const Tensor& dlogits);
 

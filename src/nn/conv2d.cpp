@@ -29,6 +29,15 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
 // CIP_HOT  (eval conv forward: one output allocation, zero scratch)
 Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
                            std::size_t ow) {
+  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned output - the one allocation eval forward permits (test_alloc_free)
+  Tensor y;
+  ForwardGemmInto(x, n, oh, ow, y);
+  return y;
+}
+
+// CIP_HOT  (serve-path conv core: writes into caller-owned output scratch)
+void Conv2d::ForwardGemmInto(const Tensor& x, std::size_t n, std::size_t oh,
+                             std::size_t ow, Tensor& y) {
   const std::size_t h = x.dim(2), w = x.dim(3);
   const ops::Conv2dGeom geom = Geom(h, w);
   const std::size_t rows = n * oh * ow;
@@ -59,8 +68,7 @@ Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
     ops::MatmulTransBInto(col_, w_.value, gemm_y_);  // [rows, oc]
   }
   // Scatter [N·OH·OW, OC] back to NCHW and add the bias.
-  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned output - the one allocation eval forward permits (test_alloc_free)
-  Tensor y({n, oc_, oh, ow});
+  EnsureShape(y, {n, oc_, oh, ow});
   const float* pg = std::as_const(gemm_y_).data();
   const float* pb = std::as_const(b_.value).data();
   float* py_all = y.data();
@@ -74,12 +82,12 @@ Tensor Conv2d::ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
       }
     }
   });
-  return y;
 }
 
 Tensor Conv2d::ForwardNaive(const Tensor& x, std::size_t n, std::size_t oh,
                             std::size_t ow) const {
   const std::size_t h = x.dim(2), w = x.dim(3);
+  // CIP_ANALYZE_OK(hot-alloc-tensor): CIP_NAIVE_CONV reference path — correctness over speed, allocates by design; the default eval path is ForwardGemmInto into reusable scratch
   Tensor y({n, oc_, oh, ow});
   const float* pw = w_.value.data();
   const float* pb = b_.value.data();
@@ -127,6 +135,23 @@ Tensor Conv2d::Forward(const Tensor& x, bool train) {
                                 : ForwardGemm(x, n, oh, ow);
   if (train) cached_inputs_.push(x);
   return y;
+}
+
+// CIP_HOT  (serve-path conv forward: zero allocations once scratch is warm)
+const Tensor& Conv2d::EvalForward(const Tensor& x) {
+  CIP_CHECK_EQ(x.rank(), 4u);
+  CIP_CHECK_EQ(x.dim(1), ic_);
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = OutExtent(h), ow = OutExtent(w);
+  CIP_DCHECK_GT(oh, 0u);
+  CIP_DCHECK_GT(ow, 0u);
+  if (NaiveConvEnabled()) {
+    // Reference path: correctness over speed, allocates like Forward.
+    eval_out_ = ForwardNaive(x, n, oh, ow);
+  } else {
+    ForwardGemmInto(x, n, oh, ow, eval_out_);
+  }
+  return eval_out_;
 }
 
 Tensor Conv2d::BackwardGemm(const Tensor& x, const Tensor& grad_out) {

@@ -43,6 +43,9 @@ class Conv2d : public Module {
   /// grad_out: [N, out_channels, OutH, OutW] -> gradient w.r.t. the matching
   /// Forward's input; accumulates into the weight/bias .grad tensors.
   Tensor Backward(const Tensor& grad_out) override;
+  /// Inference forward into the persistent eval buffer: same GEMM core as
+  /// Forward (bit-identical), zero allocations once the scratch is warm.
+  const Tensor& EvalForward(const Tensor& x) override;
   void CollectParameters(std::vector<Parameter*>& out) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
@@ -64,6 +67,8 @@ class Conv2d : public Module {
 
   Tensor ForwardGemm(const Tensor& x, std::size_t n, std::size_t oh,
                      std::size_t ow);
+  void ForwardGemmInto(const Tensor& x, std::size_t n, std::size_t oh,
+                       std::size_t ow, Tensor& y);
   Tensor ForwardNaive(const Tensor& x, std::size_t n, std::size_t oh,
                       std::size_t ow) const;
   Tensor BackwardGemm(const Tensor& x, const Tensor& grad_out);

@@ -66,6 +66,21 @@ Tensor DualChannelClassifier::Forward(const Tensor& x1, const Tensor& x2,
   return head_.Forward(concat_, train);
 }
 
+// CIP_HOT  (serve-path fused dual-channel forward: zero steady-state allocs)
+const Tensor& DualChannelClassifier::EvalForward(const Tensor& x1,
+                                                 const Tensor& x2) {
+  CIP_CHECK(x1.SameShape(x2));
+  // The backbone and gap are SHARED between channels: running channel 2
+  // overwrites the scratch the channel-1 reference points into, so the
+  // channel-1 features are copy-assigned aside first (capacity-reusing).
+  eval_f1_ = gap_.EvalForward(backbone_->EvalForward(x1));
+  const Tensor& f2 = gap_.EvalForward(backbone_->EvalForward(x2));
+  CIP_CHECK_EQ(eval_f1_.dim(1), feature_dim_);
+  CIP_DCHECK(eval_f1_.SameShape(f2));
+  ConcatColsInto(eval_f1_, f2, concat_);
+  return head_.EvalForward(concat_);
+}
+
 std::pair<Tensor, Tensor> DualChannelClassifier::Backward(
     const Tensor& dlogits) {
   Tensor dconcat = head_.Backward(dlogits);

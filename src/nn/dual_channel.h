@@ -29,6 +29,13 @@ class DualChannelClassifier {
   /// Logits for a batch of blended pairs (x1 = (1-α)x+αt, x2 = (1+α)x−αt).
   Tensor Forward(const Tensor& x1, const Tensor& x2, bool train);
 
+  /// Inference-only logits, bit-identical to Forward(x1, x2, false) but
+  /// allocation-free at steady state: every layer computes into persistent
+  /// scratch (Module::EvalForward) and the channel-1 features are copied
+  /// aside before the shared backbone reruns on channel 2. The returned
+  /// reference is valid until the next forward through this model.
+  const Tensor& EvalForward(const Tensor& x1, const Tensor& x2);
+
   /// Backprop from dL/dlogits; returns (dL/dx1, dL/dx2).
   std::pair<Tensor, Tensor> Backward(const Tensor& dlogits);
 
@@ -55,8 +62,10 @@ class DualChannelClassifier {
 
   // Concat/split staging, reused across steps (reallocated only on
   // batch-shape change): concat_ [N, 2D] feeds the head; ga_/gb_ [N, D] are
-  // the per-channel halves of the head's input gradient.
-  Tensor concat_, ga_, gb_;
+  // the per-channel halves of the head's input gradient; eval_f1_ [N, D]
+  // holds channel-1 pooled features across the shared backbone's channel-2
+  // rerun in EvalForward.
+  Tensor concat_, ga_, gb_, eval_f1_;
 };
 
 }  // namespace cip::nn

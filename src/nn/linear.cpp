@@ -21,11 +21,26 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
 
 // CIP_HOT  (eval linear forward: one output allocation, zero scratch)
 Tensor Linear::Forward(const Tensor& x, bool train) {
+  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned output - the one allocation eval forward permits (test_alloc_free)
+  Tensor y;
+  ForwardInto(x, y);
+  // CIP_ANALYZE_OK(hot-alloc-container): train-only branch: eval (train=false) never reaches this push
+  if (train) cached_inputs_.push(x);
+  return y;
+}
+
+// CIP_HOT  (serve-path linear forward: zero allocations once scratch is warm)
+const Tensor& Linear::EvalForward(const Tensor& x) {
+  ForwardInto(x, eval_out_);
+  return eval_out_;
+}
+
+// CIP_HOT  (serve-path linear core: writes into caller-owned output scratch)
+void Linear::ForwardInto(const Tensor& x, Tensor& y) {
   CIP_CHECK_EQ(x.rank(), 2u);
   CIP_CHECK_EQ(x.dim(1), in_);
   const std::size_t n = x.dim(0);
-  // CIP_ANALYZE_OK(hot-alloc-tensor): the returned output - the one allocation eval forward permits (test_alloc_free)
-  Tensor y({n, out_});
+  EnsureShape(y, {n, out_});
   if (ops::internal::UsesBlockedGemm(n, in_, out_)) {
     // Blocked regime: multiply against the cached pre-packed weight, repacking
     // only when the weight actually changed (optimizer steps bump version()).
@@ -46,9 +61,6 @@ Tensor Linear::Forward(const Tensor& x, bool train) {
     float* row = py + i * out_;
     for (std::size_t j = 0; j < out_; ++j) row[j] += pb[j];
   }
-  // CIP_ANALYZE_OK(hot-alloc-container): train-only branch: eval (train=false) never reaches this push
-  if (train) cached_inputs_.push(x);
-  return y;
 }
 
 Tensor Linear::Backward(const Tensor& grad_out) {

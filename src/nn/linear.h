@@ -20,6 +20,9 @@ class Linear : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  /// Inference forward into the persistent eval buffer: same GEMM core as
+  /// Forward (bit-identical), zero allocations once the scratch is warm.
+  const Tensor& EvalForward(const Tensor& x) override;
   void CollectParameters(std::vector<Parameter*>& out) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
@@ -34,6 +37,9 @@ class Linear : public Module {
   Parameter& bias() { return b_; }
 
  private:
+  /// Shared Forward/EvalForward core: y = x·Wᵀ + b into caller-owned scratch.
+  void ForwardInto(const Tensor& x, Tensor& y);
+
   std::size_t in_;
   std::size_t out_;
   std::string name_;

@@ -48,6 +48,19 @@ class Module {
   /// return the gradient w.r.t. that forward call's input.
   virtual Tensor Backward(const Tensor& grad_out) = 0;
 
+  /// Inference-only forward into a persistent per-module output buffer:
+  /// bit-identical to Forward(x, /*train=*/false), but allocation-free at
+  /// steady state — the buffer grows once and is reused, and a later batch
+  /// that fits the retained capacity triggers no reallocation (Tensor::
+  /// Resize). The returned reference stays valid until the next EvalForward
+  /// on this module (identity layers may return `x` itself). The base
+  /// implementation falls back to Forward(x, false); concrete layers
+  /// override it to compute without per-call allocation.
+  virtual const Tensor& EvalForward(const Tensor& x) {
+    eval_out_ = Forward(x, /*train=*/false);
+    return eval_out_;
+  }
+
   /// Append this module's parameters (deterministic order).
   virtual void CollectParameters(std::vector<Parameter*>& out) { (void)out; }
 
@@ -76,6 +89,10 @@ class Module {
   void ZeroGrad() {
     for (Parameter* p : Parameters()) p->ZeroGrad();
   }
+
+ protected:
+  // Persistent EvalForward output buffer (grow-once, reused across calls).
+  Tensor eval_out_;
 };
 
 using ModulePtr = std::unique_ptr<Module>;

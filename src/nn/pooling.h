@@ -15,6 +15,7 @@ class AvgPool2d : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
 
@@ -31,6 +32,7 @@ class MaxPool2d : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
 
@@ -51,6 +53,7 @@ class Flatten : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
 
@@ -68,6 +71,7 @@ class GlobalAvgPool : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
 

@@ -10,6 +10,13 @@ Tensor Sequential::Forward(const Tensor& x, bool train) {
   return h;
 }
 
+// CIP_HOT  (serve-path chain: children compute into their own scratch)
+const Tensor& Sequential::EvalForward(const Tensor& x) {
+  const Tensor* h = &x;
+  for (auto& child : children_) h = &child->EvalForward(*h);
+  return *h;
+}
+
 Tensor Sequential::Backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
@@ -34,6 +41,17 @@ Tensor Residual::Forward(const Tensor& x, bool train) {
                       << ShapeToString(x.shape()));
   ops::AddInPlace(y, x);
   return y;
+}
+
+// CIP_HOT  (serve-path residual: copy-assign reuses eval_out_'s capacity)
+const Tensor& Residual::EvalForward(const Tensor& x) {
+  eval_out_ = inner_->EvalForward(x);
+  CIP_CHECK_MSG(eval_out_.SameShape(x),
+                name_ << ": inner must preserve shape, got "
+                      << ShapeToString(eval_out_.shape()) << " from "
+                      << ShapeToString(x.shape()));
+  ops::AddInPlace(eval_out_, x);
+  return eval_out_;
 }
 
 Tensor Residual::Backward(const Tensor& grad_out) {
@@ -67,6 +85,28 @@ Tensor DenseConcat::Forward(const Tensor& x, bool train) {
   }
   if (train) cached_channels_.push({cx, cy});
   return out;
+}
+
+// CIP_HOT  (serve-path dense block: channel concat into reused scratch)
+const Tensor& DenseConcat::EvalForward(const Tensor& x) {
+  CIP_CHECK_EQ(x.rank(), 4u);
+  const Tensor& y = inner_->EvalForward(x);
+  CIP_CHECK_EQ(y.rank(), 4u);
+  CIP_CHECK_EQ(y.dim(0), x.dim(0));
+  CIP_CHECK_EQ(y.dim(2), x.dim(2));
+  CIP_CHECK_EQ(y.dim(3), x.dim(3));
+  const std::size_t n = x.dim(0), cx = x.dim(1), cy = y.dim(1),
+                    hw = x.dim(2) * x.dim(3);
+  EnsureShape(eval_out_, {n, cx + cy, x.dim(2), x.dim(3)});
+  float* po_all = eval_out_.data();
+  const float* px_all = x.data();
+  const float* py_all = y.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    float* po = po_all + i * (cx + cy) * hw;
+    std::copy(px_all + i * cx * hw, px_all + (i + 1) * cx * hw, po);
+    std::copy(py_all + i * cy * hw, py_all + (i + 1) * cy * hw, po + cx * hw);
+  }
+  return eval_out_;
 }
 
 Tensor DenseConcat::Backward(const Tensor& grad_out) {

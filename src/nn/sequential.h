@@ -23,6 +23,7 @@ class Sequential : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   void CollectParameters(std::vector<Parameter*>& out) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
@@ -45,6 +46,7 @@ class Residual : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   void CollectParameters(std::vector<Parameter*>& out) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;
@@ -65,6 +67,7 @@ class DenseConcat : public Module {
 
   Tensor Forward(const Tensor& x, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
+  const Tensor& EvalForward(const Tensor& x) override;
   void CollectParameters(std::vector<Parameter*>& out) override;
   std::string Name() const override { return name_; }
   void ClearCache() override;

@@ -186,6 +186,22 @@ class Tensor {
   /// Batch slice [lo, hi) along dim 0 (copying).
   Tensor Slice(std::size_t lo, std::size_t hi) const;
 
+  /// Reshape in place, reusing the element buffer's capacity: counts as an
+  /// allocation only when the new element count exceeds the current
+  /// capacity. Contents are unspecified after a size change (new elements
+  /// are zero, surviving prefix elements keep their values); the version is
+  /// bumped unconditionally. This is what lets a shrink-then-grow cycle
+  /// (e.g. a serving arena sized per batch) stay allocation-free.
+  void Resize(Shape shape) {
+    CIP_CHECK(!shape.empty());
+    const std::size_t n = NumElements(shape);
+    if (n > data_.capacity()) internal::BumpTensorAllocCount();
+    // CIP_ANALYZE_OK(hot-alloc-container): the sanctioned grow-once primitive — reuses capacity once warm; hot-path steady state is pinned dynamically by tests/test_alloc_free.cpp
+    data_.resize(n);
+    shape_ = std::move(shape);
+    ++version_;
+  }
+
   /// Set every element to `v`.
   void Fill(float v) {
     ++version_;
@@ -203,11 +219,14 @@ class Tensor {
   std::uint64_t version_ = 0;
 };
 
-/// Reallocate `t` only when the wanted shape differs — the scratch-reuse
-/// idiom that keeps steady-state hot paths allocation-free (grow once, reuse
-/// forever). Contents are unspecified after a reshape; unchanged otherwise.
+/// Reshape `t` only when the wanted shape differs — the scratch-reuse idiom
+/// that keeps steady-state hot paths allocation-free (grow once, reuse
+/// forever). Built on Tensor::Resize, so a shape change that fits in the
+/// existing capacity reuses the buffer instead of reallocating; only growth
+/// past capacity counts as an allocation. Contents are unspecified after a
+/// reshape; unchanged otherwise.
 inline void EnsureShape(Tensor& t, Shape shape) {
-  if (t.shape() != shape) t = Tensor(std::move(shape));  // CIP_ANALYZE_OK(hot-alloc-tensor): the grow-once idiom itself: allocates only on shape change
+  if (t.shape() != shape) t.Resize(std::move(shape));
 }
 
 }  // namespace cip

@@ -17,14 +17,20 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
+#include "fl/client_factory.h"
 #include "nn/backbones.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "serve/serve_engine.h"
 #include "tensor/ops.h"
+#include "testing_util.h"
 
 namespace cip {
 namespace {
@@ -183,6 +189,71 @@ TEST(AllocFree, TrainStepSteadyStateAllocationIsBounded) {
   const std::uint64_t before = AllocCount();
   for (int i = 0; i < 5; ++i) step();
   EXPECT_EQ(AllocCount() - before, 5 * per_step);
+}
+
+TEST(AllocFree, ServeEngineSteadyStateIsAllocationFree) {
+  // The serving acceptance gate: after one warmup flush at the largest
+  // batch, a warm-t-cache ServeEngine performs ZERO element-buffer
+  // allocations at batch 1, 16, and 128 — the request arena, the blended
+  // channel chunks, the logits, and every model-side eval scratch all
+  // reuse capacity. The warmup below also cycles a client through LRU
+  // eviction and re-admission, so the counted region includes hits on a
+  // previously evicted client (the miss may allocate; its hits must not).
+  const std::size_t kDim = 4;
+  Rng data_rng(17);
+  data::Dataset full = testing::TwoBlobs(32, kDim, data_rng);
+  const auto shards = data::PartitionIid(full, 4, data_rng);
+  std::vector<fl::ClientSpec> specs;
+  for (std::size_t k = 0; k < 4; ++k) {
+    fl::ClientSpec spec;
+    spec.kind = fl::ClientKind::kCip;
+    spec.model.arch = nn::Arch::kMLP;
+    spec.model.input_shape = {kDim};
+    spec.model.num_classes = 2;
+    spec.model.width = 6;
+    spec.model.seed = 77;
+    spec.data = shards[k];
+    spec.seed = 50 + k;
+    specs.push_back(std::move(spec));
+  }
+  std::unique_ptr<core::CipClient> global = fl::MakeCipClient(specs[0]);
+  fl::ClientStore store = fl::MakeClientStore(specs);
+  serve::ServeOptions opts;
+  opts.blend = global->config().blend;
+  opts.max_batch_rows = 128;
+  opts.t_cache_entries = 2;  // small on purpose: forces eviction churn
+  serve::ServeEngine engine(global->model(), store, opts);
+
+  const Tensor x1 = RandomTensor({std::size_t{1}, kDim}, 20);
+  const Tensor x16 = RandomTensor({std::size_t{16}, kDim}, 21);
+  const Tensor x128 = RandomTensor({std::size_t{128}, kDim}, 22);
+
+  // Warmup. Serving 0..3 through a 2-entry cache evicts client 0 (and 1);
+  // the largest flush grows the arenas; the two-request flush grows the
+  // request list; the final pair re-admits 0 and 1 as the cached residents.
+  for (std::size_t k = 0; k < 4; ++k) (void)engine.Serve(k, x1);
+  (void)engine.Serve(0, x128);
+  engine.Enqueue(0, x16);
+  engine.Enqueue(1, x16);
+  (void)engine.Flush();
+  ASSERT_GE(engine.stats().t_evictions, 1u);  // client 0 was evicted above
+  const std::size_t warm_hits = engine.stats().t_hits;
+  const std::size_t warm_misses = engine.stats().t_misses;
+
+  // Steady state: batch 1/16/128 on the warm residents, single and fused —
+  // every query a t-cache hit, zero tensor allocations anywhere.
+  const std::uint64_t allocs = AllocCount();
+  for (int i = 0; i < 5; ++i) {
+    (void)engine.Serve(0, x1);
+    (void)engine.Serve(1, x16);
+    (void)engine.Serve(0, x128);
+    engine.Enqueue(0, x16);
+    engine.Enqueue(1, x16);
+    (void)engine.Flush();
+  }
+  EXPECT_EQ(AllocCount(), allocs);
+  EXPECT_EQ(engine.stats().t_misses, warm_misses);  // hits only
+  EXPECT_EQ(engine.stats().t_hits, warm_hits + 25u);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
-// Wire-protocol and round-engine tests (no real sockets here; the loopback
-// end-to-end runs live in test_net_e2e.cpp).
+// Wire-protocol and round-engine tests. Mostly socket-free (the loopback
+// end-to-end runs live in test_net_e2e.cpp); the one exception is the
+// busy-server query-path test at the bottom, which needs a real listener to
+// prove kBusy admission applies to kQuery traffic.
 //
 // Hostile-input coverage mirrors the fl/serialize suites: every message type
 // is fuzzed by truncation at every byte (frame level and payload level), bad
@@ -17,10 +19,18 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "core/cip_client.h"
+#include "data/partition.h"
 #include "fl/aggregate.h"
+#include "fl/client_factory.h"
 #include "fl/model_state.h"
 #include "net/frame.h"
 #include "net/round_engine.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "serve/serve_engine.h"
+#include "testing_util.h"
 
 using namespace cip;
 
@@ -58,6 +68,17 @@ std::vector<std::pair<net::MsgType, std::string>> AllFrames() {
   fin.global = SmallState(4.0f);
   net::BusyMsg busy;
   busy.retry_after_ms = 250;
+  net::QueryMsg query;
+  query.client_id = 7;
+  query.inputs = Tensor({2, 3});
+  for (std::size_t i = 0; i < query.inputs.size(); ++i) {
+    query.inputs[i] = 0.25f * static_cast<float>(i) - 0.5f;
+  }
+  net::LogitsMsg logits;
+  logits.logits = Tensor({2, 2});
+  for (std::size_t i = 0; i < logits.logits.size(); ++i) {
+    logits.logits[i] = static_cast<float>(i) - 1.5f;
+  }
   return {
       {net::MsgType::kHello, net::EncodeHello(hello)},
       {net::MsgType::kWelcome, net::EncodeWelcome(welcome)},
@@ -66,6 +87,8 @@ std::vector<std::pair<net::MsgType, std::string>> AllFrames() {
       {net::MsgType::kFinal, net::EncodeFinal(fin)},
       {net::MsgType::kBusy, net::EncodeBusy(busy)},
       {net::MsgType::kBye, net::EncodeBye()},
+      {net::MsgType::kQuery, net::EncodeQuery(query)},
+      {net::MsgType::kLogits, net::EncodeLogits(logits)},
   };
 }
 
@@ -91,6 +114,12 @@ void DecodeAs(net::MsgType type, const std::string& payload) {
       net::DecodeBusy(payload);
       return;
     case net::MsgType::kBye:
+      return;
+    case net::MsgType::kQuery:
+      net::DecodeQuery(payload);
+      return;
+    case net::MsgType::kLogits:
+      net::DecodeLogits(payload);
       return;
   }
 }
@@ -194,7 +223,7 @@ TEST(NetFrame, BadMagicVersionTypeRejected) {
                  CheckError);
   }
   {
-    net::FrameReader reader;  // type 0 and type 8 are both undefined in v1
+    net::FrameReader reader;  // type 0 and type 10 are both undefined in v1
     EXPECT_THROW(reader.Feed(header(net::kFrameMagic, net::kProtocolVersion,
                                     0, 0)),
                  CheckError);
@@ -202,7 +231,7 @@ TEST(NetFrame, BadMagicVersionTypeRejected) {
   {
     net::FrameReader reader;
     EXPECT_THROW(reader.Feed(header(net::kFrameMagic, net::kProtocolVersion,
-                                    8, 0)),
+                                    10, 0)),
                  CheckError);
   }
 }
@@ -265,6 +294,39 @@ TEST(NetFrame, HostileEmbeddedModelStateRejected) {
   ASSERT_GT(payload.size(), 12u);
   payload[12] = static_cast<char>(payload[12] ^ 0x5A);
   EXPECT_THROW(net::DecodeRound(payload), CheckError);
+}
+
+TEST(NetFrame, HostileQueryBatchCountRejectedBeforeSizing) {
+  // A kQuery payload whose rank/dims claim an absurd batch must throw
+  // before any tensor is sized from the claim: the element-buffer
+  // allocation counter must not move across the rejection.
+  const auto query_payload = [](std::uint64_t rank,
+                                const std::vector<std::uint64_t>& dims) {
+    std::string p;
+    net::PutU64(p, /*client_id=*/7);
+    net::PutU64(p, rank);
+    for (const std::uint64_t d : dims) net::PutU64(p, d);
+    return p;
+  };
+  const std::vector<std::string> hostile = {
+      // One dim past the per-dim wire bound (2^31).
+      query_payload(2, {std::uint64_t{1} << 40, 4}),
+      // Each dim in bounds, product overflows the element cap.
+      query_payload(2, {std::uint64_t{1} << 30, std::uint64_t{1} << 30}),
+      // Zero dim (empty batches are not a thing on the wire).
+      query_payload(2, {0, 4}),
+      // Rank outside [2, 8].
+      query_payload(0, {}),
+      query_payload(1, {4}),
+      query_payload(9, {1, 1, 1, 1, 1, 1, 1, 1, 1}),
+      // Plausible dims, no data behind them: length checked before sizing.
+      query_payload(2, {1000, 1000}),
+  };
+  const std::size_t allocs_before = internal::TensorAllocCount();
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_THROW(net::DecodeQuery(hostile[i]), CheckError) << "case " << i;
+  }
+  EXPECT_EQ(internal::TensorAllocCount(), allocs_before);
 }
 
 // ---- the round engine ------------------------------------------------------
@@ -518,4 +580,120 @@ TEST(AsyncRoundEngine, InFlightStragglerAtRunEndGetsFinalNotAnError) {
   // The post-final update is not aggregated: the run's global is client 0's
   // round alone.
   EXPECT_TRUE(SameBits(eng.global(), SmallState(2.0f)));
+}
+
+// ---- admission control on the query path -----------------------------------
+
+namespace {
+
+/// Minimal serving fixture for the admission test: a 2-client CIP fleet over
+/// a tiny MLP (geometry matches tests/test_serve.cpp's deployment).
+std::vector<fl::ClientSpec> ServingSpecs(std::size_t num_clients) {
+  Rng rng(5);
+  data::Dataset full = cip::testing::TwoBlobs(8 * num_clients, 4, rng);
+  const auto shards = data::PartitionIid(full, num_clients, rng);
+  std::vector<fl::ClientSpec> specs;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    fl::ClientSpec spec;
+    spec.kind = fl::ClientKind::kCip;
+    spec.model.arch = nn::Arch::kMLP;
+    spec.model.input_shape = {4};
+    spec.model.num_classes = 2;
+    spec.model.width = 6;
+    spec.model.seed = 77;
+    spec.data = shards[k];
+    spec.seed = 50 + k;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Block-read one frame after stepping the server (same single-thread pump
+/// as tests/test_serve.cpp); nullopt when the server closed the connection.
+std::optional<net::Frame> ReadOneFrame(net::CipServer& server,
+                                       net::Socket& sock) {
+  for (int i = 0; i < 4; ++i) server.Step(0);
+  std::string header(net::kFrameHeaderBytes, '\0');
+  if (!net::RecvAll(sock, std::span<char>(header.data(), header.size()))) {
+    return std::nullopt;
+  }
+  std::uint64_t len = 0;  // payload_len: the header's trailing LE u64
+  for (std::size_t b = 0; b < 8; ++b) {
+    len |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(header[12 + b]))
+           << (8 * b);
+  }
+  std::string payload(len, '\0');
+  if (len > 0 &&
+      !net::RecvAll(sock, std::span<char>(payload.data(), payload.size()))) {
+    return std::nullopt;
+  }
+  net::FrameReader reader;
+  reader.Feed(header);
+  reader.Feed(payload);
+  return reader.Next();
+}
+
+}  // namespace
+
+TEST(NetServer, BusyServerRejectsQueryPeerWhoRetriesAfterward) {
+  // Queries obey the same admission rule as round traffic: a peer past
+  // max_connections gets kBusy + close even though it only wanted inference,
+  // and succeeds on retry once a seat frees up.
+  const auto specs = ServingSpecs(2);
+  std::unique_ptr<core::CipClient> global = fl::MakeCipClient(specs[0]);
+  fl::ClientStore store = fl::MakeClientStore(specs);
+  serve::ServeOptions sopts;
+  sopts.blend = global->config().blend;
+  serve::ServeEngine engine(global->model(), store, sopts);
+
+  net::AsyncRoundEngine::Options eng;
+  eng.fleet_size = 2;
+  eng.quorum = 2;
+  net::ServerOptions server_opts;
+  server_opts.max_connections = 1;
+  server_opts.drain_fleet = false;
+  net::CipServer server(fl::ModelState(std::vector<float>{0.0f}), eng,
+                        server_opts);
+  server.EnableServing(&engine);
+  server.Listen();
+
+  net::QueryMsg q;
+  q.client_id = 0;
+  Rng rng(3);
+  q.inputs = Tensor({2, 4});
+  for (float& v : q.inputs.flat()) v = rng.Normal();
+  const std::string query_frame = net::EncodeQuery(q);
+
+  // Seat-holder connects first and does nothing.
+  net::Socket holder = net::ConnectTcp("127.0.0.1", server.port());
+  server.Step(0);  // accept the holder
+
+  // The query peer is over capacity: its query is never read — it gets
+  // kBusy with the retry hint, then an orderly close.
+  net::Socket peer = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(net::SendAll(
+      peer, std::span<const char>(query_frame.data(), query_frame.size())));
+  const auto busy = ReadOneFrame(server, peer);
+  ASSERT_TRUE(busy.has_value());
+  ASSERT_EQ(busy->type, net::MsgType::kBusy);
+  const net::BusyMsg hint = net::DecodeBusy(busy->payload);
+  EXPECT_EQ(hint.retry_after_ms, server_opts.busy_retry_ms);
+  EXPECT_FALSE(ReadOneFrame(server, peer).has_value());  // closed after kBusy
+  EXPECT_EQ(server.stats().busy_rejections, 1u);
+  EXPECT_EQ(engine.stats().queries, 0u);
+
+  // The seat frees; the retry is admitted and answered with logits.
+  holder.Close();
+  for (int i = 0; i < 4; ++i) server.Step(0);  // observe EOF, reap the seat
+  net::Socket retry = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(net::SendAll(
+      retry, std::span<const char>(query_frame.data(), query_frame.size())));
+  const auto reply = ReadOneFrame(server, retry);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, net::MsgType::kLogits);
+  const net::LogitsMsg logits = net::DecodeLogits(reply->payload);
+  EXPECT_EQ(logits.logits.dim(0), 2u);
+  EXPECT_EQ(logits.logits.dim(1), 2u);
+  EXPECT_EQ(engine.stats().queries, 1u);
 }

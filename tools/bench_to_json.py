@@ -139,6 +139,76 @@ def check_server(path: pathlib.Path) -> int:
     return 0
 
 
+SERVE_SCHEMA = "cip-bench-serve/v1"
+SERVE_MIN_THREADS = 4
+SERVE_MIN_CLIENTS = 128
+SERVE_MIN_BATCH_ROWS = 128
+SERVE_MIN_FUSED_SPEEDUP = 4.0
+SERVE_MIN_WARM_HIT_RATE = 0.99
+
+
+def check_serve(path: pathlib.Path) -> int:
+    """Validate a committed BENCH_serve.json against the serving gates."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read serve baseline {path}: {exc}")
+
+    failures = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    need(doc.get("schema") == SERVE_SCHEMA,
+         f"schema {doc.get('schema')!r} != {SERVE_SCHEMA!r}")
+    host = doc.get("host", {})
+    need(host.get("cip_build_type") == "release",
+         f"cip_build_type {host.get('cip_build_type')!r} != 'release' — "
+         "regenerate via scripts/bench_baseline.sh")
+    need(host.get("num_threads", 0) >= SERVE_MIN_THREADS,
+         f"num_threads {host.get('num_threads')} < {SERVE_MIN_THREADS} — "
+         "the fused-batch gate is defined at CIP_THREADS=4")
+    setup = doc.get("setup", {})
+    need(setup.get("clients", 0) >= SERVE_MIN_CLIENTS,
+         f"clients {setup.get('clients')} < {SERVE_MIN_CLIENTS} — a full "
+         "fused batch must mix distinct clients")
+    need(setup.get("max_batch_rows", 0) >= SERVE_MIN_BATCH_ROWS,
+         f"max_batch_rows {setup.get('max_batch_rows')} < "
+         f"{SERVE_MIN_BATCH_ROWS}")
+    tcache = doc.get("tcache", {})
+    need(tcache.get("warm_hit_rate", 0.0) >= SERVE_MIN_WARM_HIT_RATE,
+         f"warm_hit_rate {tcache.get('warm_hit_rate')} < "
+         f"{SERVE_MIN_WARM_HIT_RATE}")
+    need(tcache.get("warm_queries_per_second", 0.0) >
+         tcache.get("cold_queries_per_second", 0.0),
+         "warm t-cache is not faster than cold materialization")
+    serve = doc.get("serve", {})
+    need(serve.get("alloc_free_steady_state") is True,
+         "serve.alloc_free_steady_state is not true")
+    need(serve.get("wire_bit_identical") is True,
+         "serve.wire_bit_identical is not true")
+    need(serve.get("fused_speedup_128_vs_1", 0.0) >= SERVE_MIN_FUSED_SPEEDUP,
+         f"fused_speedup_128_vs_1 {serve.get('fused_speedup_128_vs_1')} < "
+         f"{SERVE_MIN_FUSED_SPEEDUP}")
+    batches = serve.get("batches", [])
+    need({b.get("batch") for b in batches} >= {1, 16, 128},
+         "batches must cover batch sizes 1, 16 and 128")
+    for b in batches:
+        p50, p99 = b.get("p50_ms", 0.0), b.get("p99_ms", 0.0)
+        need(0 < p50 <= p99,
+             f"batch {b.get('batch')} latency p50 {p50} / p99 {p99} not "
+             "0 < p50 <= p99")
+        need(b.get("queries_per_second", 0.0) > 0,
+             f"batch {b.get('batch')} queries_per_second not positive")
+
+    if failures:
+        raise SystemExit(f"serve gate FAILED for {path}:\n  " +
+                         "\n  ".join(failures))
+    print(f"[bench_to_json] serve gates passed for {path}", file=sys.stderr)
+    return 0
+
+
 def check_scale(path: pathlib.Path) -> int:
     """Validate a committed BENCH_scale.json against the scale gates."""
     try:
@@ -272,12 +342,18 @@ def main() -> int:
                     help="validate a committed BENCH_server.json "
                          "(bench_server output) against the 1k-connection "
                          "load gates and exit; no benchmarks are run")
+    ap.add_argument("--check-serve", type=pathlib.Path, metavar="JSON",
+                    help="validate a committed BENCH_serve.json "
+                         "(bench_serve output) against the serving-engine "
+                         "gates and exit; no benchmarks are run")
     args = ap.parse_args()
 
     if args.check_scale is not None:
         return check_scale(args.check_scale)
     if args.check_server is not None:
         return check_server(args.check_server)
+    if args.check_serve is not None:
+        return check_serve(args.check_serve)
 
     if not args.binary.exists():
         raise SystemExit(

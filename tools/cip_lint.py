@@ -290,7 +290,7 @@ def check_content(rel: str, lines: list[str]) -> list[Violation]:
 # plus the federated surface: shape contracts, layout, threading and
 # determinism guarantees live in these comments).
 DOC_COMMENT_DIRS = ("src/tensor/", "src/nn/", "src/fl/", "src/core/",
-                    "src/common/", "src/net/")
+                    "src/common/", "src/net/", "src/serve/")
 
 # A function declaration/definition opener: optional specifiers, a return
 # type containing at least one type-ish token, a name, an open paren. Control
